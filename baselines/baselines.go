@@ -1,0 +1,47 @@
+// Package baselines exposes the comparison systems of the K-Join paper's
+// evaluation (§7) for downstream benchmarking: FastJoin (fuzzy-token set
+// similarity join, Wang et al. ICDE 2011), Synonym (rule-normalized set
+// join, Lu et al. SIGMOD 2013) and a simulated crowdsourcing oracle
+// (CrowdER, Wang et al. VLDB 2012). All are from-scratch implementations
+// on the same substrates as K-Join itself; see DESIGN.md for fidelity
+// notes and EXPERIMENTS.md for how they compare.
+package baselines
+
+import "kjoin/internal/baseline"
+
+// Pair is one join result (X < Y index the object slice).
+type Pair = baseline.Pair
+
+// Stats reports the work a baseline join did.
+type Stats = baseline.Stats
+
+// FastJoinOptions configures FastJoin.
+type FastJoinOptions = baseline.FastJoinOptions
+
+// FastJoin runs the fuzzy-token set similarity self join: fuzzy-Jaccard
+// with edit-similarity token matching and segment-signature filtering.
+func FastJoin(objects [][]string, opt FastJoinOptions) ([]Pair, *Stats, error) {
+	return baseline.FastJoin(objects, opt)
+}
+
+// SynonymJoinOptions configures SynonymJoin.
+type SynonymJoinOptions = baseline.SynonymJoinOptions
+
+// SynonymJoin runs the rule-normalized exact set join.
+func SynonymJoin(objects [][]string, opt SynonymJoinOptions) ([]Pair, *Stats, error) {
+	return baseline.SynonymJoin(objects, opt)
+}
+
+// CrowdOptions configures the simulated crowdsourcing oracle.
+type CrowdOptions = baseline.CrowdOptions
+
+// DefaultCrowdOptions returns the error profile used in the reproduction
+// of the paper's Table 4.
+func DefaultCrowdOptions(truth map[[2]int]bool, seed uint64) CrowdOptions {
+	return baseline.DefaultCrowdOptions(truth, seed)
+}
+
+// Crowd runs the simulated crowdsourcing entity-resolution baseline.
+func Crowd(objects [][]string, opt CrowdOptions) ([]Pair, *Stats, error) {
+	return baseline.Crowd(objects, opt)
+}

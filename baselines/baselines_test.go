@@ -1,0 +1,50 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"kjoin/baselines"
+	"kjoin/datasets"
+)
+
+// The public baseline surface runs end-to-end on a generated corpus.
+func TestPublicBaselines(t *testing.T) {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	res := datasets.GenRes(hr, datasets.ResConfig{Seed: 19, N: 300, DupFrac: 0.4})
+
+	fj, st, err := baselines.FastJoin(res.Records, baselines.FastJoinOptions{Delta: 0.8, Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 300 || st.Candidates == 0 {
+		t.Errorf("FastJoin stats = %+v", st)
+	}
+	for _, p := range fj {
+		if p.Sim < 0.6-1e-9 || p.X >= p.Y {
+			t.Errorf("bad FastJoin pair %+v", p)
+		}
+	}
+
+	sj, _, err := baselines.SynonymJoin(res.Records, baselines.SynonymJoinOptions{Tau: 0.6, Synonyms: res.Synonyms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sj {
+		if p.Sim < 0.6-1e-9 {
+			t.Errorf("bad SynonymJoin pair %+v", p)
+		}
+	}
+
+	cr, _, err := baselines.Crowd(res.Records, baselines.DefaultCrowdOptions(res.Truth, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([][2]int, len(cr))
+	for i, p := range cr {
+		keys[i] = [2]int{p.X, p.Y}
+	}
+	q := datasets.Measure(keys, res.Truth)
+	if q.Recall() < 0.85 {
+		t.Errorf("crowd recall = %v, want ≥ 0.85", q.Recall())
+	}
+}

@@ -1,0 +1,116 @@
+// Benchmarks: one per table and figure of the paper's evaluation (§7).
+// Each benchmark regenerates the corresponding experiment through the
+// shared harness (internal/experiments) at a reduced scale so that
+// `go test -bench=.` completes in minutes; the cmd/kjoin-bench tool runs
+// the same experiments at configurable scales and prints the full rows.
+//
+// b.N iterations re-run the whole experiment; the interesting output is
+// the per-iteration wall time of each experiment (plus the printed rows
+// on the first run, written to the benchmark log with -v).
+package kjoin_test
+
+import (
+	"io"
+	"testing"
+
+	"kjoin"
+	"kjoin/datasets"
+	"kjoin/internal/experiments"
+)
+
+// benchConfig is the reduced-scale configuration for benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 3000
+	cfg.BaselineScale = 800
+	cfg.QualityN = 600
+	cfg.Out = io.Discard
+	return cfg
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the knowledge-hierarchy statistics table.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates the dataset statistics table.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates the Pub/Res quality comparison
+// (FastJoin, K-Join, K-Join+, Synonym, Crowd at δ=0.5, τ=0.6).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig7 regenerates effectiveness vs τ (recall and F-measure).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates effectiveness vs δ.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates filtering candidates/time vs τ
+// (Node vs Shallow vs Deep).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates filtering candidates/time vs δ.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates verification time (Basic vs SubGraph vs
+// Adaptive) vs τ and δ.
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates the state-of-the-art comparison vs τ.
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates the state-of-the-art comparison vs δ.
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates the scalability sweep (K-Join and K-Join+
+// total time vs collection size).
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkAblation regenerates the design-choice ablations
+// (plain vs weighted prefix, φ_min sweep, mapping cap, worker scaling).
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkKnowledge regenerates the knowledge-quality degradation
+// experiment.
+func BenchmarkKnowledge(b *testing.B) { runExperiment(b, "knowledge") }
+
+// BenchmarkDAG regenerates the §6.5 DAG-extension experiment.
+func BenchmarkDAG(b *testing.B) { runExperiment(b, "dag") }
+
+// BenchmarkSelfJoinPOI measures one K-Join self join on the POI workload
+// at the benchmark scale (the paper's default configuration).
+func BenchmarkSelfJoinPOI(b *testing.B) {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(3000))
+	opt := kjoin.Defaults(0.8, 0.85)
+	opt.ComputeSims = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := kjoin.SelfJoin(hr.H, c.Records, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimilarity measures single-pair scoring.
+func BenchmarkSimilarity(b *testing.B) {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(100))
+	opt := kjoin.Defaults(0.8, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kjoin.Similarity(hr.H, c.Records[0], c.Records[1], opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

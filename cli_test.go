@@ -1,0 +1,75 @@
+package kjoin_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIEndToEnd builds the command-line tools and drives the full
+// pipeline: generate a dataset with kjoin-gen, join it with kjoin, and
+// check the output shape. Skipped with -short (it shells out to the Go
+// toolchain).
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	gen := build("kjoin-gen")
+	join := build("kjoin")
+
+	prefix := filepath.Join(dir, "res")
+	if out, err := exec.Command(gen, "-kind", "res", "-out", prefix).CombinedOutput(); err != nil {
+		t.Fatalf("kjoin-gen: %v\n%s", err, out)
+	}
+	for _, suffix := range []string{"-hierarchy.txt", "-records.txt", "-truth.txt", "-synonyms.txt"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Fatalf("missing output %s: %v", suffix, err)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(join,
+		"-hierarchy", prefix+"-hierarchy.txt",
+		"-input", prefix+"-records.txt",
+		"-synonyms", prefix+"-synonyms.txt",
+		"-delta", "0.5", "-tau", "0.6", "-plus")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("kjoin: %v\n%s", err, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("expected hundreds of duplicate pairs, got %d lines", len(lines))
+	}
+	for _, l := range lines[:5] {
+		fields := strings.Split(l, "\t")
+		if len(fields) != 3 {
+			t.Fatalf("bad output line %q", l)
+		}
+	}
+	if !strings.Contains(stderr.String(), "candidates=") {
+		t.Errorf("stats summary missing: %q", stderr.String())
+	}
+
+	// Unknown flags and missing files fail loudly.
+	if err := exec.Command(join, "-hierarchy", "/nonexistent", "-input", "/nonexistent").Run(); err == nil {
+		t.Error("kjoin with missing files should fail")
+	}
+	if err := exec.Command(join).Run(); err == nil {
+		t.Error("kjoin without required flags should fail")
+	}
+}

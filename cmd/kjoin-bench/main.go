@@ -1,0 +1,39 @@
+// Command kjoin-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §4 for the experiment index). Each experiment
+// prints the rows/series of the corresponding table or figure.
+//
+// Usage:
+//
+//	kjoin-bench -exp table4
+//	kjoin-bench -exp fig9 -scale 50000
+//	kjoin-bench -exp all
+//
+// Environment: KJOIN_SCALE, KJOIN_BASELINE_SCALE and KJOIN_QUALITY_N
+// override the default dataset sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kjoin/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	var (
+		exp = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|")+"|all")
+	)
+	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "POI/Tweet size for efficiency experiments")
+	flag.IntVar(&cfg.BaselineScale, "baseline-scale", cfg.BaselineScale, "collection size for baseline comparisons")
+	flag.IntVar(&cfg.QualityN, "quality-n", cfg.QualityN, "override Pub/Res sizes (0 = paper sizes)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "join workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if err := experiments.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "kjoin-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,149 @@
+// Command kjoin-gen generates the synthetic evaluation datasets: the
+// knowledge hierarchy (paper Table 2), POI/Tweet record collections
+// (Table 3) and the Pub/Res labeled corpora (Table 4). Files written:
+//
+//	<out>-hierarchy.txt  hierarchy in the kjoin text format
+//	<out>-records.txt    one object per line, whitespace tokens
+//	<out>-truth.txt      ground-truth pairs "<x>\t<y>" (if any)
+//	<out>-synonyms.txt   synonym rule groups, comma separated (pub/res)
+//
+// Usage:
+//
+//	kjoin-gen -kind poi -n 100000 -out poi
+//	kjoin-gen -kind pub -out pub
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"kjoin/datasets"
+	"kjoin/internal/synonym"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "poi", "dataset kind: hier|poi|tweet|pub|res")
+		n    = flag.Int("n", 100000, "record count (poi/tweet)")
+		out  = flag.String("out", "data", "output file prefix")
+	)
+	flag.Parse()
+
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	switch *kind {
+	case "hier":
+		writeHierarchy(*out, hr)
+	case "poi":
+		c := datasets.GenRecords(hr, datasets.POIConfig(*n))
+		writeHierarchy(*out, hr)
+		writeRecords(*out, c.Records)
+		writeTruth(*out, c.Truth)
+	case "tweet":
+		c := datasets.GenRecords(hr, datasets.TweetConfig(*n))
+		writeHierarchy(*out, hr)
+		writeRecords(*out, c.Records)
+		writeTruth(*out, c.Truth)
+	case "pub":
+		l := datasets.GenPub(datasets.DefaultPub())
+		writeLabeledHierarchy(*out, l)
+		writeRecords(*out, l.Records)
+		writeTruth(*out, l.Truth)
+		writeSynonyms(*out, l.Aliases)
+	case "res":
+		l := datasets.GenRes(hr, datasets.DefaultRes())
+		writeLabeledHierarchy(*out, l)
+		writeRecords(*out, l.Records)
+		writeTruth(*out, l.Truth)
+		writeSynonyms(*out, l.Aliases)
+	default:
+		fmt.Fprintf(os.Stderr, "kjoin-gen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func create(path string) (*os.File, *bufio.Writer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kjoin-gen:", err)
+		os.Exit(1)
+	}
+	return f, bufio.NewWriter(f)
+}
+
+func closeAll(f *os.File, w *bufio.Writer) {
+	if err := w.Flush(); err == nil {
+		err = f.Close()
+		if err == nil {
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "kjoin-gen: write failed")
+	os.Exit(1)
+}
+
+func writeHierarchy(prefix string, hr *datasets.Hier) {
+	f, w := create(prefix + "-hierarchy.txt")
+	if _, err := hr.H.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "kjoin-gen:", err)
+		os.Exit(1)
+	}
+	closeAll(f, w)
+	fmt.Println("wrote", prefix+"-hierarchy.txt")
+}
+
+func writeLabeledHierarchy(prefix string, l *datasets.Labeled) {
+	f, w := create(prefix + "-hierarchy.txt")
+	if _, err := l.H.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "kjoin-gen:", err)
+		os.Exit(1)
+	}
+	closeAll(f, w)
+	fmt.Println("wrote", prefix+"-hierarchy.txt")
+}
+
+func writeRecords(prefix string, records [][]string) {
+	f, w := create(prefix + "-records.txt")
+	for _, rec := range records {
+		fmt.Fprintln(w, strings.Join(rec, " "))
+	}
+	closeAll(f, w)
+	fmt.Printf("wrote %s-records.txt (%d records)\n", prefix, len(records))
+}
+
+func writeTruth(prefix string, truth map[[2]int]bool) {
+	if len(truth) == 0 {
+		return
+	}
+	pairs := make([][2]int, 0, len(truth))
+	for p := range truth {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	f, w := create(prefix + "-truth.txt")
+	for _, p := range pairs {
+		fmt.Fprintf(w, "%d\t%d\n", p[0], p[1])
+	}
+	closeAll(f, w)
+	fmt.Printf("wrote %s-truth.txt (%d pairs)\n", prefix, len(pairs))
+}
+
+func writeSynonyms(prefix string, d *synonym.Dict) {
+	if d == nil || d.Len() == 0 {
+		return
+	}
+	f, w := create(prefix + "-synonyms.txt")
+	for _, g := range d.Groups() {
+		fmt.Fprintln(w, strings.Join(g, ","))
+	}
+	closeAll(f, w)
+	fmt.Println("wrote", prefix+"-synonyms.txt")
+}

@@ -1,0 +1,72 @@
+// Command kjoin-serve runs a knowledge-aware similarity service over
+// HTTP: objects are streamed in and deduplicated against everything seen
+// before, and ad-hoc queries search the accumulated collection.
+//
+//	kjoin-serve -hierarchy kb.txt -addr :8080 -delta 0.8 -tau 0.8
+//
+// Endpoints (JSON):
+//
+//	POST /objects    {"tokens": ["burgerking", "mountainview"]}
+//	                 → {"id": 17, "pairs": [{"x": 3, "y": 17, "sim": 0.91}]}
+//	POST /query      {"tokens": [...]} → {"matches": [{"index": 3, "sim": 0.91}]}
+//	POST /similarity {"x": [...], "y": [...]} → {"sim": 0.75}
+//	GET  /stats      accumulated join statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"kjoin"
+	"kjoin/internal/core"
+	"kjoin/internal/server"
+)
+
+func main() {
+	var (
+		hierPath = flag.String("hierarchy", "", "knowledge hierarchy file (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		delta    = flag.Float64("delta", 0.8, "element similarity threshold δ")
+		tau      = flag.Float64("tau", 0.8, "object similarity threshold τ")
+		plus     = flag.Bool("plus", false, "K-Join+ resolution")
+		snapshot = flag.String("snapshot", "", "optional snapshot file to preload (see GET /snapshot)")
+	)
+	flag.Parse()
+	if *hierPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*hierPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := kjoin.ReadHierarchy(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.Defaults(*delta, *tau)
+	opt.Plus = *plus
+	var srv *server.Server
+	if *snapshot != "" {
+		sf, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = server.NewFromSnapshot(h, opt, sf)
+		sf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		srv, err = server.New(h, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "kjoin-serve: hierarchy %d nodes, listening on %s\n", h.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,77 @@
+// Package datasets exposes the synthetic workload generators and quality
+// measures used by the K-Join evaluation harness: a knowledge hierarchy
+// with the shape of the paper's Table 2, POI/Tweet-style record
+// collections (Table 3), the Pub and Res labeled corpora for
+// effectiveness experiments (Table 4), and precision/recall/F-measure
+// evaluation. Every generator is deterministic in its seed.
+package datasets
+
+import (
+	"kjoin/internal/dataset"
+	"kjoin/internal/eval"
+)
+
+// HierarchyConfig controls GenHierarchy.
+type HierarchyConfig = dataset.HierarchyConfig
+
+// Hier is a generated hierarchy plus per-depth node lists.
+type Hier = dataset.Hier
+
+// DefaultHierarchy returns the paper's Table 2 configuration
+// (4222 nodes, height 6, fanout 7/49/1).
+func DefaultHierarchy() HierarchyConfig { return dataset.DefaultHierarchy() }
+
+// GenHierarchy builds a two-domain knowledge hierarchy.
+func GenHierarchy(cfg HierarchyConfig) *Hier { return dataset.GenHierarchy(cfg) }
+
+// Collection is a record collection with duplicate ground truth.
+type Collection = dataset.Collection
+
+// RecordConfig controls GenRecords.
+type RecordConfig = dataset.RecordConfig
+
+// POIConfig returns the POI configuration of Table 3 for n records.
+func POIConfig(n int) RecordConfig { return dataset.POIConfig(n) }
+
+// TweetConfig returns the Tweet configuration of Table 3 for n records.
+func TweetConfig(n int) RecordConfig { return dataset.TweetConfig(n) }
+
+// GenRecords generates a POI/Tweet-style collection over the hierarchy.
+func GenRecords(hr *Hier, cfg RecordConfig) *Collection { return dataset.GenRecords(hr, cfg) }
+
+// Labeled is a corpus with ground truth, hierarchy and rule dictionaries.
+type Labeled = dataset.Labeled
+
+// PubConfig controls GenPub; ResConfig controls GenRes.
+type (
+	PubConfig = dataset.PubConfig
+	ResConfig = dataset.ResConfig
+)
+
+// DefaultPub returns the Pub corpus configuration (1879 papers).
+func DefaultPub() PubConfig { return dataset.DefaultPub() }
+
+// GenPub generates the Pub corpus (typo/abbreviation/alias errors).
+func GenPub(cfg PubConfig) *Labeled { return dataset.GenPub(cfg) }
+
+// DefaultRes returns the Res corpus configuration (864 restaurants).
+func DefaultRes() ResConfig { return dataset.DefaultRes() }
+
+// GenRes generates the Res corpus (synonym/hierarchy errors) over hr.
+func GenRes(hr *Hier, cfg ResConfig) *Labeled { return dataset.GenRes(hr, cfg) }
+
+// CollectionStats describes a collection in Table 3's format.
+type CollectionStats = dataset.CollectionStats
+
+// Stats measures a record collection against a hierarchy.
+func Stats(hr *Hier, records [][]string) CollectionStats {
+	return dataset.ComputeCollectionStats(hr.H, records)
+}
+
+// Quality holds precision/recall/F-measure counts.
+type Quality = eval.Quality
+
+// Measure compares result pairs against ground truth.
+func Measure(results [][2]int, truth map[[2]int]bool) Quality {
+	return eval.Measure(results, truth)
+}

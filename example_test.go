@@ -1,0 +1,107 @@
+package kjoin_test
+
+import (
+	"fmt"
+
+	"kjoin"
+)
+
+// ExampleSelfJoin reproduces the paper's running example: joining the
+// Table 1 objects over the Figure 1 hierarchy at δ=0.7, τ=0.6 yields the
+// single pair ⟨S1, S3⟩ with similarity 19/29.
+func ExampleSelfJoin() {
+	h := kjoin.NewHierarchy("Root")
+	food := h.Add(h.Root(), "Food")
+	western := h.Add(food, "WesternFood")
+	fastfood := h.Add(western, "Fastfood")
+	h.Add(fastfood, "BurgerKing")
+	h.Add(fastfood, "KFC")
+	loc := h.Add(h.Root(), "Location")
+	us := h.Add(loc, "US")
+	ca := h.Add(us, "CA")
+	sf := h.Add(ca, "SanFrancisco")
+	mv := h.Add(sf, "MountainView")
+	h.Add(mv, "GoogleHeadquarters")
+
+	objects := [][]string{
+		{"BurgerKing", "MountainView"},
+		{"Fastfood", "GoogleHeadquarters"},
+	}
+	pairs, _, err := kjoin.SelfJoin(h, objects, kjoin.Defaults(0.7, 0.6))
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("objects %d and %d: %.4f\n", p.X, p.Y, p.Sim)
+	}
+	// Output:
+	// objects 0 and 1: 0.6552
+}
+
+// ExampleSimilarity scores one pair of objects directly.
+func ExampleSimilarity() {
+	h := kjoin.NewHierarchy("Root")
+	food := h.Add(h.Root(), "Food")
+	western := h.Add(food, "WesternFood")
+	fastfood := h.Add(western, "Fastfood")
+	h.Add(fastfood, "BurgerKing")
+	h.Add(fastfood, "KFC")
+
+	// The elements are siblings at depth 4 with their LCA at depth 3, so
+	// their similarity is 3/4 (Definition 1); the singleton objects have
+	// Jaccard (3/4)/(2−3/4) = 0.6.
+	s, err := kjoin.Similarity(h, []string{"BurgerKing"}, []string{"KFC"}, kjoin.Defaults(0.7, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", s)
+	// Output:
+	// 0.60
+}
+
+// ExampleCluster groups objects into similarity clusters from join
+// results.
+func ExampleCluster() {
+	pairs := []kjoin.Pair{{X: 0, Y: 1}, {X: 1, Y: 2}, {X: 3, Y: 4}}
+	for _, c := range kjoin.Cluster(6, pairs) {
+		fmt.Println(c)
+	}
+	// Output:
+	// [0 1 2]
+	// [3 4]
+	// [5]
+}
+
+// ExampleIndexer streams objects through the online join.
+func ExampleIndexer() {
+	h := kjoin.NewHierarchy("Root")
+	food := h.Add(h.Root(), "Food")
+	western := h.Add(food, "WesternFood")
+	fastfood := h.Add(western, "Fastfood")
+	h.Add(fastfood, "BurgerKing")
+	h.Add(fastfood, "KFC")
+
+	ix, err := kjoin.NewIndexer(h, kjoin.Defaults(0.7, 0.5))
+	if err != nil {
+		panic(err)
+	}
+	for _, obj := range [][]string{
+		{"BurgerKing", "downtown"},
+		{"KFC", "uptown"},
+		{"KFC", "downtown"},
+	} {
+		pairs, err := ix.Add(obj)
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range pairs {
+			fmt.Printf("new object %d matches %d (%.2f)\n", p.Y, p.X, p.Sim)
+		}
+	}
+	// {KFC, downtown} matches {BurgerKing, downtown}: the fuzzy overlap
+	// is 3/4 (BurgerKing ~ KFC) + 1 (downtown) = 1.75, and
+	// 1.75/(4−1.75) ≈ 0.78. It does not match {KFC, uptown}: sharing
+	// only KFC gives 1/3 < τ.
+	// Output:
+	// new object 2 matches 0 (0.78)
+}

@@ -1,0 +1,69 @@
+// Clustering: the paper's introduction motivates grouping similar
+// objects ("Yelp wants to classify similar restaurants together").
+// This example generates a Tweet-style collection, finds the most
+// similar pairs with the top-k join, then builds similarity clusters
+// with a threshold join and reports the cluster-size distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 3000, "number of records")
+		delta = flag.Float64("delta", 0.8, "element threshold δ")
+		tau   = flag.Float64("tau", 0.85, "object threshold τ")
+		topk  = flag.Int("k", 5, "top-k pairs to print")
+	)
+	flag.Parse()
+
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.TweetConfig(*n))
+
+	// The k most similar pairs in the collection.
+	top, _, err := kjoin.TopKSelfJoin(hr.H, c.Records, *topk, kjoin.Defaults(*delta, 0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top %d most similar pairs:\n", *topk)
+	for _, p := range top {
+		fmt.Printf("  %.3f  %v ~ %v\n", p.Sim, c.Records[p.X], c.Records[p.Y])
+	}
+
+	// Threshold join → connected-component clusters.
+	pairs, _, err := kjoin.SelfJoin(hr.H, c.Records, kjoin.Defaults(*delta, *tau))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters := kjoin.Cluster(len(c.Records), pairs)
+	sizes := map[int]int{}
+	biggest := 0
+	for i, cl := range clusters {
+		sizes[len(cl)]++
+		if len(cl) > len(clusters[biggest]) {
+			biggest = i
+		}
+	}
+	fmt.Printf("\n%d records → %d clusters (from %d similar pairs)\n",
+		len(c.Records), len(clusters), len(pairs))
+	for s := 1; s <= 8; s++ {
+		if sizes[s] > 0 {
+			fmt.Printf("  clusters of size %d: %d\n", s, sizes[s])
+		}
+	}
+	if len(clusters[biggest]) > 1 {
+		fmt.Printf("largest cluster (%d members), first three:\n", len(clusters[biggest]))
+		for i, m := range clusters[biggest] {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  %v\n", c.Records[m])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// POI deduplication: the paper's motivating application (§1). Generates
+// a synthetic POI collection over a knowledge hierarchy shaped like the
+// paper's Factual crawl (Table 2/3), runs a knowledge-aware self join
+// with deep weighted prefixes and adaptive verification, and reports how
+// many of the injected near-duplicate pairs were recovered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 10000, "number of POIs")
+		delta = flag.Float64("delta", 0.8, "element threshold δ")
+		tau   = flag.Float64("tau", 0.8, "object threshold τ")
+	)
+	flag.Parse()
+
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	poi := datasets.GenRecords(hr, datasets.POIConfig(*n))
+	stats := datasets.Stats(hr, poi.Records)
+	fmt.Printf("POIs: %d records, avg %d tokens, avg element depth %d\n",
+		stats.Size, stats.AvgLen, stats.AvgDep)
+
+	opt := kjoin.Defaults(*delta, *tau)
+	pairs, jstats, err := kjoin.SelfJoin(hr.H, poi.Records, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidates: %d, results: %d, preprocess %v, probe %v\n",
+		jstats.Candidates, len(pairs), jstats.Preprocess, jstats.Probe)
+	fmt.Printf("pruning: count=%d weighted=%d ub-rejected=%d lb-accepted=%d\n",
+		jstats.Verify.CountPruned, jstats.Verify.WeightedPruned,
+		jstats.Verify.UBRejected, jstats.Verify.LBAccepted)
+
+	keys := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		keys[i] = [2]int{p.X, p.Y}
+	}
+	q := datasets.Measure(keys, poi.Truth)
+	fmt.Printf("against injected duplicates: precision %.1f%%, recall %.1f%%, F1 %.3f\n",
+		q.Precision()*100, q.Recall()*100, q.F1())
+
+	// Show a few matches.
+	for i, p := range pairs {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %v ~ %v (sim %.3f)\n", poi.Records[p.X], poi.Records[p.Y], p.Sim)
+	}
+}

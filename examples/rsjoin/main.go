@@ -1,0 +1,56 @@
+// R-S join (§6.1) with an alternative set metric (§6.3): joins two
+// different collections — a "catalog" of canonical restaurant records
+// and a "feed" of noisy crawled records — under Dice similarity and the
+// Wu & Palmer element metric (§6.2), finding which feed entries match
+// which catalog entries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+func main() {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	res := datasets.GenRes(hr, datasets.DefaultRes())
+
+	// Catalog: the first 500 records; feed: the rest (which contains
+	// mutated duplicates of catalog entries).
+	catalog := res.Records[:500]
+	feed := res.Records[500:]
+
+	opt := kjoin.Defaults(0.6, 0.6)
+	opt.Set = kjoin.Dice
+	opt.Metric = kjoin.WuPalmer
+	opt.Plus = true
+	opt.Synonyms = res.Aliases
+
+	pairs, stats, err := kjoin.Join(res.H, catalog, feed, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog=%d feed=%d candidates=%d matches=%d\n",
+		len(catalog), len(feed), stats.Candidates, len(pairs))
+
+	shown := 0
+	for _, p := range pairs {
+		// p.X indexes the catalog, p.Y the feed.
+		if res.Truth[[2]int{p.X, p.Y + 500}] && shown < 3 {
+			fmt.Printf("feed %v\n  matches catalog %v (Dice %.3f)\n",
+				feed[p.Y], catalog[p.X], p.Sim)
+			shown++
+		}
+	}
+
+	// Direct pair scoring through the public API.
+	s, err := kjoin.Similarity(res.H,
+		[]string{"californian", "food", "fillmore", "st"},
+		[]string{"american", "food", "fillmore", "street"}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIM(californian food @ fillmore st, american food @ fillmore street) = %.3f\n", s)
+}

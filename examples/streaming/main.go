@@ -1,0 +1,81 @@
+// Streaming deduplication: the online form of K-Join. POIs arrive one
+// at a time (a crawler feed); each is checked against everything seen
+// before as it is indexed. The index is snapshotted to disk and restored
+// — the restart path of a long-running deduplication service — and then
+// queried without inserting (knowledge-aware similarity search).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+func main() {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	feed := datasets.GenRecords(hr, datasets.POIConfig(2000))
+
+	opt := kjoin.Defaults(0.8, 0.85)
+	ix, err := kjoin.NewIndexer(hr.H, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream the feed; report duplicates as they arrive.
+	dups := 0
+	for i, rec := range feed.Records {
+		pairs, err := ix.Add(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(pairs) > 0 && dups < 3 {
+			fmt.Printf("record %d duplicates record %d (sim %.3f)\n",
+				i, pairs[0].X, pairs[0].Sim)
+		}
+		dups += len(pairs)
+	}
+	st := ix.Stats()
+	fmt.Printf("streamed %d records: %d duplicate pairs, %d candidates checked\n",
+		ix.Len(), dups, st.Candidates)
+
+	// Snapshot and restore (the restart path).
+	path := filepath.Join(os.TempDir(), "kjoin-stream.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.WriteSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	defer os.Remove(path)
+
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := kjoin.LoadIndexer(hr.H, opt, f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d records from snapshot\n", restored.Len())
+
+	// Similarity search against the restored index.
+	query := feed.Records[0]
+	matches, err := restored.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %v matches %d indexed records\n", query, len(matches))
+	for i, m := range matches {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  record %d (sim %.3f)\n", m.Index, m.Sim)
+	}
+}

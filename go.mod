@@ -1,0 +1,3 @@
+module kjoin
+
+go 1.22

@@ -1,0 +1,318 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kjoin/internal/setmetric"
+	"kjoin/internal/strutil"
+	"kjoin/internal/synonym"
+)
+
+func TestEditBudget(t *testing.T) {
+	// EDS ≥ 0.8 on a token of length 8 allows ED ≤ 2: (1−0.8)/0.8·8 = 2.
+	if got := editBudget(8, 0.8); got != 2 {
+		t.Errorf("editBudget(8, 0.8) = %d, want 2", got)
+	}
+	if got := editBudget(10, 0.5); got != 10 {
+		t.Errorf("editBudget(10, 0.5) = %d, want 10", got)
+	}
+	if got := editBudget(5, 0); got != 5 {
+		t.Errorf("editBudget(5, 0) = %d, want 5", got)
+	}
+}
+
+func TestMakeSpec(t *testing.T) {
+	sp := makeSpec(10, 2) // 3 segments: 4, 3, 3
+	if !reflect.DeepEqual(sp.lengths, []int{4, 3, 3}) {
+		t.Errorf("lengths = %v", sp.lengths)
+	}
+	if !reflect.DeepEqual(sp.starts, []int{0, 4, 7}) {
+		t.Errorf("starts = %v", sp.starts)
+	}
+}
+
+// Completeness property of the token signature scheme: tokens with edit
+// similarity ≥ δ share a signature.
+func TestTokenSigsComplete(t *testing.T) {
+	gen := func(r *rand.Rand) string {
+		n := 1 + r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte('a' + r.Intn(5)))
+		}
+		return sb.String()
+	}
+	for _, delta := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a, b := gen(r), gen(r)
+			if strutil.EditSim(a, b) < delta {
+				return true
+			}
+			sa := tokenSigs(a, delta)
+			sb := tokenSigs(b, delta)
+			set := map[string]bool{}
+			for _, s := range sa {
+				set[s] = true
+			}
+			for _, s := range sb {
+				if set[s] {
+					return true
+				}
+			}
+			t.Logf("δ=%v: %q ~ %q (sim %v) share no signature\n a: %v\n b: %v",
+				delta, a, b, strutil.EditSim(a, b), sa, sb)
+			return false
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+			t.Errorf("δ=%v: %v", delta, err)
+		}
+	}
+}
+
+// bruteFastJoin is the oracle: all-pairs fuzzy-Jaccard.
+func bruteFastJoin(objects [][]string, delta, tau float64) [][2]int {
+	tokID := map[string]int32{}
+	var toks []string
+	objs := make([][]int32, len(objects))
+	for i, obj := range objects {
+		seen := map[int32]bool{}
+		for _, raw := range obj {
+			tk := lower(raw)
+			id, ok := tokID[tk]
+			if !ok {
+				id = int32(len(toks))
+				tokID[tk] = id
+				toks = append(toks, tk)
+			}
+			if !seen[id] {
+				seen[id] = true
+				objs[i] = append(objs[i], id)
+			}
+		}
+	}
+	var out [][2]int
+	for x := 1; x < len(objs); x++ {
+		for y := 0; y < x; y++ {
+			if fuzzyJaccard(objs[x], objs[y], toks, delta) >= tau-1e-9 {
+				out = append(out, [2]int{y, x})
+			}
+		}
+	}
+	return out
+}
+
+func TestFastJoinMatchesBruteForce(t *testing.T) {
+	objects := [][]string{
+		{"pizzahut", "brooklyn", "newyork"},
+		{"pizzahat", "brooklyn", "newyork"}, // typo'd duplicate
+		{"burgerking", "mountainview"},
+		{"burgerking", "mountanview"}, // typo'd duplicate
+		{"kfc", "manhattan"},
+		{"dominos", "paloalto", "california"},
+		{"dominoes", "paloalto", "california"},
+		{"sushi", "tokyo"},
+	}
+	for _, delta := range []float64{0.5, 0.6, 0.8} {
+		for _, tau := range []float64{0.5, 0.7, 0.9} {
+			got, st, err := FastJoin(objects, FastJoinOptions{Delta: delta, Tau: tau})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteFastJoin(objects, delta, tau)
+			gk := make([][2]int, len(got))
+			for i, p := range got {
+				gk[i] = [2]int{p.X, p.Y}
+			}
+			if !reflect.DeepEqual(gk, want) && !(len(gk) == 0 && len(want) == 0) {
+				t.Errorf("δ=%v τ=%v: got %v, want %v", delta, tau, gk, want)
+			}
+			if st.Candidates == 0 && len(want) > 0 {
+				t.Errorf("δ=%v τ=%v: no candidates but %d true pairs", delta, tau, len(want))
+			}
+		}
+	}
+}
+
+func TestFastJoinFindsTypoPair(t *testing.T) {
+	objects := [][]string{
+		{"pizzahut", "fillmore", "st"},
+		{"pizzahat", "fillmore", "st"},
+	}
+	pairs, _, err := FastJoin(objects, FastJoinOptions{Delta: 0.8, Tau: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want the typo pair", pairs)
+	}
+	// Overlap = 7/8 + 1 + 1 = 23/8; Jaccard = (23/8)/(6 − 23/8) = 23/25.
+	if math.Abs(pairs[0].Sim-23.0/25) > 1e-9 {
+		t.Errorf("sim = %v, want 23/25", pairs[0].Sim)
+	}
+}
+
+func TestSynonymJoin(t *testing.T) {
+	d := synonym.New()
+	d.Add("californian", "american")
+	d.Add("st", "street")
+	objects := [][]string{
+		{"californian", "food", "fillmore", "st"},
+		{"american", "food", "fillmore", "street"},
+		{"japanese", "food", "ellis", "dr"},
+		{"american", "food", "ellis", "drive"},
+	}
+	pairs, st, err := SynonymJoin(objects, SynonymJoinOptions{Tau: 0.9, Synonyms: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].X != 0 || pairs[0].Y != 1 {
+		t.Fatalf("pairs = %v, want exactly ⟨0,1⟩", pairs)
+	}
+	if pairs[0].Sim != 1 {
+		t.Errorf("sim = %v, want 1 (full synonym normalization)", pairs[0].Sim)
+	}
+	if st.Candidates < 1 {
+		t.Errorf("candidates = %d", st.Candidates)
+	}
+	// Without the dictionary, no pair survives τ=0.9.
+	pairs, _, err = SynonymJoin(objects, SynonymJoinOptions{Tau: 0.9, Synonyms: synonym.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("without rules, pairs = %v, want none", pairs)
+	}
+}
+
+// SynonymJoin against a brute-force oracle on random data.
+func TestSynonymJoinMatchesBruteForce(t *testing.T) {
+	d := synonym.New()
+	d.Add("a", "alpha")
+	d.Add("b", "beta")
+	vocab := []string{"a", "alpha", "b", "beta", "c", "d", "e", "f", "g"}
+	r := rand.New(rand.NewSource(7))
+	var objects [][]string
+	for i := 0; i < 40; i++ {
+		n := 2 + r.Intn(4)
+		var o []string
+		for j := 0; j < n; j++ {
+			o = append(o, vocab[r.Intn(len(vocab))])
+		}
+		objects = append(objects, o)
+	}
+	for _, tau := range []float64{0.5, 0.7, 0.9} {
+		got, _, err := SynonymJoin(objects, SynonymJoinOptions{Tau: tau, Synonyms: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle.
+		canon := func(o []string) map[string]bool {
+			m := map[string]bool{}
+			for _, t := range o {
+				m[d.Canonical(t)] = true
+			}
+			return m
+		}
+		var want [][2]int
+		for x := 1; x < len(objects); x++ {
+			for y := 0; y < x; y++ {
+				cx, cy := canon(objects[x]), canon(objects[y])
+				inter := 0
+				for t := range cx {
+					if cy[t] {
+						inter++
+					}
+				}
+				if setmetric.Jaccard.Sim(float64(inter), len(cx), len(cy)) >= tau-1e-9 {
+					want = append(want, [2]int{y, x})
+				}
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i][0] != want[j][0] {
+				return want[i][0] < want[j][0]
+			}
+			return want[i][1] < want[j][1]
+		})
+		gk := make([][2]int, len(got))
+		for i, p := range got {
+			gk[i] = [2]int{p.X, p.Y}
+		}
+		if !reflect.DeepEqual(gk, want) && !(len(gk) == 0 && len(want) == 0) {
+			t.Errorf("τ=%v: got %v, want %v", tau, gk, want)
+		}
+	}
+}
+
+func TestCrowdPerfectOracle(t *testing.T) {
+	objects := [][]string{
+		{"pizzahut", "brooklyn"},
+		{"pizzahut", "brooklyn", "ny"},
+		{"kfc", "manhattan"},
+		{"dominos", "paloalto"},
+	}
+	truth := map[[2]int]bool{{0, 1}: true}
+	pairs, st, err := Crowd(objects, CrowdOptions{Truth: truth, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].X != 0 || pairs[0].Y != 1 {
+		t.Fatalf("pairs = %v, want exactly the truth", pairs)
+	}
+	if st.Candidates == 0 {
+		t.Error("blocking should produce candidates")
+	}
+}
+
+func TestCrowdErrorRates(t *testing.T) {
+	// Build many blocked pairs and check error rates are roughly honored.
+	var objects [][]string
+	truth := map[[2]int]bool{}
+	for i := 0; i < 200; i++ {
+		objects = append(objects, []string{"shared", "tok" + string(rune('a'+i%26))})
+	}
+	for i := 0; i+1 < 200; i += 2 {
+		truth[[2]int{i, i + 1}] = true
+	}
+	opt := CrowdOptions{Truth: truth, MissRate: 0.5, FalseRate: 0.1, Seed: 42}
+	pairs, st, err := Crowd(objects, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 199*100 { // all pairs share "shared"
+		t.Fatalf("candidates = %d, want %d", st.Candidates, 199*100)
+	}
+	var tp, fp int
+	for _, p := range pairs {
+		if truth[[2]int{p.X, p.Y}] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if tp < 25 || tp > 75 { // 100 true pairs at 50% miss
+		t.Errorf("true positives = %d, want ≈50", tp)
+	}
+	wantFP := float64(199*100-100) * 0.1
+	if float64(fp) < wantFP*0.7 || float64(fp) > wantFP*1.3 {
+		t.Errorf("false positives = %d, want ≈%.0f", fp, wantFP)
+	}
+	// Determinism.
+	pairs2, _, _ := Crowd(objects, opt)
+	if !reflect.DeepEqual(pairs, pairs2) {
+		t.Error("crowd oracle must be deterministic for a fixed seed")
+	}
+}
+
+func TestLower(t *testing.T) {
+	if lower("KFC") != "kfc" || lower("kfc") != "kfc" || lower("PizzaHut42") != "pizzahut42" {
+		t.Error("lower mismatch")
+	}
+}

@@ -1,0 +1,366 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§7): FastJoin (Wang et al., ICDE 2011 — fuzzy-token
+// matching set similarity join), Synonym (Lu et al., SIGMOD 2013 —
+// synonym-rule normalized set join), and Crowd (Wang et al., VLDB 2012 —
+// crowdsourced entity resolution, simulated here by a seeded noisy
+// oracle). All are built from scratch on the same substrates as K-Join.
+package baseline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"kjoin/internal/index"
+	"kjoin/internal/matching"
+	"kjoin/internal/mathx"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/strutil"
+)
+
+// Pair is one join result (X < Y index the object slice).
+type Pair struct {
+	X, Y int
+	Sim  float64
+}
+
+// Stats reports the work a baseline join did.
+type Stats struct {
+	Objects    int
+	Candidates int64
+	Signatures int64 // total signature strings generated
+	Elapsed    time.Duration
+}
+
+// FastJoinOptions configures the FastJoin baseline.
+type FastJoinOptions struct {
+	// Delta is the token edit-similarity threshold δ.
+	Delta float64
+	// Tau is the fuzzy-Jaccard object threshold τ.
+	Tau float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// segSpec describes the even partition of strings of length l under edit
+// budget k: k+1 segments (Pass-Join / FastJoin segment signatures).
+type segSpec struct {
+	starts  []int
+	lengths []int
+}
+
+func makeSpec(l, k int) segSpec {
+	n := k + 1
+	sp := segSpec{starts: make([]int, n), lengths: make([]int, n)}
+	base, extra := l/n, l%n
+	pos := 0
+	for i := 0; i < n; i++ {
+		ln := base
+		if i < extra {
+			ln++
+		}
+		sp.starts[i] = pos
+		sp.lengths[i] = ln
+		pos += ln
+	}
+	return sp
+}
+
+// editBudget returns the maximum edit distance k a token of length l can
+// have to any token within edit similarity δ: from EDS ≥ δ follows
+// ED ≤ (1−δ)/δ · l.
+func editBudget(l int, delta float64) int {
+	if delta <= 0 {
+		return l
+	}
+	return int((1 - delta) / delta * float64(l) * (1 + 1e-12))
+}
+
+// tokenSigs returns the signature strings of token t under the
+// symmetric segment scheme: t's own segments (tagged by index) plus, for
+// every plausible partner length, the substrings of t aligned (within the
+// edit budget) with that partner's segments. Two tokens with edit
+// similarity ≥ δ always share a signature: an unedited segment of one is
+// a substring of the other at a position shifted by at most the budget,
+// and the union makes the witness symmetric.
+func tokenSigs(t string, delta float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	if delta <= 0.5 {
+		// With δ ≤ 0.5 the edit budget reaches the token length: two
+		// tokens may be similar while sharing no character (pigeonhole
+		// gives no witness). Every token carries a universal signature —
+		// the scheme degenerates, which is exactly the candidate blow-up
+		// the paper observes for FastJoin at small δ.
+		add("#any")
+	}
+	lt := len(t)
+	k := editBudget(lt, delta)
+	spec := makeSpec(lt, k)
+	for i := range spec.starts {
+		if spec.lengths[i] == 0 {
+			continue
+		}
+		add(segKey(i, t[spec.starts[i]:spec.starts[i]+spec.lengths[i]]))
+	}
+	// Partner lengths l with |l − lt| within both budgets.
+	lmin := mathx.CeilInt(delta * float64(lt))
+	if lmin < 1 {
+		lmin = 1
+	}
+	lmax := int(float64(lt)/delta + 1e-12)
+	for l := lmin; l <= lmax; l++ {
+		if l == lt {
+			continue
+		}
+		kp := editBudget(l, delta)
+		psp := makeSpec(l, kp)
+		for j := range psp.starts {
+			ln := psp.lengths[j]
+			if ln == 0 || ln > lt {
+				continue
+			}
+			lo := psp.starts[j] - kp
+			hi := psp.starts[j] + kp
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > lt-ln {
+				hi = lt - ln
+			}
+			for p := lo; p <= hi; p++ {
+				add(segKey(j, t[p:p+ln]))
+			}
+		}
+	}
+	return out
+}
+
+// segKey tags a segment string with its index so that segment j of one
+// token only matches (sub)strings aligned with segment j of another.
+func segKey(j int, s string) string {
+	return string(rune('0'+j%10)) + ":" + s
+}
+
+// FastJoin runs the FastJoin baseline self-join over tokenized objects:
+// fuzzy-Jaccard with edit-similarity token matching, segment-signature
+// prefix filtering, and Hungarian verification.
+func FastJoin(objects [][]string, opt FastJoinOptions) ([]Pair, *Stats, error) {
+	st := &Stats{Objects: len(objects)}
+	t0 := time.Now()
+
+	// Intern tokens, dedup within objects.
+	tokID := map[string]int32{}
+	var toks []string
+	objs := make([][]int32, len(objects))
+	for i, obj := range objects {
+		seen := map[int32]bool{}
+		for _, raw := range obj {
+			t := lower(raw)
+			id, ok := tokID[t]
+			if !ok {
+				id = int32(len(toks))
+				tokID[t] = id
+				toks = append(toks, t)
+			}
+			if !seen[id] {
+				seen[id] = true
+				objs[i] = append(objs[i], id)
+			}
+		}
+	}
+
+	// Document frequency order (ascending).
+	df := make([]int32, len(toks))
+	for _, o := range objs {
+		for _, t := range o {
+			df[t]++
+		}
+	}
+	for i := range objs {
+		o := objs[i]
+		sort.Slice(o, func(a, b int) bool {
+			if df[o[a]] != df[o[b]] {
+				return df[o[a]] < df[o[b]]
+			}
+			return o[a] < o[b]
+		})
+	}
+
+	// Per-token signatures (interned to int32 keys).
+	sigID := map[string]int32{}
+	tokSigs := make([][]int32, len(toks))
+	for i, t := range toks {
+		ss := tokenSigs(t, opt.Delta)
+		st.Signatures += int64(len(ss))
+		for _, s := range ss {
+			id, ok := sigID[s]
+			if !ok {
+				id = int32(len(sigID))
+				sigID[s] = id
+			}
+			tokSigs[i] = append(tokSigs[i], id)
+		}
+	}
+
+	// Prefix tokens. With fuzzy token matching a matched pair can have
+	// its x-token in x's suffix or its y-token in y's suffix, so a suffix
+	// of τ_S − 1 tokens per object could hide up to 2(τ_S − 1) ≥ τ_S
+	// matched pairs. Keeping only ⌊(τ_S − 1)/2⌋ tokens out of each
+	// prefix restores the guarantee: pairs avoiding prefix×prefix ≤
+	// suffix_x + suffix_y ≤ τ_Sx/2 − ε + τ_Sy/2 − ε < max(τ_Sx, τ_Sy).
+	prefixes := make([][]int32, len(objs)) // signature ids, deduped
+	for i, o := range objs {
+		tauS := setmetric.Jaccard.TauS(opt.Tau, len(o))
+		p := len(o) - (tauS-1)/2
+		if p < 0 {
+			p = 0
+		}
+		if p > len(o) {
+			p = len(o)
+		}
+		seen := map[int32]bool{}
+		for _, t := range o[:p] {
+			for _, s := range tokSigs[t] {
+				if !seen[s] {
+					seen[s] = true
+					prefixes[i] = append(prefixes[i], s)
+				}
+			}
+		}
+	}
+
+	ix := index.New()
+	for i := range prefixes {
+		ix.AddAll(prefixes[i], int32(i))
+	}
+
+	pairs := probeAndVerify(len(objs), prefixes, ix, opt.Workers, st, func(x, y int) (float64, bool) {
+		// Length filter: even a perfect matching of the smaller object
+		// cannot reach the required overlap.
+		min := len(objs[x])
+		if len(objs[y]) < min {
+			min = len(objs[y])
+		}
+		if mathx.LT(float64(min), setmetric.Jaccard.PairOverlap(opt.Tau, len(objs[x]), len(objs[y]))) {
+			return 0, false
+		}
+		s := fuzzyJaccard(objs[x], objs[y], toks, opt.Delta)
+		return s, mathx.GE(s, opt.Tau)
+	})
+	st.Elapsed = time.Since(t0)
+	return pairs, st, nil
+}
+
+// fuzzyJaccard computes FastJoin's fuzzy-Jaccard between two token-id
+// sets: maximum-weight matching over edit-similarity edges ≥ δ.
+func fuzzyJaccard(x, y []int32, toks []string, delta float64) float64 {
+	var es []matching.Edge
+	for i, a := range x {
+		for j, b := range y {
+			if a == b {
+				es = append(es, matching.Edge{X: i, Y: j, W: 1})
+				continue
+			}
+			if s, ok := strutil.EditSimAtLeast(toks[a], toks[b], delta); ok {
+				es = append(es, matching.Edge{X: i, Y: j, W: s})
+			}
+		}
+	}
+	if len(es) == 0 {
+		return 0
+	}
+	o, _ := matching.MaxWeight(len(x), len(y), es)
+	return setmetric.Jaccard.Sim(o, len(x), len(y))
+}
+
+// probeAndVerify runs the shared candidate-generation loop: for each
+// object x, every smaller-id object sharing a prefix signature is a
+// candidate and is verified with fn.
+func probeAndVerify(n int, prefixes [][]int32, ix *index.Inverted, workers int, st *Stats,
+	fn func(x, y int) (float64, bool)) []Pair {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		pairs      []Pair
+		candidates int64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			seen := make([]int32, n)
+			for i := range seen {
+				seen[i] = -1
+			}
+			for x := w; x < n; x += workers {
+				for _, s := range prefixes[x] {
+					for _, y := range ix.Postings(s) {
+						if int(y) >= x {
+							break
+						}
+						if seen[y] == int32(x) {
+							continue
+						}
+						seen[y] = int32(x)
+						res.candidates++
+						if sim, ok := fn(x, int(y)); ok {
+							res.pairs = append(res.pairs, Pair{X: int(y), Y: x, Sim: sim})
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var out []Pair
+	for i := range results {
+		out = append(out, results[i].pairs...)
+		st.Candidates += results[i].candidates
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].X != out[k].X {
+			return out[i].X < out[k].X
+		}
+		return out[i].Y < out[k].Y
+	})
+	return out
+}
+
+func lower(s string) string {
+	// Tokens arrive already tokenized; normalize case cheaply.
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

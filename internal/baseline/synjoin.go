@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"kjoin/internal/index"
+	"kjoin/internal/mathx"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/synonym"
+)
+
+// SynonymJoinOptions configures the Synonym baseline (Lu et al., SIGMOD
+// 2013): tokens are normalized through synonym rules and matched exactly;
+// the object similarity is Jaccard over the canonicalized token sets.
+type SynonymJoinOptions struct {
+	// Tau is the Jaccard threshold τ.
+	Tau float64
+	// Synonyms is the rule dictionary.
+	Synonyms *synonym.Dict
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// SynonymJoin runs the Synonym baseline self-join. Because matching is
+// exact after canonicalization, the classic prefix filter applies:
+// the first |S| − τ_S + 1 canonical tokens in ascending df order form
+// the prefix.
+func SynonymJoin(objects [][]string, opt SynonymJoinOptions) ([]Pair, *Stats, error) {
+	st := &Stats{Objects: len(objects)}
+	t0 := time.Now()
+
+	canonID := map[string]int32{}
+	objs := make([][]int32, len(objects))
+	for i, obj := range objects {
+		seen := map[int32]bool{}
+		for _, raw := range obj {
+			c := opt.Synonyms.Canonical(raw)
+			id, ok := canonID[c]
+			if !ok {
+				id = int32(len(canonID))
+				canonID[c] = id
+			}
+			if !seen[id] {
+				seen[id] = true
+				objs[i] = append(objs[i], id)
+			}
+		}
+	}
+
+	df := make([]int32, len(canonID))
+	for _, o := range objs {
+		for _, t := range o {
+			df[t]++
+		}
+	}
+	for i := range objs {
+		o := objs[i]
+		sort.Slice(o, func(a, b int) bool {
+			if df[o[a]] != df[o[b]] {
+				return df[o[a]] < df[o[b]]
+			}
+			return o[a] < o[b]
+		})
+	}
+
+	prefixes := make([][]int32, len(objs))
+	for i, o := range objs {
+		tauS := setmetric.Jaccard.TauS(opt.Tau, len(o))
+		p := len(o) - tauS + 1
+		if p < 0 {
+			p = 0
+		}
+		if p > len(o) {
+			p = len(o)
+		}
+		prefixes[i] = o[:p]
+		st.Signatures += int64(p)
+	}
+
+	ix := index.New()
+	for i := range prefixes {
+		ix.AddAll(prefixes[i], int32(i))
+	}
+
+	pairs := probeAndVerify(len(objs), prefixes, ix, opt.Workers, st, func(x, y int) (float64, bool) {
+		s := exactJaccard(objs[x], objs[y])
+		return s, mathx.GE(s, opt.Tau)
+	})
+	st.Elapsed = time.Since(t0)
+	return pairs, st, nil
+}
+
+// exactJaccard computes Jaccard over two id sets (ids deduplicated per
+// object).
+func exactJaccard(x, y []int32) float64 {
+	set := make(map[int32]bool, len(x))
+	for _, t := range x {
+		set[t] = true
+	}
+	inter := 0
+	for _, t := range y {
+		if set[t] {
+			inter++
+		}
+	}
+	return setmetric.Jaccard.Sim(float64(inter), len(x), len(y))
+}

@@ -1,0 +1,549 @@
+// Package core implements the K-Join driver: preprocessing (tokenized
+// objects → resolved elements → signatures → prefixes), the prefix-filter
+// candidate generation of Algorithm 1 / Algorithm 2, the verification
+// dispatch, and both self-join and R-S join (§6.1).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"kjoin/internal/elem"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/index"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/sig"
+	"kjoin/internal/synonym"
+	"kjoin/internal/verify"
+)
+
+// Options configures a join. The zero value is not valid; use Defaults
+// and override.
+type Options struct {
+	// Delta is the element similarity threshold δ ∈ (0, 1].
+	Delta float64
+	// Tau is the object similarity threshold τ ∈ (0, 1].
+	Tau float64
+	// Metric is the element similarity metric (Definition 1 or §6.2).
+	Metric elem.Metric
+	// Set is the object-level set similarity (Definition 2 or §6.3).
+	Set setmetric.Kind
+	// Scheme selects node, shallow or deep signatures (§3.1, §4).
+	Scheme sig.Scheme
+	// Weighted uses the weighted path prefix (Definition 9) instead of
+	// the distinct-element prefix (Definitions 5/8).
+	Weighted bool
+	// Verifier selects the verification algorithm (§3.2, §5).
+	Verifier verify.Kind
+	// Plus enables K-Join+ element resolution: multi-node mappings,
+	// synonyms and typo tolerance (§6.4, Equation 2).
+	Plus bool
+	// Synonyms is the synonym dictionary used when Plus is set.
+	Synonyms *synonym.Dict
+	// PhiMin is the minimum edit similarity for typo-tolerant node
+	// matching under Plus. Zero selects max(Delta, 0.8): tolerating a
+	// few character edits without letting every token match half the
+	// hierarchy.
+	PhiMin float64
+	// MaxMappings caps the hierarchy nodes one element can map to under
+	// Plus (0 selects 4). The cap consistently defines the element
+	// similarity used by resolution, filtering and verification.
+	MaxMappings int
+	// Workers bounds probe-loop parallelism; 0 means GOMAXPROCS,
+	// 1 runs the exact sequential algorithm. Candidates and results are
+	// identical regardless.
+	Workers int
+	// ComputeSims fills Pair.Sim with the exact similarity of each
+	// result pair (a little extra work after verification).
+	ComputeSims bool
+	// Progress, when set, receives coarse phase notifications:
+	// ("resolve", 0, n), ("signatures", 0, n), ("index", 0, n), then
+	// ("probe", done, n) roughly every probeProgressStep objects per
+	// worker, and a final ("done", n, n). It must be safe for concurrent
+	// calls. Useful for long joins behind a UI or a log.
+	Progress func(phase string, done, total int)
+}
+
+// probeProgressStep is how many probe objects a worker processes between
+// Progress callbacks.
+const probeProgressStep = 4096
+
+func (o *Options) progress(phase string, done, total int) {
+	if o.Progress != nil {
+		o.Progress(phase, done, total)
+	}
+}
+
+// Defaults returns the options used throughout the paper's evaluation
+// unless stated otherwise: deep signatures, weighted prefix, adaptive
+// verification, Jaccard, standard element metric.
+func Defaults(delta, tau float64) Options {
+	return Options{
+		Delta:       delta,
+		Tau:         tau,
+		Metric:      elem.Standard,
+		Set:         setmetric.Jaccard,
+		Scheme:      sig.Deep,
+		Weighted:    true,
+		Verifier:    verify.Adaptive,
+		ComputeSims: true,
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Delta <= 0 || o.Delta > 1 {
+		return fmt.Errorf("kjoin: Delta must be in (0, 1], got %v", o.Delta)
+	}
+	if o.Tau <= 0 || o.Tau > 1 {
+		return fmt.Errorf("kjoin: Tau must be in (0, 1], got %v", o.Tau)
+	}
+	return nil
+}
+
+// Pair is one join result. For a self join X < Y index the object slice;
+// for an R-S join X indexes R and Y indexes S. Sim is filled when
+// Options.ComputeSims is set.
+type Pair struct {
+	X, Y int
+	Sim  float64
+}
+
+// Stats reports the work a join did.
+type Stats struct {
+	Objects    int           // total objects joined (|R| + |S| for R-S)
+	Candidates int64         // candidate pairs after prefix filtering
+	Preprocess time.Duration // resolution, signatures, order, prefixes
+	BuildIndex time.Duration // inverted index construction
+	Probe      time.Duration // candidate generation + verification
+	VerifyTime time.Duration // portion of Probe spent verifying
+	Verify     verify.Stats  // verification counters
+	AvgPrefix  float64       // mean prefix length per object
+	SigEntries int64         // total signature entries generated
+}
+
+// prepped is one preprocessed object.
+type prepped struct {
+	elems  []elem.ID
+	keys   []sig.Sig // sorted group-key multiset for fast count pruning
+	prefix []int32   // deduplicated prefix signature ids
+}
+
+// joiner holds the shared preprocessing state of a join.
+type joiner struct {
+	opt Options
+	res *elem.Resolver
+	sp  *sig.Space
+	ctx *verify.Context
+	st  Stats
+}
+
+func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
+	phiMin := opt.PhiMin
+	if phiMin == 0 {
+		phiMin = opt.Delta
+		if phiMin < 0.8 {
+			phiMin = 0.8
+		}
+	}
+	maxMap := opt.MaxMappings
+	if maxMap == 0 {
+		maxMap = 4
+	}
+	res := elem.NewResolver(h, elem.Options{
+		Plus:        opt.Plus,
+		PhiMin:      phiMin,
+		MaxMappings: maxMap,
+		Synonyms:    opt.Synonyms,
+	})
+	sp := sig.NewSpace(res, opt.Metric, opt.Delta, opt.Scheme)
+	j := &joiner{opt: opt, res: res, sp: sp}
+	j.ctx = &verify.Context{
+		Res:    res,
+		Space:  sp,
+		Metric: opt.Metric,
+		Set:    opt.Set,
+		Delta:  opt.Delta,
+		Tau:    opt.Tau,
+	}
+	return j
+}
+
+// resolveAll interns and resolves the token objects, deduplicating tokens
+// within each object (objects are sets of elements, §2.1).
+func (j *joiner) resolveAll(objects [][]string) []prepped {
+	out := make([]prepped, len(objects))
+	for i, toks := range objects {
+		seen := make(map[elem.ID]bool, len(toks))
+		for _, t := range toks {
+			id := j.res.ID(t)
+			if !seen[id] {
+				seen[id] = true
+				out[i].elems = append(out[i].elems, id)
+			}
+		}
+	}
+	return out
+}
+
+// entriesFor generates and returns the signature entries of every object.
+func (j *joiner) entriesFor(objs []prepped) [][]sig.Entry {
+	all := make([][]sig.Entry, len(objs))
+	for i := range objs {
+		all[i] = j.sp.ObjectSigs(objs[i].elems)
+		j.st.SigEntries += int64(len(all[i]))
+		// Warm the verification group-key cache and precompute the
+		// sorted key multiset for fast count pruning.
+		objs[i].keys = j.ctx.SortedKeys(objs[i].elems)
+	}
+	return all
+}
+
+// prefixes sorts each object's entries in the global order and computes
+// its prefix signature list. Objects are independent, so the work is
+// sharded across the configured workers (all shared state — the order,
+// the signature caches — is read-only here; each worker writes only its
+// own objects' slots).
+func (j *joiner) prefixes(objs []prepped, entries [][]sig.Entry, order *sig.Order) {
+	workers := j.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(objs) {
+		workers = len(objs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	totals := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			total := 0
+			for i := w; i < len(objs); i += workers {
+				en := entries[i]
+				order.Sort(en)
+				n := len(objs[i].elems)
+				var p int
+				if j.opt.Weighted {
+					p = sig.WeightedPrefix(en, j.opt.Set.MinOverlap(j.opt.Tau, n))
+				} else {
+					p = sig.DistElePrefix(en, j.opt.Set.TauS(j.opt.Tau, n))
+				}
+				seen := make(map[sig.Sig]bool, p)
+				for _, e := range en[:p] {
+					if !seen[e.Sig] {
+						seen[e.Sig] = true
+						objs[i].prefix = append(objs[i].prefix, int32(e.Sig))
+					}
+				}
+				total += len(objs[i].prefix)
+			}
+			totals[w] = total
+		}(w)
+	}
+	wg.Wait()
+	totalPrefix := 0
+	for _, t := range totals {
+		totalPrefix += t
+	}
+	if len(objs) > 0 {
+		j.st.AvgPrefix = float64(totalPrefix) / float64(len(objs))
+	}
+}
+
+// SelfJoin finds all pairs (x, y), x < y, with SIMδ(x, y) ≥ τ within
+// objects (tokenized). It implements Algorithms 1/2 with the options'
+// signature scheme and verifier.
+func SelfJoin(h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	j := newJoiner(h, opt)
+	t0 := time.Now()
+	objs := j.resolveAll(objects)
+	opt.progress("resolve", 0, len(objs))
+	j.res.ResolveAll(opt.Workers)
+	opt.progress("signatures", 0, len(objs))
+	j.sp.Warm(j.res.Len(), opt.Workers)
+	entries := j.entriesFor(objs)
+	order := sig.BuildOrder(entries)
+	j.prefixes(objs, entries, order)
+	j.st.Preprocess = time.Since(t0)
+	j.st.Objects = len(objs)
+
+	t1 := time.Now()
+	opt.progress("index", 0, len(objs))
+	ix := index.New()
+	for i := range objs {
+		ix.AddAll(objs[i].prefix, int32(i))
+	}
+	j.st.BuildIndex = time.Since(t1)
+
+	pairs := j.probe(objs, objs, ix, true)
+	opt.progress("done", len(objs), len(objs))
+	return pairs, &j.st, nil
+}
+
+// Join finds all pairs (r, s) ∈ R × S with SIMδ(r, s) ≥ τ (§6.1). The
+// larger collection is indexed, the smaller probes it.
+func Join(h *hierarchy.Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	j := newJoiner(h, opt)
+	t0 := time.Now()
+	robjs := j.resolveAll(r)
+	sobjs := j.resolveAll(s)
+	j.res.ResolveAll(opt.Workers)
+	j.sp.Warm(j.res.Len(), opt.Workers)
+	rentries := j.entriesFor(robjs)
+	sentries := j.entriesFor(sobjs)
+	order := sig.BuildOrder(append(append([][]sig.Entry{}, rentries...), sentries...))
+	j.prefixes(robjs, rentries, order)
+	j.prefixes(sobjs, sentries, order)
+	j.st.Preprocess = time.Since(t0)
+	j.st.Objects = len(robjs) + len(sobjs)
+
+	// Index the larger set, probe with the smaller (§6.1).
+	big, small := robjs, sobjs
+	swapped := false
+	if len(sobjs) > len(robjs) {
+		big, small = sobjs, robjs
+		swapped = true
+	}
+	t1 := time.Now()
+	ix := index.New()
+	for i := range big {
+		ix.AddAll(big[i].prefix, int32(i))
+	}
+	j.st.BuildIndex = time.Since(t1)
+
+	pairs := j.probeRS(small, big, ix, swapped)
+	return pairs, &j.st, nil
+}
+
+// probe runs the candidate-generation + verification loop for a self
+// join: object x is a candidate with every smaller-id object sharing a
+// prefix signature.
+func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool) []Pair {
+	t0 := time.Now()
+	workers := j.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		pairs      []Pair
+		candidates int64
+		vst        verify.Stats
+		vtime      time.Duration
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Work on stack-local state and publish once at the end:
+			// per-candidate writes into the shared results slice would
+			// false-share cache lines between workers.
+			var local result
+			seen := make([]int32, len(indexed))
+			for i := range seen {
+				seen[i] = -1
+			}
+			processed := 0
+			for x := w; x < len(probes); x += workers {
+				processed++
+				if processed%probeProgressStep == 0 {
+					j.opt.progress("probe", processed*workers, len(probes))
+				}
+				px := &probes[x]
+				for _, s := range px.prefix {
+					for _, y := range ix.Postings(s) {
+						if int(y) >= x {
+							// Postings are ascending; later ids cannot
+							// qualify either.
+							break
+						}
+						if seen[y] == int32(x) {
+							continue
+						}
+						seen[y] = int32(x)
+						local.candidates++
+						tv := time.Now()
+						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
+						local.vtime += time.Since(tv)
+						if ok {
+							p := Pair{X: int(y), Y: x}
+							if j.opt.ComputeSims {
+								p.Sim = j.ctx.Similarity(px.elems, indexed[y].elems)
+							}
+							local.pairs = append(local.pairs, p)
+						}
+					}
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	var out []Pair
+	for i := range results {
+		out = append(out, results[i].pairs...)
+		j.st.Candidates += results[i].candidates
+		j.st.Verify.Add(results[i].vst)
+		j.st.VerifyTime += results[i].vtime
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].X != out[k].X {
+			return out[i].X < out[k].X
+		}
+		return out[i].Y < out[k].Y
+	})
+	j.st.Probe = time.Since(t0)
+	return out
+}
+
+// probeRS runs the probe loop for an R-S join. probes is the smaller
+// collection, indexed the larger; swapped records whether probes is R.
+func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped bool) []Pair {
+	t0 := time.Now()
+	workers := j.opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		pairs      []Pair
+		candidates int64
+		vst        verify.Stats
+		vtime      time.Duration
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local result // see probe: avoid false sharing
+			seen := make([]int32, len(indexed))
+			for i := range seen {
+				seen[i] = -1
+			}
+			for x := w; x < len(probes); x += workers {
+				px := &probes[x]
+				for _, s := range px.prefix {
+					for _, y := range ix.Postings(s) {
+						if seen[y] == int32(x) {
+							continue
+						}
+						seen[y] = int32(x)
+						local.candidates++
+						tv := time.Now()
+						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
+						local.vtime += time.Since(tv)
+						if ok {
+							var p Pair
+							if swapped {
+								// probes are R, indexed are S.
+								p = Pair{X: x, Y: int(y)}
+							} else {
+								p = Pair{X: int(y), Y: x}
+							}
+							if j.opt.ComputeSims {
+								p.Sim = j.ctx.Similarity(px.elems, indexed[y].elems)
+							}
+							local.pairs = append(local.pairs, p)
+						}
+					}
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	var out []Pair
+	for i := range results {
+		out = append(out, results[i].pairs...)
+		j.st.Candidates += results[i].candidates
+		j.st.Verify.Add(results[i].vst)
+		j.st.VerifyTime += results[i].vtime
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].X != out[k].X {
+			return out[i].X < out[k].X
+		}
+		return out[i].Y < out[k].Y
+	})
+	j.st.Probe = time.Since(t0)
+	return out
+}
+
+// Similarity computes SIMδ(x, y) exactly for a single pair of tokenized
+// objects (Definition 2 under the configured metrics and resolution).
+func Similarity(h *hierarchy.Hierarchy, x, y []string, opt Options) (float64, error) {
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	j := newJoiner(h, opt)
+	objs := j.resolveAll([][]string{x, y})
+	for i := range objs {
+		for _, e := range objs[i].elems {
+			j.sp.GroupKeys(e)
+		}
+	}
+	return j.ctx.Similarity(objs[0].elems, objs[1].elems), nil
+}
+
+// NaiveSelfJoin computes the exact answer with no filtering: every pair
+// is verified with the exact similarity. It is the correctness oracle for
+// tests and the quality reference for effectiveness experiments.
+func NaiveSelfJoin(h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	j := newJoiner(h, opt)
+	objs := j.resolveAll(objects)
+	// Warm caches for the verification context.
+	for i := range objs {
+		for _, e := range objs[i].elems {
+			j.sp.GroupKeys(e)
+		}
+	}
+	var out []Pair
+	for x := 1; x < len(objs); x++ {
+		for y := 0; y < x; y++ {
+			s := j.ctx.Similarity(objs[x].elems, objs[y].elems)
+			if s >= opt.Tau-1e-9 {
+				out = append(out, Pair{X: y, Y: x, Sim: s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].X != out[k].X {
+			return out[i].X < out[k].X
+		}
+		return out[i].Y < out[k].Y
+	})
+	return out, nil
+}

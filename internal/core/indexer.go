@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/index"
+	"kjoin/internal/sig"
+)
+
+// Indexer is the online form of the K-Join framework (Algorithm 1's loop
+// exposed as an API): objects are added one at a time, and each Add
+// reports the similar pairs between the new object and everything added
+// before it. This is the streaming-deduplication shape of the paper's
+// motivating Factual use case — new crawled POIs arrive continuously and
+// must be checked against the accumulated collection.
+//
+// The global signature order of the offline algorithm (ascending df,
+// §3.1) cannot be known up front in a streaming setting; the Indexer
+// instead fixes the order by signature id. Prefix-filter correctness
+// (Lemmas 2, 6, 7) only requires *some* global order, so results are
+// exactly the same join result — candidate counts are merely less
+// optimized than the offline df order.
+//
+// An Indexer is not safe for concurrent use.
+type Indexer struct {
+	j     *joiner
+	order *sig.Order
+	ix    *index.Inverted
+	objs  []prepped
+	seen  []int32
+}
+
+// NewIndexer returns an empty Indexer over the hierarchy with the given
+// options. Workers and ComputeSims are honored per Add; the signature
+// scheme, thresholds, metrics and resolution mode are fixed for the
+// Indexer's lifetime.
+func NewIndexer(h *hierarchy.Hierarchy, opt Options) (*Indexer, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	j := newJoiner(h, opt)
+	return &Indexer{
+		j:     j,
+		order: sig.BuildOrder(nil), // empty df: order degrades to signature id
+		ix:    index.New(),
+	}, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Indexer) Len() int { return len(ix.objs) }
+
+// Stats returns the accumulated statistics.
+func (ix *Indexer) Stats() Stats { return ix.j.st }
+
+// Add indexes the tokenized object and returns the pairs (i, Len()-1)
+// for every previously added object i similar to it. The returned pair
+// indices refer to insertion order.
+func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
+	t0 := time.Now()
+	j := ix.j
+	id := len(ix.objs)
+	if id > (1<<31)-2 {
+		return nil, fmt.Errorf("kjoin: indexer is full")
+	}
+	p := j.resolveAll([][]string{tokens})[0]
+	entries := j.sp.ObjectSigs(p.elems)
+	j.st.SigEntries += int64(len(entries))
+	p.keys = j.ctx.SortedKeys(p.elems)
+	ix.order.Sort(entries)
+	n := len(p.elems)
+	var plen int
+	if j.opt.Weighted {
+		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
+	} else {
+		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
+	}
+	seenSig := make(map[sig.Sig]bool, plen)
+	for _, e := range entries[:plen] {
+		if !seenSig[e.Sig] {
+			seenSig[e.Sig] = true
+			p.prefix = append(p.prefix, int32(e.Sig))
+		}
+	}
+	j.st.Preprocess += time.Since(t0)
+
+	// Probe: all prior objects sharing a prefix signature. The stamp
+	// array marks visited candidates; stamps from previous Adds hold
+	// strictly smaller ids, so no reset is needed.
+	t1 := time.Now()
+	ix.seen = append(ix.seen, -1)
+	var out []Pair
+	for _, s := range p.prefix {
+		for _, y := range ix.ix.Postings(s) {
+			if ix.seen[y] == int32(id) {
+				continue
+			}
+			ix.seen[y] = int32(id)
+			j.st.Candidates++
+			tv := time.Now()
+			ok := j.ctx.VerifyKeyed(p.elems, ix.objs[y].elems, p.keys, ix.objs[y].keys, j.opt.Verifier, &j.st.Verify)
+			j.st.VerifyTime += time.Since(tv)
+			if ok {
+				pair := Pair{X: int(y), Y: id}
+				if j.opt.ComputeSims {
+					pair.Sim = j.ctx.Similarity(p.elems, ix.objs[y].elems)
+				}
+				out = append(out, pair)
+			}
+		}
+	}
+	ix.ix.AddAll(p.prefix, int32(id))
+	ix.objs = append(ix.objs, p)
+	j.st.Objects = len(ix.objs)
+	j.st.Probe += time.Since(t1)
+	return out, nil
+}
+
+// Match is one similarity-search result: the insertion index of a
+// matching object and its similarity (when ComputeSims is set).
+type Match struct {
+	Index int
+	Sim   float64
+}
+
+// Query reports the indexed objects similar to the tokenized object
+// without adding it to the index — knowledge-aware similarity search
+// over the accumulated collection.
+func (ix *Indexer) Query(tokens []string) ([]Match, error) {
+	j := ix.j
+	p := j.resolveAll([][]string{tokens})[0]
+	entries := j.sp.ObjectSigs(p.elems)
+	p.keys = j.ctx.SortedKeys(p.elems)
+	ix.order.Sort(entries)
+	n := len(p.elems)
+	var plen int
+	if j.opt.Weighted {
+		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
+	} else {
+		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
+	}
+	seenSig := make(map[sig.Sig]bool, plen)
+	var prefix []int32
+	for _, e := range entries[:plen] {
+		if !seenSig[e.Sig] {
+			seenSig[e.Sig] = true
+			prefix = append(prefix, int32(e.Sig))
+		}
+	}
+	seen := make(map[int32]bool)
+	var out []Match
+	var st Stats
+	for _, s := range prefix {
+		for _, y := range ix.ix.Postings(s) {
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			if j.ctx.VerifyKeyed(p.elems, ix.objs[y].elems, p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
+				m := Match{Index: int(y)}
+				if j.opt.ComputeSims {
+					m.Sim = j.ctx.Similarity(p.elems, ix.objs[y].elems)
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}

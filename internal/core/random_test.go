@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"kjoin/internal/elem"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/sig"
+	"kjoin/internal/synonym"
+	"kjoin/internal/verify"
+)
+
+// randHierarchy builds a random tree with occasional duplicate names
+// (multi-node mappings) for adversarial completeness testing.
+func randHierarchy(r *rand.Rand, nodes int) *hierarchy.Hierarchy {
+	h := hierarchy.New("root")
+	for i := 1; i < nodes; i++ {
+		parent := hierarchy.NodeID(r.Intn(h.Len()))
+		name := fmt.Sprintf("n%d", i)
+		if r.Intn(8) == 0 && i > 2 {
+			// Duplicate an existing name: the element maps to several
+			// nodes (§6.4).
+			name = h.Name(hierarchy.NodeID(1 + r.Intn(h.Len()-1)))
+		}
+		h.Add(parent, name)
+	}
+	return h
+}
+
+// randObjects samples token sets over hierarchy names, free tokens and
+// typo'd variants.
+func randObjects(r *rand.Rand, h *hierarchy.Hierarchy, count int) [][]string {
+	names := h.Names()
+	free := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	var objs [][]string
+	for i := 0; i < count; i++ {
+		n := 1 + r.Intn(6)
+		var o []string
+		for j := 0; j < n; j++ {
+			switch r.Intn(10) {
+			case 0, 1:
+				o = append(o, free[r.Intn(len(free))])
+			case 2:
+				// Typo'd hierarchy name.
+				name := names[r.Intn(len(names))]
+				b := []byte(name)
+				if len(b) > 1 {
+					b[r.Intn(len(b))] = byte('a' + r.Intn(26))
+				}
+				o = append(o, string(b))
+			default:
+				o = append(o, names[r.Intn(len(names))])
+			}
+		}
+		objs = append(objs, o)
+	}
+	return objs
+}
+
+// TestRandomizedCompleteness is the adversarial version of
+// TestJoinMatchesNaive: random hierarchies (with duplicate names),
+// random objects (with typos and free tokens), random configurations —
+// the filtered join must always equal the naive all-pairs join.
+func TestRandomizedCompleteness(t *testing.T) {
+	schemes := []sig.Scheme{sig.Node, sig.Shallow, sig.Deep}
+	verifiers := []verify.Kind{verify.Basic, verify.SubGraph, verify.Adaptive}
+	metrics := []elem.Metric{elem.Standard, elem.WuPalmer}
+	sets := []setmetric.Kind{setmetric.Jaccard, setmetric.Dice, setmetric.Cosine}
+	iterations := 60
+	if testing.Short() {
+		iterations = 10
+	}
+	for seed := 0; seed < iterations; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		h := randHierarchy(r, 10+r.Intn(60))
+		objs := randObjects(r, h, 8+r.Intn(20))
+		d := synonym.New()
+		if r.Intn(2) == 0 {
+			names := h.Names()
+			d.Add(names[r.Intn(len(names))], "aliasword")
+			d.Add("alpha", "beta")
+		}
+		opt := Options{
+			Delta:    0.3 + 0.6*r.Float64(),
+			Tau:      0.3 + 0.6*r.Float64(),
+			Metric:   metrics[r.Intn(len(metrics))],
+			Set:      sets[r.Intn(len(sets))],
+			Scheme:   schemes[r.Intn(len(schemes))],
+			Weighted: r.Intn(2) == 0,
+			Verifier: verifiers[r.Intn(len(verifiers))],
+			Plus:     r.Intn(2) == 0,
+			Synonyms: d,
+			PhiMin:   0.7 + 0.3*r.Float64(),
+		}
+		got, _, err := SelfJoin(h, objs, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := NaiveSelfJoin(h, objs, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(pairKeys(got), pairKeys(want)) {
+			t.Errorf("seed %d (%+v):\n got %v\nwant %v", seed, opt, pairKeys(got), pairKeys(want))
+		}
+	}
+}
+
+// TestRandomizedIndexerCompleteness: the online Indexer agrees with the
+// naive join on random inputs too.
+func TestRandomizedIndexerCompleteness(t *testing.T) {
+	iterations := 25
+	if testing.Short() {
+		iterations = 5
+	}
+	for seed := 100; seed < 100+iterations; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		h := randHierarchy(r, 10+r.Intn(40))
+		objs := randObjects(r, h, 6+r.Intn(14))
+		opt := Defaults(0.3+0.6*r.Float64(), 0.3+0.6*r.Float64())
+		opt.Weighted = r.Intn(2) == 0
+		ix, err := NewIndexer(h, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Pair
+		for _, o := range objs {
+			pairs, err := ix.Add(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, pairs...)
+		}
+		want, err := NaiveSelfJoin(h, objs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The indexer reports pairs in insertion order; normalize.
+		gk, wk := pairKeys(got), pairKeys(want)
+		sortKeys(gk)
+		sortKeys(wk)
+		if !reflect.DeepEqual(gk, wk) {
+			t.Errorf("seed %d: indexer %v, naive %v", seed, gk, wk)
+		}
+	}
+}
+
+func sortKeys(ks [][2]int) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i][0] != ks[j][0] {
+			return ks[i][0] < ks[j][0]
+		}
+		return ks[i][1] < ks[j][1]
+	})
+}
+
+// TestRandomizedRSJoin: the R-S join equals the filtered self join
+// restricted to cross pairs.
+func TestRandomizedRSJoin(t *testing.T) {
+	iterations := 25
+	if testing.Short() {
+		iterations = 5
+	}
+	for seed := 200; seed < 200+iterations; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		h := randHierarchy(r, 10+r.Intn(40))
+		objs := randObjects(r, h, 10+r.Intn(10))
+		cut := 2 + r.Intn(len(objs)-4)
+		opt := Defaults(0.3+0.6*r.Float64(), 0.3+0.6*r.Float64())
+		opt.ComputeSims = false
+		got, _, err := Join(h, objs[:cut], objs[cut:], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := NaiveSelfJoin(h, objs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want [][2]int
+		for _, p := range all {
+			if p.X < cut && p.Y >= cut {
+				want = append(want, [2]int{p.X, p.Y - cut})
+			}
+		}
+		gk := pairKeys(got)
+		if !reflect.DeepEqual(gk, want) && !(len(gk) == 0 && len(want) == 0) {
+			t.Errorf("seed %d cut %d: got %v, want %v", seed, cut, gk, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/sig"
+)
+
+// snapshotMagic heads every Indexer snapshot.
+const snapshotMagic = "kjoin-indexer-snapshot"
+
+// snapshotVersion is the current snapshot format version.
+const snapshotVersion = 1
+
+// WriteSnapshot persists the Indexer's contents: a header recording the
+// configuration fingerprint and the tokenized objects in insertion
+// order, one per line (tab-separated tokens). The format is plain text
+// — derived state (signatures, prefixes, inverted lists) is cheap to
+// rebuild deterministically and would multiply the format surface.
+func (ix *Indexer) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	opt := ix.j.opt
+	if _, err := fmt.Fprintf(bw, "%s %d\n", snapshotMagic, snapshotVersion); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v objects=%d\n",
+		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, len(ix.objs)); err != nil {
+		return err
+	}
+	for _, o := range ix.objs {
+		for i, e := range o.elems {
+			if i > 0 {
+				if err := bw.WriteByte('\t'); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(ix.j.res.Info(e).Token); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndexer rebuilds an Indexer from a snapshot written by
+// WriteSnapshot. The caller supplies the hierarchy and options (they are
+// not serialized — the snapshot carries a fingerprint and loading fails
+// on a mismatch, preventing silent semantic drift). Rebuilding skips the
+// probe phase: objects are re-indexed without re-reporting pairs.
+func LoadIndexer(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, error) {
+	ix, err := NewIndexer(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("kjoin: snapshot: missing header: %w", sc.Err())
+	}
+	var version int
+	if _, err := fmt.Sscanf(sc.Text(), snapshotMagic+" %d", &version); err != nil {
+		return nil, fmt.Errorf("kjoin: snapshot: bad magic line %q", sc.Text())
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("kjoin: snapshot: unsupported version %d", version)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("kjoin: snapshot: missing config line")
+	}
+	wantCfg := fmt.Sprintf("delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v",
+		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus)
+	gotCfg := sc.Text()
+	if idx := strings.Index(gotCfg, " objects="); idx >= 0 {
+		gotCfg = gotCfg[:idx]
+	}
+	if gotCfg != wantCfg {
+		return nil, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", gotCfg, wantCfg)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		var tokens []string
+		if line != "" {
+			tokens = strings.Split(line, "\t")
+		}
+		if err := ix.addNoProbe(tokens); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// addNoProbe indexes an object without searching for its pairs — the
+// replay path of LoadIndexer.
+func (ix *Indexer) addNoProbe(tokens []string) error {
+	j := ix.j
+	id := len(ix.objs)
+	if id > (1<<31)-2 {
+		return fmt.Errorf("kjoin: indexer is full")
+	}
+	p := j.resolveAll([][]string{tokens})[0]
+	entries := j.sp.ObjectSigs(p.elems)
+	j.st.SigEntries += int64(len(entries))
+	p.keys = j.ctx.SortedKeys(p.elems)
+	ix.order.Sort(entries)
+	n := len(p.elems)
+	var plen int
+	if j.opt.Weighted {
+		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
+	} else {
+		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
+	}
+	seenSig := make(map[int32]bool, plen)
+	for _, e := range entries[:plen] {
+		if !seenSig[int32(e.Sig)] {
+			seenSig[int32(e.Sig)] = true
+			p.prefix = append(p.prefix, int32(e.Sig))
+		}
+	}
+	ix.seen = append(ix.seen, -1)
+	ix.ix.AddAll(p.prefix, int32(id))
+	ix.objs = append(ix.objs, p)
+	j.st.Objects = len(ix.objs)
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kjoin/internal/paperdata"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	ix, err := NewIndexer(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range paperdata.Table1() {
+		if _, err := ix.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := LoadIndexer(h, opt, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != ix.Len() {
+		t.Fatalf("Len after load = %d, want %d", ix2.Len(), ix.Len())
+	}
+	// Behavioral equivalence: the same query gives the same matches.
+	for _, q := range paperdata.Table1() {
+		m1, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ix2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("query %v: %d vs %d matches", q, len(m1), len(m2))
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("query %v: match %d differs: %v vs %v", q, i, m1[i], m2[i])
+			}
+		}
+	}
+	// Adding continues from where the snapshot left off.
+	p1, err := ix.Add([]string{"Fastfood", "GoogleHeadquarters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ix2.Add([]string{"Fastfood", "GoogleHeadquarters"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("post-load Add: %d vs %d pairs", len(p1), len(p2))
+	}
+	k1, k2 := pairKeys(p1), pairKeys(p2)
+	sortKeys(k1)
+	sortKeys(k2)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("post-load Add keys differ: %v vs %v", k1, k2)
+		}
+	}
+}
+
+func TestSnapshotConfigMismatch(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	ix, err := NewIndexer(h, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Add([]string{"KFC"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different τ must be rejected.
+	if _, err := LoadIndexer(h, Defaults(0.7, 0.8), bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("mismatched options should fail to load")
+	}
+	// Same options load fine.
+	if _, err := LoadIndexer(h, Defaults(0.7, 0.6), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("matching options should load: %v", err)
+	}
+}
+
+func TestSnapshotBadInput(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	cases := []string{
+		"",
+		"not a snapshot\n",
+		"kjoin-indexer-snapshot 99\nwhatever\n",
+		"kjoin-indexer-snapshot 1\n", // missing config line
+	}
+	for _, c := range cases {
+		if _, err := LoadIndexer(h, opt, strings.NewReader(c)); err == nil {
+			t.Errorf("LoadIndexer(%q) should fail", c)
+		}
+	}
+}
+
+func TestSnapshotEmptyIndexer(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	ix, err := NewIndexer(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := LoadIndexer(h, opt, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 0 {
+		t.Errorf("empty snapshot loaded %d objects", ix2.Len())
+	}
+}

@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
+)
+
+func TestGenHierarchyTable2(t *testing.T) {
+	hr := GenHierarchy(DefaultHierarchy())
+	s := hr.H.ComputeStats()
+	if s.Nodes != 4222 {
+		t.Errorf("Nodes = %d, want 4222", s.Nodes)
+	}
+	if s.Height != 6 {
+		t.Errorf("Height = %d, want 6", s.Height)
+	}
+	if s.AvgFanout != 7 {
+		t.Errorf("AvgFanout = %d, want 7", s.AvgFanout)
+	}
+	if s.MaxFanout != 49 {
+		t.Errorf("MaxFanout = %d, want 49", s.MaxFanout)
+	}
+	if s.MinFanout != 1 {
+		t.Errorf("MinFanout = %d, want 1", s.MinFanout)
+	}
+	// Both domains are populated at every depth.
+	for d := 1; d <= 6; d++ {
+		if len(hr.NodesAt(0, d)) == 0 || len(hr.NodesAt(1, d)) == 0 {
+			t.Errorf("depth %d missing a domain: food=%d loc=%d",
+				d, len(hr.NodesAt(0, d)), len(hr.NodesAt(1, d)))
+		}
+	}
+	// Unique names: every name resolves to exactly one node.
+	for _, n := range hr.H.Names() {
+		if got := len(hr.H.Lookup(n)); got != 1 {
+			t.Errorf("name %q maps to %d nodes", n, got)
+		}
+	}
+}
+
+func TestGenHierarchyDeterminism(t *testing.T) {
+	a := GenHierarchy(DefaultHierarchy())
+	b := GenHierarchy(DefaultHierarchy())
+	if a.H.Len() != b.H.Len() {
+		t.Fatal("non-deterministic node count")
+	}
+	for i := 0; i < a.H.Len(); i++ {
+		n := hierarchy.NodeID(i)
+		if a.H.Name(n) != b.H.Name(n) || a.H.Parent(n) != b.H.Parent(n) {
+			t.Fatalf("node %d differs between runs", i)
+		}
+	}
+	c := GenHierarchy(HierarchyConfig{Seed: 2, Nodes: 4222, Height: 6, MaxFanout: 49})
+	same := true
+	for i := 0; i < a.H.Len() && i < c.H.Len(); i++ {
+		if a.H.Name(hierarchy.NodeID(i)) != c.H.Name(hierarchy.NodeID(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different hierarchies")
+	}
+}
+
+func TestGenHierarchySmallConfigs(t *testing.T) {
+	for _, cfg := range []HierarchyConfig{
+		{Seed: 3, Nodes: 50, Height: 3, MaxFanout: 5},
+		{Seed: 4, Nodes: 200, Height: 4, MaxFanout: 10},
+		{Seed: 5, Nodes: 1000, Height: 5, MaxFanout: 30},
+		{Seed: 6, Nodes: 1, Height: 1, MaxFanout: 0}, // clamped
+	} {
+		hr := GenHierarchy(cfg)
+		s := hr.H.ComputeStats()
+		if s.Height < 1 {
+			t.Errorf("cfg %+v: degenerate height %d", cfg, s.Height)
+		}
+		if s.Nodes < 4 {
+			t.Errorf("cfg %+v: too few nodes %d", cfg, s.Nodes)
+		}
+	}
+}
+
+func TestGenRecordsTable3(t *testing.T) {
+	hr := GenHierarchy(DefaultHierarchy())
+	poi := GenRecords(hr, POIConfig(5000))
+	st := ComputeCollectionStats(hr.H, poi.Records)
+	if st.Size != 5000 {
+		t.Errorf("POI size = %d", st.Size)
+	}
+	if st.AvgLen < 10 || st.AvgLen > 12 {
+		t.Errorf("POI AvgLen = %d, want ≈11", st.AvgLen)
+	}
+	if st.MaxLen > 21 || st.MinLen < 2 {
+		t.Errorf("POI bounds = [%d, %d], want within [2, 21]", st.MinLen, st.MaxLen)
+	}
+	if st.AvgDep != 4 {
+		t.Errorf("POI AvgDep = %d, want 4", st.AvgDep)
+	}
+	if len(poi.Truth) == 0 {
+		t.Error("POI should have duplicate ground truth")
+	}
+	tw := GenRecords(hr, TweetConfig(5000))
+	st = ComputeCollectionStats(hr.H, tw.Records)
+	if st.AvgLen < 7 || st.AvgLen > 9 {
+		t.Errorf("Tweet AvgLen = %d, want ≈8", st.AvgLen)
+	}
+	if st.AvgDep != 5 {
+		t.Errorf("Tweet AvgDep = %d, want 5", st.AvgDep)
+	}
+}
+
+func TestGenRecordsDeterminismAndTruth(t *testing.T) {
+	hr := GenHierarchy(DefaultHierarchy())
+	a := GenRecords(hr, POIConfig(500))
+	b := GenRecords(hr, POIConfig(500))
+	if !reflect.DeepEqual(a.Records, b.Records) || !reflect.DeepEqual(a.Truth, b.Truth) {
+		t.Error("GenRecords must be deterministic")
+	}
+	// Truth pairs are well-formed and transitive within clusters.
+	for p := range a.Truth {
+		if p[0] >= p[1] || p[0] < 0 || p[1] >= len(a.Records) {
+			t.Errorf("malformed truth pair %v", p)
+		}
+	}
+	// Spot-check transitivity: if (a,b) and (b,c) then (a,c).
+	for p := range a.Truth {
+		for q := range a.Truth {
+			if p[1] == q[0] {
+				x, y := p[0], q[1]
+				if !a.Truth[[2]int{x, y}] {
+					t.Fatalf("truth not transitive: %v, %v but no (%d,%d)", p, q, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestGenPub(t *testing.T) {
+	pub := GenPub(DefaultPub())
+	st := ComputeCollectionStats(pub.H, pub.Records)
+	if st.Size != 1879 {
+		t.Errorf("Pub size = %d, want 1879", st.Size)
+	}
+	if st.AvgLen < 5 || st.AvgLen > 7 {
+		t.Errorf("Pub AvgLen = %d, want ≈6", st.AvgLen)
+	}
+	if st.AvgDep != 3 {
+		t.Errorf("Pub AvgDep = %d, want 3 (keywords at the leaf level)", st.AvgDep)
+	}
+	if pub.H.Height() != 3 {
+		t.Errorf("Pub hierarchy height = %d, want 3", pub.H.Height())
+	}
+	if len(pub.Truth) < 100 {
+		t.Errorf("Pub truth pairs = %d, too few", len(pub.Truth))
+	}
+	if pub.Synonyms.Len() == 0 {
+		t.Error("Pub should ship venue-abbreviation synonym rules")
+	}
+}
+
+func TestGenRes(t *testing.T) {
+	hr := GenHierarchy(DefaultHierarchy())
+	res := GenRes(hr, DefaultRes())
+	st := ComputeCollectionStats(res.H, res.Records)
+	if st.Size != 864 {
+		t.Errorf("Res size = %d, want 864", st.Size)
+	}
+	if st.MinLen != 5 || st.MaxLen != 5 {
+		t.Errorf("Res lengths = [%d, %d], want exactly 5", st.MinLen, st.MaxLen)
+	}
+	if st.AvgDep < 4 || st.AvgDep > 5 {
+		t.Errorf("Res AvgDep = %d, want ≈5", st.AvgDep)
+	}
+	if len(res.Truth) < 100 {
+		t.Errorf("Res truth pairs = %d, too few", len(res.Truth))
+	}
+	// Street-kind tokens come from the synonym groups.
+	found := false
+	for _, rec := range res.Records {
+		if res.Synonyms.Canonical(rec[2]) != rec[2] || rec[2] == "st" || rec[2] == "ave" || rec[2] == "dr" || rec[2] == "blvd" || rec[2] == "rd" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no street-kind tokens found in Res records")
+	}
+}
+
+func TestTypoAndHierSwap(t *testing.T) {
+	hr := GenHierarchy(HierarchyConfig{Seed: 9, Nodes: 100, Height: 4, MaxFanout: 8})
+	r := newTestRNG()
+	for i := 0; i < 50; i++ {
+		s := typo(r, "burgerking")
+		if s == "" {
+			t.Error("typo produced empty token")
+		}
+	}
+	if typo(r, "") != "" {
+		t.Error("typo of empty string should be empty")
+	}
+	// hierSwap returns a sibling or parent name.
+	h := hr.H
+	for i := 3; i < h.Len(); i++ {
+		n := hierarchy.NodeID(i)
+		got := hierSwap(r, h, n)
+		p := h.Parent(n)
+		ok := got == h.Name(p)
+		for _, s := range h.Children(p) {
+			if h.Name(s) == got {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("hierSwap(%s) = %q is neither parent nor sibling", h.Name(n), got)
+		}
+	}
+	if got := hierSwap(r, h, h.Root()); got != h.Name(h.Root()) {
+		t.Errorf("hierSwap(root) = %q, want root name", got)
+	}
+}
+
+func TestComputeCollectionStatsEdge(t *testing.T) {
+	h := hierarchy.New("Root")
+	st := ComputeCollectionStats(h, nil)
+	if st.Size != 0 || st.MinLen != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	st = ComputeCollectionStats(h, [][]string{{"a"}, {"b", "c"}})
+	if st.Size != 2 || st.MinLen != 1 || st.MaxLen != 2 || st.AvgDep != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNamerUnique(t *testing.T) {
+	nm := newNamer(newTestRNG())
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		n := nm.next()
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if strings.ToLower(n) != n {
+			t.Fatalf("name %q not lowercase", n)
+		}
+	}
+}
+
+func newTestRNG() *rng.RNG { return rng.New(99) }

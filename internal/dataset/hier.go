@@ -1,0 +1,228 @@
+// Package dataset generates the evaluation workloads of the paper (§7.1):
+// a knowledge hierarchy with the shape of Table 2, the POI and Tweet
+// collections of Table 3, and the Pub and Res corpora with ground truth
+// used for the effectiveness experiments (Table 4, Figures 7–8).
+//
+// The paper's artifacts (a Factual crawl, CrowdER's labeled Pub/Res data)
+// are not redistributable; these seeded generators reproduce the
+// properties the algorithms are sensitive to — tree shape, record length,
+// element depth, token frequency skew, and the error classes
+// (typos/abbreviations for Pub, synonyms/hierarchy substitutions for
+// Res). See DESIGN.md §3 for the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
+)
+
+// HierarchyConfig controls GenHierarchy. The defaults (DefaultHierarchy)
+// reproduce Table 2: 4222 nodes, height 6, average fanout 7, maximum
+// fanout 49, minimum fanout 1.
+type HierarchyConfig struct {
+	Seed      uint64
+	Nodes     int // total node budget
+	Height    int // maximum depth
+	MaxFanout int
+}
+
+// DefaultHierarchy returns the Table 2 configuration.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{Seed: 1, Nodes: 4222, Height: 6, MaxFanout: 49}
+}
+
+// Hier is a generated knowledge hierarchy together with the per-depth
+// node lists the dataset generators sample from.
+type Hier struct {
+	H *hierarchy.Hierarchy
+	// ByDepth[d] lists the nodes at depth d (1 ≤ d ≤ Height), split by
+	// domain: ByDepth[d][0] is Food, ByDepth[d][1] is Location.
+	ByDepth [][2][]hierarchy.NodeID
+}
+
+// NodesAt returns the generated nodes of the given domain (0 = Food,
+// 1 = Location) at depth d, or nil.
+func (hr *Hier) NodesAt(domain, d int) []hierarchy.NodeID {
+	if d < 0 || d >= len(hr.ByDepth) {
+		return nil
+	}
+	return hr.ByDepth[d][domain]
+}
+
+// GenHierarchy builds a two-domain (Food, Location) knowledge hierarchy
+// with the configured shape. Node names are synthesized, unique,
+// lowercase tokens, so each name maps to exactly one node. The per-level
+// sizes are fixed fractions of the budget chosen so that internal-node
+// count ≈ nodes/7 (average fanout 7) and the deep levels carry most of
+// the entities, as in a real category hierarchy.
+func GenHierarchy(cfg HierarchyConfig) *Hier {
+	if cfg.Nodes < 10 {
+		cfg.Nodes = 10
+	}
+	if cfg.Height < 3 {
+		cfg.Height = 3
+	}
+	if cfg.MaxFanout < 2 {
+		cfg.MaxFanout = 2
+	}
+	r := rng.New(cfg.Seed)
+	h := hierarchy.New("Root")
+	food := h.Add(h.Root(), "Food")
+	loc := h.Add(h.Root(), "Location")
+	namer := newNamer(r)
+
+	// Level sizes for depths 2..Height: mostly geometric growth with a
+	// thinner final level. For the default (4222, height 6) this yields
+	// [14, 90, 600, 2400, 1115].
+	budget := cfg.Nodes - 3
+	sizes := levelSizes(budget, cfg.Height-1)
+
+	out := &Hier{H: h, ByDepth: make([][2][]hierarchy.NodeID, cfg.Height+1)}
+	out.ByDepth[1][0] = append(out.ByDepth[1][0], food)
+	out.ByDepth[1][1] = append(out.ByDepth[1][1], loc)
+
+	// Each domain grows independently (half the level budget each), so
+	// the hot-lineage skew cannot starve one domain of deep levels.
+	for dom, domRoot := range []hierarchy.NodeID{food, loc} {
+		prev := []hierarchy.NodeID{domRoot}
+		for _, levelSize := range sizes {
+			size := levelSize/2 + dom*(levelSize%2)
+			if size <= 0 || len(prev) == 0 {
+				break
+			}
+			// Designate ≈ size/7 parents, keeping the average fanout near
+			// 7. Parents are the first np nodes of the previous level
+			// (generation order), so hot lineages nest: the heavily
+			// fanned head of each level descends from the head of the
+			// level above, as in real category hierarchies where a few
+			// top categories own most of the entities.
+			np := (size + 3) / 7
+			if np < 1 {
+				np = 1
+			}
+			if np > len(prev) {
+				np = len(prev)
+			}
+			parents := make([]hierarchy.NodeID, np)
+			copy(parents, prev[:np])
+			fan := make([]int, np)
+			// Every designated parent gets one child (min fanout 1), then
+			// the rest go to a strongly skewed head so a handful of
+			// parents reach large fanouts (clamped at MaxFanout).
+			for i := range fan {
+				fan[i] = 1
+			}
+			for extra := size - np; extra > 0; {
+				x := r.Float64()
+				i := int(float64(np) * x * x * x)
+				if i >= np {
+					i = np - 1
+				}
+				placed := false
+				for j := 0; j < np; j++ {
+					k := (i + j) % np
+					if fan[k] < cfg.MaxFanout {
+						fan[k]++
+						extra--
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					break // every designated parent is at MaxFanout
+				}
+			}
+			var next []hierarchy.NodeID
+			for i, p := range parents {
+				for c := 0; c < fan[i]; c++ {
+					n := h.Add(p, namer.next())
+					if d := h.Depth(n); d < len(out.ByDepth) {
+						out.ByDepth[d][dom] = append(out.ByDepth[d][dom], n)
+					}
+					next = append(next, n)
+				}
+			}
+			prev = next
+		}
+	}
+	return out
+}
+
+// levelSizes splits budget across nlevels with the proportions of the
+// default Table 2 shape.
+func levelSizes(budget, nlevels int) []int {
+	fracs := defaultFracs(nlevels)
+	out := make([]int, nlevels)
+	used := 0
+	for i, f := range fracs {
+		out[i] = int(f * float64(budget))
+		used += out[i]
+	}
+	out[nlevels-2] += budget - used // dump the remainder into the bulk level
+	return out
+}
+
+// defaultFracs returns per-level fractions: slow growth, a bulky
+// penultimate level, and a thinner final level.
+func defaultFracs(n int) []float64 {
+	switch n {
+	case 1:
+		return []float64{1}
+	case 2:
+		return []float64{0.3, 0.7}
+	case 3:
+		return []float64{0.05, 0.65, 0.30}
+	case 4:
+		return []float64{0.025, 0.15, 0.56, 0.265}
+	default:
+		f := make([]float64, n)
+		f[0] = 0.0033
+		f[1] = 0.0213
+		f[2] = 0.1422
+		f[n-2] = 0.5689
+		f[n-1] = 0.2643
+		// Any intermediate levels (n > 5) share what little is left.
+		left := 1 - (f[0] + f[1] + f[2] + f[n-2] + f[n-1])
+		for i := 3; i < n-2; i++ {
+			f[i] = left / float64(n-5)
+		}
+		return f
+	}
+}
+
+// namer produces unique pronounceable tokens ("karimo", "sentalo42").
+type namer struct {
+	r    *rng.RNG
+	seen map[string]bool
+	n    int
+}
+
+func newNamer(r *rng.RNG) *namer {
+	return &namer{r: r, seen: map[string]bool{"root": true, "food": true, "location": true}}
+}
+
+var (
+	consonants = []byte("bcdfgklmnprstvz")
+	vowels     = []byte("aeiou")
+)
+
+func (nm *namer) next() string {
+	for {
+		syl := 2 + nm.r.Intn(2)
+		b := make([]byte, 0, syl*2+4)
+		for i := 0; i < syl; i++ {
+			b = append(b, consonants[nm.r.Intn(len(consonants))], vowels[nm.r.Intn(len(vowels))])
+		}
+		name := string(b)
+		if nm.seen[name] {
+			nm.n++
+			name = fmt.Sprintf("%s%d", name, nm.n)
+		}
+		if !nm.seen[name] {
+			nm.seen[name] = true
+			return name
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"fmt"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
+	"kjoin/internal/strutil"
+	"kjoin/internal/synonym"
+)
+
+// Labeled is a corpus with duplicate ground truth plus the side inputs
+// the different systems consume: the hierarchy for K-Join, the generic
+// rule dictionary for the Synonym baseline, and the richer KB alias
+// dictionary for K-Join+. The distinction mirrors the paper's setting:
+// K-Join+ matches elements to knowledge-base nodes through the KB's own
+// aliases (Freebase/Yago nodes carry alias lists), while the Synonym
+// system of Lu et al. only has generic rule pairs.
+type Labeled struct {
+	Records [][]string
+	Truth   map[[2]int]bool
+	H       *hierarchy.Hierarchy
+	// Synonyms are the generic rules available to the Synonym baseline.
+	Synonyms *synonym.Dict
+	// Aliases is the KB alias dictionary used by K-Join+ (a superset of
+	// generic rules plus per-node abbreviation aliases).
+	Aliases *synonym.Dict
+}
+
+// PubConfig controls GenPub.
+type PubConfig struct {
+	Seed uint64
+	N    int // total records, paper: 1879
+	// DupFrac is the fraction of records that are erroneous duplicates.
+	DupFrac float64
+	// Areas and VenuesPerArea shape the 3-level hierarchy of §7.2
+	// ("paper, research area, conference").
+	Areas, VenuesPerArea int
+	// Keywords is the number of depth-3 keyword nodes per venue.
+	Keywords int
+}
+
+// DefaultPub returns the Pub corpus configuration of Table 3: 1879
+// records, average length ≈ 6, lengths in [4, 16], element depth ≈ 3.
+func DefaultPub() PubConfig {
+	return PubConfig{Seed: 17, N: 1879, DupFrac: 0.35, Areas: 14, VenuesPerArea: 10, Keywords: 12}
+}
+
+// GenPub generates the Pub corpus: papers with author, title-keyword and
+// venue tokens over a 3-level hierarchy (area → venue → keyword). The
+// inconsistencies in duplicates are typos and abbreviations, the error
+// classes the paper attributes to Pub.
+func GenPub(cfg PubConfig) *Labeled {
+	r := rng.New(cfg.Seed)
+	nm := newNamer(rng.New(cfg.Seed ^ 0xabcd))
+	h := hierarchy.New("Publications")
+	var venues, keywords []hierarchy.NodeID
+	for a := 0; a < cfg.Areas; a++ {
+		area := h.Add(h.Root(), "area_"+nm.next())
+		for v := 0; v < cfg.VenuesPerArea; v++ {
+			venue := h.Add(area, nm.next()+"conf")
+			venues = append(venues, venue)
+			for k := 0; k < cfg.Keywords; k++ {
+				keywords = append(keywords, h.Add(venue, nm.next()+"ics"))
+			}
+		}
+	}
+	// Author vocabulary (free tokens).
+	authors := make([]string, 400)
+	for i := range authors {
+		authors[i] = nm.next() + "son"
+	}
+
+	// Every venue has an alternate full name ("KDD" vs "Knowledge
+	// Discovery and Data Mining"), known to the KB alias dictionary
+	// (real KB nodes carry alias lists) along with most abbreviations.
+	// The generic rule set available to the Synonym baseline covers only
+	// a few well-known venue aliases. Typos are never rules.
+	aliases := synonym.New()
+	generic := synonym.New()
+	altName := map[string]string{}
+	for _, v := range venues {
+		name := h.Name(v)
+		alt := nm.next() + "proc"
+		altName[name] = alt
+		if rngCoin(r, 0.8) {
+			aliases.Add(name, alt)
+		}
+		if rngCoin(r, 0.05) {
+			generic.Add(name, alt)
+		}
+		if len(name) > 6 && rngCoin(r, 0.75) {
+			aliases.Add(name, strutil.Abbreviate(name))
+		}
+	}
+	for _, k := range keywords {
+		name := h.Name(k)
+		if len(name) > 6 && rngCoin(r, 0.75) {
+			aliases.Add(name, strutil.Abbreviate(name))
+		}
+		// Keywords have alternate phrasings too ("ML" vs "machine
+		// learning"); most are KB aliases, none are generic rules.
+		alt := nm.next() + "ics"
+		altName[name] = alt
+		if rngCoin(r, 0.8) {
+			aliases.Add(name, alt)
+		}
+	}
+
+	out := &Labeled{Truth: map[[2]int]bool{}, H: h, Synonyms: generic, Aliases: aliases}
+	nBase := cfg.N - int(float64(cfg.N)*cfg.DupFrac)
+	clusterMembers := map[int][]int{}
+	baseIDs := make([]int, 0, nBase)
+	for i := 0; i < cfg.N; i++ {
+		if i >= nBase {
+			// Duplicate of a random base with typo/abbreviation/alias
+			// errors.
+			base := baseIDs[r.Intn(len(baseIDs))]
+			rec := pubMutate(r, h, out.Records[base], altName)
+			out.Records = append(out.Records, rec)
+			for _, j := range clusterMembers[base] {
+				out.Truth[[2]int{j, i}] = true
+			}
+			clusterMembers[base] = append(clusterMembers[base], i)
+			continue
+		}
+		venue := venues[r.Intn(len(venues))]
+		nkw := 2 + r.Intn(3)
+		if r.Intn(15) == 0 {
+			nkw += 4 + r.Intn(9) // occasional long titles (Table 3: max 16)
+		}
+		rec := make([]string, 0, nkw+3)
+		rec = append(rec, authors[r.Intn(len(authors))])
+		if rngCoin(r, 0.6) {
+			rec = append(rec, authors[r.Intn(len(authors))])
+		}
+		seen := map[string]bool{}
+		for len(rec) < nkw+2 {
+			kw := h.Name(keywords[r.Intn(len(keywords))])
+			if !seen[kw] {
+				seen[kw] = true
+				rec = append(rec, kw)
+			}
+		}
+		rec = append(rec, h.Name(venue))
+		out.Records = append(out.Records, rec)
+		baseIDs = append(baseIDs, i)
+		clusterMembers[i] = []int{i}
+	}
+	return out
+}
+
+// pubMutate injects Pub-style errors on 1–3 tokens: character typos
+// (sometimes two edits in one token), abbreviations ("Artificial" →
+// "Artif"), venue alias swaps ("KDD" ↔ its full proceedings name),
+// sibling-keyword swaps (keyword extraction variance under the same
+// venue), and the occasional dropped token.
+func pubMutate(r *rng.RNG, h *hierarchy.Hierarchy, rec []string, altName map[string]string) []string {
+	out := append([]string(nil), rec...)
+	edits := 1 + r.Intn(4)
+	for e := 0; e < edits && len(out) > 4; e++ {
+		i := r.Intn(len(out))
+		c := r.Float64()
+		switch {
+		case c < 0.27: // typo, 25% of them double
+			out[i] = typo(r, out[i])
+			if rngCoin(r, 0.25) {
+				out[i] = typo(r, out[i])
+			}
+		case c < 0.40: // abbreviation
+			out[i] = strutil.Abbreviate(out[i])
+		case c < 0.70: // alias swap on a random alias-bearing token
+			var cand []int
+			for j, t := range out {
+				if _, ok := altName[t]; ok {
+					cand = append(cand, j)
+				}
+			}
+			if len(cand) > 0 {
+				j := cand[r.Intn(len(cand))]
+				out[j] = altName[out[j]]
+			}
+		case c < 0.85: // sibling keyword under the same venue
+			if ns := h.Lookup(out[i]); len(ns) > 0 && h.Depth(ns[0]) == 3 {
+				out[i] = hierSwap(r, h, ns[0])
+			} else {
+				out[i] = typo(r, out[i])
+			}
+		default: // dropped token (unrecoverable for every system)
+			out = append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}
+
+// ResConfig controls GenRes.
+type ResConfig struct {
+	Seed uint64
+	N    int // total records, paper: 864
+	// DupFrac is the fraction of records that are erroneous duplicates.
+	DupFrac float64
+}
+
+// DefaultRes returns the Res corpus configuration of Table 3: 864
+// records of exactly 4 tokens (name, street, city, food category) with
+// element depth ≈ 5.
+func DefaultRes() ResConfig {
+	return ResConfig{Seed: 19, N: 864, DupFrac: 0.4}
+}
+
+// GenRes generates the Res corpus over the main (Table 2 shaped)
+// hierarchy hr: each restaurant is {name, street, city, food}. The
+// inconsistencies in duplicates are synonyms and knowledge-hierarchy
+// substitutions ("Californian food" vs "American food"), the error
+// classes the paper attributes to Res.
+func GenRes(hr *Hier, cfg ResConfig) *Labeled {
+	r := rng.New(cfg.Seed)
+	nm := newNamer(rng.New(cfg.Seed ^ 0xbeef))
+
+	// Street-word synonym rules, shared with the Synonym baseline.
+	d := synonym.New()
+	streetKinds := [][]string{
+		{"st", "street"},
+		{"ave", "avenue"},
+		{"dr", "drive"},
+		{"blvd", "boulevard"},
+		{"rd", "road"},
+	}
+	for _, g := range streetKinds {
+		d.Add(g...)
+	}
+
+	names := make([]string, 300)
+	for i := range names {
+		names[i] = nm.next() + "s"
+	}
+	streets := make([]string, 120)
+	for i := range streets {
+		streets[i] = nm.next()
+	}
+
+	// Food categories: deep Food-domain nodes; cities: deep Location
+	// nodes (average element depth ≈ 5 per Table 3).
+	foodPool := append(append([]hierarchy.NodeID{}, hr.NodesAt(0, 5)...), hr.NodesAt(0, 6)...)
+	cityPool := append(append([]hierarchy.NodeID{}, hr.NodesAt(1, 5)...), hr.NodesAt(1, 4)...)
+
+	out := &Labeled{Truth: map[[2]int]bool{}, H: hr.H, Synonyms: d, Aliases: d}
+	nBase := cfg.N - int(float64(cfg.N)*cfg.DupFrac)
+	clusterMembers := map[int][]int{}
+	baseIDs := make([]int, 0, nBase)
+	for i := 0; i < cfg.N; i++ {
+		if i >= nBase {
+			base := baseIDs[r.Intn(len(baseIDs))]
+			rec := resMutate(r, hr.H, d, out.Records[base])
+			out.Records = append(out.Records, rec)
+			for _, j := range clusterMembers[base] {
+				out.Truth[[2]int{j, i}] = true
+			}
+			clusterMembers[base] = append(clusterMembers[base], i)
+			continue
+		}
+		kind := streetKinds[r.Intn(len(streetKinds))]
+		rec := []string{
+			names[r.Intn(len(names))],
+			streets[r.Intn(len(streets))],
+			kind[r.Intn(len(kind))], // "st" / "street" / "ave" / ...
+			hr.H.Name(cityPool[r.Intn(len(cityPool))]),
+			hr.H.Name(foodPool[r.Intn(len(foodPool))]),
+		}
+		out.Records = append(out.Records, rec)
+		baseIDs = append(baseIDs, i)
+		clusterMembers[i] = []int{i}
+	}
+	return out
+}
+
+// resMutate injects Res-style errors: hierarchy substitutions on the
+// food/city entities and synonym swaps on the street-kind token, plus
+// the occasional typo. Record layout: {name, street, kind, city, food}.
+func resMutate(r *rng.RNG, h *hierarchy.Hierarchy, d *synonym.Dict, rec []string) []string {
+	out := append([]string(nil), rec...)
+	edits := 1 + r.Intn(3)
+	for e := 0; e < edits; e++ {
+		switch r.Intn(10) {
+		case 0, 1, 2: // hierarchy substitution on food
+			if ns := h.Lookup(out[4]); len(ns) > 0 {
+				out[4] = hierSwap(r, h, ns[0])
+			}
+		case 3, 4: // hierarchy substitution on city
+			if ns := h.Lookup(out[3]); len(ns) > 0 {
+				out[3] = hierSwap(r, h, ns[0])
+			}
+		case 5, 6, 7: // street-kind synonym swap ("st" → "street")
+			syns := d.Expand(out[2])
+			if len(syns) > 1 {
+				for tries := 0; tries < 4; tries++ {
+					s := syns[r.Intn(len(syns))]
+					if s != out[2] {
+						out[2] = s
+						break
+					}
+				}
+			}
+		default: // typo on the name
+			out[0] = typo(r, out[0])
+		}
+	}
+	return out
+}
+
+// rngCoin returns true with probability p.
+func rngCoin(r *rng.RNG, p float64) bool { return r.Float64() < p }
+
+// Describe returns a short human-readable summary of a labeled corpus.
+func (l *Labeled) Describe() string {
+	return fmt.Sprintf("%d records, %d truth pairs, hierarchy %d nodes, %d synonym groups",
+		len(l.Records), len(l.Truth), l.H.Len(), l.Synonyms.Len())
+}

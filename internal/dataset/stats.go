@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"strings"
+
+	"kjoin/internal/hierarchy"
+)
+
+// CollectionStats describes a record collection in the format of the
+// paper's Table 3.
+type CollectionStats struct {
+	Size   int
+	AvgLen int
+	MaxLen int
+	MinLen int
+	AvgDep int // average hierarchy depth of entity elements, rounded
+}
+
+// ComputeCollectionStats measures records against h: lengths in tokens
+// and the average depth of the elements that match a hierarchy node by
+// name (case-insensitive).
+func ComputeCollectionStats(h *hierarchy.Hierarchy, records [][]string) CollectionStats {
+	st := CollectionStats{Size: len(records), MinLen: 1 << 30}
+	if len(records) == 0 {
+		st.MinLen = 0
+		return st
+	}
+	nameDepth := map[string]int{}
+	for _, n := range h.Names() {
+		if ns := h.Lookup(n); len(ns) > 0 {
+			nameDepth[strings.ToLower(n)] = h.Depth(ns[0])
+		}
+	}
+	totalLen := 0
+	depSum, depCnt := 0, 0
+	for _, rec := range records {
+		l := len(rec)
+		totalLen += l
+		if l > st.MaxLen {
+			st.MaxLen = l
+		}
+		if l < st.MinLen {
+			st.MinLen = l
+		}
+		for _, t := range rec {
+			if d, ok := nameDepth[strings.ToLower(t)]; ok {
+				depSum += d
+				depCnt++
+			}
+		}
+	}
+	st.AvgLen = (totalLen + len(records)/2) / len(records)
+	if depCnt > 0 {
+		st.AvgDep = (depSum + depCnt/2) / depCnt
+	}
+	return st
+}

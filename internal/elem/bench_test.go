@@ -1,0 +1,66 @@
+package elem
+
+import (
+	"testing"
+
+	"kjoin/internal/dataset"
+)
+
+func benchResolver(b *testing.B, plus bool) (*Resolver, []ID) {
+	b.Helper()
+	hr := dataset.GenHierarchy(dataset.DefaultHierarchy())
+	c := dataset.GenRecords(hr, dataset.POIConfig(300))
+	r := NewResolver(hr.H, Options{Plus: plus, PhiMin: 0.8, MaxMappings: 4})
+	var ids []ID
+	for _, rec := range c.Records {
+		for _, t := range rec {
+			ids = append(ids, r.ID(t))
+		}
+	}
+	r.ResolveAll(1)
+	return r, ids
+}
+
+func BenchmarkSimStandard(b *testing.B) {
+	r, ids := benchResolver(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Sim(ids[i%len(ids)], ids[(i*31+7)%len(ids)], Standard)
+	}
+}
+
+func BenchmarkSimPlus(b *testing.B) {
+	r, ids := benchResolver(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Sim(ids[i%len(ids)], ids[(i*31+7)%len(ids)], Standard)
+	}
+}
+
+// BenchmarkResolvePlus measures typo-tolerant resolution of fresh tokens
+// against the full hierarchy name set (bigram-index candidates + banded
+// edit distance).
+func BenchmarkResolvePlus(b *testing.B) {
+	hr := dataset.GenHierarchy(dataset.DefaultHierarchy())
+	r := NewResolver(hr.H, Options{Plus: true, PhiMin: 0.8, MaxMappings: 4})
+	names := hr.H.Names()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A corrupted hierarchy name: unique per iteration so the
+		// resolution cache never hits.
+		name := names[i%len(names)]
+		tok := name + string(rune('a'+i%26))
+		id := r.ID(tok)
+		r.Info(id)
+	}
+}
+
+// BenchmarkNewResolverPlus measures index construction (bigram postings
+// over all hierarchy names).
+func BenchmarkNewResolverPlus(b *testing.B) {
+	hr := dataset.GenHierarchy(dataset.DefaultHierarchy())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewResolver(hr.H, Options{Plus: true, PhiMin: 0.8, MaxMappings: 4})
+	}
+}

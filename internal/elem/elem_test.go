@@ -1,0 +1,433 @@
+package elem
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/paperdata"
+	"kjoin/internal/strutil"
+	"kjoin/internal/synonym"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func newBase(t *testing.T) *Resolver {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	return NewResolver(h, Options{})
+}
+
+func newPlus(t *testing.T, phiMin float64, d *synonym.Dict) *Resolver {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	return NewResolver(h, Options{Plus: true, PhiMin: phiMin, Synonyms: d})
+}
+
+func TestSimPaperExamples(t *testing.T) {
+	r := newBase(t)
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"BurgerKing", "KFC", 3.0 / 4},                  // §2.1.1
+		{"MountainView", "GoogleHeadquarters", 5.0 / 6}, // §2.2
+		{"BurgerKing", "Fastfood", 3.0 / 4},             // §2.2
+		{"BurgerKing", "Dominos", 2.0 / 4},              // §4
+		{"BurgerKing", "Manhattan", 0},                  // different domains → LCA root
+		{"KFC", "KFC", 1},                               // identity
+		{"PizzaHut", "Dominos", 3.0 / 4},                // both under Pizza (depth 3)
+		{"SanFrancisco", "PaloAlto", 3.0 / 4},           // LCA CA depth 3, depths 4,4
+		{"Manhattan", "Brooklyn", 4.0 / 5},              // LCA NewYork depth 4
+	}
+	for _, c := range cases {
+		a, b := r.ID(c.a), r.ID(c.b)
+		if got := r.Sim(a, b, Standard); !almostEq(got, c.want) {
+			t.Errorf("Sim(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := r.Sim(b, a, Standard); !almostEq(got, c.want) {
+			t.Errorf("Sim(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestSimNonEntityTokens(t *testing.T) {
+	r := newBase(t)
+	a := r.ID("ellis")
+	b := r.ID("fillmore")
+	if got := r.Sim(a, b, Standard); got != 0 {
+		t.Errorf("two different non-entity tokens should have sim 0, got %v", got)
+	}
+	if got := r.Sim(a, r.ID("ELLIS"), Standard); got != 1 {
+		t.Errorf("case-insensitive identity should be 1, got %v", got)
+	}
+	if got := r.Sim(a, r.ID("KFC"), Standard); got != 0 {
+		t.Errorf("non-entity vs entity should be 0, got %v", got)
+	}
+}
+
+func TestSimWuPalmer(t *testing.T) {
+	r := newBase(t)
+	a, b := r.ID("BurgerKing"), r.ID("KFC")
+	// 2*3/(4+4) = 3/4.
+	if got := r.Sim(a, b, WuPalmer); !almostEq(got, 3.0/4) {
+		t.Errorf("WuPalmer(BurgerKing, KFC) = %v, want 3/4", got)
+	}
+	c := r.ID("MountainView")
+	d := r.ID("GoogleHeadquarters")
+	// 2*5/(5+6) = 10/11.
+	if got := r.Sim(c, d, WuPalmer); !almostEq(got, 10.0/11) {
+		t.Errorf("WuPalmer(MV, GHQ) = %v, want 10/11", got)
+	}
+}
+
+func TestPlusTypoTolerance(t *testing.T) {
+	r := newPlus(t, 0.8, nil)
+	typo := r.ID("PizzaHat")
+	info := r.Info(typo)
+	if info.Entity() {
+		// PizzaHat should approximately match PizzaHut with φ = 7/8.
+		found := false
+		for _, m := range info.Mappings {
+			if r.Hierarchy().Name(m.Node) == "PizzaHut" && almostEq(m.Phi, 7.0/8) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("PizzaHat should map to PizzaHut with φ=7/8, got %+v", info.Mappings)
+		}
+	} else {
+		t.Fatalf("PizzaHat should be resolved approximately in Plus mode")
+	}
+	// SIM(PizzaHat, PizzaHut) = (4/4)·(7/8)·1 = 7/8.
+	real := r.ID("PizzaHut")
+	if got := r.Sim(typo, real, Standard); !almostEq(got, 7.0/8) {
+		t.Errorf("Sim(PizzaHat, PizzaHut) = %v, want 7/8", got)
+	}
+	// SIM(PizzaHat, Dominos) = (3/4)·(7/8) = 21/32.
+	dom := r.ID("Dominos")
+	if got := r.Sim(typo, dom, Standard); !almostEq(got, 21.0/32) {
+		t.Errorf("Sim(PizzaHat, Dominos) = %v, want 21/32", got)
+	}
+}
+
+func TestBaseModeIgnoresTypos(t *testing.T) {
+	r := newBase(t)
+	typo := r.ID("PizzaHat")
+	if r.Info(typo).Entity() {
+		t.Errorf("plain K-Join must not resolve typos")
+	}
+	if got := r.Sim(typo, r.ID("PizzaHut"), Standard); got != 0 {
+		t.Errorf("plain K-Join Sim with typo = %v, want 0", got)
+	}
+}
+
+func TestPlusSynonyms(t *testing.T) {
+	d := synonym.New()
+	d.Add("kfc", "kentuckyfriedchicken")
+	d.Add("st", "street")
+	r := newPlus(t, 1, d) // PhiMin=1 disables typo matching; synonyms only
+	a := r.ID("kentuckyfriedchicken")
+	if !r.Info(a).Entity() {
+		t.Fatalf("synonym of an entity should resolve to its node")
+	}
+	if got := r.Sim(a, r.ID("kfc"), Standard); got != 1 {
+		t.Errorf("Sim(synonym, entity) = %v, want 1", got)
+	}
+	if got := r.Sim(a, r.ID("burgerking"), Standard); !almostEq(got, 3.0/4) {
+		t.Errorf("Sim(kentuckyfriedchicken, burgerking) = %v, want 3/4", got)
+	}
+	// Non-entity synonyms: st ~ street.
+	x, y := r.ID("st"), r.ID("street")
+	if got := r.Sim(x, y, Standard); got != 1 {
+		t.Errorf("Sim(st, street) = %v, want 1", got)
+	}
+	if got := r.Sim(x, r.ID("dr"), Standard); got != 0 {
+		t.Errorf("Sim(st, dr) = %v, want 0", got)
+	}
+}
+
+func TestMinLCADepth(t *testing.T) {
+	// Paper §3.1: δ = 0.7 → d_δ = ⌈0.7/0.3⌉ = 3.
+	if got := Standard.MinLCADepth(0.7); got != 3 {
+		t.Errorf("MinLCADepth(0.7) = %d, want 3", got)
+	}
+	// §4: δ = 0.6 → level ⌈0.6/0.4⌉ = 2.
+	if got := Standard.MinLCADepth(0.6); got != 2 {
+		t.Errorf("MinLCADepth(0.6) = %d, want 2", got)
+	}
+	if got := Standard.MinLCADepth(0.8); got != 4 {
+		t.Errorf("MinLCADepth(0.8) = %d, want 4", got)
+	}
+	// δ ≥ 1: effectively infinite.
+	if got := Standard.MinLCADepth(1.0); got < 1<<20 {
+		t.Errorf("MinLCADepth(1.0) = %d, want huge", got)
+	}
+	if got := Standard.MinLCADepth(0); got != 0 {
+		t.Errorf("MinLCADepth(0) = %d, want 0", got)
+	}
+	// Wu&Palmer §6.2: d ≥ δ/(2(1−δ)); δ=0.8 → ⌈2⌉ = 2.
+	if got := WuPalmer.MinLCADepth(0.8); got != 2 {
+		t.Errorf("WuPalmer MinLCADepth(0.8) = %d, want 2", got)
+	}
+}
+
+func TestDeepLowAndShallowRange(t *testing.T) {
+	// §4.1 example: δ=0.6, de=4 (BurgerKing): ⌈δ·de⌉ = 3, ⌈δ·3⌉ = 2.
+	if got := Standard.DeepLow(4, 0.6); got != 3 {
+		t.Errorf("DeepLow(4, 0.6) = %d, want 3", got)
+	}
+	lo, hi := Standard.ShallowRange(4, 0.6)
+	if lo != 2 || hi != 3 {
+		t.Errorf("ShallowRange(4, 0.6) = [%d, %d], want [2, 3]", lo, hi)
+	}
+	if got := Standard.DeepLow(0, 0.6); got != 0 {
+		t.Errorf("DeepLow(0) = %d, want 0", got)
+	}
+	if got := Standard.DeepLow(5, 1.0); got != 5 {
+		t.Errorf("DeepLow(5, 1.0) = %d, want 5", got)
+	}
+}
+
+// Property: if two entity elements are similar (sim ≥ δ) and different,
+// the depth of their LCA is at least MinLCADepth(δ) — the foundation of
+// the node-signature scheme (Lemma 1's precondition).
+func TestMinLCADepthSound(t *testing.T) {
+	h, m := paperdata.Fig1()
+	r := NewResolver(h, Options{})
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	for _, metric := range []Metric{Standard, WuPalmer} {
+		for _, delta := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+			dd := metric.MinLCADepth(delta)
+			for _, a := range names {
+				for _, b := range names {
+					if a == b {
+						continue
+					}
+					ia, ib := r.ID(a), r.ID(b)
+					if r.Sim(ia, ib, metric) >= delta {
+						if got := h.LCADepth(m[a], m[b]); got < dd {
+							t.Errorf("metric %v δ=%v: %s~%s similar but LCA depth %d < d_δ %d",
+								metric, delta, a, b, got, dd)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDiffSim(t *testing.T) {
+	r := newBase(t)
+	bk := r.ID("BurgerKing") // depth 4
+	if got := r.MaxDiffSim(bk, Standard); !almostEq(got, 4.0/5) {
+		t.Errorf("MaxDiffSim(BurgerKing) = %v, want 4/5", got)
+	}
+	free := r.ID("ellis")
+	if got := r.MaxDiffSim(free, Standard); got != 0 {
+		t.Errorf("MaxDiffSim(non-entity) = %v, want 0", got)
+	}
+	// Plus mode: a typo element's bound is its best φ.
+	rp := newPlus(t, 0.8, nil)
+	typo := rp.ID("PizzaHat")
+	if got := rp.MaxDiffSim(typo, Standard); !almostEq(got, 7.0/8) {
+		t.Errorf("MaxDiffSim(PizzaHat) = %v, want 7/8", got)
+	}
+	exact := rp.ID("KFC")
+	if got := rp.MaxDiffSim(exact, Standard); got != 1 {
+		t.Errorf("Plus MaxDiffSim(KFC) = %v, want 1 (synonyms may map to the same node)", got)
+	}
+	// Plus mode, non-entity with synonyms.
+	d := synonym.New()
+	d.Add("st", "street")
+	rs := newPlus(t, 1, d)
+	if got := rs.MaxDiffSim(rs.ID("st"), Standard); got != 1 {
+		t.Errorf("MaxDiffSim(st with synonyms) = %v, want 1", got)
+	}
+	if got := rs.MaxDiffSim(rs.ID("lonely"), Standard); got != 0 {
+		t.Errorf("MaxDiffSim(lonely) = %v, want 0", got)
+	}
+}
+
+// Property: MaxDiffSim really bounds Sim for any pair of different
+// elements drawn from the Fig-1 vocabulary plus some free tokens.
+func TestMaxDiffSimSoundProperty(t *testing.T) {
+	h, m := paperdata.Fig1()
+	d := synonym.New()
+	d.Add("kfc", "kentuckyfriedchicken")
+	var vocab []string
+	for n := range m {
+		vocab = append(vocab, n)
+	}
+	vocab = append(vocab, "pizzahat", "kentuckyfriedchicken", "ellis", "fillmore")
+	for _, plus := range []bool{false, true} {
+		r := NewResolver(h, Options{Plus: plus, PhiMin: 0.8, Synonyms: d})
+		ids := make([]ID, len(vocab))
+		for i, v := range vocab {
+			ids[i] = r.ID(v)
+		}
+		for _, metric := range []Metric{Standard, WuPalmer} {
+			for i, a := range ids {
+				bound := r.MaxDiffSim(a, metric)
+				for j, b := range ids {
+					if a == b {
+						continue
+					}
+					if s := r.Sim(a, b, metric); s > bound+1e-9 {
+						t.Errorf("plus=%v metric=%v: Sim(%s,%s)=%v exceeds MaxDiffSim=%v",
+							plus, metric, vocab[i], vocab[j], s, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The bigram-index candidate generation must find exactly the matches a
+// brute-force scan over all names finds, for random tokens and a range
+// of φ thresholds.
+func TestApproxMatchAgainstBruteForce(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	names := h.Names()
+	gen := func(r *rand.Rand) string {
+		// Random tokens plus corrupted hierarchy names.
+		if r.Intn(2) == 0 {
+			n := names[r.Intn(len(names))]
+			b := []byte(strings.ToLower(n))
+			for e := 0; e <= r.Intn(3); e++ {
+				if len(b) > 0 {
+					b[r.Intn(len(b))] = byte('a' + r.Intn(26))
+				}
+			}
+			return string(b)
+		}
+		n := 1 + r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(6))
+		}
+		return string(b)
+	}
+	for _, phi := range []float64{0.3, 0.5, 0.7, 0.8, 0.9} {
+		r := NewResolver(h, Options{Plus: true, PhiMin: phi})
+		rnd := rand.New(rand.NewSource(int64(phi * 100)))
+		for trial := 0; trial < 200; trial++ {
+			tok := gen(rnd)
+			got := map[hierarchy.NodeID]float64{}
+			r.approxMatch(tok, func(n hierarchy.NodeID, sim float64) {
+				if sim > got[n] {
+					got[n] = sim
+				}
+			})
+			want := map[hierarchy.NodeID]float64{}
+			for _, name := range names {
+				ln := strings.ToLower(name)
+				if ln == tok {
+					continue
+				}
+				if sim, ok := strutil.EditSimAtLeast(tok, ln, phi); ok && sim >= phi {
+					for _, n := range h.Lookup(name) {
+						if sim > want[n] {
+							want[n] = sim
+						}
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("phi=%v token %q: got %v, want %v", phi, tok, got, want)
+			}
+			for n, s := range want {
+				if got[n] != s {
+					t.Fatalf("phi=%v token %q node %v: got %v, want %v", phi, tok, got[n], n, s)
+				}
+			}
+		}
+	}
+}
+
+func TestMetricSimProperties(t *testing.T) {
+	f := func(dl, dx, dy uint8) bool {
+		dlca := int(dl % 10)
+		a := int(dx%10) + dlca // depths at least dlca
+		b := int(dy%10) + dlca
+		for _, m := range []Metric{Standard, WuPalmer} {
+			s := m.Sim(dlca, a, b)
+			if s < 0 || s > 1+1e-12 {
+				return false
+			}
+			if s != m.Sim(dlca, b, a) {
+				return false
+			}
+			if m.Sim(a, a, a) != 1 { // identical nodes
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Standard.String() != "standard" || WuPalmer.String() != "wupalmer" || Metric(99).String() != "unknown" {
+		t.Error("Metric.String mismatch")
+	}
+}
+
+func TestInterning(t *testing.T) {
+	r := newBase(t)
+	a := r.ID("KFC")
+	b := r.ID("kfc")
+	c := r.ID("Kfc")
+	if a != b || b != c {
+		t.Errorf("interning should be case-insensitive: %v %v %v", a, b, c)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if r.Info(a).Token != "kfc" {
+		t.Errorf("Token = %q", r.Info(a).Token)
+	}
+}
+
+// ResolveAll must be race-free: each worker touches disjoint info slots
+// and only reads shared immutable state. Run with -race.
+func TestResolveAllParallel(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	for _, workers := range []int{1, 2, 8} {
+		r := NewResolver(h, Options{Plus: true, PhiMin: 0.8, MaxMappings: 4})
+		var ids []ID
+		for _, name := range h.Names() {
+			ids = append(ids, r.ID(name))
+			ids = append(ids, r.ID(name+"x")) // typo'd variants
+		}
+		r.ResolveAll(workers)
+		// Everything must be resolved and stable.
+		for _, id := range ids {
+			info := r.Info(id)
+			if info.Token == "" {
+				t.Fatalf("workers=%d: unresolved element %d", workers, id)
+			}
+		}
+		// Cross-check against a sequential resolver.
+		r2 := NewResolver(h, Options{Plus: true, PhiMin: 0.8, MaxMappings: 4})
+		for _, name := range h.Names() {
+			r2.ID(name)
+			r2.ID(name + "x")
+		}
+		r2.ResolveAll(1)
+		for _, id := range ids {
+			a, b := r.Info(id), r2.Info(id)
+			if a.Token != b.Token || len(a.Mappings) != len(b.Mappings) || a.MaxDepth != b.MaxDepth {
+				t.Fatalf("workers=%d: element %d resolved differently: %+v vs %+v", workers, id, a, b)
+			}
+		}
+	}
+}

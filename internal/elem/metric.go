@@ -1,0 +1,135 @@
+package elem
+
+import (
+	"math"
+
+	"kjoin/internal/mathx"
+)
+
+// Metric selects the element-similarity formula on hierarchy depths.
+type Metric int
+
+const (
+	// Standard is the paper's Definition 1:
+	// SIM(ex, ey) = d_LCA / max(d_ex, d_ey).
+	Standard Metric = iota
+	// WuPalmer is the Wu & Palmer metric of §6.2:
+	// SIM(ex, ey) = 2·d_LCA / (d_ex + d_ey).
+	WuPalmer
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Standard:
+		return "standard"
+	case WuPalmer:
+		return "wupalmer"
+	default:
+		return "unknown"
+	}
+}
+
+// Sim evaluates the metric given the LCA depth and the two node depths.
+// Two root-depth nodes (necessarily the same node) have similarity 1.
+func (m Metric) Sim(dlca, dx, dy int) float64 {
+	switch m {
+	case WuPalmer:
+		if dx+dy == 0 {
+			return 1
+		}
+		return 2 * float64(dlca) / float64(dx+dy)
+	default:
+		max := dx
+		if dy > max {
+			max = dy
+		}
+		if max == 0 {
+			return 1
+		}
+		return float64(dlca) / float64(max)
+	}
+}
+
+// MinLCADepth returns d_δ, the minimum LCA depth of two *different*
+// similar elements (paper §3.1 for Standard, §6.2 for WuPalmer). Node
+// signatures are generated at this depth. For δ ≥ 1 only identical
+// elements are similar and the result is a depth larger than any tree.
+func (m Metric) MinLCADepth(delta float64) int {
+	if delta >= 1 {
+		return math.MaxInt32 / 2
+	}
+	if delta <= 0 {
+		return 0
+	}
+	switch m {
+	case WuPalmer:
+		return mathx.CeilInt(delta / (2 * (1 - delta)))
+	default:
+		return mathx.CeilInt(delta / (1 - delta))
+	}
+}
+
+// DeepLow returns the lowest (shallowest) depth of the deep path
+// signatures of an element at depth de (Definition 7 for Standard). For
+// WuPalmer the bound follows from 2·d_LCA/(d_x+d_y) ≥ δ and d_x ≥ d_LCA,
+// giving d_LCA ≥ δ·d_e/(2−δ).
+func (m Metric) DeepLow(de int, delta float64) int {
+	if de <= 0 {
+		return 0
+	}
+	var low int
+	switch m {
+	case WuPalmer:
+		low = mathx.CeilInt(delta * float64(de) / (2 - delta))
+	default:
+		low = mathx.CeilInt(delta * float64(de))
+	}
+	if low > de {
+		low = de
+	}
+	if low < 0 {
+		low = 0
+	}
+	return low
+}
+
+// ShallowRange returns the depth range [lo, hi] of the shallow path
+// signatures of an element at depth de (Definition 6): hi = DeepLow(de)
+// and lo = DeepLow(hi).
+func (m Metric) ShallowRange(de int, delta float64) (lo, hi int) {
+	hi = m.DeepLow(de, delta)
+	lo = m.DeepLow(hi, delta)
+	return lo, hi
+}
+
+// MaxSimAtDepth returns the maximum similarity an element at depth de can
+// have to any other element, given that the LCA of the pair is at depth d
+// (d ≤ de). Used as the per-signature weight of the weighted path prefix
+// (§4.2.2: d/d_e for Standard).
+func (m Metric) MaxSimAtDepth(d, de int) float64 {
+	if de <= 0 {
+		return 1
+	}
+	switch m {
+	case WuPalmer:
+		// max over partner depth dy ≥ d of 2d/(de+dy), attained at dy = d.
+		return 2 * float64(d) / float64(de+d)
+	default:
+		return float64(d) / float64(de)
+	}
+}
+
+// MaxDiffSim returns the maximum similarity between two *different*
+// elements where one has depth de: the partner then shares an LCA of
+// depth at most de while having depth at least de+1 below... For the
+// standard metric the paper uses d_e/(d_e+1) (Lemma 4): the best case is
+// a sibling one level below a common ancestor at depth d_e.
+func (m Metric) MaxDiffSim(de int) float64 {
+	switch m {
+	case WuPalmer:
+		return 2 * float64(de) / float64(2*de+1)
+	default:
+		return float64(de) / float64(de+1)
+	}
+}

@@ -1,0 +1,67 @@
+// Package eval computes the quality measures of the paper's
+// effectiveness experiments (§7.2): precision, recall and F-measure of a
+// result pair set against a ground-truth pair set.
+package eval
+
+// Quality holds precision, recall and F-measure in percent/points as the
+// paper reports them (precision/recall in %, F-measure in [0, 1] for the
+// figures and in % for Table 4 — accessors provide both).
+type Quality struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Measure compares a result pair set (X < Y index pairs) with the ground
+// truth.
+func Measure(results [][2]int, truth map[[2]int]bool) Quality {
+	var q Quality
+	seen := make(map[[2]int]bool, len(results))
+	for _, p := range results {
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if truth[p] {
+			q.TruePositives++
+		} else {
+			q.FalsePositives++
+		}
+	}
+	for p := range truth {
+		if !seen[p] {
+			q.FalseNegatives++
+		}
+	}
+	return q
+}
+
+// Precision returns TP/(TP+FP) in [0, 1]; 1 when nothing was returned.
+func (q Quality) Precision() float64 {
+	den := q.TruePositives + q.FalsePositives
+	if den == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(den)
+}
+
+// Recall returns TP/(TP+FN) in [0, 1]; 1 when the truth is empty.
+func (q Quality) Recall() float64 {
+	den := q.TruePositives + q.FalseNegatives
+	if den == 0 {
+		return 1
+	}
+	return float64(q.TruePositives) / float64(den)
+}
+
+// F1 returns the harmonic mean of precision and recall in [0, 1].
+func (q Quality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

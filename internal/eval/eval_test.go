@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeasureBasic(t *testing.T) {
+	truth := map[[2]int]bool{{0, 1}: true, {2, 3}: true, {4, 5}: true}
+	results := [][2]int{{0, 1}, {2, 3}, {6, 7}}
+	q := Measure(results, truth)
+	if q.TruePositives != 2 || q.FalsePositives != 1 || q.FalseNegatives != 1 {
+		t.Fatalf("q = %+v", q)
+	}
+	if !almostEq(q.Precision(), 2.0/3) {
+		t.Errorf("precision = %v", q.Precision())
+	}
+	if !almostEq(q.Recall(), 2.0/3) {
+		t.Errorf("recall = %v", q.Recall())
+	}
+	if !almostEq(q.F1(), 2.0/3) {
+		t.Errorf("f1 = %v", q.F1())
+	}
+}
+
+func TestMeasureNormalizesAndDedupes(t *testing.T) {
+	truth := map[[2]int]bool{{0, 1}: true}
+	// Reversed and duplicated results count once.
+	q := Measure([][2]int{{1, 0}, {0, 1}}, truth)
+	if q.TruePositives != 1 || q.FalsePositives != 0 {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestMeasureEdgeCases(t *testing.T) {
+	q := Measure(nil, nil)
+	if q.Precision() != 1 || q.Recall() != 1 {
+		t.Errorf("empty/empty should be perfect: %+v", q)
+	}
+	q = Measure(nil, map[[2]int]bool{{0, 1}: true})
+	if q.Recall() != 0 || q.Precision() != 1 || q.F1() != 0 {
+		t.Errorf("nothing returned: %+v p=%v r=%v f=%v", q, q.Precision(), q.Recall(), q.F1())
+	}
+	q = Measure([][2]int{{0, 1}}, nil)
+	if q.Precision() != 0 || q.Recall() != 1 {
+		t.Errorf("all false positives: %+v", q)
+	}
+}

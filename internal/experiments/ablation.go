@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/sig"
+	"kjoin/internal/verify"
+)
+
+// Ablation runs the design-choice ablations called out in DESIGN.md:
+//
+//	(a) plain vs weighted path prefix (Definition 8 vs 9) — candidates
+//	    and time on POI across τ;
+//	(b) K-Join+ typo tolerance φ_min sweep — quality on Res;
+//	(c) K-Join+ mapping cap sweep — quality and preprocessing cost on Res;
+//	(d) probe-loop worker scaling — speedup on POI.
+func Ablation(cfg Config) error {
+	if err := ablationPrefix(cfg); err != nil {
+		return err
+	}
+	if err := ablationPhiMin(cfg); err != nil {
+		return err
+	}
+	if err := ablationMaxMappings(cfg); err != nil {
+		return err
+	}
+	return ablationWorkers(cfg)
+}
+
+// ablationPrefix compares the plain path prefix with the weighted path
+// prefix (§4.2.2 claims the weighted prefix prunes more signatures).
+func ablationPrefix(cfg Config) error {
+	const delta = 0.8
+	c := poi(cfg.Scale)
+	cfg.printf("Ablation (a): plain vs weighted deep path prefix on POI (n=%d, delta=%.1f)\n", len(c.Records), delta)
+	cfg.printf("%-6s %15s %15s %12s %12s\n", "tau", "plain cand", "weighted cand", "plain t", "weighted t")
+	for _, tau := range []float64{0.75, 0.8, 0.85, 0.9, 0.95} {
+		pc, pt, _, err := runKJoin(c, delta, tau, sig.Deep, false, verify.Adaptive, false, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		wc, wt, _, err := runKJoin(c, delta, tau, sig.Deep, true, verify.Adaptive, false, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%-6.2f %15d %15d %12s %12s\n", tau, pc, wc, secs(pt), secs(wt))
+	}
+	return nil
+}
+
+// ablationPhiMin sweeps the typo-tolerance threshold of K-Join+
+// resolution on the Res corpus quality.
+func ablationPhiMin(cfg Config) error {
+	l := res(cfg.QualityN)
+	const delta, tau = 0.5, 0.6
+	cfg.printf("Ablation (b): K-Join+ phi_min sweep on Res (delta=%.1f, tau=%.1f)\n", delta, tau)
+	cfg.printf("%-8s %10s %10s %10s %12s\n", "phi_min", "P(%)", "R(%)", "F1", "preprocess")
+	for _, phi := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+		opt := core.Defaults(delta, tau)
+		opt.Plus = true
+		opt.Synonyms = l.Aliases
+		opt.PhiMin = phi
+		opt.Workers = cfg.Workers
+		t0 := time.Now()
+		pairs, _, err := core.SelfJoin(l.H, l.Records, opt)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		var sc []scored
+		for _, p := range pairs {
+			sc = append(sc, scored{p.X, p.Y, p.Sim})
+		}
+		q := measureAt(sc, tau, l.Truth)
+		cfg.printf("%-8.2f %10.1f %10.1f %10.3f %12s\n",
+			phi, q.Precision()*100, q.Recall()*100, q.F1(), secs(elapsed))
+	}
+	return nil
+}
+
+// ablationMaxMappings sweeps the per-element mapping cap of K-Join+.
+func ablationMaxMappings(cfg Config) error {
+	l := res(cfg.QualityN)
+	const delta, tau = 0.5, 0.6
+	cfg.printf("Ablation (c): K-Join+ mapping cap sweep on Res (delta=%.1f, tau=%.1f)\n", delta, tau)
+	cfg.printf("%-8s %10s %10s %10s %12s\n", "cap", "P(%)", "R(%)", "F1", "time")
+	for _, cap := range []int{1, 2, 4, 8, 16} {
+		opt := core.Defaults(delta, tau)
+		opt.Plus = true
+		opt.Synonyms = l.Aliases
+		opt.MaxMappings = cap
+		opt.Workers = cfg.Workers
+		t0 := time.Now()
+		pairs, _, err := core.SelfJoin(l.H, l.Records, opt)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(t0)
+		var sc []scored
+		for _, p := range pairs {
+			sc = append(sc, scored{p.X, p.Y, p.Sim})
+		}
+		q := measureAt(sc, tau, l.Truth)
+		cfg.printf("%-8d %10.1f %10.1f %10.3f %12s\n",
+			cap, q.Precision()*100, q.Recall()*100, q.F1(), secs(elapsed))
+	}
+	return nil
+}
+
+// ablationWorkers measures probe-loop scaling.
+func ablationWorkers(cfg Config) error {
+	c := poi(cfg.Scale)
+	const delta, tau = 0.8, 0.8
+	cfg.printf("Ablation (d): worker scaling on POI (n=%d, delta=%.1f, tau=%.1f)\n", len(c.Records), delta, tau)
+	cfg.printf("%-8s %12s\n", "workers", "time")
+	for _, w := range []int{1, 2, 4, 8} {
+		_, t, _, err := runKJoin(c, delta, tau, sig.Deep, true, verify.Adaptive, false, w)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%-8d %12s\n", w, secs(t))
+	}
+	return nil
+}

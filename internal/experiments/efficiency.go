@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"time"
+
+	"kjoin/internal/baseline"
+	"kjoin/internal/core"
+	"kjoin/internal/dataset"
+	"kjoin/internal/sig"
+	"kjoin/internal/verify"
+)
+
+// runKJoin runs a K-Join self join with the given scheme/verifier and
+// returns candidates, elapsed time, and the join stats.
+func runKJoin(c *dataset.Collection, delta, tau float64, scheme sig.Scheme, weighted bool,
+	ver verify.Kind, plus bool, workers int) (int64, time.Duration, *core.Stats, error) {
+	opt := core.Defaults(delta, tau)
+	opt.Scheme = scheme
+	opt.Weighted = weighted
+	opt.Verifier = ver
+	opt.Plus = plus
+	opt.Workers = workers
+	opt.ComputeSims = false
+	t0 := time.Now()
+	_, st, err := core.SelfJoin(hier().H, c.Records, opt)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return st.Candidates, time.Since(t0), st, nil
+}
+
+// Fig9 evaluates the filtering schemes versus τ (δ=0.8): candidate
+// counts and elapsed time for Node, Shallow and Deep signatures on POI
+// and Tweet (paper Figure 9 a–d).
+func Fig9(cfg Config) error {
+	const delta = 0.8
+	taus := []float64{0.75, 0.8, 0.85, 0.9, 0.95}
+	for _, ds := range []struct {
+		name string
+		c    *dataset.Collection
+	}{{"POI", poi(cfg.Scale)}, {"Tweet", tweet(cfg.Scale)}} {
+		cfg.printf("Fig 9 filtering vs tau (delta=%.1f) on %s (n=%d)\n", delta, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %15s %15s %15s %10s %10s %10s\n",
+			"tau", "Node cand", "Shallow cand", "Deep cand", "Node t", "Shallow t", "Deep t")
+		for _, tau := range taus {
+			var cands [3]int64
+			var times [3]time.Duration
+			for i, scheme := range []sig.Scheme{sig.Node, sig.Shallow, sig.Deep} {
+				c, t, _, err := runKJoin(ds.c, delta, tau, scheme, false, verify.Adaptive, false, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				cands[i], times[i] = c, t
+			}
+			cfg.printf("%-6.2f %15d %15d %15d %10s %10s %10s\n",
+				tau, cands[0], cands[1], cands[2], secs(times[0]), secs(times[1]), secs(times[2]))
+		}
+	}
+	return nil
+}
+
+// Fig10 evaluates the filtering schemes versus δ (τ=0.95 on POI, 0.85 on
+// Tweet), as in paper Figure 10 a–d.
+func Fig10(cfg Config) error {
+	deltas := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	for _, ds := range []struct {
+		name string
+		tau  float64
+		c    *dataset.Collection
+	}{{"POI", 0.95, poi(cfg.Scale)}, {"Tweet", 0.85, tweet(cfg.Scale)}} {
+		cfg.printf("Fig 10 filtering vs delta (tau=%.2f) on %s (n=%d)\n", ds.tau, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %15s %15s %15s %10s %10s %10s\n",
+			"delta", "Node cand", "Shallow cand", "Deep cand", "Node t", "Shallow t", "Deep t")
+		for _, delta := range deltas {
+			var cands [3]int64
+			var times [3]time.Duration
+			for i, scheme := range []sig.Scheme{sig.Node, sig.Shallow, sig.Deep} {
+				c, t, _, err := runKJoin(ds.c, delta, ds.tau, scheme, false, verify.Adaptive, false, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				cands[i], times[i] = c, t
+			}
+			cfg.printf("%-6.2f %15d %15d %15d %10s %10s %10s\n",
+				delta, cands[0], cands[1], cands[2], secs(times[0]), secs(times[1]), secs(times[2]))
+		}
+	}
+	return nil
+}
+
+// Fig11 evaluates the verification algorithms Basic, SubGraph and
+// Adaptive: verification time versus τ (δ=0.8) and versus δ (τ=0.95 POI
+// / 0.85 Tweet), as in paper Figure 11 a–d. Filtering is fixed to deep
+// path prefixes so only verification varies; the reported time is the
+// portion of the probe phase spent in verification.
+func Fig11(cfg Config) error {
+	const delta = 0.8
+	taus := []float64{0.75, 0.8, 0.85, 0.9, 0.95}
+	verifiers := []verify.Kind{verify.Basic, verify.SubGraph, verify.Adaptive}
+	for _, ds := range []struct {
+		name string
+		c    *dataset.Collection
+	}{{"POI", poi(cfg.Scale)}, {"Tweet", tweet(cfg.Scale)}} {
+		cfg.printf("Fig 11 verification vs tau (delta=%.1f) on %s (n=%d)\n", delta, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %12s %12s %12s\n", "tau", "Basic", "SubGraph", "Adaptive")
+		for _, tau := range taus {
+			var times [3]time.Duration
+			for i, ver := range verifiers {
+				_, _, st, err := runKJoin(ds.c, delta, tau, sig.Deep, false, ver, false, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				times[i] = st.VerifyTime
+			}
+			cfg.printf("%-6.2f %12s %12s %12s\n", tau, secs(times[0]), secs(times[1]), secs(times[2]))
+		}
+	}
+	deltas := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	for _, ds := range []struct {
+		name string
+		tau  float64
+		c    *dataset.Collection
+	}{{"POI", 0.95, poi(cfg.Scale)}, {"Tweet", 0.85, tweet(cfg.Scale)}} {
+		cfg.printf("Fig 11 verification vs delta (tau=%.2f) on %s (n=%d)\n", ds.tau, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %12s %12s %12s\n", "delta", "Basic", "SubGraph", "Adaptive")
+		for _, delta := range deltas {
+			var times [3]time.Duration
+			for i, ver := range verifiers {
+				_, _, st, err := runKJoin(ds.c, delta, ds.tau, sig.Deep, false, ver, false, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				times[i] = st.VerifyTime
+			}
+			cfg.printf("%-6.2f %12s %12s %12s\n", delta, secs(times[0]), secs(times[1]), secs(times[2]))
+		}
+	}
+	return nil
+}
+
+// runBaselineJoin runs one of the four compared systems on a collection
+// for the efficiency comparison, returning candidates and elapsed time.
+func runCompareSystem(sys string, c *dataset.Collection, delta, tau float64, workers int) (int64, time.Duration, error) {
+	switch sys {
+	case "FastJoin":
+		t0 := time.Now()
+		_, st, err := baseline.FastJoin(c.Records, baseline.FastJoinOptions{Delta: delta, Tau: tau, Workers: workers})
+		if err != nil {
+			return 0, 0, err
+		}
+		return st.Candidates, time.Since(t0), nil
+	case "Synonym":
+		t0 := time.Now()
+		_, st, err := baseline.SynonymJoin(c.Records, baseline.SynonymJoinOptions{Tau: tau, Workers: workers, Synonyms: nil})
+		if err != nil {
+			return 0, 0, err
+		}
+		return st.Candidates, time.Since(t0), nil
+	case "K-Join":
+		cand, t, _, err := runKJoin(c, delta, tau, sig.Deep, true, verify.Adaptive, false, workers)
+		return cand, t, err
+	case "K-Join+":
+		cand, t, _, err := runKJoin(c, delta, tau, sig.Deep, true, verify.Adaptive, true, workers)
+		return cand, t, err
+	}
+	return 0, 0, nil
+}
+
+// Fig12 compares candidates and time with the state-of-the-art systems
+// versus τ (δ=0.8) on the small POI and Tweet datasets (paper Figure 12).
+func Fig12(cfg Config) error {
+	const delta = 0.8
+	taus := []float64{0.75, 0.8, 0.85, 0.9, 0.95}
+	systems := []string{"FastJoin", "Synonym", "K-Join", "K-Join+"}
+	for _, ds := range []struct {
+		name string
+		c    *dataset.Collection
+	}{{"POI", poi(cfg.BaselineScale)}, {"Tweet", tweet(cfg.BaselineScale)}} {
+		cfg.printf("Fig 12 comparison vs tau (delta=%.1f) on %s (n=%d)\n", delta, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %14s %14s %14s %14s %10s %10s %10s %10s\n", "tau",
+			"FastJoin c", "Synonym c", "K-Join c", "K-Join+ c",
+			"FJ t", "Syn t", "KJ t", "KJ+ t")
+		for _, tau := range taus {
+			var cands [4]int64
+			var times [4]time.Duration
+			for i, sys := range systems {
+				c, t, err := runCompareSystem(sys, ds.c, delta, tau, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				cands[i], times[i] = c, t
+			}
+			cfg.printf("%-6.2f %14d %14d %14d %14d %10s %10s %10s %10s\n", tau,
+				cands[0], cands[1], cands[2], cands[3],
+				secs(times[0]), secs(times[1]), secs(times[2]), secs(times[3]))
+		}
+	}
+	return nil
+}
+
+// Fig13 compares candidates and time with the state-of-the-art systems
+// versus δ (τ=0.95 POI / 0.85 Tweet) on the small datasets (Figure 13).
+func Fig13(cfg Config) error {
+	deltas := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	systems := []string{"FastJoin", "Synonym", "K-Join", "K-Join+"}
+	for _, ds := range []struct {
+		name string
+		tau  float64
+		c    *dataset.Collection
+	}{{"POI", 0.95, poi(cfg.BaselineScale)}, {"Tweet", 0.85, tweet(cfg.BaselineScale)}} {
+		cfg.printf("Fig 13 comparison vs delta (tau=%.2f) on %s (n=%d)\n", ds.tau, ds.name, len(ds.c.Records))
+		cfg.printf("%-6s %14s %14s %14s %14s %10s %10s %10s %10s\n", "delta",
+			"FastJoin c", "Synonym c", "K-Join c", "K-Join+ c",
+			"FJ t", "Syn t", "KJ t", "KJ+ t")
+		for _, delta := range deltas {
+			var cands [4]int64
+			var times [4]time.Duration
+			for i, sys := range systems {
+				c, t, err := runCompareSystem(sys, ds.c, delta, ds.tau, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				cands[i], times[i] = c, t
+			}
+			cfg.printf("%-6.2f %14d %14d %14d %14d %10s %10s %10s %10s\n", delta,
+				cands[0], cands[1], cands[2], cands[3],
+				secs(times[0]), secs(times[1]), secs(times[2]), secs(times[3]))
+		}
+	}
+	return nil
+}
+
+// Fig14 evaluates scalability: total join time versus collection size
+// for K-Join and K-Join+ (δ=0.8, τ=0.95 POI / 0.85 Tweet), as in paper
+// Figure 14. Sizes step from Scale/5 to Scale.
+func Fig14(cfg Config) error {
+	const delta = 0.8
+	step := cfg.Scale / 5
+	if step < 1 {
+		step = 1
+	}
+	for _, ds := range []struct {
+		name string
+		tau  float64
+		gen  func(int) *dataset.Collection
+	}{{"POI", 0.95, poi}, {"Tweet", 0.85, tweet}} {
+		cfg.printf("Fig 14 scalability (delta=%.1f, tau=%.2f) on %s\n", delta, ds.tau, ds.name)
+		cfg.printf("%-10s %12s %12s\n", "objects", "K-Join", "K-Join+")
+		for n := step; n <= cfg.Scale; n += step {
+			c := ds.gen(n)
+			_, t1, _, err := runKJoin(c, delta, ds.tau, sig.Deep, true, verify.Adaptive, false, cfg.Workers)
+			if err != nil {
+				return err
+			}
+			_, t2, _, err := runKJoin(c, delta, ds.tau, sig.Deep, true, verify.Adaptive, true, cfg.Workers)
+			if err != nil {
+				return err
+			}
+			cfg.printf("%-10d %12s %12s\n", n, secs(t1), secs(t2))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Scale: 300, BaselineScale: 150, QualityN: 200, Out: buf}
+}
+
+func TestNamesAndUnknown(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("Names() = %v", names)
+	}
+	if err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run("table2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4222") {
+		t.Errorf("table2 output missing node count:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Run("table3", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Paper", "Restaurant", "POI(small)", "Tweet(large)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQualityExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality experiments are slow")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run("table4", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, sys := range []string{"FastJoin", "K-Join", "K-Join+", "Synonym", "Crowd"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("table4 missing %s:\n%s", sys, out)
+		}
+	}
+}
+
+func TestEfficiencyExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency experiments are slow")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	for _, exp := range []string{"fig9", "fig11", "fig14"} {
+		buf.Reset()
+		if err := Run(exp, cfg); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestMeasureAt(t *testing.T) {
+	pairs := []scored{{0, 1, 0.9}, {2, 3, 0.5}}
+	truth := map[[2]int]bool{{0, 1}: true}
+	q := measureAt(pairs, 0.8, truth)
+	if q.TruePositives != 1 || q.FalsePositives != 0 {
+		t.Errorf("q = %+v", q)
+	}
+	q = measureAt(pairs, 0.4, truth)
+	if q.TruePositives != 1 || q.FalsePositives != 1 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestRunQualitySystemUnknown(t *testing.T) {
+	if _, err := runQualitySystem("bogus", pub(200), 0.5, 0.5, 0); err == nil {
+		t.Error("unknown system should error")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/elem"
+	"kjoin/internal/eval"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
+	"kjoin/internal/setmetric"
+)
+
+// Knowledge runs the knowledge-quality experiment (not in the paper, but
+// probing its thesis directly): degrade the hierarchy by detaching a
+// growing fraction of its deep nodes to the root — destroying the
+// ancestry knowledge while keeping every name resolvable — and measure
+// Res quality. If the knowledge is what drives K-Join's quality, recall
+// must fall toward the Synonym baseline's as degradation grows.
+func Knowledge(cfg Config) error {
+	l := res(cfg.QualityN)
+	const delta, tau = 0.5, 0.6
+	cfg.printf("Knowledge-quality: Res recall vs hierarchy degradation (delta=%.1f, tau=%.1f)\n", delta, tau)
+	cfg.printf("%-10s %10s %10s %10s\n", "degraded", "P(%)", "R(%)", "F1")
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		h := degradeHierarchy(l.H, frac, 99)
+		opt := core.Defaults(delta, tau)
+		opt.Workers = cfg.Workers
+		pairs, _, err := core.SelfJoin(h, l.Records, opt)
+		if err != nil {
+			return err
+		}
+		keys := make([][2]int, len(pairs))
+		for i, p := range pairs {
+			keys[i] = [2]int{p.X, p.Y}
+		}
+		q := eval.Measure(keys, l.Truth)
+		cfg.printf("%-10.2f %10.1f %10.1f %10.3f\n", frac, q.Precision()*100, q.Recall()*100, q.F1())
+	}
+	return nil
+}
+
+// degradeHierarchy rebuilds h with a fraction of its depth≥2 nodes
+// re-attached directly under the root: their names stay resolvable but
+// all ancestry knowledge about them is lost.
+func degradeHierarchy(h *hierarchy.Hierarchy, frac float64, seed uint64) *hierarchy.Hierarchy {
+	r := rng.New(seed)
+	detached := make([]bool, h.Len())
+	for i := 1; i < h.Len(); i++ {
+		if h.Depth(hierarchy.NodeID(i)) >= 2 && r.Float64() < frac {
+			detached[i] = true
+		}
+	}
+	out := hierarchy.New(h.Name(h.Root()))
+	idMap := make([]hierarchy.NodeID, h.Len())
+	idMap[0] = out.Root()
+	// Nodes are stored parent-before-child, so one pass suffices.
+	for i := 1; i < h.Len(); i++ {
+		n := hierarchy.NodeID(i)
+		parent := out.Root()
+		if !detached[i] {
+			// Climb to the nearest non-detached ancestor.
+			p := h.Parent(n)
+			for p > 0 && detached[p] {
+				p = h.Parent(p)
+			}
+			if p >= 0 {
+				parent = idMap[p]
+			}
+		}
+		idMap[i] = out.Add(parent, h.Name(n))
+	}
+	return out
+}
+
+// DAG runs the §6.5 extension end to end: a knowledge DAG (nodes with
+// multiple parents) is converted to a tree by duplication, elements map
+// to multiple nodes, and the filtered K-Join+ join must equal the naive
+// join on the same converted hierarchy.
+func DAG(cfg Config) error {
+	// Build a category DAG: two domains, with a slice of nodes that have
+	// parents in both (e.g. "CoffeeShop" under both Food and Retail).
+	r := rng.New(7)
+	var nodes []hierarchy.DAGNode
+	nodes = append(nodes, hierarchy.DAGNode{Name: "root"})
+	nm := 1
+	addLevel := func(parents []int, count int, multi float64) []int {
+		var out []int
+		for i := 0; i < count; i++ {
+			ps := []int{parents[r.Intn(len(parents))]}
+			if r.Float64() < multi && len(parents) > 1 {
+				for tries := 0; tries < 4; tries++ {
+					p2 := parents[r.Intn(len(parents))]
+					if p2 != ps[0] {
+						ps = append(ps, p2)
+						break
+					}
+				}
+			}
+			nodes = append(nodes, hierarchy.DAGNode{Name: nameOf(nm), Parents: ps})
+			out = append(out, len(nodes)-1)
+			nm++
+		}
+		return out
+	}
+	l1 := addLevel([]int{0}, 4, 0)
+	l2 := addLevel(l1, 20, 0.2)
+	l3 := addLevel(l2, 120, 0.3)
+	addLevel(l3, 300, 0.3)
+
+	h, err := hierarchy.FromDAG(nodes)
+	if err != nil {
+		return err
+	}
+	st := h.ComputeStats()
+	cfg.printf("DAG extension (§6.5): %d DAG nodes → %d tree nodes after duplication\n", len(nodes), st.Nodes)
+
+	// Objects sample DAG node names (which may now map to several tree
+	// nodes each).
+	var objs [][]string
+	for i := 0; i < 400; i++ {
+		n := 3 + r.Intn(5)
+		var o []string
+		for j := 0; j < n; j++ {
+			o = append(o, nodes[1+r.Intn(len(nodes)-1)].Name)
+		}
+		objs = append(objs, o)
+	}
+	opt := core.Defaults(0.6, 0.6)
+	opt.Plus = true // multi-node mappings (§6.4) handle the duplicates
+	opt.Workers = cfg.Workers
+	opt.ComputeSims = false
+	got, jst, err := core.SelfJoin(h, objs, opt)
+	if err != nil {
+		return err
+	}
+	want, err := core.NaiveSelfJoin(h, objs, opt)
+	if err != nil {
+		return err
+	}
+	ok := len(got) == len(want)
+	if ok {
+		for i := range got {
+			if got[i].X != want[i].X || got[i].Y != want[i].Y {
+				ok = false
+				break
+			}
+		}
+	}
+	cfg.printf("objects=%d candidates=%d results=%d matches-naive=%v\n",
+		len(objs), jst.Candidates, len(got), ok)
+	if !ok {
+		cfg.printf("WARNING: filtered and naive joins disagree!\n")
+	}
+	// Example: generate one record naming a multi-parent node and show
+	// its duplicated mappings.
+	for i := 1; i < len(nodes); i++ {
+		if len(nodes[i].Parents) > 1 {
+			cfg.printf("multi-parent node %q maps to %d tree nodes\n",
+				nodes[i].Name, len(h.Lookup(nodes[i].Name)))
+			break
+		}
+	}
+	return nil
+}
+
+// Metrics exercises the §6.2/§6.3 extensions at scale: every element
+// metric × set metric combination runs the POI join with the default
+// filtering, reporting candidates, results and time. (Completeness of
+// the filters under each combination is asserted by the configuration
+// grids in the internal/core tests.)
+func Metrics(cfg Config) error {
+	c := poi(cfg.BaselineScale)
+	const delta, tau = 0.8, 0.85
+	cfg.printf("Metrics extension (§6.2/§6.3) on POI (n=%d, delta=%.1f, tau=%.2f)\n", len(c.Records), delta, tau)
+	cfg.printf("%-10s %-9s %14s %10s %10s\n", "element", "set", "candidates", "results", "time")
+	for _, em := range []elem.Metric{elem.Standard, elem.WuPalmer} {
+		for _, sm := range []setmetric.Kind{setmetric.Jaccard, setmetric.Dice, setmetric.Cosine} {
+			opt := core.Defaults(delta, tau)
+			opt.Metric = em
+			opt.Set = sm
+			opt.Workers = cfg.Workers
+			opt.ComputeSims = false
+			t0 := time.Now()
+			pairs, st, err := core.SelfJoin(hier().H, c.Records, opt)
+			if err != nil {
+				return err
+			}
+			cfg.printf("%-10v %-9v %14d %10d %10s\n", em, sm, st.Candidates, len(pairs), secs(time.Since(t0)))
+		}
+	}
+	return nil
+}
+
+// nameOf synthesizes a deterministic node name.
+func nameOf(i int) string {
+	const syll = "badecifogu"
+	b := []byte{}
+	for i > 0 {
+		b = append(b, syll[i%10])
+		i /= 10
+	}
+	return "cat" + string(b)
+}

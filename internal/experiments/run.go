@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runners maps experiment ids to their runners.
+var runners = map[string]func(Config) error{
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+	"ablation":  Ablation,
+	"knowledge": Knowledge,
+	"dag":       DAG,
+	"metrics":   Metrics,
+}
+
+// Names returns the available experiment ids in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(runners))
+	for n := range runners {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id ("all" runs everything
+// in paper order).
+func Run(name string, cfg Config) error {
+	if name == "all" {
+		for _, n := range []string{"table2", "table3", "table4", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "knowledge", "dag", "metrics"} {
+			cfg.printf("\n===== %s =====\n", n)
+			if err := runners[n](cfg); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "kjoin/internal/dataset"
+
+// Table2 prints the knowledge-hierarchy shape statistics (paper Table 2).
+func Table2(cfg Config) error {
+	s := hier().H.ComputeStats()
+	cfg.printf("Table 2: Knowledge Hierarchy\n")
+	cfg.printf("%-8s %-7s %-10s %-10s %-10s\n", "# Nodes", "Height", "AvgFanout", "MaxFanout", "MinFanout")
+	cfg.printf("%-8d %-7d %-10d %-10d %-10d\n", s.Nodes, s.Height, s.AvgFanout, s.MaxFanout, s.MinFanout)
+	return nil
+}
+
+// Table3 prints the dataset statistics (paper Table 3).
+func Table3(cfg Config) error {
+	cfg.printf("Table 3: Datasets\n")
+	cfg.printf("%-14s %-9s %-7s %-7s %-7s %-7s\n", "Dataset", "Size", "AvgLen", "MaxLen", "MinLen", "AvgDep")
+	row := func(name string, s dataset.CollectionStats) {
+		cfg.printf("%-14s %-9d %-7d %-7d %-7d %-7d\n", name, s.Size, s.AvgLen, s.MaxLen, s.MinLen, s.AvgDep)
+	}
+	p := pub(cfg.QualityN)
+	row("Paper", dataset.ComputeCollectionStats(p.H, p.Records))
+	r := res(cfg.QualityN)
+	row("Restaurant", dataset.ComputeCollectionStats(r.H, r.Records))
+	small := cfg.BaselineScale
+	large := cfg.Scale
+	row("POI(small)", dataset.ComputeCollectionStats(hier().H, poi(small).Records))
+	row("POI(large)", dataset.ComputeCollectionStats(hier().H, poi(large).Records))
+	row("Tweet(small)", dataset.ComputeCollectionStats(hier().H, tweet(small).Records))
+	row("Tweet(large)", dataset.ComputeCollectionStats(hier().H, tweet(large).Records))
+	return nil
+}

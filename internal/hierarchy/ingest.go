@@ -1,0 +1,149 @@
+package hierarchy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FromPaths builds a hierarchy from a path-per-line listing, the shape
+// knowledge-base category dumps commonly reduce to:
+//
+//	Food/WesternFood/Fastfood/KFC
+//	Food/WesternFood/Fastfood/BurgerKing
+//	Location/US/CA/SanFrancisco
+//
+// Segments are separated by sep (e.g. '/'). The first path's first
+// segment does not need to repeat: every distinct first segment becomes
+// a child of a synthesized root named rootName. A node is identified by
+// its full path, so the same name may appear under different parents
+// (multi-node names, paper §6.4). Empty lines and lines starting with
+// '#' are skipped.
+func FromPaths(r io.Reader, sep byte, rootName string) (*Hierarchy, error) {
+	h := New(rootName)
+	byPath := map[string]NodeID{"": h.Root()}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		segs := strings.Split(text, string(sep))
+		path := ""
+		parent := h.Root()
+		for _, seg := range segs {
+			seg = strings.TrimSpace(seg)
+			if seg == "" {
+				return nil, fmt.Errorf("hierarchy: line %d: empty path segment in %q", line, text)
+			}
+			path += string(sep) + seg
+			n, ok := byPath[path]
+			if !ok {
+				n = h.Add(parent, seg)
+				byPath[path] = n
+			}
+			parent = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if h.Len() == 1 {
+		return nil, fmt.Errorf("hierarchy: no paths in input")
+	}
+	return h, nil
+}
+
+// FromEdges builds a hierarchy from "parent<TAB>child" name pairs (an
+// is-a edge list, the raw shape of taxonomy dumps):
+//
+//	Food	WesternFood
+//	WesternFood	Fastfood
+//	Fastfood	KFC
+//
+// Node identity is by name: each name is one node, so the input must be
+// a forest (a child may appear under only one parent — use FromDAG for
+// graphs with shared children). Names never used as a child become
+// children of a synthesized root named rootName. Empty lines and lines
+// starting with '#' are skipped.
+func FromEdges(r io.Reader, rootName string) (*Hierarchy, error) {
+	type edge struct{ parent, child string }
+	var edges []edge
+	childOf := map[string]string{}
+	names := map[string]bool{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("hierarchy: line %d: want \"parent\\tchild\", got %q", line, text)
+		}
+		p := strings.TrimSpace(parts[0])
+		c := strings.TrimSpace(parts[1])
+		if p == "" || c == "" {
+			return nil, fmt.Errorf("hierarchy: line %d: empty name in %q", line, text)
+		}
+		if prev, ok := childOf[c]; ok && prev != p {
+			return nil, fmt.Errorf("hierarchy: line %d: %q has two parents (%q, %q); use FromDAG for DAGs", line, c, prev, p)
+		}
+		if prev, ok := childOf[c]; ok && prev == p {
+			continue // duplicate edge
+		}
+		childOf[c] = p
+		edges = append(edges, edge{p, c})
+		for _, n := range []string{p, c} {
+			if !names[n] {
+				names[n] = true
+				order = append(order, n)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("hierarchy: no edges in input")
+	}
+
+	h := New(rootName)
+	ids := map[string]NodeID{}
+	// Materialize each name once its ancestor chain is known; detect
+	// cycles by bounding the chain length.
+	var materialize func(name string, depth int) (NodeID, error)
+	materialize = func(name string, depth int) (NodeID, error) {
+		if id, ok := ids[name]; ok {
+			return id, nil
+		}
+		if depth > len(names) {
+			return 0, fmt.Errorf("hierarchy: cycle involving %q", name)
+		}
+		parent := h.Root()
+		if pn, ok := childOf[name]; ok {
+			pid, err := materialize(pn, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			parent = pid
+		}
+		id := h.Add(parent, name)
+		ids[name] = id
+		return id, nil
+	}
+	for _, n := range order {
+		if _, err := materialize(n, 0); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}

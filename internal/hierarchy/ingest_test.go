@@ -1,0 +1,119 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromPaths(t *testing.T) {
+	in := `
+# a comment
+Food/WesternFood/Fastfood/KFC
+Food/WesternFood/Fastfood/BurgerKing
+Food/WesternFood/Pizza/PizzaHut
+Location/US/CA/SanFrancisco
+Location/US/NY
+`
+	h, err := FromPaths(strings.NewReader(in), '/', "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name(h.Root()) != "Root" {
+		t.Errorf("root name = %q", h.Name(h.Root()))
+	}
+	kfc, ok := h.LookupOne("KFC")
+	if !ok || h.Depth(kfc) != 4 {
+		t.Fatalf("KFC depth = %v ok=%v, want 4", h.Depth(kfc), ok)
+	}
+	bk, _ := h.LookupOne("BurgerKing")
+	if got := h.Name(h.LCA(kfc, bk)); got != "Fastfood" {
+		t.Errorf("LCA(KFC, BurgerKing) = %s", got)
+	}
+	// Shared prefixes are not duplicated.
+	if got := len(h.Lookup("WesternFood")); got != 1 {
+		t.Errorf("WesternFood appears %d times, want 1", got)
+	}
+	// Two domains under the synthesized root.
+	if got := len(h.Children(h.Root())); got != 2 {
+		t.Errorf("root children = %d, want 2", got)
+	}
+}
+
+func TestFromPathsDuplicateNamesUnderDifferentParents(t *testing.T) {
+	in := "A/X\nB/X\n"
+	h, err := FromPaths(strings.NewReader(in), '/', "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Lookup("X")); got != 2 {
+		t.Errorf("X should be two nodes (one per parent), got %d", got)
+	}
+}
+
+func TestFromPathsErrors(t *testing.T) {
+	if _, err := FromPaths(strings.NewReader(""), '/', "R"); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FromPaths(strings.NewReader("A//B\n"), '/', "R"); err == nil {
+		t.Error("empty segment should fail")
+	}
+	if _, err := FromPaths(strings.NewReader("# only comments\n"), '/', "R"); err == nil {
+		t.Error("comment-only input should fail")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	in := `
+Food	WesternFood
+WesternFood	Fastfood
+Fastfood	KFC
+Fastfood	BurgerKing
+Location	US
+`
+	h, err := FromEdges(strings.NewReader(in), "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kfc, ok := h.LookupOne("KFC")
+	if !ok || h.Depth(kfc) != 4 {
+		t.Fatalf("KFC depth = %v, want 4", h.Depth(kfc))
+	}
+	// Food and Location have no parents → children of the root.
+	food, _ := h.LookupOne("Food")
+	loc, _ := h.LookupOne("Location")
+	if h.Parent(food) != h.Root() || h.Parent(loc) != h.Root() {
+		t.Error("parentless names should attach to the root")
+	}
+	// Duplicate edges are tolerated.
+	h2, err := FromEdges(strings.NewReader("A\tB\nA\tB\n"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 3 {
+		t.Errorf("Len = %d, want 3", h2.Len())
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"onefield\n",   // malformed
+		"A\tB\nC\tB\n", // two parents
+		"A\tB\nB\tA\n", // cycle (also a two-parent case by structure)
+		"A\t\n",        // empty child
+		"\tB\n",        // empty parent
+	}
+	for _, c := range cases {
+		if _, err := FromEdges(strings.NewReader(c), "R"); err == nil {
+			t.Errorf("FromEdges(%q) should fail", c)
+		}
+	}
+}
+
+func TestFromEdgesCycle(t *testing.T) {
+	// A pure cycle with distinct parents per child: A→B, B→C, C→A.
+	in := "A\tB\nB\tC\nC\tA\n"
+	if _, err := FromEdges(strings.NewReader(in), "R"); err == nil {
+		t.Error("cycle should be rejected")
+	}
+}

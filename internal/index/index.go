@@ -1,0 +1,43 @@
+// Package index provides the inverted lists used by prefix filtering
+// (paper §3.3: "for each node signature, we use an inverted list to keep
+// the objects that have this signature in their prefixes").
+//
+// Keys are int32 signature ids (sig.Sig, or baseline-specific signature
+// spaces); postings are object ids in insertion order (ascending when
+// built by a single pass over the collection).
+package index
+
+// Inverted is an inverted index from signature to object postings.
+type Inverted struct {
+	lists map[int32][]int32
+	size  int
+}
+
+// New returns an empty inverted index.
+func New() *Inverted {
+	return &Inverted{lists: make(map[int32][]int32)}
+}
+
+// Add appends object id to the posting list of key.
+func (ix *Inverted) Add(key int32, id int32) {
+	ix.lists[key] = append(ix.lists[key], id)
+	ix.size++
+}
+
+// AddAll appends id to the posting lists of all keys (deduplicated by the
+// caller if required).
+func (ix *Inverted) AddAll(keys []int32, id int32) {
+	for _, k := range keys {
+		ix.Add(k, id)
+	}
+}
+
+// Postings returns the posting list for key (nil if absent). The result
+// must not be modified.
+func (ix *Inverted) Postings(key int32) []int32 { return ix.lists[key] }
+
+// Keys returns the number of distinct keys.
+func (ix *Inverted) Keys() int { return len(ix.lists) }
+
+// Len returns the total number of postings.
+func (ix *Inverted) Len() int { return ix.size }

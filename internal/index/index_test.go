@@ -1,0 +1,51 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddAndPostings(t *testing.T) {
+	ix := New()
+	ix.Add(1, 10)
+	ix.Add(1, 11)
+	ix.Add(2, 10)
+	if got := ix.Postings(1); !reflect.DeepEqual(got, []int32{10, 11}) {
+		t.Errorf("Postings(1) = %v", got)
+	}
+	if got := ix.Postings(2); !reflect.DeepEqual(got, []int32{10}) {
+		t.Errorf("Postings(2) = %v", got)
+	}
+	if got := ix.Postings(99); got != nil {
+		t.Errorf("Postings(99) = %v, want nil", got)
+	}
+	if ix.Keys() != 2 || ix.Len() != 3 {
+		t.Errorf("Keys=%d Len=%d, want 2, 3", ix.Keys(), ix.Len())
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	ix := New()
+	ix.AddAll([]int32{5, 6, 7}, 42)
+	for _, k := range []int32{5, 6, 7} {
+		if got := ix.Postings(k); !reflect.DeepEqual(got, []int32{42}) {
+			t.Errorf("Postings(%d) = %v", k, got)
+		}
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestPostingsOrderedByInsertion(t *testing.T) {
+	ix := New()
+	for id := int32(0); id < 100; id++ {
+		ix.Add(7, id)
+	}
+	ps := ix.Postings(7)
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatalf("postings not ascending at %d", i)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMax computes the exact maximum-weight matching by enumerating all
+// assignments of left vertices (nx small).
+func bruteMax(nx, ny int, edges []Edge) float64 {
+	w := make(map[[2]int]float64)
+	for _, e := range edges {
+		k := [2]int{e.X, e.Y}
+		if e.W > w[k] {
+			w[k] = e.W
+		}
+	}
+	usedY := make([]bool, ny)
+	var rec func(x int) float64
+	rec = func(x int) float64 {
+		if x == nx {
+			return 0
+		}
+		best := rec(x + 1) // leave x unmatched
+		for y := 0; y < ny; y++ {
+			if usedY[y] {
+				continue
+			}
+			if wt, ok := w[[2]int{x, y}]; ok && wt > 0 {
+				usedY[y] = true
+				if v := wt + rec(x+1); v > best {
+					best = v
+				}
+				usedY[y] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMaxWeightPaperBigraph(t *testing.T) {
+	// Figure 2: S1 = {BurgerKing, MountainView}, S4 = {PizzaHut, KFC, CA},
+	// δ=0.5. Edges: BurgerKing–PizzaHut 0.5, BurgerKing–KFC 0.75,
+	// MountainView–CA 0.6. Fuzzy overlap = 0.75 + 0.6 = 27/20.
+	edges := []Edge{
+		{X: 0, Y: 0, W: 0.5},  // BurgerKing–PizzaHut
+		{X: 0, Y: 1, W: 0.75}, // BurgerKing–KFC
+		{X: 1, Y: 2, W: 0.6},  // MountainView–CA
+	}
+	total, matchX := MaxWeight(2, 3, edges)
+	if !almostEq(total, 27.0/20) {
+		t.Errorf("fuzzy overlap = %v, want 27/20", total)
+	}
+	if matchX[0] != 1 || matchX[1] != 2 {
+		t.Errorf("matchX = %v, want [1 2]", matchX)
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	total, m := MaxWeight(0, 0, nil)
+	if total != 0 || len(m) != 0 {
+		t.Errorf("empty graph: got %v, %v", total, m)
+	}
+	total, m = MaxWeight(3, 2, nil)
+	if total != 0 || len(m) != 3 || m[0] != -1 || m[1] != -1 || m[2] != -1 {
+		t.Errorf("no edges: got %v, %v", total, m)
+	}
+}
+
+func TestMaxWeightConflict(t *testing.T) {
+	// Two left vertices want the same right vertex; the matching must not
+	// reuse it and must prefer the globally best assignment.
+	edges := []Edge{
+		{X: 0, Y: 0, W: 0.9},
+		{X: 1, Y: 0, W: 0.8},
+		{X: 1, Y: 1, W: 0.5},
+	}
+	total, matchX := MaxWeight(2, 2, edges)
+	if !almostEq(total, 1.4) {
+		t.Errorf("total = %v, want 1.4", total)
+	}
+	if matchX[0] != 0 || matchX[1] != 1 {
+		t.Errorf("matchX = %v, want [0 1]", matchX)
+	}
+	// Swap: now the optimum leaves one vertex unmatched on the heavy side.
+	edges = []Edge{
+		{X: 0, Y: 0, W: 0.4},
+		{X: 1, Y: 0, W: 0.9},
+	}
+	total, _ = MaxWeight(2, 1, edges)
+	if !almostEq(total, 0.9) {
+		t.Errorf("total = %v, want 0.9", total)
+	}
+}
+
+func TestMaxWeightDuplicateEdges(t *testing.T) {
+	// Duplicate (X,Y) pairs keep the max weight.
+	edges := []Edge{{0, 0, 0.3}, {0, 0, 0.7}, {0, 0, 0.5}}
+	total, _ := MaxWeight(1, 1, edges)
+	if !almostEq(total, 0.7) {
+		t.Errorf("total = %v, want 0.7", total)
+	}
+}
+
+func randEdges(r *rand.Rand, nx, ny int) []Edge {
+	var es []Edge
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if r.Float64() < 0.45 {
+				// Weights in (0.05, 1.0] quantized to avoid float ambiguity.
+				w := float64(1+r.Intn(20)) / 20
+				es = append(es, Edge{x, y, w})
+			}
+		}
+	}
+	return es
+}
+
+func TestMaxWeightAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nx, ny := 1+r.Intn(6), 1+r.Intn(6)
+		es := randEdges(r, nx, ny)
+		got, matchX := MaxWeight(nx, ny, es)
+		want := bruteMax(nx, ny, es)
+		if !almostEq(got, want) {
+			t.Logf("seed %d: hungarian %v vs brute %v (nx=%d ny=%d edges=%v)", seed, got, want, nx, ny, es)
+			return false
+		}
+		// The reported matching must be consistent: distinct Ys, weights sum to total.
+		seen := map[int]bool{}
+		sum := 0.0
+		wmap := map[[2]int]float64{}
+		for _, e := range es {
+			k := [2]int{e.X, e.Y}
+			if e.W > wmap[k] {
+				wmap[k] = e.W
+			}
+		}
+		for x, y := range matchX {
+			if y < 0 {
+				continue
+			}
+			if seen[y] {
+				return false
+			}
+			seen[y] = true
+			sum += wmap[[2]int{x, y}]
+		}
+		return almostEq(sum, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsSandwichProperty(t *testing.T) {
+	// lower bounds <= exact <= upper bound, always.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nx, ny := 1+r.Intn(7), 1+r.Intn(7)
+		es := randEdges(r, nx, ny)
+		exact, _ := MaxWeight(nx, ny, es)
+		lw := GreedyMaxWeight(es)
+		le := GreedyMinDegree(nx, ny, es)
+		lb := LowerBound(nx, ny, es)
+		ub := UpperBound(nx, ny, es)
+		const eps = 1e-9
+		return lw <= exact+eps && le <= exact+eps &&
+			lb <= exact+eps && exact <= ub+eps &&
+			lb >= lw-eps && lb >= le-eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyMaxWeight(t *testing.T) {
+	// Greedy picks 1.0 then cannot take the two 0.9s that the optimum picks.
+	es := []Edge{{0, 0, 1.0}, {0, 1, 0.9}, {1, 0, 0.9}}
+	if got := GreedyMaxWeight(es); !almostEq(got, 1.0) {
+		t.Errorf("GreedyMaxWeight = %v, want 1.0", got)
+	}
+	exact, _ := MaxWeight(2, 2, es)
+	if !almostEq(exact, 1.8) {
+		t.Errorf("exact = %v, want 1.8", exact)
+	}
+	if GreedyMaxWeight(nil) != 0 {
+		t.Error("empty greedy should be 0")
+	}
+}
+
+func TestGreedyMinDegree(t *testing.T) {
+	// Min-degree covers both left vertices where pure max-weight might not.
+	es := []Edge{{0, 0, 0.6}, {1, 0, 0.9}, {1, 1, 0.5}}
+	got := GreedyMinDegree(2, 2, es)
+	// x=0 has degree 1, matched first to y=0 (its only neighbour), then
+	// x=1 must take y=1: total 0.6+0.5 = 1.1.
+	if !almostEq(got, 1.1) {
+		t.Errorf("GreedyMinDegree = %v, want 1.1", got)
+	}
+	if GreedyMinDegree(0, 0, nil) != 0 {
+		t.Error("empty graph should be 0")
+	}
+}
+
+func TestUpperBoundPaperExample(t *testing.T) {
+	// §5.2.1: group {SanFrancisco, Manhattan, Brooklyn} vs {PaloAlto,
+	// MountainView, NewYork}, all max edge weights 4/5 → bound 12/5.
+	es := []Edge{}
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			es = append(es, Edge{x, y, 0.8})
+		}
+	}
+	if got := UpperBound(3, 3, es); !almostEq(got, 12.0/5) {
+		t.Errorf("UpperBound = %v, want 12/5", got)
+	}
+	if UpperBound(2, 2, nil) != 0 {
+		t.Error("empty upper bound should be 0")
+	}
+}
+
+func BenchmarkMaxWeight10x10(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	es := randEdges(r, 10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeight(10, 10, es)
+	}
+}
+
+func BenchmarkMaxWeight30x30(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	es := randEdges(r, 30, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeight(30, 30, es)
+	}
+}

@@ -1,0 +1,24 @@
+// Package mathx holds small numeric helpers shared across K-Join:
+// robust ceilings for threshold computations where floating-point noise
+// around exact rational values (e.g. 0.8/(1−0.8) = 4.000000000000001)
+// would otherwise shift ⌈·⌉ by one and break the paper's bounds.
+package mathx
+
+import "math"
+
+// Eps is the slack used by CeilInt; it is far larger than the rounding
+// error of the few multiplications/divisions in threshold formulas and
+// far smaller than the 1/n gaps between distinct attainable values.
+const Eps = 1e-9
+
+// CeilInt returns ⌈x⌉ computed robustly: values within Eps above an
+// integer are treated as that integer.
+func CeilInt(x float64) int {
+	return int(math.Ceil(x - Eps))
+}
+
+// GE reports a >= b with Eps tolerance (a is allowed to be Eps short).
+func GE(a, b float64) bool { return a >= b-Eps }
+
+// LT reports a < b with Eps tolerance.
+func LT(a, b float64) bool { return a < b-Eps }

@@ -1,0 +1,38 @@
+package mathx
+
+import "testing"
+
+func TestCeilInt(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0.8 / (1 - 0.8), 4}, // the motivating case: 4.000000000000001
+		{2.3333, 3},
+		{4.0, 4},
+		{4.00001, 5}, // above Eps: a genuine fraction
+		{-1.2, -1},
+		{0, 0},
+		{0.6 * 3, 2}, // 1.7999999999999998 → ⌈1.8⌉ = 2
+	}
+	for _, c := range cases {
+		if got := CeilInt(c.x); got != c.want {
+			t.Errorf("CeilInt(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGELT(t *testing.T) {
+	if !GE(0.7999999999999999, 0.8) {
+		t.Error("GE should tolerate float noise")
+	}
+	if GE(0.79, 0.8) {
+		t.Error("GE(0.79, 0.8) should be false")
+	}
+	if !LT(0.79, 0.8) {
+		t.Error("LT(0.79, 0.8) should be true")
+	}
+	if LT(0.7999999999999999, 0.8) {
+		t.Error("LT should tolerate float noise")
+	}
+}

@@ -1,0 +1,58 @@
+// Package paperdata builds the running example of the K-Join paper:
+// the Figure 1 knowledge hierarchy and the nine objects of Table 1.
+// It is shared by tests and by the quickstart example, so that the code
+// can be checked against every worked number in the paper.
+package paperdata
+
+import "kjoin/internal/hierarchy"
+
+// Fig1 returns the paper's Figure 1 hierarchy and a name→node map.
+//
+//	Root ── Food ── WesternFood ── Fastfood ── {BurgerKing, KFC}
+//	 │                         └── Pizza ──── {PizzaHut, Dominos}
+//	 └─ Location ── US ── CA ── SanFrancisco ── MountainView ── GoogleHeadquarters
+//	                  │     └── PaloAlto
+//	                  └── NY ── NewYork ── {Manhattan, Brooklyn}
+func Fig1() (*hierarchy.Hierarchy, map[string]hierarchy.NodeID) {
+	h := hierarchy.New("Root")
+	m := map[string]hierarchy.NodeID{"Root": h.Root()}
+	add := func(parent, name string) {
+		m[name] = h.Add(m[parent], name)
+	}
+	add("Root", "Food")
+	add("Root", "Location")
+	add("Food", "WesternFood")
+	add("WesternFood", "Fastfood")
+	add("WesternFood", "Pizza")
+	add("Fastfood", "BurgerKing")
+	add("Fastfood", "KFC")
+	add("Pizza", "PizzaHut")
+	add("Pizza", "Dominos")
+	add("Location", "US")
+	add("US", "CA")
+	add("US", "NY")
+	add("CA", "SanFrancisco")
+	add("CA", "PaloAlto")
+	add("SanFrancisco", "MountainView")
+	add("MountainView", "GoogleHeadquarters")
+	add("NY", "NewYork")
+	add("NewYork", "Manhattan")
+	add("NewYork", "Brooklyn")
+	return h, m
+}
+
+// Table1 returns the Table 1 objects S1..S9 (index 0 is S1) as element
+// token slices.
+func Table1() [][]string {
+	return [][]string{
+		{"BurgerKing", "MountainView"},
+		{"Pizza", "PaloAlto", "Brooklyn"},
+		{"Fastfood", "GoogleHeadquarters"},
+		{"PizzaHut", "KFC", "CA"},
+		{"Pizza", "GoogleHeadquarters"},
+		{"Fastfood", "Manhattan"},
+		{"Brooklyn", "Food"},
+		{"Pizza", "KFC", "Dominos", "SanFrancisco", "Manhattan", "Brooklyn"},
+		{"Fastfood", "PizzaHut", "BurgerKing", "PaloAlto", "MountainView", "NewYork"},
+	}
+}

@@ -1,0 +1,113 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleAndPick(t *testing.T) {
+	r := New(4)
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Error("Shuffle changed contents")
+	}
+	v := Pick(r, xs)
+	found := false
+	for _, x := range xs {
+		if x == v {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Pick returned a foreign element")
+	}
+}
+
+func TestPairHash(t *testing.T) {
+	if PairHash(1, 3, 7) != PairHash(1, 7, 3) {
+		t.Error("PairHash must be order independent")
+	}
+	if PairHash(1, 3, 7) == PairHash(2, 3, 7) {
+		t.Error("PairHash should depend on the seed")
+	}
+	if PairHash(1, 3, 7) == PairHash(1, 3, 8) {
+		t.Error("PairHash should depend on the ids")
+	}
+}

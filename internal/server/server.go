@@ -1,0 +1,195 @@
+// Package server exposes a K-Join Indexer over HTTP as a small JSON
+// service: streaming deduplication (POST /objects), knowledge-aware
+// similarity search (POST /query), pairwise scoring (POST /similarity)
+// and statistics (GET /stats). It backs the kjoin-serve command and is
+// the "Yelp classifies similar restaurants" deployment shape from the
+// paper's introduction.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"kjoin/internal/core"
+	"kjoin/internal/hierarchy"
+)
+
+// Server is an http.Handler serving one Indexer. It serializes access to
+// the underlying Indexer (which is single-threaded by design).
+type Server struct {
+	mu  sync.Mutex
+	h   *hierarchy.Hierarchy
+	opt core.Options
+	ix  *core.Indexer
+	mux *http.ServeMux
+}
+
+// New returns a server over the hierarchy with the join options.
+func New(h *hierarchy.Hierarchy, opt core.Options) (*Server, error) {
+	ix, err := core.NewIndexer(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(h, opt, ix), nil
+}
+
+// NewFromSnapshot returns a server whose Indexer is rebuilt from a
+// snapshot (see Indexer.WriteSnapshot).
+func NewFromSnapshot(h *hierarchy.Hierarchy, opt core.Options, r io.Reader) (*Server, error) {
+	ix, err := core.LoadIndexer(h, opt, r)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(h, opt, ix), nil
+}
+
+func wrap(h *hierarchy.Hierarchy, opt core.Options, ix *core.Indexer) *Server {
+	s := &Server{h: h, opt: opt, ix: ix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /objects", s.handleAdd)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /similarity", s.handleSimilarity)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	return s
+}
+
+// handleSnapshot streams the current index contents as a snapshot the
+// server (or any Indexer) can be rebuilt from.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.ix.WriteSnapshot(w); err != nil {
+		// Headers already sent; the client sees a truncated body.
+		return
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// objectRequest is the body of POST /objects and POST /query.
+type objectRequest struct {
+	Tokens []string `json:"tokens"`
+}
+
+// pairJSON is one reported similar pair.
+type pairJSON struct {
+	X   int     `json:"x"`
+	Y   int     `json:"y"`
+	Sim float64 `json:"sim"`
+}
+
+// addResponse is the body of a successful POST /objects.
+type addResponse struct {
+	ID    int        `json:"id"`
+	Pairs []pairJSON `json:"pairs"`
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	id := s.ix.Len()
+	pairs, err := s.ix.Add(req.Tokens)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := addResponse{ID: id, Pairs: make([]pairJSON, 0, len(pairs))}
+	for _, p := range pairs {
+		resp.Pairs = append(resp.Pairs, pairJSON{X: p.X, Y: p.Y, Sim: p.Sim})
+	}
+	writeJSON(w, resp)
+}
+
+// matchJSON is one POST /query result.
+type matchJSON struct {
+	Index int     `json:"index"`
+	Sim   float64 `json:"sim"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	matches, err := s.ix.Query(req.Tokens)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]matchJSON, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, matchJSON{Index: m.Index, Sim: m.Sim})
+	}
+	writeJSON(w, map[string]any{"matches": out})
+}
+
+// similarityRequest is the body of POST /similarity.
+type similarityRequest struct {
+	X []string `json:"x"`
+	Y []string `json:"y"`
+}
+
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	var req similarityRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sim, err := core.Similarity(s.h, req.X, req.Y, s.opt)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]float64{"sim": sim})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.ix.Stats()
+	n := s.ix.Len()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"objects":         n,
+		"candidates":      st.Candidates,
+		"results":         st.Verify.Results,
+		"count_pruned":    st.Verify.CountPruned,
+		"weighted_pruned": st.Verify.WeightedPruned,
+		"lb_accepted":     st.Verify.LBAccepted,
+		"ub_rejected":     st.Verify.UBRejected,
+	})
+}
+
+// decode parses a JSON body, reporting 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"kjoin/internal/core"
+	"kjoin/internal/paperdata"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	s, err := New(h, core.Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestAddAndPairs(t *testing.T) {
+	ts := newTestServer(t)
+	// Stream the Table 1 objects; the only pair is ⟨S1, S3⟩ = (0, 2).
+	var allPairs [][2]int
+	for i, o := range paperdata.Table1() {
+		var resp struct {
+			ID    int `json:"id"`
+			Pairs []struct {
+				X   int     `json:"x"`
+				Y   int     `json:"y"`
+				Sim float64 `json:"sim"`
+			} `json:"pairs"`
+		}
+		r := post(t, ts.URL+"/objects", map[string]any{"tokens": o}, &resp)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", r.StatusCode)
+		}
+		if resp.ID != i {
+			t.Errorf("id = %d, want %d", resp.ID, i)
+		}
+		for _, p := range resp.Pairs {
+			allPairs = append(allPairs, [2]int{p.X, p.Y})
+			if p.Sim <= 0 {
+				t.Errorf("pair %v has no similarity", p)
+			}
+		}
+	}
+	if len(allPairs) != 1 || allPairs[0] != [2]int{0, 2} {
+		t.Errorf("pairs = %v, want [[0 2]]", allPairs)
+	}
+}
+
+func TestQueryAndSimilarity(t *testing.T) {
+	ts := newTestServer(t)
+	for _, o := range paperdata.Table1() {
+		post(t, ts.URL+"/objects", map[string]any{"tokens": o}, nil)
+	}
+	var q struct {
+		Matches []struct {
+			Index int     `json:"index"`
+			Sim   float64 `json:"sim"`
+		} `json:"matches"`
+	}
+	post(t, ts.URL+"/query", map[string]any{"tokens": []string{"Fastfood", "GoogleHeadquarters"}}, &q)
+	found := map[int]bool{}
+	for _, m := range q.Matches {
+		found[m.Index] = true
+	}
+	if !found[2] || !found[0] {
+		t.Errorf("query should match S3 and S1, got %v", q.Matches)
+	}
+
+	var s struct {
+		Sim float64 `json:"sim"`
+	}
+	post(t, ts.URL+"/similarity", map[string]any{
+		"x": []string{"BurgerKing", "MountainView"},
+		"y": []string{"Fastfood", "GoogleHeadquarters"},
+	}, &s)
+	if s.Sim < 0.65 || s.Sim > 0.66 {
+		t.Errorf("sim = %v, want 19/29", s.Sim)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/objects", map[string]any{"tokens": []string{"KFC"}}, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["objects"].(float64) != 1 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/objects", "application/json", bytes.NewReader([]byte("{garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown fields are rejected.
+	resp = post(t, ts.URL+"/query", map[string]any{"tokenz": []string{"a"}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /objects should not be OK")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tok := fmt.Sprintf("token%d", i)
+			post(t, ts.URL+"/objects", map[string]any{"tokens": []string{tok, "KFC"}}, nil)
+		}(i)
+	}
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["objects"].(float64) != 16 {
+		t.Errorf("objects = %v, want 16", st["objects"])
+	}
+}
+
+func TestSnapshotEndpointRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	for _, o := range paperdata.Table1() {
+		post(t, ts.URL+"/objects", map[string]any{"tokens": o}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	h, _ := paperdata.Fig1()
+	srv2, err := NewFromSnapshot(h, core.Defaults(0.7, 0.6), resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	var q struct {
+		Matches []struct {
+			Index int     `json:"index"`
+			Sim   float64 `json:"sim"`
+		} `json:"matches"`
+	}
+	post(t, ts2.URL+"/query", map[string]any{"tokens": []string{"Fastfood", "GoogleHeadquarters"}}, &q)
+	if len(q.Matches) < 2 {
+		t.Errorf("restored server should answer queries, got %v", q.Matches)
+	}
+}
+
+func TestNewFromSnapshotBadInput(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	if _, err := NewFromSnapshot(h, core.Defaults(0.7, 0.6), bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk snapshot should fail")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	if _, err := New(h, core.Options{}); err == nil {
+		t.Error("zero options should be rejected")
+	}
+}

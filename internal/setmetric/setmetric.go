@@ -1,0 +1,102 @@
+// Package setmetric abstracts the object-level set-similarity function of
+// K-Join (paper Definition 2 uses Jaccard; §6.3 extends to Dice and
+// Cosine). The join algorithm depends on the metric only through three
+// quantities: the similarity value given a fuzzy overlap, the minimum
+// overlap an object must share with *any* similar partner (τ_S), and the
+// minimum overlap a specific pair must reach (τ_{Sx,Sy}).
+package setmetric
+
+import (
+	"math"
+
+	"kjoin/internal/mathx"
+)
+
+// Kind selects the set-similarity function.
+type Kind int
+
+const (
+	// Jaccard: |Sx ∩̃δ Sy| / (|Sx| + |Sy| − |Sx ∩̃δ Sy|).
+	Jaccard Kind = iota
+	// Dice: 2·|Sx ∩̃δ Sy| / (|Sx| + |Sy|).
+	Dice
+	// Cosine: |Sx ∩̃δ Sy| / sqrt(|Sx|·|Sy|).
+	Cosine
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	default:
+		return "unknown"
+	}
+}
+
+// Sim returns the set similarity for a fuzzy overlap o between objects of
+// sizes nx and ny. Two empty objects have similarity 1.
+func (k Kind) Sim(o float64, nx, ny int) float64 {
+	if nx == 0 && ny == 0 {
+		return 1
+	}
+	switch k {
+	case Dice:
+		return 2 * o / float64(nx+ny)
+	case Cosine:
+		if nx == 0 || ny == 0 {
+			return 0
+		}
+		return o / math.Sqrt(float64(nx)*float64(ny))
+	default:
+		den := float64(nx+ny) - o
+		if den <= 0 {
+			return 1
+		}
+		return o / den
+	}
+}
+
+// MinOverlap returns the minimum fuzzy overlap an object of size n must
+// share with any partner it is τ-similar to. Jaccard: τ·n (paper §3.1);
+// Dice: τ/(2−τ)·n; Cosine: τ²·n (both §6.3). This is the absolute
+// threshold the weighted path prefix removes against (Definition 9).
+func (k Kind) MinOverlap(tau float64, n int) float64 {
+	switch k {
+	case Dice:
+		return tau / (2 - tau) * float64(n)
+	case Cosine:
+		return tau * tau * float64(n)
+	default:
+		return tau * float64(n)
+	}
+}
+
+// TauS returns τ_S = ⌈MinOverlap⌉, the minimum number of similar
+// elements an object of size n must share with any similar partner.
+func (k Kind) TauS(tau float64, n int) int {
+	t := mathx.CeilInt(k.MinOverlap(tau, n))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// PairOverlap returns the minimum fuzzy overlap a specific pair of sizes
+// nx, ny must reach to be τ-similar (the quantity whose ceiling is
+// τ_{Sx,Sy}). Jaccard: τ/(1+τ)(nx+ny); Dice: τ/2(nx+ny);
+// Cosine: τ·sqrt(nx·ny).
+func (k Kind) PairOverlap(tau float64, nx, ny int) float64 {
+	switch k {
+	case Dice:
+		return tau / 2 * float64(nx+ny)
+	case Cosine:
+		return tau * math.Sqrt(float64(nx)*float64(ny))
+	default:
+		return tau / (1 + tau) * float64(nx+ny)
+	}
+}

@@ -1,0 +1,132 @@
+package setmetric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccardPaperExamples(t *testing.T) {
+	// §2.1.2: ||S1 ∩̃δ S4|| = 27/20, |S1|=2, |S4|=3 → 27/73.
+	if got := Jaccard.Sim(27.0/20, 2, 3); !almostEq(got, 27.0/73) {
+		t.Errorf("Jaccard = %v, want 27/73", got)
+	}
+	// §2.2: ||S1 ∩̃δ S3|| = 19/12, sizes 2,2 → 19/29.
+	if got := Jaccard.Sim(19.0/12, 2, 2); !almostEq(got, 19.0/29) {
+		t.Errorf("Jaccard = %v, want 19/29", got)
+	}
+	if got := Jaccard.Sim(0, 0, 0); got != 1 {
+		t.Errorf("empty objects should be identical, got %v", got)
+	}
+}
+
+func TestTauSPaperExamples(t *testing.T) {
+	// §4.2.1: τ_{S4} = ⌈0.6·3⌉ = 2; τ_{S1} = ⌈0.6·2⌉ = 2.
+	if got := Jaccard.TauS(0.6, 3); got != 2 {
+		t.Errorf("TauS(0.6, 3) = %d, want 2", got)
+	}
+	if got := Jaccard.TauS(0.6, 2); got != 2 {
+		t.Errorf("TauS(0.6, 2) = %d, want 2", got)
+	}
+	if got := Jaccard.TauS(0.6, 0); got != 1 {
+		t.Errorf("TauS of empty object should clamp to 1, got %d", got)
+	}
+}
+
+func TestPairOverlapPaperExamples(t *testing.T) {
+	// §3.2 example: τ/(1+τ)(|S1|+|S6|) = 0.6/1.6·4 = 3/2.
+	if got := Jaccard.PairOverlap(0.6, 2, 2); !almostEq(got, 1.5) {
+		t.Errorf("PairOverlap = %v, want 1.5", got)
+	}
+	// §3.2 weighted example: 0.6/1.6·(2+3) = 15/8.
+	if got := Jaccard.PairOverlap(0.6, 2, 3); !almostEq(got, 15.0/8) {
+		t.Errorf("PairOverlap = %v, want 15/8", got)
+	}
+}
+
+func TestDiceCosine(t *testing.T) {
+	if got := Dice.Sim(2, 3, 3); !almostEq(got, 2.0/3) {
+		t.Errorf("Dice = %v, want 2/3", got)
+	}
+	if got := Cosine.Sim(2, 4, 4); !almostEq(got, 0.5) {
+		t.Errorf("Cosine = %v, want 0.5", got)
+	}
+	if got := Cosine.Sim(1, 0, 4); got != 0 {
+		t.Errorf("Cosine with an empty side = %v, want 0", got)
+	}
+	// §6.3: Dice τ_S = ⌈τ/(2−τ)·|S|⌉.
+	if got := Dice.TauS(0.6, 7); got != 3 {
+		t.Errorf("Dice TauS = %d, want 3", got)
+	}
+	// §6.3: Cosine τ_S = ⌈τ²·|S|⌉.
+	if got := Cosine.TauS(0.6, 10); got != 4 {
+		t.Errorf("Cosine TauS = %d, want 4", got)
+	}
+}
+
+// Property: the MinOverlap bound is sound — whenever Sim(o, nx, ny) ≥ τ
+// and o ≤ min(nx, ny), the overlap is at least MinOverlap(τ, nx) and at
+// least PairOverlap(τ, nx, ny).
+func TestBoundsSound(t *testing.T) {
+	f := func(on, xn, yn uint8, tn uint8) bool {
+		nx := 1 + int(xn%20)
+		ny := 1 + int(yn%20)
+		min := nx
+		if ny < min {
+			min = ny
+		}
+		o := float64(on%100) / 99 * float64(min)
+		tau := 0.05 + float64(tn%90)/100
+		for _, k := range []Kind{Jaccard, Dice, Cosine} {
+			if k.Sim(o, nx, ny) >= tau {
+				if o < k.MinOverlap(tau, nx)-1e-9 {
+					return false
+				}
+				if o < k.PairOverlap(tau, nx, ny)-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sim is monotone in the overlap and symmetric in sizes.
+func TestSimMonotoneSymmetric(t *testing.T) {
+	f := func(o1, o2 uint8, xn, yn uint8) bool {
+		nx, ny := 1+int(xn%20), 1+int(yn%20)
+		min := nx
+		if ny < min {
+			min = ny
+		}
+		// A fuzzy overlap can never exceed the smaller object size.
+		a := float64(o1%100) / 99 * float64(min)
+		b := float64(o2%100) / 99 * float64(min)
+		if a > b {
+			a, b = b, a
+		}
+		for _, k := range []Kind{Jaccard, Dice, Cosine} {
+			if k.Sim(a, nx, ny) > k.Sim(b, nx, ny)+1e-12 {
+				return false
+			}
+			if !almostEq(k.Sim(a, nx, ny), k.Sim(a, ny, nx)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Jaccard.String() != "jaccard" || Dice.String() != "dice" || Cosine.String() != "cosine" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,423 @@
+// Package sig implements K-Join's signature schemes and prefixes:
+// node signatures (Definition 4) with the node prefix (Definition 5),
+// shallow and deep path signatures (Definitions 6–7) with the path prefix
+// (Definition 8) and the weighted path prefix (Definition 9), plus the
+// document-frequency global order all prefixes are computed against.
+//
+// A signature is identified by a Sig: hierarchy node ids for signatures
+// that are tree nodes, and interned token ids beyond the node space for
+// elements that match no hierarchy node (the paper keeps unmatched tokens
+// as elements; two such tokens can only be similar if equal, or synonyms
+// under K-Join+ resolution, so their canonical token is the signature).
+package sig
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"kjoin/internal/elem"
+	"kjoin/internal/hierarchy"
+)
+
+// Sig identifies a signature within a Space.
+type Sig int32
+
+// Scheme selects the signature scheme used for filtering.
+type Scheme int
+
+const (
+	// Node uses the single node signature at depth d_δ (§3.1).
+	Node Scheme = iota
+	// Shallow uses the shallow path signatures (Definition 6).
+	Shallow
+	// Deep uses the deep path signatures (Definition 7).
+	Deep
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Node:
+		return "node"
+	case Shallow:
+		return "shallow"
+	case Deep:
+		return "deep"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one signature occurrence of one element of an object.
+type Entry struct {
+	Sig  Sig     // the signature
+	W    float64 // maximum element similarity given this signature matches (§4.2.2)
+	Elem int32   // index of the generating element within the object
+}
+
+// Space generates signatures for resolved elements. It caches per-element
+// signature lists, so each distinct token pays the generation cost once.
+//
+// Like elem.Resolver, a Space is built single-threaded (ElemSigs and
+// GroupKeys mutate the cache) and is safe for concurrent reads afterwards.
+type Space struct {
+	res    *elem.Resolver
+	h      *hierarchy.Hierarchy
+	metric elem.Metric
+	delta  float64
+	dDelta int
+	scheme Scheme
+
+	tokSigs map[string]Sig
+	next    Sig
+
+	sigCache   [][]sigW // per elem.ID signatures under scheme
+	groupCache [][]Sig  // per elem.ID node signatures (grouping keys for verification)
+}
+
+type sigW struct {
+	s Sig
+	w float64
+}
+
+// NewSpace returns a signature space for the resolver under the given
+// element metric, element threshold δ and scheme.
+func NewSpace(res *elem.Resolver, metric elem.Metric, delta float64, scheme Scheme) *Space {
+	return &Space{
+		res:     res,
+		h:       res.Hierarchy(),
+		metric:  metric,
+		delta:   delta,
+		dDelta:  metric.MinLCADepth(delta),
+		scheme:  scheme,
+		tokSigs: make(map[string]Sig),
+		next:    Sig(res.Hierarchy().Len()),
+	}
+}
+
+// Scheme returns the space's signature scheme.
+func (sp *Space) Scheme() Scheme { return sp.scheme }
+
+// DDelta returns d_δ, the node-signature depth.
+func (sp *Space) DDelta() int { return sp.dDelta }
+
+// tokenSig interns the canonical token of a non-entity element.
+func (sp *Space) tokenSig(canon string) Sig {
+	if s, ok := sp.tokSigs[canon]; ok {
+		return s
+	}
+	s := sp.next
+	sp.next++
+	sp.tokSigs[canon] = s
+	return s
+}
+
+// nodeSig returns the node signature of a mapping node per Definition 4:
+// the node itself if shallower than d_δ, else its ancestor at depth d_δ.
+func (sp *Space) nodeSig(n hierarchy.NodeID) Sig {
+	if sp.h.Depth(n) < sp.dDelta {
+		return Sig(n)
+	}
+	return Sig(sp.h.Ancestor(n, sp.dDelta))
+}
+
+// ElemSigs returns the signatures of element e under the space's scheme,
+// deduplicated with maximum weight. The result is cached and must not be
+// modified.
+func (sp *Space) ElemSigs(e elem.ID) []Entry {
+	for int(e) >= len(sp.sigCache) {
+		sp.sigCache = append(sp.sigCache, nil)
+	}
+	if sp.sigCache[e] == nil {
+		sp.sigCache[e] = sp.genSigs(e)
+	}
+	out := make([]Entry, len(sp.sigCache[e]))
+	for i, sw := range sp.sigCache[e] {
+		out[i] = Entry{Sig: sw.s, W: sw.w}
+	}
+	return out
+}
+
+// appendElemSigs appends e's signatures to dst tagged with element index
+// idx, avoiding the copy in ElemSigs.
+func (sp *Space) appendElemSigs(dst []Entry, e elem.ID, idx int32) []Entry {
+	for int(e) >= len(sp.sigCache) {
+		sp.sigCache = append(sp.sigCache, nil)
+	}
+	if sp.sigCache[e] == nil {
+		sp.sigCache[e] = sp.genSigs(e)
+	}
+	for _, sw := range sp.sigCache[e] {
+		dst = append(dst, Entry{Sig: sw.s, W: sw.w, Elem: idx})
+	}
+	return dst
+}
+
+// genSigs computes the signature list of one element.
+func (sp *Space) genSigs(e elem.ID) []sigW {
+	info := sp.res.Info(e)
+	if !info.Entity() {
+		// Unmatched token: its canonical token is its only signature and a
+		// match means equality (or synonymy), maximum similarity 1.
+		return []sigW{{s: sp.tokenSig(info.Canon), w: 1}}
+	}
+	var out []sigW
+	deepest, deepestIdx := -1, -1
+	add := func(s Sig, w float64) int {
+		for i := range out {
+			if out[i].s == s {
+				if w > out[i].w {
+					out[i].w = w
+				}
+				return i
+			}
+		}
+		out = append(out, sigW{s: s, w: w})
+		return len(out) - 1
+	}
+	for _, m := range info.Mappings {
+		d := int(m.Depth)
+		switch sp.scheme {
+		case Node:
+			// A shared node signature only tells us the elements are in
+			// the same group; the sound per-signature weight is the
+			// element's bound against any different element.
+			i := add(sp.nodeSig(m.Node), sp.res.MaxDiffSim(e, sp.metric))
+			if d > deepest {
+				deepest, deepestIdx = d, i
+			}
+		case Shallow:
+			// Matching a shallow signature at depth t does not cap the
+			// LCA at t (the LCA may be deeper), so t-based weights would
+			// be unsound; use the different-element bound here too.
+			w := sp.res.MaxDiffSim(e, sp.metric)
+			lo, hi := sp.metric.ShallowRange(d, sp.delta)
+			for t := lo; t <= hi; t++ {
+				i := add(Sig(sp.h.Ancestor(m.Node, t)), w)
+				if t == hi && d > deepest {
+					deepest, deepestIdx = d, i
+				}
+			}
+		case Deep:
+			// Deep signatures cover every depth up to the node itself, so
+			// for any similar pair the signature at the LCA depth is
+			// shared and its weight t/d_e (×φ) bounds the pair similarity
+			// (§4.2.2).
+			lo := sp.metric.DeepLow(d, sp.delta)
+			for t := lo; t <= d; t++ {
+				i := add(Sig(sp.h.Ancestor(m.Node, t)), sp.metric.MaxSimAtDepth(t, d)*m.Phi)
+				if t == d && d > deepest {
+					deepest, deepestIdx = d, i
+				}
+			}
+		}
+	}
+	// Identical elements in two objects match with similarity 1 and share
+	// all signatures; make one signature carry that weight so the
+	// weighted prefix (Definition 9) stays sound under Plus resolution
+	// where φ < 1 would otherwise under-weight the self-match.
+	if deepestIdx >= 0 && out[deepestIdx].w < 1 {
+		out[deepestIdx].w = 1
+	}
+	return out
+}
+
+// Warm precomputes the signature and group-key caches for every element
+// id in [0, n), sharding entity elements across workers goroutines
+// (their generation only reads immutable resolver/hierarchy state and
+// writes exclusive cache slots); non-entity elements intern token
+// signatures through a map and run sequentially afterwards.
+func (sp *Space) Warm(n, workers int) {
+	for len(sp.sigCache) < n {
+		sp.sigCache = append(sp.sigCache, nil)
+	}
+	for len(sp.groupCache) < n {
+		sp.groupCache = append(sp.groupCache, nil)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					e := elem.ID(i)
+					if !sp.res.Info(e).Entity() {
+						continue
+					}
+					if sp.sigCache[i] == nil {
+						sp.sigCache[i] = sp.genSigs(e)
+					}
+					if sp.groupCache[i] == nil {
+						sp.groupCache[i] = sp.genGroupKeys(e)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// Sequential pass covers non-entity elements (token-signature
+	// interning mutates a shared map) and anything a single worker run
+	// would have handled.
+	for i := 0; i < n; i++ {
+		e := elem.ID(i)
+		if sp.sigCache[i] == nil {
+			sp.sigCache[i] = sp.genSigs(e)
+		}
+		if sp.groupCache[i] == nil {
+			sp.groupCache[i] = sp.genGroupKeys(e)
+		}
+	}
+}
+
+// GroupKeys returns the node signatures of element e regardless of the
+// space's filtering scheme. These are the verification grouping keys of
+// Lemmas 1, 3 and 8: elements in different groups cannot be similar.
+// The result is cached and must not be modified.
+func (sp *Space) GroupKeys(e elem.ID) []Sig {
+	for int(e) >= len(sp.groupCache) {
+		sp.groupCache = append(sp.groupCache, nil)
+	}
+	if sp.groupCache[e] == nil {
+		sp.groupCache[e] = sp.genGroupKeys(e)
+	}
+	return sp.groupCache[e]
+}
+
+// genGroupKeys computes the node-signature grouping keys of one element.
+func (sp *Space) genGroupKeys(e elem.ID) []Sig {
+	info := sp.res.Info(e)
+	if !info.Entity() {
+		return []Sig{sp.tokenSig(info.Canon)}
+	}
+	var keys []Sig
+	for _, m := range info.Mappings {
+		s := sp.nodeSig(m.Node)
+		dup := false
+		for _, k := range keys {
+			if k == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys = append(keys, s)
+		}
+	}
+	return keys
+}
+
+// ObjectSigs returns the (unsorted) signature entries of an object: the
+// union of its elements' signatures, tagged with element indices. The
+// same signature may appear once per generating element (the paper's G_S
+// is a multiset).
+func (sp *Space) ObjectSigs(elems []elem.ID) []Entry {
+	var out []Entry
+	for i, e := range elems {
+		out = sp.appendElemSigs(out, e, int32(i))
+	}
+	return out
+}
+
+// Order is the global signature order: ascending document frequency with
+// signature id as tie-break (§3.1 "fix a global order for the node
+// signatures ... by document frequency in an ascending order").
+type Order struct {
+	df map[Sig]int32
+}
+
+// BuildOrder counts, for every signature, the number of objects whose
+// signature set contains it (each object counts once per signature), over
+// all the given objects — for an R-S join pass both collections.
+func BuildOrder(objects [][]Entry) *Order {
+	df := make(map[Sig]int32)
+	var seen map[Sig]bool
+	for _, entries := range objects {
+		seen = make(map[Sig]bool, len(entries))
+		for _, en := range entries {
+			if !seen[en.Sig] {
+				seen[en.Sig] = true
+				df[en.Sig]++
+			}
+		}
+	}
+	return &Order{df: df}
+}
+
+// Less reports whether signature a precedes b in the global order.
+func (o *Order) Less(a, b Sig) bool {
+	da, db := o.df[a], o.df[b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// Sort sorts entries by the global order (rarest signatures first).
+// Entries of the same signature stay adjacent; ties break on element
+// index for determinism.
+func (o *Order) Sort(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Sig != b.Sig {
+			return o.Less(a.Sig, b.Sig)
+		}
+		return a.Elem < b.Elem
+	})
+}
+
+// DF returns the document frequency of s under the order.
+func (o *Order) DF(s Sig) int { return int(o.df[s]) }
+
+// DistElePrefix returns the prefix length p of entries (sorted by the
+// global order) such that entries[:p] is the (node or path) prefix of
+// Definitions 5/8: the suffix beyond the prefix covers at most τ_S − 1
+// distinct elements, and shrinking the prefix further would let the
+// suffix cover τ_S. If the object has fewer than τ_S distinct elements,
+// the whole list is the prefix.
+func DistElePrefix(entries []Entry, tauS int) int {
+	if tauS <= 0 {
+		return 0
+	}
+	seen := make(map[int32]bool)
+	for i := len(entries) - 1; i >= 0; i-- {
+		if !seen[entries[i].Elem] {
+			seen[entries[i].Elem] = true
+			if len(seen) == tauS {
+				return i + 1
+			}
+		}
+	}
+	return len(entries)
+}
+
+// WeightedPrefix returns the prefix length p of entries (sorted by the
+// global order) per Definition 9: the suffix beyond the prefix has
+// MSIM < minOverlap, where MSIM sums, per distinct element, the maximum
+// signature weight in the suffix. minOverlap is τ·|S| for Jaccard
+// (setmetric.Kind.MinOverlap in general).
+func WeightedPrefix(entries []Entry, minOverlap float64) int {
+	if minOverlap <= 0 {
+		return 0
+	}
+	best := make(map[int32]float64)
+	msim := 0.0
+	for i := len(entries) - 1; i >= 0; i-- {
+		en := entries[i]
+		if w := best[en.Elem]; en.W > w {
+			msim += en.W - w
+			best[en.Elem] = en.W
+		}
+		if msim >= minOverlap-1e-9 {
+			return i + 1
+		}
+	}
+	return len(entries)
+}

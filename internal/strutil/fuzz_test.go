@@ -1,0 +1,41 @@
+package strutil
+
+import "testing"
+
+// FuzzEditDistanceWithin cross-checks the banded computation against the
+// full DP on arbitrary inputs.
+func FuzzEditDistanceWithin(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "", 0)
+	f.Add("a", "ab", 1)
+	f.Add("pizzahut", "pizzahat", 2)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if len(a) > 64 || len(b) > 64 || k < 0 || k > 64 {
+			return
+		}
+		full := EditDistance(a, b)
+		d, ok := EditDistanceWithin(a, b, k)
+		if full <= k {
+			if !ok || d != full {
+				t.Fatalf("EditDistanceWithin(%q, %q, %d) = (%d, %v), full %d", a, b, k, d, ok, full)
+			}
+		} else if ok {
+			t.Fatalf("EditDistanceWithin(%q, %q, %d) accepted but full is %d", a, b, k, full)
+		}
+	})
+}
+
+// FuzzTokenize checks the tokenizer never panics and produces lowercase,
+// non-empty tokens.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Californian food at Fillmore st")
+	f.Add("")
+	f.Add("日本語 mixed ASCII-42")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package strutil provides the string primitives K-Join and its baselines
+// are built on: Levenshtein edit distance (plain, banded-with-threshold),
+// normalized edit similarity (paper §2.1.1), a tokenizer, q-gram
+// extraction, and the even-partition scheme used by the FastJoin baseline's
+// segment signatures.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// EditDistance returns the Levenshtein distance between a and b, operating
+// on bytes (the datasets are ASCII). It uses a single rolling row, O(|a|·|b|)
+// time and O(min) space.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost
+			if v := row[j] + 1; v < m {
+				m = v
+			}
+			if v := row[j-1] + 1; v < m {
+				m = v
+			}
+			row[j] = m
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// EditDistanceWithin returns the Levenshtein distance between a and b if it
+// is at most k, and (k+1, false) otherwise. It computes only a diagonal
+// band of width 2k+1, O(k·min(|a|,|b|)) time, which is what makes typo
+// tolerance in K-Join+ cheap (the paper's φ matching, Eq. 2).
+func EditDistanceWithin(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, a == b
+	}
+	la, lb := len(a), len(b)
+	if la > lb {
+		a, b, la, lb = b, a, lb, la
+	}
+	if lb-la > k {
+		return k + 1, false
+	}
+	// row[j] = distance between a[:i] and b[:j], banded.
+	const inf = 1 << 29
+	row := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= k {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > lb {
+			hi = lb
+		}
+		prev := row[lo-1] // value for (i-1, lo-1)
+		if lo == 1 {
+			row[0] = i
+			if i > k {
+				row[0] = inf
+			}
+		}
+		if lo-1 >= 1 {
+			row[lo-1] = inf
+		}
+		best := inf
+		for j := lo; j <= hi; j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost
+			if v := cur + 1; v < m {
+				m = v
+			}
+			if v := row[j-1] + 1; v < m {
+				m = v
+			}
+			row[j] = m
+			prev = cur
+			if m < best {
+				best = m
+			}
+		}
+		if best > k {
+			return k + 1, false
+		}
+	}
+	if row[lb] > k {
+		return k + 1, false
+	}
+	return row[lb], true
+}
+
+// EditSim returns the normalized edit similarity of the paper (§2.1.1):
+// 1 − ED(a,b)/max(|a|,|b|). Two empty strings have similarity 1.
+func EditSim(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	return 1 - float64(EditDistance(a, b))/float64(max)
+}
+
+// EditSimAtLeast reports whether EditSim(a, b) >= phi and, if so, the
+// similarity. It converts the similarity threshold into an edit-distance
+// budget and uses the banded computation.
+func EditSimAtLeast(a, b string, phi float64) (float64, bool) {
+	if phi <= 0 {
+		return EditSim(a, b), true
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1, true
+	}
+	// ED <= (1-phi)*max, take floor.
+	k := int(float64(max) * (1 - phi))
+	d, ok := EditDistanceWithin(a, b, k)
+	if !ok {
+		return 0, false
+	}
+	return 1 - float64(d)/float64(max), true
+}
+
+// Tokenize splits s into lowercase tokens on any non-alphanumeric rune.
+// Empty tokens are dropped. This is the tokenization of paper §2.1 ("we
+// model each object as a set of elements by tokenizing the object").
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			out = append(out, strings.ToLower(s[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// QGrams returns the set of q-grams of s as strings, with positional
+// padding omitted. Strings shorter than q yield the string itself as a
+// single gram so every token has at least one signature.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		q = 2
+	}
+	if len(s) <= q {
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-q+1)
+	for i := 0; i+q <= len(s); i++ {
+		out = append(out, s[i:i+q])
+	}
+	return out
+}
+
+// Segment is one even-partition segment of a string, identified by its
+// index and content. Two strings within edit distance k share at least one
+// aligned segment when each is split into k+1 segments (pigeonhole); this
+// is the Pass-Join / FastJoin segment signature substrate.
+type Segment struct {
+	Index int    // position of the segment in the partition
+	Text  string // segment content
+}
+
+// Partition splits s into n contiguous segments of near-equal length
+// (the first len(s) mod n segments are one byte longer). If n exceeds
+// len(s), the trailing segments are empty.
+func Partition(s string, n int) []Segment {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]Segment, n)
+	base := len(s) / n
+	extra := len(s) % n
+	pos := 0
+	for i := 0; i < n; i++ {
+		l := base
+		if i < extra {
+			l++
+		}
+		out[i] = Segment{Index: i, Text: s[pos : pos+l]}
+		pos += l
+	}
+	return out
+}
+
+// Abbreviate returns a crude abbreviation of token t: the token itself
+// for short tokens, or its first five bytes otherwise ("Artificial" →
+// "Artif", as in the paper's Pub example "Artif Intelligence" vs
+// "Artificial Intelli"). Used by the dataset generator to inject the
+// abbreviation errors the paper attributes to the Pub dataset.
+func Abbreviate(t string) string {
+	if len(t) <= 5 {
+		return t
+	}
+	return t[:5]
+}

@@ -1,0 +1,244 @@
+package strutil
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditDistanceBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"PizzaHut", "PizzaHat", 1}, // paper §2.1.1 example
+		{"abc", "abc", 0},
+		{"abc", "cba", 2},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := EditDistance(c.b, c.a); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEditSimPaperExample(t *testing.T) {
+	// "The edit distance of PizzaHut and PizzaHat is 1. Their edit
+	// similarity is 7/8."
+	if got := EditSim("PizzaHut", "PizzaHat"); got != 7.0/8 {
+		t.Errorf("EditSim = %v, want 7/8", got)
+	}
+	if got := EditSim("", ""); got != 1 {
+		t.Errorf("EditSim of empties = %v, want 1", got)
+	}
+}
+
+func TestEditDistanceWithin(t *testing.T) {
+	cases := []struct {
+		a, b string
+		k    int
+		d    int
+		ok   bool
+	}{
+		{"kitten", "sitting", 3, 3, true},
+		{"kitten", "sitting", 2, 3, false},
+		{"abc", "abc", 0, 0, true},
+		{"abc", "abd", 0, 1, false},
+		{"abcdef", "abcdefghij", 3, 4, false},
+		{"abcdef", "abcdefgh", 2, 2, true},
+		{"", "xyz", 3, 3, true},
+		{"", "xyz", 2, 3, false},
+	}
+	for _, c := range cases {
+		d, ok := EditDistanceWithin(c.a, c.b, c.k)
+		if ok != c.ok || (ok && d != c.d) {
+			t.Errorf("EditDistanceWithin(%q, %q, %d) = (%d, %v), want (%d, %v)", c.a, c.b, c.k, d, ok, c.d, c.ok)
+		}
+	}
+}
+
+// TestEditDistanceWithinAgreesWithFull is a property test: the banded
+// computation agrees with the full DP whenever the distance is within k.
+func TestEditDistanceWithinAgreesWithFull(t *testing.T) {
+	alphabet := "abcd"
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(12)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	f := func(seed int64, kk uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		k := int(kk % 6)
+		full := EditDistance(a, b)
+		d, ok := EditDistanceWithin(a, b, k)
+		if full <= k {
+			return ok && d == full
+		}
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditSimAtLeast(t *testing.T) {
+	if s, ok := EditSimAtLeast("PizzaHut", "PizzaHat", 0.8); !ok || s != 7.0/8 {
+		t.Errorf("EditSimAtLeast = (%v, %v), want (7/8, true)", s, ok)
+	}
+	if _, ok := EditSimAtLeast("PizzaHut", "Brooklyn", 0.8); ok {
+		t.Errorf("dissimilar strings should not pass")
+	}
+	if s, ok := EditSimAtLeast("", "", 0.9); !ok || s != 1 {
+		t.Errorf("empty strings are identical: got (%v, %v)", s, ok)
+	}
+	if s, ok := EditSimAtLeast("ab", "ab", 0); !ok || s != 1 {
+		t.Errorf("phi=0 accepts everything: got (%v, %v)", s, ok)
+	}
+}
+
+// Property: EditSimAtLeast agrees with the direct definition.
+func TestEditSimAtLeastProperty(t *testing.T) {
+	alphabet := "abcde"
+	gen := func(r *rand.Rand) string {
+		n := r.Intn(10)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	f := func(seed int64, p uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		phi := float64(p%11) / 10
+		want := EditSim(a, b)
+		got, ok := EditSimAtLeast(a, b, phi)
+		if want >= phi {
+			return ok && got == want
+		}
+		return !ok || got == want // boundary: floor(k) may admit equal-sim pairs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Californian food at Fillmore st", []string{"californian", "food", "at", "fillmore", "st"}},
+		{"  multiple   spaces ", []string{"multiple", "spaces"}},
+		{"", nil},
+		{"---", nil},
+		{"a-b_c,d", []string{"a", "b", "c", "d"}},
+		{"KFC@NY", []string{"kfc", "ny"}},
+		{"42nd street", []string{"42nd", "street"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	if got := QGrams("abcd", 2); !reflect.DeepEqual(got, []string{"ab", "bc", "cd"}) {
+		t.Errorf("QGrams(abcd,2) = %v", got)
+	}
+	if got := QGrams("ab", 3); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("QGrams short = %v", got)
+	}
+	if got := QGrams("abc", 0); !reflect.DeepEqual(got, []string{"ab", "bc"}) {
+		t.Errorf("QGrams default q = %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	segs := Partition("abcdefg", 3)
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %d", len(segs))
+	}
+	joined := ""
+	for i, s := range segs {
+		if s.Index != i {
+			t.Errorf("segment %d has index %d", i, s.Index)
+		}
+		joined += s.Text
+	}
+	if joined != "abcdefg" {
+		t.Errorf("segments do not cover input: %q", joined)
+	}
+	// Lengths differ by at most one.
+	if len(segs[0].Text)-len(segs[2].Text) > 1 {
+		t.Errorf("uneven partition: %v", segs)
+	}
+	// n > len(s): empty segments allowed, still n of them.
+	segs = Partition("ab", 4)
+	if len(segs) != 4 {
+		t.Errorf("want 4 segments, got %d", len(segs))
+	}
+	// n <= 0 coerced to 1.
+	segs = Partition("ab", 0)
+	if len(segs) != 1 || segs[0].Text != "ab" {
+		t.Errorf("Partition(ab, 0) = %v", segs)
+	}
+}
+
+// Property: pigeonhole — if ED(a,b) <= k then partitions of b into k+1
+// segments include at least one segment that occurs as a substring of a.
+// (This is the weaker substring form used by segment filtering.)
+func TestPartitionPigeonhole(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]byte, 8+r.Intn(8))
+		for i := range base {
+			base[i] = byte('a' + r.Intn(4))
+		}
+		a := string(base)
+		// Apply up to k random edits.
+		k := 1 + r.Intn(2)
+		b := []byte(a)
+		for e := 0; e < k && len(b) > 0; e++ {
+			p := r.Intn(len(b))
+			b[p] = byte('a' + r.Intn(4))
+		}
+		segs := Partition(string(b), k+1)
+		for _, s := range segs {
+			if s.Text != "" && strings.Contains(a, s.Text) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	if got := Abbreviate("Artificial"); got != "Artif" {
+		t.Errorf("Abbreviate(Artificial) = %q", got)
+	}
+	if got := Abbreviate("ai"); got != "ai" {
+		t.Errorf("Abbreviate(ai) = %q", got)
+	}
+	if got := Abbreviate("short"); got != "short" {
+		t.Errorf("Abbreviate(short) = %q", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package synonym implements the synonym dictionary used by K-Join+
+// (paper Eq. 2: φ(e, e') = 1 when e and e' are synonyms) and by the
+// Synonym baseline of Lu et al. that the paper compares against.
+//
+// Synonyms form disjoint groups; every token in a group shares a
+// canonical representative (the first token the group was created with).
+package synonym
+
+import (
+	"sort"
+	"strings"
+)
+
+// Dict is a set of disjoint synonym groups. The zero value is an empty,
+// usable dictionary.
+type Dict struct {
+	canon  map[string]string   // token -> canonical representative
+	groups map[string][]string // canonical -> members (including itself)
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{canon: make(map[string]string), groups: make(map[string][]string)}
+}
+
+// Add records that all the given tokens are synonyms of one another.
+// Tokens are lowercased. If any token already belongs to a group, the
+// groups are merged (the earliest canonical wins). Empty tokens are
+// ignored.
+func (d *Dict) Add(tokens ...string) {
+	if d.canon == nil {
+		d.canon = make(map[string]string)
+		d.groups = make(map[string][]string)
+	}
+	var rep string
+	for _, t := range tokens {
+		t = strings.ToLower(t)
+		if t == "" {
+			continue
+		}
+		if c, ok := d.canon[t]; ok {
+			rep = c
+			break
+		}
+	}
+	for _, t := range tokens {
+		t = strings.ToLower(t)
+		if t == "" {
+			continue
+		}
+		if rep == "" {
+			rep = t
+		}
+		if c, ok := d.canon[t]; ok {
+			if c == rep {
+				continue
+			}
+			// Merge group c into rep.
+			for _, m := range d.groups[c] {
+				d.canon[m] = rep
+				d.groups[rep] = append(d.groups[rep], m)
+			}
+			delete(d.groups, c)
+			continue
+		}
+		d.canon[t] = rep
+		d.groups[rep] = append(d.groups[rep], t)
+	}
+}
+
+// Canonical returns the canonical representative of token (lowercased),
+// or the token itself if it belongs to no group.
+func (d *Dict) Canonical(token string) string {
+	t := strings.ToLower(token)
+	if d == nil || d.canon == nil {
+		return t
+	}
+	if c, ok := d.canon[t]; ok {
+		return c
+	}
+	return t
+}
+
+// Same reports whether a and b are synonyms (or equal after lowercasing).
+func (d *Dict) Same(a, b string) bool {
+	return d.Canonical(a) == d.Canonical(b)
+}
+
+// Expand returns all synonyms of token including itself. The returned
+// slice must not be modified.
+func (d *Dict) Expand(token string) []string {
+	t := strings.ToLower(token)
+	if d == nil || d.canon == nil {
+		return []string{t}
+	}
+	if c, ok := d.canon[t]; ok {
+		return d.groups[c]
+	}
+	return []string{t}
+}
+
+// Groups returns all synonym groups, each sorted, ordered by their first
+// member. The result is freshly allocated.
+func (d *Dict) Groups() [][]string {
+	if d == nil || len(d.groups) == 0 {
+		return nil
+	}
+	out := make([][]string, 0, len(d.groups))
+	for _, members := range d.groups {
+		g := append([]string(nil), members...)
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Len returns the number of synonym groups.
+func (d *Dict) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.groups)
+}

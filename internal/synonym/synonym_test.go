@@ -1,0 +1,100 @@
+package synonym
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBasicGroups(t *testing.T) {
+	d := New()
+	d.Add("st", "street")
+	d.Add("dr", "drive")
+	if !d.Same("st", "street") {
+		t.Error("st/street should be synonyms")
+	}
+	if d.Same("st", "dr") {
+		t.Error("st/dr must not be synonyms")
+	}
+	if got := d.Canonical("street"); got != "st" {
+		t.Errorf("Canonical(street) = %q, want st", got)
+	}
+	if got := d.Canonical("unknown"); got != "unknown" {
+		t.Errorf("Canonical(unknown) = %q", got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	d := New()
+	d.Add("American", "USA")
+	if !d.Same("american", "usa") {
+		t.Error("lowercased lookup should work")
+	}
+	if !d.Same("AMERICAN", "UsA") {
+		t.Error("mixed case lookup should work")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	d := New()
+	d.Add("a", "b")
+	d.Add("c", "d")
+	d.Add("b", "c") // merges the two groups
+	if !d.Same("a", "d") {
+		t.Error("merged groups should be transitive")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after merge", d.Len())
+	}
+	ex := d.Expand("a")
+	sorted := append([]string(nil), ex...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(sorted, []string{"a", "b", "c", "d"}) {
+		t.Errorf("Expand(a) = %v", sorted)
+	}
+}
+
+func TestExpandUnknown(t *testing.T) {
+	d := New()
+	if got := d.Expand("solo"); !reflect.DeepEqual(got, []string{"solo"}) {
+		t.Errorf("Expand(solo) = %v", got)
+	}
+}
+
+func TestNilAndZeroValue(t *testing.T) {
+	var d *Dict
+	if d.Canonical("x") != "x" || d.Len() != 0 || !d.Same("x", "x") {
+		t.Error("nil dict should behave as empty")
+	}
+	var z Dict
+	z.Add("a", "b")
+	if !z.Same("a", "b") {
+		t.Error("zero-value dict should be usable after Add")
+	}
+}
+
+func TestEmptyTokensIgnored(t *testing.T) {
+	d := New()
+	d.Add("", "x", "")
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+	if !d.Same("x", "x") {
+		t.Error("x should be its own synonym")
+	}
+}
+
+func TestIdempotentAdd(t *testing.T) {
+	d := New()
+	d.Add("a", "b")
+	d.Add("a", "b")
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+	if got := len(d.Expand("a")); got != 2 {
+		t.Errorf("Expand(a) has %d members, want 2", got)
+	}
+}

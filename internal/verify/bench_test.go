@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"testing"
+
+	"kjoin/internal/dataset"
+	"kjoin/internal/elem"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/sig"
+)
+
+// benchCtx builds a verification context over generated POI records.
+func benchCtx(b *testing.B) (*Context, [][]elem.ID, [][]sig.Sig) {
+	b.Helper()
+	hr := dataset.GenHierarchy(dataset.DefaultHierarchy())
+	c := dataset.GenRecords(hr, dataset.POIConfig(400))
+	r := elem.NewResolver(hr.H, elem.Options{})
+	sp := sig.NewSpace(r, elem.Standard, 0.8, sig.Deep)
+	ctx := &Context{Res: r, Space: sp, Metric: elem.Standard, Set: setmetric.Jaccard, Delta: 0.8, Tau: 0.8}
+	objs := make([][]elem.ID, len(c.Records))
+	keys := make([][]sig.Sig, len(c.Records))
+	for i, rec := range c.Records {
+		seen := map[elem.ID]bool{}
+		for _, t := range rec {
+			id := r.ID(t)
+			if !seen[id] {
+				seen[id] = true
+				objs[i] = append(objs[i], id)
+			}
+		}
+		keys[i] = ctx.SortedKeys(objs[i])
+	}
+	return ctx, objs, keys
+}
+
+func BenchmarkVerifyKeyedFastPath(b *testing.B) {
+	ctx, objs, keys := benchCtx(b)
+	var st Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := i % len(objs)
+		y := (i*7 + 13) % len(objs)
+		ctx.VerifyKeyed(objs[x], objs[y], keys[x], keys[y], Adaptive, &st)
+	}
+}
+
+func BenchmarkVerifyLadder(b *testing.B) {
+	ctx, objs, _ := benchCtx(b)
+	kinds := []Kind{Basic, SubGraph, Adaptive}
+	for _, k := range kinds {
+		b.Run(k.String(), func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				x := i % len(objs)
+				y := (i*7 + 13) % len(objs)
+				ctx.Verify(objs[x], objs[y], k, &st)
+			}
+		})
+	}
+}
+
+func BenchmarkOverlapExact(b *testing.B) {
+	ctx, objs, _ := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := i % len(objs)
+		y := (i*7 + 13) % len(objs)
+		ctx.Overlap(objs[x], objs[y])
+	}
+}

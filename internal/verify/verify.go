@@ -1,0 +1,437 @@
+// Package verify implements K-Join's verification ladder: the exact
+// knowledge-aware object similarity (Definition 2), count pruning
+// (Lemma 3), weighted count pruning (Lemma 4), subgraph-matching
+// decomposition (Lemma 8), and the adaptive bound-driven verification of
+// §5.2 (Algorithm 3).
+package verify
+
+import (
+	"sort"
+
+	"kjoin/internal/elem"
+	"kjoin/internal/matching"
+	"kjoin/internal/mathx"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/sig"
+)
+
+// Kind selects the verification algorithm compared in the paper's Fig 11.
+type Kind int
+
+const (
+	// Basic computes the similarity with one Hungarian run over the whole
+	// element bigraph (§3.2's "compute the real similarity").
+	Basic Kind = iota
+	// SubGraph decomposes the bigraph into per-node-signature groups and
+	// solves each small matching independently (Lemma 8).
+	SubGraph
+	// Adaptive estimates per-group upper and lower bounds, accepts or
+	// rejects early, and solves groups in descending looseness order
+	// (Algorithm 3).
+	Adaptive
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Basic:
+		return "basic"
+	case SubGraph:
+		return "subgraph"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats counts the work done and the pruning achieved by verification.
+type Stats struct {
+	Pairs          int64 // verified candidate pairs
+	CountPruned    int64 // pruned by Lemma 3
+	WeightedPruned int64 // pruned by Lemma 4
+	UBRejected     int64 // adaptive: rejected via upper bound
+	LBAccepted     int64 // adaptive: accepted via lower bound
+	MatchingCalls  int64 // Hungarian invocations
+	Results        int64 // pairs that verified similar
+}
+
+// Add accumulates other into s (for merging per-worker stats).
+func (s *Stats) Add(other Stats) {
+	s.Pairs += other.Pairs
+	s.CountPruned += other.CountPruned
+	s.WeightedPruned += other.WeightedPruned
+	s.UBRejected += other.UBRejected
+	s.LBAccepted += other.LBAccepted
+	s.MatchingCalls += other.MatchingCalls
+	s.Results += other.Results
+}
+
+// Context carries everything verification needs. It is immutable after
+// construction and safe for concurrent use (provided all elements were
+// resolved and their signatures generated beforehand; see elem.Resolver).
+type Context struct {
+	Res    *elem.Resolver
+	Space  *sig.Space
+	Metric elem.Metric
+	Set    setmetric.Kind
+	Delta  float64
+	Tau    float64
+}
+
+// group is one node-signature group of a candidate pair: the element
+// indices (into x and y) whose node signatures fall in the group.
+type group struct {
+	xe, ye []elem.ID
+}
+
+// groups partitions the elements of x and y by node signature (Lemma 1:
+// elements in different groups cannot be similar). Elements with several
+// node signatures (K-Join+, §6.4) merge their groups via union-find.
+func (c *Context) groups(x, y []elem.ID) []group {
+	parent := map[sig.Sig]sig.Sig{}
+	var find func(s sig.Sig) sig.Sig
+	find = func(s sig.Sig) sig.Sig {
+		p, ok := parent[s]
+		if !ok {
+			parent[s] = s
+			return s
+		}
+		if p == s {
+			return s
+		}
+		r := find(p)
+		parent[s] = r
+		return r
+	}
+	union := func(a, b sig.Sig) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	keyOf := func(e elem.ID) sig.Sig {
+		keys := c.Space.GroupKeys(e)
+		for i := 1; i < len(keys); i++ {
+			union(keys[0], keys[i])
+		}
+		return keys[0]
+	}
+	idx := map[sig.Sig]int{}
+	var roots []sig.Sig // insertion order, for deterministic output
+	var gs []group
+	for _, e := range x {
+		r := find(keyOf(e))
+		i, ok := idx[r]
+		if !ok {
+			i = len(gs)
+			idx[r] = i
+			roots = append(roots, r)
+			gs = append(gs, group{})
+		}
+		gs[i].xe = append(gs[i].xe, e)
+	}
+	for _, e := range y {
+		r := find(keyOf(e))
+		i, ok := idx[r]
+		if !ok {
+			i = len(gs)
+			idx[r] = i
+			roots = append(roots, r)
+			gs = append(gs, group{})
+		}
+		gs[i].ye = append(gs[i].ye, e)
+	}
+	// Union-find may have merged two roots after their groups were
+	// created; merge such groups, preserving first-seen order so that
+	// downstream floating-point sums are deterministic.
+	merged := map[sig.Sig]int{}
+	var out []group
+	for _, r := range roots {
+		i := idx[r]
+		root := find(r)
+		if j, ok := merged[root]; ok {
+			out[j].xe = append(out[j].xe, gs[i].xe...)
+			out[j].ye = append(out[j].ye, gs[i].ye...)
+		} else {
+			merged[root] = len(out)
+			out = append(out, gs[i])
+		}
+	}
+	return out
+}
+
+// edges returns the δ-thresholded similarity edges between xe and ye
+// (paper §2.1.2: edges below δ are removed from the bigraph).
+func (c *Context) edges(xe, ye []elem.ID) []matching.Edge {
+	var es []matching.Edge
+	for i, a := range xe {
+		for j, b := range ye {
+			if s := c.Res.Sim(a, b, c.Metric); mathx.GE(s, c.Delta) {
+				es = append(es, matching.Edge{X: i, Y: j, W: s})
+			}
+		}
+	}
+	return es
+}
+
+// Overlap computes the exact fuzzy overlap ||x ∩̃δ y|| using the subgraph
+// decomposition (Lemma 8 guarantees it equals the whole-graph matching).
+func (c *Context) Overlap(x, y []elem.ID) float64 {
+	total := 0.0
+	for _, g := range c.groups(x, y) {
+		if len(g.xe) == 0 || len(g.ye) == 0 {
+			continue
+		}
+		es := c.edges(g.xe, g.ye)
+		if len(es) == 0 {
+			continue
+		}
+		o, _ := matching.MaxWeight(len(g.xe), len(g.ye), es)
+		total += o
+	}
+	return total
+}
+
+// OverlapBasic computes the fuzzy overlap with a single Hungarian run on
+// the whole bigraph (the Basic verifier's work).
+func (c *Context) OverlapBasic(x, y []elem.ID) float64 {
+	es := c.edges(x, y)
+	if len(es) == 0 {
+		return 0
+	}
+	o, _ := matching.MaxWeight(len(x), len(y), es)
+	return o
+}
+
+// Similarity returns SIMδ(x, y) under the context's set metric, computed
+// exactly.
+func (c *Context) Similarity(x, y []elem.ID) float64 {
+	return c.Set.Sim(c.Overlap(x, y), len(x), len(y))
+}
+
+// SortedKeys returns the multiset of node-signature group keys of an
+// object, sorted — one key per (element, key) pair. Precompute it once
+// per object and pass it to VerifyKeyed for a fast count-pruning path.
+func (c *Context) SortedKeys(elems []elem.ID) []sig.Sig {
+	var keys []sig.Sig
+	for _, e := range elems {
+		keys = append(keys, c.Space.GroupKeys(e)...)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// countBound returns Σ_k min(count_x(k), count_y(k)) over the sorted key
+// multisets — an upper bound on the number of similar element pairs
+// (each matched pair shares a key and consumes one x- and one y-element
+// counted under it), and therefore on the fuzzy overlap (edge weights
+// are ≤ 1). This is Lemma 3 computed without building groups.
+func countBound(xk, yk []sig.Sig) int {
+	i, j, total := 0, 0, 0
+	for i < len(xk) && j < len(yk) {
+		switch {
+		case xk[i] < yk[j]:
+			i++
+		case xk[i] > yk[j]:
+			j++
+		default:
+			k := xk[i]
+			ci, cj := 0, 0
+			for i < len(xk) && xk[i] == k {
+				i++
+				ci++
+			}
+			for j < len(yk) && yk[j] == k {
+				j++
+				cj++
+			}
+			if cj < ci {
+				ci = cj
+			}
+			total += ci
+		}
+	}
+	return total
+}
+
+// VerifyKeyed is Verify with precomputed sorted key multisets (see
+// SortedKeys): candidates failing count pruning are rejected without
+// building the per-pair group structure, which is where the bulk of
+// filter-generated candidates die.
+func (c *Context) VerifyKeyed(x, y []elem.ID, xKeys, yKeys []sig.Sig, kind Kind, st *Stats) bool {
+	need := c.Set.PairOverlap(c.Tau, len(x), len(y))
+	if mathx.LT(float64(countBound(xKeys, yKeys)), need) {
+		st.Pairs++
+		st.CountPruned++
+		return false
+	}
+	return c.Verify(x, y, kind, st)
+}
+
+// Verify reports whether SIMδ(x, y) ≥ τ using the given verification
+// algorithm, updating st. Count pruning (Lemma 3, part of the base
+// framework §3.2) runs for every Kind; the weighted count pruning of
+// Lemma 4 belongs to the improved verifiers (SubGraph, Adaptive), while
+// Basic then computes the similarity directly with one whole-bigraph
+// matching — the naive method the paper's Figure 11 compares against.
+func (c *Context) Verify(x, y []elem.ID, kind Kind, st *Stats) bool {
+	st.Pairs++
+	need := c.Set.PairOverlap(c.Tau, len(x), len(y))
+	gs := c.groups(x, y)
+
+	// Count pruning (Lemma 3): Σ min(|Six|, |Siy|) bounds the overlap.
+	countUB := 0
+	for _, g := range gs {
+		m := len(g.xe)
+		if len(g.ye) < m {
+			m = len(g.ye)
+		}
+		countUB += m
+	}
+	if mathx.LT(float64(countUB), need) {
+		st.CountPruned++
+		return false
+	}
+
+	if kind == Basic {
+		st.MatchingCalls++
+		ok := mathx.GE(c.OverlapBasic(x, y), need)
+		if ok {
+			st.Results++
+		}
+		return ok
+	}
+
+	// Weighted count pruning (Lemma 4): exact matches count 1, the rest
+	// at most their MaxDiffSim.
+	wUB := 0.0
+	for _, g := range gs {
+		wUB += c.groupWeightedUB(g)
+	}
+	if mathx.LT(wUB, need) {
+		st.WeightedPruned++
+		return false
+	}
+
+	var ok bool
+	switch kind {
+	case SubGraph:
+		total := 0.0
+		for _, g := range gs {
+			if len(g.xe) == 0 || len(g.ye) == 0 {
+				continue
+			}
+			es := c.edges(g.xe, g.ye)
+			if len(es) == 0 {
+				continue
+			}
+			st.MatchingCalls++
+			o, _ := matching.MaxWeight(len(g.xe), len(g.ye), es)
+			total += o
+		}
+		ok = mathx.GE(total, need)
+	default: // Adaptive
+		ok = c.adaptive(gs, need, st)
+	}
+	if ok {
+		st.Results++
+	}
+	return ok
+}
+
+// groupWeightedUB computes the per-group term of Lemma 4:
+// |Six ∩ Siy| + min(Σ MaxDiffSim over Six−∩, Σ MaxDiffSim over Siy−∩).
+// The intersection is a multiset intersection on element identity.
+func (c *Context) groupWeightedUB(g group) float64 {
+	if len(g.xe) == 0 || len(g.ye) == 0 {
+		return 0
+	}
+	cnt := map[elem.ID]int{}
+	for _, e := range g.xe {
+		cnt[e]++
+	}
+	inter := 0
+	used := map[elem.ID]int{}
+	for _, e := range g.ye {
+		if used[e] < cnt[e] {
+			used[e]++
+			inter++
+		}
+	}
+	sx, sy := 0.0, 0.0
+	takenX := map[elem.ID]int{}
+	for _, e := range g.xe {
+		takenX[e]++
+		if takenX[e] <= used[e] {
+			continue // part of the intersection
+		}
+		sx += c.Res.MaxDiffSim(e, c.Metric)
+	}
+	takenY := map[elem.ID]int{}
+	for _, e := range g.ye {
+		takenY[e]++
+		if takenY[e] <= used[e] {
+			continue
+		}
+		sy += c.Res.MaxDiffSim(e, c.Metric)
+	}
+	m := sx
+	if sy < m {
+		m = sy
+	}
+	return float64(inter) + m
+}
+
+// adaptive is Algorithm 3: per-group bounds with early accept/reject and
+// loosest-groups-first exact matching.
+func (c *Context) adaptive(gs []group, need float64, st *Stats) bool {
+	type gb struct {
+		g      group
+		es     []matching.Edge
+		lo, up float64
+	}
+	var act []gb
+	bl, bu := 0.0, 0.0
+	for _, g := range gs {
+		if len(g.xe) == 0 || len(g.ye) == 0 {
+			continue
+		}
+		es := c.edges(g.xe, g.ye)
+		if len(es) == 0 {
+			continue
+		}
+		lo := matching.LowerBound(len(g.xe), len(g.ye), es)
+		up := matching.UpperBound(len(g.xe), len(g.ye), es)
+		act = append(act, gb{g: g, es: es, lo: lo, up: up})
+		bl += lo
+		bu += up
+	}
+	if mathx.GE(bl, need) {
+		st.LBAccepted++
+		return true
+	}
+	if mathx.LT(bu, need) {
+		st.UBRejected++
+		return false
+	}
+	// Loosest groups first (§5.2.3): largest B^u − B^l gap.
+	sort.Slice(act, func(i, j int) bool {
+		return act[i].up-act[i].lo > act[j].up-act[j].lo
+	})
+	for _, a := range act {
+		st.MatchingCalls++
+		s, _ := matching.MaxWeight(len(a.g.xe), len(a.g.ye), a.es)
+		bu += s - a.up
+		if mathx.LT(bu, need) {
+			st.UBRejected++
+			return false
+		}
+		bl += s - a.lo
+		if mathx.GE(bl, need) {
+			st.LBAccepted++
+			return true
+		}
+	}
+	return mathx.GE(bl, need)
+}

@@ -1,0 +1,237 @@
+// Package kjoin implements K-Join, the knowledge-aware similarity join of
+// Shang, Liu, Li and Feng (ICDE 2017): given a knowledge hierarchy and
+// collections of objects (sets of string elements), it finds all pairs
+// whose knowledge-aware set similarity reaches a threshold τ, where
+// element similarity is derived from the hierarchy (Definition 1) with an
+// element threshold δ.
+//
+// The implementation is the paper's full filter-and-verification
+// framework: node/shallow/deep signature prefixes (plain and weighted)
+// for candidate generation, and count pruning, weighted count pruning,
+// subgraph decomposition and adaptive bound-driven verification.
+//
+// Quick start:
+//
+//	h := kjoin.NewHierarchy("Root")
+//	food := h.Add(h.Root(), "Food")
+//	...
+//	pairs, stats, err := kjoin.SelfJoin(h, objects, kjoin.Defaults(0.7, 0.6))
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package kjoin
+
+import (
+	"io"
+
+	"kjoin/internal/core"
+	"kjoin/internal/elem"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/setmetric"
+	"kjoin/internal/sig"
+	"kjoin/internal/strutil"
+	"kjoin/internal/synonym"
+	"kjoin/internal/verify"
+)
+
+// Hierarchy is a knowledge hierarchy: a rooted tree of named nodes.
+// Create one with NewHierarchy or ReadHierarchy, or convert a DAG with
+// HierarchyFromDAG (paper §6.5).
+type Hierarchy = hierarchy.Hierarchy
+
+// NodeID identifies a node of a Hierarchy; the root is NodeID 0.
+type NodeID = hierarchy.NodeID
+
+// DAGNode is one node of a DAG input for HierarchyFromDAG.
+type DAGNode = hierarchy.DAGNode
+
+// NewHierarchy returns a hierarchy containing only a root node.
+func NewHierarchy(rootName string) *Hierarchy { return hierarchy.New(rootName) }
+
+// ReadHierarchy parses the text format written by Hierarchy.WriteTo.
+func ReadHierarchy(r io.Reader) (*Hierarchy, error) { return hierarchy.Read(r) }
+
+// HierarchyFromDAG converts a DAG to a tree by duplicating multi-parent
+// nodes under each parent (paper §6.5).
+func HierarchyFromDAG(dag []DAGNode) (*Hierarchy, error) { return hierarchy.FromDAG(dag) }
+
+// HierarchyFromPaths builds a hierarchy from a path-per-line category
+// listing ("Food/WesternFood/Fastfood/KFC"), the shape knowledge-base
+// dumps commonly reduce to. Node identity is the full path, so the same
+// name may appear under several parents (multi-node elements, §6.4).
+func HierarchyFromPaths(r io.Reader, sep byte, rootName string) (*Hierarchy, error) {
+	return hierarchy.FromPaths(r, sep, rootName)
+}
+
+// HierarchyFromEdges builds a hierarchy from "parent\tchild" is-a name
+// pairs. The input must be a forest; use HierarchyFromDAG for graphs
+// with shared children.
+func HierarchyFromEdges(r io.Reader, rootName string) (*Hierarchy, error) {
+	return hierarchy.FromEdges(r, rootName)
+}
+
+// Tokenize splits raw text into lowercase alphanumeric tokens — the
+// paper's object model ("we model each object as a set of elements by
+// tokenizing the object", §2.1).
+func Tokenize(s string) []string { return strutil.Tokenize(s) }
+
+// Synonyms is a dictionary of synonym groups, used by K-Join+ resolution
+// (φ = 1 for synonyms in Equation 2) and by rule-based baselines.
+type Synonyms = synonym.Dict
+
+// NewSynonyms returns an empty synonym dictionary.
+func NewSynonyms() *Synonyms { return synonym.New() }
+
+// ElementMetric selects the element similarity formula.
+type ElementMetric = elem.Metric
+
+// Element similarity metrics (paper Definition 1 and §6.2).
+const (
+	// Standard is SIM(x, y) = depth(LCA) / max(depth(x), depth(y)).
+	Standard = elem.Standard
+	// WuPalmer is SIM(x, y) = 2·depth(LCA) / (depth(x) + depth(y)).
+	WuPalmer = elem.WuPalmer
+)
+
+// SetMetric selects the object-level set similarity (§6.3).
+type SetMetric = setmetric.Kind
+
+// Set similarity metrics.
+const (
+	Jaccard = setmetric.Jaccard
+	Dice    = setmetric.Dice
+	Cosine  = setmetric.Cosine
+)
+
+// Scheme selects the signature filtering scheme (§3.1, §4).
+type Scheme = sig.Scheme
+
+// Signature schemes.
+const (
+	// NodeScheme uses the single node signature at depth d_δ.
+	NodeScheme = sig.Node
+	// ShallowScheme uses the shallow path signatures (Definition 6).
+	ShallowScheme = sig.Shallow
+	// DeepScheme uses the deep path signatures (Definition 7) — the
+	// highest pruning power and the paper's recommendation.
+	DeepScheme = sig.Deep
+)
+
+// Verifier selects the verification algorithm (§3.2, §5).
+type Verifier = verify.Kind
+
+// Verification algorithms.
+const (
+	// BasicVerify solves one maximum matching on the whole bigraph.
+	BasicVerify = verify.Basic
+	// SubGraphVerify decomposes by node signature (Lemma 8).
+	SubGraphVerify = verify.SubGraph
+	// AdaptiveVerify adds upper/lower bounds with early termination
+	// (Algorithm 3) — the paper's recommendation.
+	AdaptiveVerify = verify.Adaptive
+)
+
+// Options configures a join; start from Defaults.
+type Options = core.Options
+
+// Pair is one join result. For a self join, X < Y index the input slice;
+// for an R-S join, X indexes R and Y indexes S.
+type Pair = core.Pair
+
+// Stats reports the work a join did (candidates, prunings, timings).
+type Stats = core.Stats
+
+// Defaults returns the paper's recommended configuration for the given
+// thresholds: deep signatures with the weighted path prefix, adaptive
+// verification, Jaccard set similarity, standard element metric.
+func Defaults(delta, tau float64) Options { return core.Defaults(delta, tau) }
+
+// SelfJoin finds all pairs (x, y), x < y, of objects with
+// SIMδ(x, y) ≥ τ. Each object is a set of string elements (tokens);
+// duplicates within an object are ignored.
+func SelfJoin(h *Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, error) {
+	return core.SelfJoin(h, objects, opt)
+}
+
+// Join finds all pairs (r, s) ∈ R × S with SIMδ(r, s) ≥ τ (paper §6.1).
+func Join(h *Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
+	return core.Join(h, r, s, opt)
+}
+
+// Similarity computes SIMδ(x, y) for two objects directly (Definition 2):
+// the maximum-weight matching of the δ-thresholded element-similarity
+// bigraph, normalized by the configured set metric.
+func Similarity(h *Hierarchy, x, y []string, opt Options) (float64, error) {
+	return core.Similarity(h, x, y, opt)
+}
+
+// TopKSelfJoin returns the k most similar pairs with similarity at least
+// opt.Tau (the floor). It probes with a descending threshold schedule,
+// so finding tight top pairs is much cheaper than one low-threshold join.
+func TopKSelfJoin(h *Hierarchy, objects [][]string, k int, opt Options) ([]Pair, *Stats, error) {
+	return core.TopKSelfJoin(h, objects, k, opt)
+}
+
+// Indexer is the online form of the join: add objects one at a time and
+// get back the similar pairs against everything added before (streaming
+// deduplication), or Query without inserting (similarity search).
+type Indexer = core.Indexer
+
+// Match is one Indexer.Query result.
+type Match = core.Match
+
+// NewIndexer returns an empty Indexer over the hierarchy.
+func NewIndexer(h *Hierarchy, opt Options) (*Indexer, error) {
+	return core.NewIndexer(h, opt)
+}
+
+// LoadIndexer rebuilds an Indexer from a snapshot written by
+// Indexer.WriteSnapshot. Options must match the snapshot's configuration
+// fingerprint.
+func LoadIndexer(h *Hierarchy, opt Options, r io.Reader) (*Indexer, error) {
+	return core.LoadIndexer(h, opt, r)
+}
+
+// Cluster groups n objects into similarity clusters given join result
+// pairs: connected components of the similarity graph (the paper's
+// motivating "classify similar restaurants together" use). Every object
+// appears in exactly one cluster; singletons are included. Clusters are
+// ordered by their smallest member.
+func Cluster(n int, pairs []Pair) [][]int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range pairs {
+		if p.X < 0 || p.X >= n || p.Y < 0 || p.Y >= n {
+			continue
+		}
+		rx, ry := find(p.X), find(p.Y)
+		if rx != ry {
+			if rx > ry {
+				rx, ry = ry, rx
+			}
+			parent[ry] = rx // root at the smallest member
+		}
+	}
+	members := make(map[int][]int)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if len(members[r]) == 0 {
+			roots = append(roots, r)
+		}
+		members[r] = append(members[r], i)
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, members[r])
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package kjoin_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+// fig1 builds the paper's Figure 1 hierarchy through the public API.
+func fig1() *kjoin.Hierarchy {
+	h := kjoin.NewHierarchy("Root")
+	node := map[string]kjoin.NodeID{"Root": h.Root()}
+	add := func(parent, name string) {
+		node[name] = h.Add(node[parent], name)
+	}
+	add("Root", "Food")
+	add("Food", "WesternFood")
+	add("WesternFood", "Fastfood")
+	add("WesternFood", "Pizza")
+	add("Fastfood", "BurgerKing")
+	add("Fastfood", "KFC")
+	add("Pizza", "PizzaHut")
+	add("Pizza", "Dominos")
+	add("Root", "Location")
+	add("Location", "US")
+	add("US", "CA")
+	add("US", "NY")
+	add("CA", "SanFrancisco")
+	add("CA", "PaloAlto")
+	add("SanFrancisco", "MountainView")
+	add("MountainView", "GoogleHeadquarters")
+	add("NY", "NewYork")
+	add("NewYork", "Manhattan")
+	add("NewYork", "Brooklyn")
+	return h
+}
+
+var table1 = [][]string{
+	{"BurgerKing", "MountainView"},
+	{"Pizza", "PaloAlto", "Brooklyn"},
+	{"Fastfood", "GoogleHeadquarters"},
+	{"PizzaHut", "KFC", "CA"},
+	{"Pizza", "GoogleHeadquarters"},
+	{"Fastfood", "Manhattan"},
+	{"Brooklyn", "Food"},
+	{"Pizza", "KFC", "Dominos", "SanFrancisco", "Manhattan", "Brooklyn"},
+	{"Fastfood", "PizzaHut", "BurgerKing", "PaloAlto", "MountainView", "NewYork"},
+}
+
+func TestPublicSelfJoinPaperExample(t *testing.T) {
+	h := fig1()
+	pairs, stats, err := kjoin.SelfJoin(h, table1, kjoin.Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].X != 0 || pairs[0].Y != 2 {
+		t.Fatalf("pairs = %v, want exactly ⟨S1, S3⟩", pairs)
+	}
+	if math.Abs(pairs[0].Sim-19.0/29) > 1e-9 {
+		t.Errorf("sim = %v, want 19/29", pairs[0].Sim)
+	}
+	if stats.Candidates == 0 {
+		t.Error("stats should report candidates")
+	}
+}
+
+func TestPublicSimilarity(t *testing.T) {
+	h := fig1()
+	opt := kjoin.Defaults(0.5, 0.5)
+	// {BurgerKing, MountainView} vs {PizzaHut, KFC, CA}: overlap 27/20,
+	// Jaccard 27/73 (paper §2.1.2).
+	s, err := kjoin.Similarity(h,
+		[]string{"BurgerKing", "MountainView"},
+		[]string{"PizzaHut", "KFC", "CA"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-27.0/73) > 1e-9 {
+		t.Errorf("Similarity = %v, want 27/73", s)
+	}
+	// Bad options surface errors.
+	if _, err := kjoin.Similarity(h, nil, nil, kjoin.Options{}); err == nil {
+		t.Error("zero options should be rejected")
+	}
+}
+
+func TestPublicRSJoinAndMetrics(t *testing.T) {
+	h := fig1()
+	opt := kjoin.Defaults(0.7, 0.5)
+	opt.Set = kjoin.Dice
+	opt.Metric = kjoin.WuPalmer
+	opt.Scheme = kjoin.NodeScheme
+	opt.Verifier = kjoin.BasicVerify
+	opt.Weighted = false
+	pairs, _, err := kjoin.Join(h, table1[:4], table1[4:], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.X < 0 || p.X >= 4 || p.Y < 0 || p.Y >= 5 {
+			t.Errorf("pair %v out of range", p)
+		}
+		if p.Sim < 0.5-1e-9 {
+			t.Errorf("pair %v below τ", p)
+		}
+	}
+}
+
+func TestPublicPlusWithSynonyms(t *testing.T) {
+	h := fig1()
+	d := kjoin.NewSynonyms()
+	d.Add("kfc", "kentuckyfriedchicken")
+	opt := kjoin.Defaults(0.8, 0.9)
+	opt.Plus = true
+	opt.Synonyms = d
+	pairs, _, err := kjoin.SelfJoin(h, [][]string{
+		{"KFC", "MountainView"},
+		{"KentuckyFriedChicken", "MountainView"},
+	}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Sim < 0.999 {
+		t.Fatalf("synonym pair should join with sim 1, got %v", pairs)
+	}
+}
+
+func TestHierarchySerializationRoundTrip(t *testing.T) {
+	h := fig1()
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := kjoin.ReadHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != h.Len() {
+		t.Fatal("round trip changed the hierarchy")
+	}
+}
+
+func TestHierarchyIngestionAndTokenize(t *testing.T) {
+	h, err := kjoin.HierarchyFromPaths(strings.NewReader(
+		"Food/WesternFood/Fastfood/KFC\nFood/WesternFood/Fastfood/BurgerKing\n"), '/', "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := kjoin.Defaults(0.7, 0.5)
+	s, err := kjoin.Similarity(h, []string{"KFC"}, []string{"BurgerKing"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.6) > 1e-9 { // element sim 3/4 → Jaccard 0.6
+		t.Errorf("sim = %v, want 0.6", s)
+	}
+	h2, err := kjoin.HierarchyFromEdges(strings.NewReader(
+		"Food\tWesternFood\nWesternFood\tFastfood\nFastfood\tKFC\nFastfood\tBurgerKing\n"), "Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := kjoin.Similarity(h2, []string{"KFC"}, []string{"BurgerKing"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s {
+		t.Errorf("path vs edge ingestion disagree: %v vs %v", s2, s)
+	}
+	toks := kjoin.Tokenize("Californian food at Fillmore st.")
+	if len(toks) != 5 || toks[0] != "californian" {
+		t.Errorf("Tokenize = %v", toks)
+	}
+}
+
+// Pathological inputs must not break the join.
+func TestPathologicalInputs(t *testing.T) {
+	// A deep chain hierarchy (depth 60).
+	h := kjoin.NewHierarchy("root")
+	n := h.Root()
+	var names []string
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("chain%02d", i)
+		n = h.Add(n, name)
+		names = append(names, name)
+	}
+	objs := [][]string{
+		{names[59], names[10]},
+		{names[58], names[10]},
+		{},          // empty object
+		{names[59]}, // singleton
+		names,       // giant object with the whole chain
+	}
+	for _, tau := range []float64{0.3, 0.9, 1.0} {
+		for _, delta := range []float64{0.3, 0.9, 1.0} {
+			opt := kjoin.Defaults(delta, tau)
+			pairs, _, err := kjoin.SelfJoin(h, objs, opt)
+			if err != nil {
+				t.Fatalf("δ=%v τ=%v: %v", delta, tau, err)
+			}
+			for _, p := range pairs {
+				if p.Sim < tau-1e-9 {
+					t.Errorf("δ=%v τ=%v: pair %v below τ", delta, tau, p)
+				}
+			}
+		}
+	}
+	// A star hierarchy (10k children of the root).
+	star := kjoin.NewHierarchy("root")
+	var tok []string
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("leaf%d", i)
+		star.Add(star.Root(), name)
+		if i < 30 {
+			tok = append(tok, name)
+		}
+	}
+	pairs, _, err := kjoin.SelfJoin(star, [][]string{tok, tok[:20]}, kjoin.Defaults(0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Errorf("star join pairs = %v", pairs)
+	}
+}
+
+func TestHierarchyFromDAG(t *testing.T) {
+	h, err := kjoin.HierarchyFromDAG([]kjoin.DAGNode{
+		{Name: "Root"},
+		{Name: "A", Parents: []int{0}},
+		{Name: "B", Parents: []int{0}},
+		{Name: "C", Parents: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Lookup("C")); got != 2 {
+		t.Errorf("C duplicated %d times, want 2", got)
+	}
+}
+
+func TestCluster(t *testing.T) {
+	pairs := []kjoin.Pair{{X: 0, Y: 1}, {X: 1, Y: 2}, {X: 4, Y: 5}}
+	got := kjoin.Cluster(7, pairs)
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Cluster = %v, want %v", got, want)
+	}
+	// Out-of-range pairs are ignored; empty inputs are fine.
+	got = kjoin.Cluster(2, []kjoin.Pair{{X: -1, Y: 5}})
+	if !reflect.DeepEqual(got, [][]int{{0}, {1}}) {
+		t.Errorf("Cluster = %v", got)
+	}
+	if got := kjoin.Cluster(0, nil); len(got) != 0 {
+		t.Errorf("Cluster(0) = %v", got)
+	}
+}
+
+func TestPublicIndexerAndTopK(t *testing.T) {
+	h := fig1()
+	opt := kjoin.Defaults(0.7, 0.6)
+	ix, err := kjoin.NewIndexer(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []kjoin.Pair
+	for _, o := range table1 {
+		pairs, err := ix.Add(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, pairs...)
+	}
+	if len(all) != 1 || all[0].X != 0 || all[0].Y != 2 {
+		t.Fatalf("indexer pairs = %v, want ⟨S1, S3⟩", all)
+	}
+	matches, err := ix.Query([]string{"BurgerKing", "MountainView"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("query should match the indexed S1")
+	}
+	top, _, err := kjoin.TopKSelfJoin(h, table1, 3, kjoin.Defaults(0.7, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top-3 returned %d pairs", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Sim > top[i-1].Sim+1e-12 {
+			t.Error("top-k not sorted by similarity")
+		}
+	}
+}
+
+// Integration: a generated dataset joined through the public API recovers
+// a sensible share of its injected duplicates, deterministically.
+func TestPublicDatasetIntegration(t *testing.T) {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(1500))
+	opt := kjoin.Defaults(0.8, 0.85)
+	pairs, stats, err := kjoin.SelfJoin(hr.H, c.Records, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates == 0 {
+		t.Fatal("no candidates generated")
+	}
+	keys := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		keys[i] = [2]int{p.X, p.Y}
+	}
+	q := datasets.Measure(keys, c.Truth)
+	if q.Precision() < 0.95 {
+		t.Errorf("precision = %v, want ≥ 0.95 (injected duplicates are the only similar pairs)", q.Precision())
+	}
+	if q.Recall() < 0.15 {
+		t.Errorf("recall = %v, too low for τ=0.85 near-duplicates", q.Recall())
+	}
+	// Determinism end to end.
+	pairs2, _, err := kjoin.SelfJoin(hr.H, c.Records, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pairs, pairs2) {
+		t.Error("join is not deterministic")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build ignore
+
+package main
+
+import (
+	"os"
+
+	"kjoin/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 5000
+	cfg.BaselineScale = 1500
+	for _, e := range os.Args[1:] {
+		if err := experiments.Run(e, cfg); err != nil {
+			panic(err)
+		}
+	}
+}
