@@ -1,0 +1,43 @@
+// Command kjoin-exp runs one or more named experiments at reduced,
+// laptop-friendly scales — a quick smoke-check companion to kjoin-bench
+// (which defaults to the paper's full configuration). Useful while
+// iterating on the join engine: it answers "did I break table4?" in
+// seconds rather than minutes.
+//
+// Usage:
+//
+//	kjoin-exp table4 fig9
+//	kjoin-exp -scale 10000 fig11
+//
+// With no experiment arguments it lists the available names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kjoin/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = 5000
+	cfg.BaselineScale = 1500
+	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "POI/Tweet size for efficiency experiments")
+	flag.IntVar(&cfg.BaselineScale, "baseline-scale", cfg.BaselineScale, "collection size for baseline comparisons")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: kjoin-exp [-scale n] experiment...\navailable: %s\n",
+			strings.Join(experiments.Names(), " "))
+		os.Exit(2)
+	}
+	for _, e := range flag.Args() {
+		if err := experiments.Run(e, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "kjoin-exp:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -2,7 +2,8 @@
 // HTTP: objects are streamed in and deduplicated against everything seen
 // before, and ad-hoc queries search the accumulated collection.
 //
-//	kjoin-serve -hierarchy kb.txt -addr :8080 -delta 0.8 -tau 0.8
+//	kjoin-serve -hierarchy kb.txt -addr :8080 -delta 0.8 -tau 0.8 \
+//	    -snapshot state.snap -snapshot-interval 30s
 //
 // Endpoints (JSON):
 //
@@ -11,33 +12,58 @@
 //	POST /query      {"tokens": [...]} → {"matches": [{"index": 3, "sim": 0.91}]}
 //	POST /similarity {"x": [...], "y": [...]} → {"sim": 0.75}
 //	GET  /stats      accumulated join statistics
+//	GET  /snapshot   downloadable snapshot of the index
+//	GET  /healthz    liveness probe
+//	GET  /readyz     readiness probe (503 while draining)
+//
+// The server sheds load with 429 + Retry-After past -max-inflight
+// concurrent expensive requests, caps bodies at -max-body-bytes, bounds
+// every request by -request-timeout, and shuts down gracefully on
+// SIGINT/SIGTERM: readiness flips to draining, in-flight requests get
+// -drain-timeout to finish, and a final snapshot is written atomically
+// when -snapshot is set. With -snapshot-interval a background
+// snapshotter also persists the index periodically, retrying failures
+// with exponential backoff.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"kjoin"
 	"kjoin/internal/core"
 	"kjoin/internal/server"
+	"kjoin/internal/serverutil"
 )
 
 func main() {
 	var (
-		hierPath = flag.String("hierarchy", "", "knowledge hierarchy file (required)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		delta    = flag.Float64("delta", 0.8, "element similarity threshold δ")
-		tau      = flag.Float64("tau", 0.8, "object similarity threshold τ")
-		plus     = flag.Bool("plus", false, "K-Join+ resolution")
-		snapshot = flag.String("snapshot", "", "optional snapshot file to preload (see GET /snapshot)")
+		hierPath   = flag.String("hierarchy", "", "knowledge hierarchy file (required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		delta      = flag.Float64("delta", 0.8, "element similarity threshold δ")
+		tau        = flag.Float64("tau", 0.8, "object similarity threshold τ")
+		plus       = flag.Bool("plus", false, "K-Join+ resolution")
+		snapshot   = flag.String("snapshot", "", "snapshot file: preloaded at startup if it exists, written atomically on shutdown and every -snapshot-interval")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -snapshot)")
+		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes")
+		maxInflt   = flag.Int("max-inflight", 64, "max concurrent expensive requests before shedding with 429")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		drainT     = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
 	if *hierPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *snapEvery > 0 && *snapshot == "" {
+		log.Fatal("kjoin-serve: -snapshot-interval requires -snapshot")
 	}
 	f, err := os.Open(*hierPath)
 	if err != nil {
@@ -50,23 +76,89 @@ func main() {
 	}
 	opt := core.Defaults(*delta, *tau)
 	opt.Plus = *plus
+	cfg := server.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxInflight:    *maxInflt,
+		RequestTimeout: *reqTimeout,
+		Logf:           log.Printf,
+	}
 	var srv *server.Server
 	if *snapshot != "" {
 		sf, err := os.Open(*snapshot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		srv, err = server.NewFromSnapshot(h, opt, sf)
-		sf.Close()
-		if err != nil {
+		switch {
+		case err == nil:
+			srv, err = server.NewFromSnapshotWithConfig(h, opt, cfg, sf)
+			sf.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("kjoin-serve: restored snapshot %s", *snapshot)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: start empty, the file appears on first write.
+			srv, err = server.NewWithConfig(h, opt, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+		default:
 			log.Fatal(err)
 		}
 	} else {
-		srv, err = server.New(h, opt)
+		srv, err = server.NewWithConfig(h, opt, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "kjoin-serve: hierarchy %d nodes, listening on %s\n", h.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Full timeout battery: slow-loris headers, stuck reads, stuck
+		// writes and idle keep-alives all get bounded. Read/write budgets
+		// leave headroom over the per-request deadline. Request contexts
+		// are deliberately NOT tied to the signal context — in-flight
+		// requests must be allowed to finish during the drain window.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *reqTimeout + 30*time.Second,
+		WriteTimeout:      *reqTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *snapEvery > 0 {
+		snap := &serverutil.Snapshotter{
+			Interval: *snapEvery,
+			Write:    func() error { return srv.SnapshotTo(*snapshot) },
+			Logf:     log.Printf,
+		}
+		go snap.Run(ctx)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("kjoin-serve: hierarchy %d nodes, listening on %s", h.Len(), *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop advertising readiness, drain in-flight
+	// requests within the budget, then persist a final snapshot.
+	log.Printf("kjoin-serve: shutting down (draining up to %v)", *drainT)
+	srv.SetDraining(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("kjoin-serve: drain incomplete: %v", err)
+	}
+	if *snapshot != "" {
+		if err := srv.SnapshotTo(*snapshot); err != nil {
+			log.Printf("kjoin-serve: final snapshot failed: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("kjoin-serve: final snapshot written to %s", *snapshot)
+	}
 }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -70,6 +71,12 @@ type Options struct {
 // probeProgressStep is how many probe objects a worker processes between
 // Progress callbacks.
 const probeProgressStep = 4096
+
+// cancelCheckEvery is how many candidate verifications a probe worker
+// performs between context cancellation checks. Together with the
+// per-probe-object check it bounds the latency of a cancellation to one
+// filter/verify batch.
+const cancelCheckEvery = 256
 
 func (o *Options) progress(phase string, done, total int) {
 	if o.Progress != nil {
@@ -138,6 +145,10 @@ type joiner struct {
 	sp  *sig.Space
 	ctx *verify.Context
 	st  Stats
+	// cc is the cancellation context of the running join; loops check it
+	// periodically and abandon their work when it is done. Defaults to
+	// context.Background() (never cancelled).
+	cc context.Context
 }
 
 func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
@@ -159,7 +170,7 @@ func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
 		Synonyms:    opt.Synonyms,
 	})
 	sp := sig.NewSpace(res, opt.Metric, opt.Delta, opt.Scheme)
-	j := &joiner{opt: opt, res: res, sp: sp}
+	j := &joiner{opt: opt, res: res, sp: sp, cc: context.Background()}
 	j.ctx = &verify.Context{
 		Res:    res,
 		Space:  sp,
@@ -176,6 +187,9 @@ func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
 func (j *joiner) resolveAll(objects [][]string) []prepped {
 	out := make([]prepped, len(objects))
 	for i, toks := range objects {
+		if i&1023 == 1023 && j.cc.Err() != nil {
+			return out // caller surfaces j.cc.Err()
+		}
 		seen := make(map[elem.ID]bool, len(toks))
 		for _, t := range toks {
 			id := j.res.ID(t)
@@ -192,6 +206,9 @@ func (j *joiner) resolveAll(objects [][]string) []prepped {
 func (j *joiner) entriesFor(objs []prepped) [][]sig.Entry {
 	all := make([][]sig.Entry, len(objs))
 	for i := range objs {
+		if i&1023 == 1023 && j.cc.Err() != nil {
+			return all // caller surfaces j.cc.Err()
+		}
 		all[i] = j.sp.ObjectSigs(objs[i].elems)
 		j.st.SigEntries += int64(len(all[i]))
 		// Warm the verification group-key cache and precompute the
@@ -225,6 +242,9 @@ func (j *joiner) prefixes(objs []prepped, entries [][]sig.Entry, order *sig.Orde
 			defer wg.Done()
 			total := 0
 			for i := w; i < len(objs); i += workers {
+				if i&511 == 511 && j.cc.Err() != nil {
+					break // caller surfaces j.cc.Err()
+				}
 				en := entries[i]
 				order.Sort(en)
 				n := len(objs[i].elems)
@@ -260,21 +280,39 @@ func (j *joiner) prefixes(objs []prepped, entries [][]sig.Entry, order *sig.Orde
 // objects (tokenized). It implements Algorithms 1/2 with the options'
 // signature scheme and verifier.
 func SelfJoin(h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, error) {
+	return SelfJoinCtx(context.Background(), h, objects, opt)
+}
+
+// SelfJoinCtx is SelfJoin under a cancellation context: when ctx is
+// cancelled or its deadline passes, the join aborts within one
+// filter/verify batch and returns ctx.Err(). All worker goroutines have
+// exited by the time it returns.
+func SelfJoinCtx(ctx context.Context, h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, error) {
 	if err := opt.validate(); err != nil {
 		return nil, nil, err
 	}
 	j := newJoiner(h, opt)
+	j.cc = ctx
 	t0 := time.Now()
 	objs := j.resolveAll(objects)
 	opt.progress("resolve", 0, len(objs))
 	j.res.ResolveAll(opt.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	opt.progress("signatures", 0, len(objs))
 	j.sp.Warm(j.res.Len(), opt.Workers)
 	entries := j.entriesFor(objs)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	order := sig.BuildOrder(entries)
 	j.prefixes(objs, entries, order)
 	j.st.Preprocess = time.Since(t0)
 	j.st.Objects = len(objs)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	t1 := time.Now()
 	opt.progress("index", 0, len(objs))
@@ -285,6 +323,9 @@ func SelfJoin(h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, 
 	j.st.BuildIndex = time.Since(t1)
 
 	pairs := j.probe(objs, objs, ix, true)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	opt.progress("done", len(objs), len(objs))
 	return pairs, &j.st, nil
 }
@@ -292,22 +333,38 @@ func SelfJoin(h *hierarchy.Hierarchy, objects [][]string, opt Options) ([]Pair, 
 // Join finds all pairs (r, s) ∈ R × S with SIMδ(r, s) ≥ τ (§6.1). The
 // larger collection is indexed, the smaller probes it.
 func Join(h *hierarchy.Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
+	return JoinCtx(context.Background(), h, r, s, opt)
+}
+
+// JoinCtx is Join under a cancellation context; see SelfJoinCtx for the
+// cancellation semantics.
+func JoinCtx(ctx context.Context, h *hierarchy.Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
 	if err := opt.validate(); err != nil {
 		return nil, nil, err
 	}
 	j := newJoiner(h, opt)
+	j.cc = ctx
 	t0 := time.Now()
 	robjs := j.resolveAll(r)
 	sobjs := j.resolveAll(s)
 	j.res.ResolveAll(opt.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	j.sp.Warm(j.res.Len(), opt.Workers)
 	rentries := j.entriesFor(robjs)
 	sentries := j.entriesFor(sobjs)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	order := sig.BuildOrder(append(append([][]sig.Entry{}, rentries...), sentries...))
 	j.prefixes(robjs, rentries, order)
 	j.prefixes(sobjs, sentries, order)
 	j.st.Preprocess = time.Since(t0)
 	j.st.Objects = len(robjs) + len(sobjs)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Index the larger set, probe with the smaller (§6.1).
 	big, small := robjs, sobjs
@@ -324,6 +381,9 @@ func Join(h *hierarchy.Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats,
 	j.st.BuildIndex = time.Since(t1)
 
 	pairs := j.probeRS(small, big, ix, swapped)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	return pairs, &j.st, nil
 }
 
@@ -369,6 +429,9 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 				if processed%probeProgressStep == 0 {
 					j.opt.progress("probe", processed*workers, len(probes))
 				}
+				if j.cc.Err() != nil {
+					break // join is cancelled; caller surfaces j.cc.Err()
+				}
 				px := &probes[x]
 				for _, s := range px.prefix {
 					for _, y := range ix.Postings(s) {
@@ -382,6 +445,9 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 						}
 						seen[y] = int32(x)
 						local.candidates++
+						if local.candidates%cancelCheckEvery == 0 && j.cc.Err() != nil {
+							break
+						}
 						tv := time.Now()
 						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
 						local.vtime += time.Since(tv)
@@ -450,6 +516,9 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 				seen[i] = -1
 			}
 			for x := w; x < len(probes); x += workers {
+				if j.cc.Err() != nil {
+					break // join is cancelled; caller surfaces j.cc.Err()
+				}
 				px := &probes[x]
 				for _, s := range px.prefix {
 					for _, y := range ix.Postings(s) {
@@ -458,6 +527,9 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 						}
 						seen[y] = int32(x)
 						local.candidates++
+						if local.candidates%cancelCheckEvery == 0 && j.cc.Err() != nil {
+							break
+						}
 						tv := time.Now()
 						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
 						local.vtime += time.Since(tv)
@@ -502,15 +574,35 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 // Similarity computes SIMδ(x, y) exactly for a single pair of tokenized
 // objects (Definition 2 under the configured metrics and resolution).
 func Similarity(h *hierarchy.Hierarchy, x, y []string, opt Options) (float64, error) {
+	return SimilarityCtx(context.Background(), h, x, y, opt)
+}
+
+// SimilarityCtx is Similarity under a cancellation context. Both objects
+// must be structurally valid (non-empty token lists, no empty tokens);
+// violations return an *InputError.
+func SimilarityCtx(ctx context.Context, h *hierarchy.Hierarchy, x, y []string, opt Options) (float64, error) {
 	if err := opt.validate(); err != nil {
 		return 0, err
 	}
+	if err := validateTokens(x); err != nil {
+		return 0, err
+	}
+	if err := validateTokens(y); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	j := newJoiner(h, opt)
+	j.cc = ctx
 	objs := j.resolveAll([][]string{x, y})
 	for i := range objs {
 		for _, e := range objs[i].elems {
 			j.sp.GroupKeys(e)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	return j.ctx.Similarity(objs[0].elems, objs[1].elems), nil
 }

@@ -1,0 +1,34 @@
+package core
+
+import "fmt"
+
+// InputError reports a structurally invalid input object (as opposed to
+// invalid Options or an internal failure). Servers map it to a client
+// error (HTTP 400); detect it with errors.As.
+type InputError struct {
+	// Reason is a short machine-readable slug ("empty_object",
+	// "empty_token").
+	Reason string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *InputError) Error() string { return fmt.Sprintf("kjoin: invalid input: %s", e.Detail) }
+
+// validateTokens rejects structurally invalid objects: empty token lists
+// and empty-string tokens. Both would previously be indexed silently —
+// an empty object can never be similar to anything (its similarity is
+// undefined under Jaccard), and an empty token resolves to a phantom
+// element that matches every other empty token with similarity 1.
+func validateTokens(tokens []string) error {
+	if len(tokens) == 0 {
+		return &InputError{Reason: "empty_object", Detail: "object has no tokens"}
+	}
+	for i, t := range tokens {
+		if t == "" {
+			return &InputError{Reason: "empty_token", Detail: fmt.Sprintf("token %d is empty", i)}
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,13 +24,24 @@ import (
 // exactly the same join result — candidate counts are merely less
 // optimized than the offline df order.
 //
-// An Indexer is not safe for concurrent use.
+// An Indexer is not safe for unsynchronized concurrent use. Mutating
+// calls (Add, AddCtx, PrepareQuery, Query, QueryCtx) require exclusive
+// access; the read-only calls RunQuery, WriteSnapshot, Len and Stats may
+// run concurrently with each other provided no mutating call is in
+// flight — the split that lets a server run queries under a shared
+// (read) lock.
 type Indexer struct {
 	j     *joiner
 	order *sig.Order
 	ix    *index.Inverted
 	objs  []prepped
-	seen  []int32
+	// seen stamps the last probe (by stamp value) that visited each
+	// indexed object, deduplicating candidates across an object's prefix
+	// signatures. Stamps are drawn from a monotonic counter rather than
+	// the object id so that a cancelled Add can never leave stamps a
+	// later Add would mistake for its own.
+	seen  []int64
+	stamp int64
 }
 
 // NewIndexer returns an empty Indexer over the hierarchy with the given
@@ -54,19 +66,16 @@ func (ix *Indexer) Len() int { return len(ix.objs) }
 // Stats returns the accumulated statistics.
 func (ix *Indexer) Stats() Stats { return ix.j.st }
 
-// Add indexes the tokenized object and returns the pairs (i, Len()-1)
-// for every previously added object i similar to it. The returned pair
-// indices refer to insertion order.
-func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
-	t0 := time.Now()
+// prepObject computes the preprocessed form of one tokenized object:
+// interned elements, sorted group keys and the deduplicated prefix under
+// the Indexer's fixed signature order. It mutates the shared resolution
+// and signature caches and therefore requires exclusive access. The
+// returned entry count feeds the SigEntries statistic (queries do not
+// count).
+func (ix *Indexer) prepObject(tokens []string) (prepped, int) {
 	j := ix.j
-	id := len(ix.objs)
-	if id > (1<<31)-2 {
-		return nil, fmt.Errorf("kjoin: indexer is full")
-	}
 	p := j.resolveAll([][]string{tokens})[0]
 	entries := j.sp.ObjectSigs(p.elems)
-	j.st.SigEntries += int64(len(entries))
 	p.keys = j.ctx.SortedKeys(p.elems)
 	ix.order.Sort(entries)
 	n := len(p.elems)
@@ -83,21 +92,56 @@ func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
 			p.prefix = append(p.prefix, int32(e.Sig))
 		}
 	}
+	return p, len(entries)
+}
+
+// Add indexes the tokenized object and returns the pairs (i, Len()-1)
+// for every previously added object i similar to it. The returned pair
+// indices refer to insertion order.
+func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
+	_, pairs, err := ix.AddCtx(context.Background(), tokens)
+	return pairs, err
+}
+
+// AddCtx is Add under a cancellation context, returning the id assigned
+// to the object (its insertion index). A cancelled context aborts the
+// probe within one verification batch and leaves the Indexer exactly as
+// it was — the object is not indexed. Structurally invalid objects
+// (empty token list, empty-string token) return an *InputError.
+func (ix *Indexer) AddCtx(ctx context.Context, tokens []string) (int, []Pair, error) {
+	if err := validateTokens(tokens); err != nil {
+		return 0, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	t0 := time.Now()
+	j := ix.j
+	id := len(ix.objs)
+	if id > (1<<31)-2 {
+		return 0, nil, fmt.Errorf("kjoin: indexer is full")
+	}
+	p, entries := ix.prepObject(tokens)
+	j.st.SigEntries += int64(entries)
 	j.st.Preprocess += time.Since(t0)
 
-	// Probe: all prior objects sharing a prefix signature. The stamp
-	// array marks visited candidates; stamps from previous Adds hold
-	// strictly smaller ids, so no reset is needed.
+	// Probe: all prior objects sharing a prefix signature, deduplicated
+	// by stamping them with this probe's stamp value.
 	t1 := time.Now()
-	ix.seen = append(ix.seen, -1)
+	ix.stamp++
+	stamp := ix.stamp
 	var out []Pair
 	for _, s := range p.prefix {
 		for _, y := range ix.ix.Postings(s) {
-			if ix.seen[y] == int32(id) {
+			if ix.seen[y] == stamp {
 				continue
 			}
-			ix.seen[y] = int32(id)
+			ix.seen[y] = stamp
 			j.st.Candidates++
+			if j.st.Candidates%cancelCheckEvery == 0 && ctx.Err() != nil {
+				j.st.Probe += time.Since(t1)
+				return 0, nil, ctx.Err()
+			}
 			tv := time.Now()
 			ok := j.ctx.VerifyKeyed(p.elems, ix.objs[y].elems, p.keys, ix.objs[y].keys, j.opt.Verifier, &j.st.Verify)
 			j.st.VerifyTime += time.Since(tv)
@@ -112,9 +156,10 @@ func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
 	}
 	ix.ix.AddAll(p.prefix, int32(id))
 	ix.objs = append(ix.objs, p)
+	ix.seen = append(ix.seen, 0)
 	j.st.Objects = len(ix.objs)
 	j.st.Probe += time.Since(t1)
-	return out, nil
+	return id, out, nil
 }
 
 // Match is one similarity-search result: the insertion index of a
@@ -124,47 +169,77 @@ type Match struct {
 	Sim   float64
 }
 
-// Query reports the indexed objects similar to the tokenized object
-// without adding it to the index — knowledge-aware similarity search
-// over the accumulated collection.
-func (ix *Indexer) Query(tokens []string) ([]Match, error) {
+// PreparedQuery is the preprocessed form of a query object, produced by
+// PrepareQuery and consumed by RunQuery.
+type PreparedQuery struct {
+	p prepped
+}
+
+// PrepareQuery resolves and preprocesses a query object without probing
+// the index. It mutates the Indexer's shared caches (token interning,
+// lazy resolution, signature generation) and therefore requires the same
+// exclusive access as Add — but it is cheap (proportional to the query's
+// tokens), whereas the probe it prepares for is the expensive part and
+// runs read-only in RunQuery.
+func (ix *Indexer) PrepareQuery(tokens []string) (*PreparedQuery, error) {
+	if err := validateTokens(tokens); err != nil {
+		return nil, err
+	}
+	p, _ := ix.prepObject(tokens)
+	return &PreparedQuery{p: p}, nil
+}
+
+// RunQuery probes the index with a prepared query and reports the
+// indexed objects similar to it. It reads only state that PrepareQuery
+// and earlier Adds fully materialized, so any number of RunQuery calls
+// (and WriteSnapshot, Len, Stats) may run concurrently — only mutating
+// calls must be excluded. A cancelled context aborts the probe within
+// one verification batch.
+func (ix *Indexer) RunQuery(ctx context.Context, q *PreparedQuery) ([]Match, error) {
 	j := ix.j
-	p := j.resolveAll([][]string{tokens})[0]
-	entries := j.sp.ObjectSigs(p.elems)
-	p.keys = j.ctx.SortedKeys(p.elems)
-	ix.order.Sort(entries)
-	n := len(p.elems)
-	var plen int
-	if j.opt.Weighted {
-		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
-	} else {
-		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
-	}
-	seenSig := make(map[sig.Sig]bool, plen)
-	var prefix []int32
-	for _, e := range entries[:plen] {
-		if !seenSig[e.Sig] {
-			seenSig[e.Sig] = true
-			prefix = append(prefix, int32(e.Sig))
-		}
-	}
 	seen := make(map[int32]bool)
 	var out []Match
 	var st Stats
-	for _, s := range prefix {
+	var checked int64
+	for _, s := range q.p.prefix {
 		for _, y := range ix.ix.Postings(s) {
 			if seen[y] {
 				continue
 			}
 			seen[y] = true
-			if j.ctx.VerifyKeyed(p.elems, ix.objs[y].elems, p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
+			checked++
+			if checked%cancelCheckEvery == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if j.ctx.VerifyKeyed(q.p.elems, ix.objs[y].elems, q.p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
 				m := Match{Index: int(y)}
 				if j.opt.ComputeSims {
-					m.Sim = j.ctx.Similarity(p.elems, ix.objs[y].elems)
+					m.Sim = j.ctx.Similarity(q.p.elems, ix.objs[y].elems)
 				}
 				out = append(out, m)
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// Query reports the indexed objects similar to the tokenized object
+// without adding it to the index — knowledge-aware similarity search
+// over the accumulated collection.
+func (ix *Indexer) Query(tokens []string) ([]Match, error) {
+	return ix.QueryCtx(context.Background(), tokens)
+}
+
+// QueryCtx is Query under a cancellation context: PrepareQuery followed
+// by RunQuery. Callers that hold their own locks (like the HTTP server)
+// call the two phases directly so the probe runs under a shared lock.
+func (ix *Indexer) QueryCtx(ctx context.Context, tokens []string) ([]Match, error) {
+	q, err := ix.PrepareQuery(tokens)
+	if err != nil {
+		return nil, err
+	}
+	return ix.RunQuery(ctx, q)
 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/paperdata"
+)
+
+// cancelWorkload builds a join input dense enough that the probe phase
+// has real work to abort: a flat hierarchy (every token is a node under
+// the root) and objects drawing from a small token pool, so prefix
+// filtering passes nearly every pair through to verification.
+func cancelWorkload(nTokens, nObjs, perObj int) (*hierarchy.Hierarchy, [][]string) {
+	h := hierarchy.New("Root")
+	names := make([]string, nTokens)
+	for i := range names {
+		names[i] = fmt.Sprintf("tok%03d", i)
+		h.Add(h.Root(), names[i])
+	}
+	r := rand.New(rand.NewSource(7))
+	objs := make([][]string, nObjs)
+	for i := range objs {
+		for j := 0; j < perObj; j++ {
+			objs[i] = append(objs[i], names[r.Intn(len(names))])
+		}
+	}
+	return h, objs
+}
+
+func TestSelfJoinCtxCancelledUpFront(t *testing.T) {
+	h, objs := cancelWorkload(50, 200, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs, st, err := SelfJoinCtx(ctx, h, objs, Defaults(0.7, 0.5))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pairs != nil || st != nil {
+		t.Errorf("cancelled join returned results: pairs=%v st=%v", pairs, st)
+	}
+}
+
+// TestJoinCtxCancelAborts cancels a large in-flight join and asserts it
+// returns context.Canceled promptly with all worker goroutines gone.
+func TestJoinCtxCancelAborts(t *testing.T) {
+	h, objs := cancelWorkload(60, 4000, 8)
+	opt := Defaults(0.5, 0.2) // low thresholds: huge candidate volume
+	opt.Workers = 2
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type res struct {
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan res, 1)
+	go func() {
+		t0 := time.Now()
+		_, _, err := SelfJoinCtx(ctx, h, objs, opt)
+		done <- res{err: err, elapsed: time.Since(t0)}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case r := <-done:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("join did not return within 10s of cancellation")
+	}
+
+	// Worker goroutines must have exited with the join (no leak). Allow
+	// the runtime a moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d (leak?)", before, runtime.NumGoroutine())
+}
+
+func TestJoinCtxRSCancelled(t *testing.T) {
+	h, objs := cancelWorkload(40, 300, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := JoinCtx(ctx, h, objs[:150], objs[150:], Defaults(0.7, 0.5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSelfJoinCtxUncancelledMatchesSelfJoin(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	objs := paperdata.Table1()
+	want, _, err := SelfJoin(h, objs, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SelfJoinCtx(context.Background(), h, objs, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ctx join = %v, plain join = %v", got, want)
+	}
+	for i := range got {
+		if got[i].X != want[i].X || got[i].Y != want[i].Y {
+			t.Errorf("pair %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndexerAddCtxReturnsID(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	ix, err := NewIndexer(h, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range paperdata.Table1() {
+		id, _, err := ix.AddCtx(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Errorf("AddCtx id = %d, want %d", id, i)
+		}
+	}
+	if ix.Len() != len(paperdata.Table1()) {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+// TestIndexerAddCtxCancelledLeavesStateIntact checks that an Add aborted
+// by cancellation neither indexes the object nor poisons the candidate
+// dedup stamps of the next Add.
+func TestIndexerAddCtxCancelledLeavesStateIntact(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	ix, err := NewIndexer(h, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range paperdata.Table1() {
+		if _, err := ix.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := ix.Len()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ix.AddCtx(ctx, []string{"BurgerKing", "MountainView"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ix.Len() != n {
+		t.Fatalf("cancelled Add changed Len: %d -> %d", n, ix.Len())
+	}
+	// The same object added for real must still report its pairs.
+	id, pairs, err := ix.AddCtx(context.Background(), []string{"BurgerKing", "MountainView"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != n {
+		t.Errorf("id = %d, want %d", id, n)
+	}
+	if len(pairs) == 0 {
+		t.Error("re-added object reported no pairs; stamps poisoned by cancelled Add?")
+	}
+}
+
+func TestIndexerValidation(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	ix, err := NewIndexer(h, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ie *InputError
+	if _, err := ix.Add(nil); !errors.As(err, &ie) {
+		t.Errorf("Add(nil) err = %v, want *InputError", err)
+	} else if ie.Reason != "empty_object" {
+		t.Errorf("reason = %q", ie.Reason)
+	}
+	if _, err := ix.Add([]string{"KFC", ""}); !errors.As(err, &ie) {
+		t.Errorf("Add with empty token err = %v, want *InputError", err)
+	} else if ie.Reason != "empty_token" {
+		t.Errorf("reason = %q", ie.Reason)
+	}
+	if _, err := ix.Query([]string{}); !errors.As(err, &ie) {
+		t.Errorf("Query(empty) err = %v, want *InputError", err)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("rejected objects were indexed: Len = %d", ix.Len())
+	}
+}
+
+func TestSimilarityValidation(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	var ie *InputError
+	if _, err := Similarity(h, nil, []string{"KFC"}, Defaults(0.7, 0.6)); !errors.As(err, &ie) {
+		t.Errorf("empty x err = %v, want *InputError", err)
+	}
+	if _, err := Similarity(h, []string{"KFC"}, []string{""}, Defaults(0.7, 0.6)); !errors.As(err, &ie) {
+		t.Errorf("empty token in y err = %v, want *InputError", err)
+	}
+}
+
+// TestQueryPreparedConcurrent exercises the PrepareQuery/RunQuery split:
+// many RunQuery calls racing against each other (reads only) must agree
+// with the serial Query result. Run with -race to make this meaningful.
+func TestQueryPreparedConcurrent(t *testing.T) {
+	h, objs := cancelWorkload(30, 200, 5)
+	ix, err := NewIndexer(h, Defaults(0.7, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if _, err := ix.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := objs[17]
+	want, err := ix.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ix.PrepareQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			got, err := ix.RunQuery(context.Background(), q)
+			if err == nil && len(got) != len(want) {
+				err = fmt.Errorf("RunQuery found %d matches, want %d", len(got), len(want))
+			}
+			errs <- err
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"kjoin/internal/hierarchy"
-	"kjoin/internal/sig"
 )
 
 // snapshotMagic heads every Indexer snapshot.
@@ -100,33 +99,18 @@ func LoadIndexer(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, er
 }
 
 // addNoProbe indexes an object without searching for its pairs — the
-// replay path of LoadIndexer.
+// replay path of LoadIndexer. It stays lenient about structurally odd
+// objects (empty lines) so snapshots written before input validation
+// existed still load.
 func (ix *Indexer) addNoProbe(tokens []string) error {
 	j := ix.j
 	id := len(ix.objs)
 	if id > (1<<31)-2 {
 		return fmt.Errorf("kjoin: indexer is full")
 	}
-	p := j.resolveAll([][]string{tokens})[0]
-	entries := j.sp.ObjectSigs(p.elems)
-	j.st.SigEntries += int64(len(entries))
-	p.keys = j.ctx.SortedKeys(p.elems)
-	ix.order.Sort(entries)
-	n := len(p.elems)
-	var plen int
-	if j.opt.Weighted {
-		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
-	} else {
-		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
-	}
-	seenSig := make(map[int32]bool, plen)
-	for _, e := range entries[:plen] {
-		if !seenSig[int32(e.Sig)] {
-			seenSig[int32(e.Sig)] = true
-			p.prefix = append(p.prefix, int32(e.Sig))
-		}
-	}
-	ix.seen = append(ix.seen, -1)
+	p, entries := ix.prepObject(tokens)
+	j.st.SigEntries += int64(entries)
+	ix.seen = append(ix.seen, 0)
 	ix.ix.AddAll(p.prefix, int32(id))
 	ix.objs = append(ix.objs, p)
 	j.st.Objects = len(ix.objs)

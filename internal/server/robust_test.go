@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/paperdata"
+	"kjoin/internal/serverutil"
+)
+
+func newConfiguredServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	s, err := NewWithConfig(h, core.Defaults(0.7, 0.6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func decodeError(t *testing.T, resp *http.Response) serverutil.ErrorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	var body serverutil.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not structured JSON: %v", err)
+	}
+	return body
+}
+
+// TestStormRace floods the server with concurrent adds, queries, stats
+// and snapshot downloads. Run under -race this is the concurrency proof
+// for the RWMutex refactor: queries and snapshots share the read lock
+// while adds interleave under the write lock.
+func TestStormRace(t *testing.T) {
+	_, ts := newConfiguredServer(t, Config{MaxInflight: 256})
+	table := paperdata.Table1()
+	const writers, readers, rounds = 4, 8, 20
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tokens := append([]string{fmt.Sprintf("w%d-%d", w, i)}, table[i%len(table)]...)
+				r := post(t, ts.URL+"/objects", map[string]any{"tokens": tokens}, nil)
+				if r.StatusCode != http.StatusOK {
+					t.Errorf("add: status %d", r.StatusCode)
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < readers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 3 {
+				case 0:
+					r := post(t, ts.URL+"/query", map[string]any{"tokens": table[i%len(table)]}, nil)
+					if r.StatusCode != http.StatusOK {
+						t.Errorf("query: status %d", r.StatusCode)
+					}
+				case 1:
+					resp, err := http.Get(ts.URL + "/snapshot")
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("snapshot: status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				default:
+					resp, err := http.Get(ts.URL + "/stats")
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					resp.Body.Close()
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st["objects"].(float64); got != writers*rounds {
+		t.Errorf("objects = %v, want %d", got, writers*rounds)
+	}
+}
+
+// TestSaturationSheds429 fills every admission slot directly and checks
+// the next request is shed with 429 + Retry-After instead of queueing.
+func TestSaturationSheds429(t *testing.T) {
+	s, ts := newConfiguredServer(t, Config{MaxInflight: 2})
+	for i := 0; i < 2; i++ {
+		if !s.sem.TryAcquire() {
+			t.Fatal("could not pre-fill semaphore")
+		}
+	}
+	defer func() {
+		s.sem.Release()
+		s.sem.Release()
+	}()
+	r := post(t, ts.URL+"/query", map[string]any{"tokens": []string{"KFC"}}, nil)
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Health probes are exempt from admission control.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under saturation: status %d", resp.StatusCode)
+	}
+}
+
+func TestOversizedBody400(t *testing.T) {
+	_, ts := newConfiguredServer(t, Config{MaxBodyBytes: 256})
+	big := map[string]any{"tokens": []string{strings.Repeat("a", 1000)}}
+	b, _ := json.Marshal(big)
+	resp, err := http.Post(ts.URL+"/objects", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if body := decodeError(t, resp); body.Code != "body_too_large" {
+		t.Errorf("code = %q, want body_too_large", body.Code)
+	}
+}
+
+func TestInvalidInput400(t *testing.T) {
+	_, ts := newConfiguredServer(t, Config{MaxTokens: 4, MaxTokenLen: 16})
+	cases := []struct {
+		name string
+		url  string
+		body any
+		code string
+	}{
+		{"empty object", "/objects", map[string]any{"tokens": []string{}}, "invalid_input"},
+		{"empty token", "/objects", map[string]any{"tokens": []string{"KFC", ""}}, "invalid_input"},
+		{"too many tokens", "/objects", map[string]any{"tokens": []string{"a", "b", "c", "d", "e"}}, "too_many_tokens"},
+		{"token too long", "/query", map[string]any{"tokens": []string{strings.Repeat("x", 17)}}, "token_too_long"},
+		{"empty query", "/query", map[string]any{"tokens": []string{}}, "invalid_input"},
+		{"similarity empty x", "/similarity", map[string]any{"x": []string{}, "y": []string{"KFC"}}, "invalid_input"},
+	}
+	for _, tc := range cases {
+		b, _ := json.Marshal(tc.body)
+		resp, err := http.Post(ts.URL+tc.url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+			resp.Body.Close()
+			continue
+		}
+		if body := decodeError(t, resp); body.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, body.Code, tc.code)
+		}
+	}
+	// Nothing invalid was indexed.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["objects"].(float64) != 0 {
+		t.Errorf("invalid objects were indexed: %v", st["objects"])
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, ts := newConfiguredServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	s.SetDraining(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz: status %d, want 503", resp.StatusCode)
+	}
+	if body := decodeError(t, resp); body.Code != "draining" {
+		t.Errorf("code = %q", body.Code)
+	}
+	// Liveness is unaffected by draining.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("draining healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRequestTimeout503(t *testing.T) {
+	// A 1ns deadline is already expired when the handler reaches the
+	// engine; the join aborts and the server answers 503.
+	_, ts := newConfiguredServer(t, Config{RequestTimeout: time.Nanosecond})
+	r := post(t, ts.URL+"/objects", map[string]any{"tokens": []string{"KFC"}}, nil)
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", r.StatusCode)
+	}
+}
+
+func TestSnapshotToAtomic(t *testing.T) {
+	s, ts := newConfiguredServer(t, Config{})
+	for _, o := range paperdata.Table1() {
+		post(t, ts.URL+"/objects", map[string]any{"tokens": o}, nil)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := s.SnapshotTo(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, _ := paperdata.Fig1()
+	ix, err := core.LoadIndexer(h, core.Defaults(0.7, 0.6), f)
+	if err != nil {
+		t.Fatalf("snapshot does not load: %v", err)
+	}
+	if ix.Len() != len(paperdata.Table1()) {
+		t.Errorf("restored %d objects, want %d", ix.Len(), len(paperdata.Table1()))
+	}
+	// A second snapshot overwrites atomically and leaves no temp files.
+	if err := s.SnapshotTo(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("snapshot dir has %d entries, want 1", len(entries))
+	}
+}
+
+// TestSnapshotStreamDoesNotBlockWriters starts a snapshot download that
+// reads slowly and checks an add completes while the download is still
+// in flight — the snapshot was buffered under the read lock and the
+// lock released before streaming.
+func TestSnapshotStreamDoesNotBlockWriters(t *testing.T) {
+	_, ts := newConfiguredServer(t, Config{})
+	for _, o := range paperdata.Table1() {
+		post(t, ts.URL+"/objects", map[string]any{"tokens": o}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one byte and then stall the download while adding.
+	one := make([]byte, 1)
+	if _, err := resp.Body.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	go func() {
+		r := post(t, ts.URL+"/objects", map[string]any{"tokens": []string{"KFC", "SanFrancisco"}}, nil)
+		done <- r.StatusCode
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Errorf("add during snapshot download: status %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("add blocked behind an unread snapshot download")
+	}
+}
+
+func TestConcurrentAddIDsAreUnique(t *testing.T) {
+	_, ts := newConfiguredServer(t, Config{MaxInflight: 64})
+	const n = 32
+	ids := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp struct {
+				ID int `json:"id"`
+			}
+			r := post(t, ts.URL+"/objects", map[string]any{"tokens": []string{fmt.Sprintf("tok%d", i), "KFC"}}, &resp)
+			if r.StatusCode != http.StatusOK {
+				t.Errorf("status %d", r.StatusCode)
+				return
+			}
+			ids <- resp.ID
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %d returned to two clients", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Errorf("got %d distinct ids, want %d", len(seen), n)
+	}
+}

@@ -1,75 +1,208 @@
 // Package server exposes a K-Join Indexer over HTTP as a small JSON
 // service: streaming deduplication (POST /objects), knowledge-aware
-// similarity search (POST /query), pairwise scoring (POST /similarity)
-// and statistics (GET /stats). It backs the kjoin-serve command and is
+// similarity search (POST /query), pairwise scoring (POST /similarity),
+// statistics (GET /stats), snapshots (GET /snapshot) and health probes
+// (GET /healthz, GET /readyz). It backs the kjoin-serve command and is
 // the "Yelp classifies similar restaurants" deployment shape from the
 // paper's introduction.
+//
+// The server is production-hardened: queries run concurrently under a
+// read lock while adds serialize under the write lock, expensive
+// endpoints sit behind a bounded-concurrency admission gate (429 +
+// Retry-After when saturated), request bodies are size-capped, every
+// request carries a deadline that aborts an in-flight join within one
+// verification batch, handler panics degrade to a 500, and snapshots
+// are taken under the read lock into a buffer so a slow client never
+// blocks writers.
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"kjoin/internal/core"
 	"kjoin/internal/hierarchy"
+	"kjoin/internal/serverutil"
 )
 
-// Server is an http.Handler serving one Indexer. It serializes access to
-// the underlying Indexer (which is single-threaded by design).
-type Server struct {
-	mu  sync.Mutex
-	h   *hierarchy.Hierarchy
-	opt core.Options
-	ix  *core.Indexer
-	mux *http.ServeMux
+// Config bounds the resources a single request (or a burst of them) can
+// consume. The zero value selects the defaults documented per field.
+type Config struct {
+	// MaxBodyBytes caps a request body (default 1 MiB). Oversized bodies
+	// fail with a structured 400 (code "body_too_large").
+	MaxBodyBytes int64
+	// MaxInflight bounds concurrently executing expensive requests
+	// (objects/query/similarity/snapshot, default 64); excess requests
+	// are shed with 429 + Retry-After instead of queueing unboundedly.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline (default 30s); an
+	// expired deadline aborts the join mid-flight and returns 503.
+	RequestTimeout time.Duration
+	// MaxTokens caps tokens per object (default 10000).
+	MaxTokens int
+	// MaxTokenLen caps the byte length of one token (default 1024).
+	MaxTokenLen int
+	// Logf, when set, receives recovered panics and snapshot errors.
+	Logf func(format string, args ...any)
 }
 
-// New returns a server over the hierarchy with the join options.
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTokens == 0 {
+		c.MaxTokens = 10000
+	}
+	if c.MaxTokenLen == 0 {
+		c.MaxTokenLen = 1024
+	}
+	return c
+}
+
+// Server is an http.Handler serving one Indexer. Mutating requests
+// (adds, query preparation) hold the write lock; probes, snapshots and
+// stats share the read lock, so queries proceed concurrently and are
+// never serialized behind one another.
+type Server struct {
+	mu       sync.RWMutex
+	h        *hierarchy.Hierarchy
+	opt      core.Options
+	cfg      Config
+	ix       *core.Indexer
+	sem      *serverutil.Semaphore
+	handler  http.Handler
+	draining atomic.Bool
+}
+
+// New returns a server over the hierarchy with the join options and
+// default limits.
 func New(h *hierarchy.Hierarchy, opt core.Options) (*Server, error) {
+	return NewWithConfig(h, opt, Config{})
+}
+
+// NewWithConfig returns a server with explicit resource limits.
+func NewWithConfig(h *hierarchy.Hierarchy, opt core.Options, cfg Config) (*Server, error) {
 	ix, err := core.NewIndexer(h, opt)
 	if err != nil {
 		return nil, err
 	}
-	return wrap(h, opt, ix), nil
+	return wrap(h, opt, cfg, ix), nil
 }
 
 // NewFromSnapshot returns a server whose Indexer is rebuilt from a
-// snapshot (see Indexer.WriteSnapshot).
+// snapshot (see Indexer.WriteSnapshot) with default limits.
 func NewFromSnapshot(h *hierarchy.Hierarchy, opt core.Options, r io.Reader) (*Server, error) {
+	return NewFromSnapshotWithConfig(h, opt, Config{}, r)
+}
+
+// NewFromSnapshotWithConfig is NewFromSnapshot with explicit limits.
+func NewFromSnapshotWithConfig(h *hierarchy.Hierarchy, opt core.Options, cfg Config, r io.Reader) (*Server, error) {
 	ix, err := core.LoadIndexer(h, opt, r)
 	if err != nil {
 		return nil, err
 	}
-	return wrap(h, opt, ix), nil
+	return wrap(h, opt, cfg, ix), nil
 }
 
-func wrap(h *hierarchy.Hierarchy, opt core.Options, ix *core.Indexer) *Server {
-	s := &Server{h: h, opt: opt, ix: ix, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /objects", s.handleAdd)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /similarity", s.handleSimilarity)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{h: h, opt: opt, cfg: cfg, ix: ix}
+	s.sem = serverutil.NewSemaphore(cfg.MaxInflight)
+	mux := http.NewServeMux()
+	mux.Handle("POST /objects", s.limited(http.HandlerFunc(s.handleAdd)))
+	mux.Handle("POST /query", s.limited(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("POST /similarity", s.limited(http.HandlerFunc(s.handleSimilarity)))
+	mux.Handle("GET /snapshot", s.limited(http.HandlerFunc(s.handleSnapshot)))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.handler = serverutil.Chain(mux, serverutil.Recover(cfg.Logf))
 	return s
 }
 
-// handleSnapshot streams the current index contents as a snapshot the
-// server (or any Indexer) can be rebuilt from.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := s.ix.WriteSnapshot(w); err != nil {
-		// Headers already sent; the client sees a truncated body.
-		return
-	}
+// limited wraps an expensive endpoint with the full protection stack:
+// admission control outermost (reject before spending anything), then
+// the per-request deadline, then the body cap.
+func (s *Server) limited(h http.Handler) http.Handler {
+	return serverutil.Chain(h,
+		serverutil.Admit(s.sem, time.Second),
+		serverutil.WithTimeout(s.cfg.RequestTimeout),
+		serverutil.LimitBody(s.cfg.MaxBodyBytes),
+	)
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// SetDraining flips the readiness probe: a draining server answers
+// /readyz with 503 so load balancers stop routing new traffic while
+// in-flight requests finish. Serving itself is not affected.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// SnapshotTo atomically writes the current index to path: the snapshot
+// is serialized into memory under the read lock (writers wait, queries
+// proceed), then written temp+fsync+rename so a crash mid-write never
+// leaves a corrupt or truncated snapshot behind.
+func (s *Server) SnapshotTo(path string) error {
+	var buf bytes.Buffer
+	s.mu.RLock()
+	err := s.ix.WriteSnapshot(&buf)
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return serverutil.WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(buf.Bytes())
+		return werr
+	})
+}
+
+// handleHealthz is liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether new traffic should be routed here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// handleSnapshot streams the current index contents as a snapshot the
+// server (or any Indexer) can be rebuilt from. The snapshot is taken
+// under the read lock into a buffer and streamed after the lock is
+// released — a slow client cannot block writers.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.mu.RLock()
+	err := s.ix.WriteSnapshot(&buf)
+	s.mu.RUnlock()
+	if err != nil {
+		serverutil.WriteError(w, http.StatusInternalServerError, "snapshot_failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = io.Copy(w, &buf)
+}
 
 // objectRequest is the body of POST /objects and POST /query.
 type objectRequest struct {
@@ -91,15 +224,16 @@ type addResponse struct {
 
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req objectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) || !s.checkTokens(w, req.Tokens) {
 		return
 	}
 	s.mu.Lock()
-	id := s.ix.Len()
-	pairs, err := s.ix.Add(req.Tokens)
+	// The id is Add's return value, not a separate Len() read — the two
+	// can never desynchronize, whatever the locking around them does.
+	id, pairs, err := s.ix.AddCtx(r.Context(), req.Tokens)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.joinError(w, err)
 		return
 	}
 	resp := addResponse{ID: id, Pairs: make([]pairJSON, 0, len(pairs))}
@@ -117,14 +251,24 @@ type matchJSON struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req objectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) || !s.checkTokens(w, req.Tokens) {
 		return
 	}
+	// Preparation interns tokens into the shared caches — short, under
+	// the write lock. The expensive probe then runs under the read lock,
+	// concurrently with other queries, stats reads and snapshots.
 	s.mu.Lock()
-	matches, err := s.ix.Query(req.Tokens)
+	q, err := s.ix.PrepareQuery(req.Tokens)
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.joinError(w, err)
+		return
+	}
+	s.mu.RLock()
+	matches, err := s.ix.RunQuery(r.Context(), q)
+	s.mu.RUnlock()
+	if err != nil {
+		s.joinError(w, err)
 		return
 	}
 	out := make([]matchJSON, 0, len(matches))
@@ -142,22 +286,24 @@ type similarityRequest struct {
 
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	var req similarityRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) || !s.checkTokens(w, req.X) || !s.checkTokens(w, req.Y) {
 		return
 	}
-	sim, err := core.Similarity(s.h, req.X, req.Y, s.opt)
+	// Similarity builds its own transient state over the shared
+	// (read-only) hierarchy; no server lock is needed.
+	sim, err := core.SimilarityCtx(r.Context(), s.h, req.X, req.Y, s.opt)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.joinError(w, err)
 		return
 	}
 	writeJSON(w, map[string]float64{"sim": sim})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	st := s.ix.Stats()
 	n := s.ix.Len()
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, map[string]any{
 		"objects":         n,
 		"candidates":      st.Candidates,
@@ -166,18 +312,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"weighted_pruned": st.Verify.WeightedPruned,
 		"lb_accepted":     st.Verify.LBAccepted,
 		"ub_rejected":     st.Verify.UBRejected,
+		"inflight":        s.sem.InFlight(),
 	})
 }
 
-// decode parses a JSON body, reporting 400 on failure.
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+// decode parses a JSON body, reporting a structured 400 on failure and
+// distinguishing an over-cap body from malformed JSON.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			serverutil.WriteError(w, http.StatusBadRequest, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		serverutil.WriteError(w, http.StatusBadRequest, "bad_json", "bad request body: "+err.Error())
 		return false
 	}
 	return true
+}
+
+// checkTokens enforces the configured token-count and token-length caps
+// (the structural empty/blank validation lives in core and surfaces as
+// *core.InputError through joinError).
+func (s *Server) checkTokens(w http.ResponseWriter, tokens []string) bool {
+	if len(tokens) > s.cfg.MaxTokens {
+		serverutil.WriteError(w, http.StatusBadRequest, "too_many_tokens",
+			fmt.Sprintf("object has %d tokens, limit %d", len(tokens), s.cfg.MaxTokens))
+		return false
+	}
+	for i, t := range tokens {
+		if len(t) > s.cfg.MaxTokenLen {
+			serverutil.WriteError(w, http.StatusBadRequest, "token_too_long",
+				fmt.Sprintf("token %d is %d bytes, limit %d", i, len(t), s.cfg.MaxTokenLen))
+			return false
+		}
+	}
+	return true
+}
+
+// joinError maps engine errors to responses: invalid input → 400, an
+// expired deadline → 503, a vanished client → nothing, anything else →
+// 500.
+func (s *Server) joinError(w http.ResponseWriter, err error) {
+	var ie *core.InputError
+	switch {
+	case errors.As(err, &ie):
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", ie.Detail)
+	case errors.Is(err, context.DeadlineExceeded):
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "timeout", "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// Client went away; there is no one to answer.
+	default:
+		serverutil.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -186,10 +376,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// Headers are already sent; nothing more to do.
 		return
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,50 @@
+package serverutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file such that path either keeps its old
+// contents or holds the complete new contents — never a torn mix, even
+// if the process dies mid-write. It writes to a temp file in the same
+// directory, fsyncs it, renames it over path, and fsyncs the directory
+// so the rename itself is durable. On any error the temp file is
+// removed and path is untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serverutil: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("serverutil: write %s: %w", tmpName, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("serverutil: fsync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("serverutil: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("serverutil: rename: %w", err)
+	}
+	// fsync the directory so a crash cannot lose the rename. Failure
+	// here is reported but the file content is already correct.
+	if d, derr := os.Open(dir); derr == nil {
+		if serr := d.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("serverutil: fsync dir %s: %w", dir, serr)
+		}
+		d.Close()
+	}
+	return err
+}

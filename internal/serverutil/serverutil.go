@@ -1,0 +1,147 @@
+// Package serverutil holds the production-hardening building blocks of
+// the kjoin HTTP service: panic recovery, admission control, per-request
+// deadlines, body size caps, structured JSON errors, atomic file writes
+// and a background snapshotter. It is deliberately independent of the
+// join engine so the server package composes it freely.
+package serverutil
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Middleware wraps an http.Handler with extra behavior.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares to h: the first middleware is outermost
+// (runs first on the way in).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// ErrorBody is the structured JSON error shape every failure path
+// writes: a machine-readable code and a human-readable message.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// WriteError writes a structured JSON error with the given status.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: msg, Code: code})
+}
+
+// Recover converts a handler panic into a 500 response instead of
+// killing the process (net/http would only kill the goroutine, but a
+// shared-nothing 500 with a logged stack beats a hung client and a
+// half-written body). logf may be nil.
+func Recover(logf func(format string, args ...any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if v == http.ErrAbortHandler {
+						panic(v) // deliberate connection abort; let net/http handle it
+					}
+					if logf != nil {
+						logf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+					}
+					// Best effort: if the handler already wrote headers
+					// this is a no-op superfluous-WriteHeader.
+					WriteError(w, http.StatusInternalServerError, "internal_panic", "internal server error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Semaphore is a bounded-concurrency admission gate.
+type Semaphore struct {
+	ch chan struct{}
+}
+
+// NewSemaphore returns a semaphore admitting at most n concurrent
+// holders. n <= 0 panics — an unlimited gate is spelled by not using one.
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		panic("serverutil: semaphore size must be positive")
+	}
+	return &Semaphore{ch: make(chan struct{}, n)}
+}
+
+// TryAcquire takes a slot if one is free, without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot.
+func (s *Semaphore) Release() { <-s.ch }
+
+// InFlight returns the number of held slots.
+func (s *Semaphore) InFlight() int { return len(s.ch) }
+
+// Admit rejects requests with 429 + Retry-After when the semaphore is
+// saturated, instead of queueing them unboundedly. Load-shedding at the
+// door keeps latency bounded for the requests that are admitted.
+func Admit(sem *Semaphore, retryAfter time.Duration) Middleware {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !sem.TryAcquire() {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				WriteError(w, http.StatusTooManyRequests, "saturated", "server is at capacity; retry later")
+				return
+			}
+			defer sem.Release()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// WithTimeout attaches a deadline to each request's context. Handlers
+// that thread the context into the join engine abort within one
+// verification batch when it expires.
+func WithTimeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// LimitBody caps the request body at n bytes via http.MaxBytesReader;
+// reads past the cap fail with *http.MaxBytesError, which the server
+// maps to a structured 400.
+func LimitBody(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		if n <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+			next.ServeHTTP(w, r)
+		})
+	}
+}

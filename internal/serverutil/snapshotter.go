@@ -1,0 +1,79 @@
+package serverutil
+
+import (
+	"context"
+	"time"
+)
+
+// Snapshotter periodically invokes a snapshot function, retrying failed
+// attempts with exponential backoff so a transient disk problem (full
+// volume, slow NFS) degrades to delayed snapshots instead of a crash or
+// a silent stop.
+type Snapshotter struct {
+	// Interval between successful snapshots. Must be positive.
+	Interval time.Duration
+	// Write performs one snapshot attempt (typically Server.SnapshotTo
+	// wrapped over WriteFileAtomic).
+	Write func() error
+	// MinBackoff is the first retry delay after a failure (default 1s).
+	MinBackoff time.Duration
+	// MaxBackoff caps the retry delay (default Interval).
+	MaxBackoff time.Duration
+	// Logf, when set, receives snapshot failures and recoveries.
+	Logf func(format string, args ...any)
+}
+
+func (s *Snapshotter) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Run snapshots on the interval until ctx is done, backing off
+// exponentially while Write keeps failing. It does not write a final
+// snapshot on exit — shutdown owns that, after the listener has drained.
+func (s *Snapshotter) Run(ctx context.Context) {
+	minB := s.MinBackoff
+	if minB <= 0 {
+		minB = time.Second
+	}
+	maxB := s.MaxBackoff
+	if maxB <= 0 {
+		maxB = s.Interval
+	}
+	if maxB < minB {
+		maxB = minB
+	}
+	delay := s.Interval
+	backoff := time.Duration(0) // 0 = healthy
+	failures := 0
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := s.Write(); err != nil {
+			failures++
+			if backoff == 0 {
+				backoff = minB
+			} else {
+				backoff *= 2
+			}
+			if backoff > maxB {
+				backoff = maxB
+			}
+			s.logf("snapshot failed (attempt %d, retrying in %v): %v", failures, backoff, err)
+			t.Reset(backoff)
+			continue
+		}
+		if failures > 0 {
+			s.logf("snapshot recovered after %d failed attempts", failures)
+		}
+		failures = 0
+		backoff = 0
+		t.Reset(s.Interval)
+	}
+}

@@ -21,6 +21,7 @@
 package kjoin
 
 import (
+	"context"
 	"io"
 
 	"kjoin/internal/core"
@@ -152,9 +153,21 @@ func SelfJoin(h *Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, er
 	return core.SelfJoin(h, objects, opt)
 }
 
+// SelfJoinCtx is SelfJoin under a cancellation context: a cancelled
+// context (client disconnect, deadline) aborts the join within one
+// filter/verify batch and returns ctx.Err().
+func SelfJoinCtx(ctx context.Context, h *Hierarchy, objects [][]string, opt Options) ([]Pair, *Stats, error) {
+	return core.SelfJoinCtx(ctx, h, objects, opt)
+}
+
 // Join finds all pairs (r, s) ∈ R × S with SIMδ(r, s) ≥ τ (paper §6.1).
 func Join(h *Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
 	return core.Join(h, r, s, opt)
+}
+
+// JoinCtx is Join under a cancellation context; see SelfJoinCtx.
+func JoinCtx(ctx context.Context, h *Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
+	return core.JoinCtx(ctx, h, r, s, opt)
 }
 
 // Similarity computes SIMδ(x, y) for two objects directly (Definition 2):
@@ -163,6 +176,16 @@ func Join(h *Hierarchy, r, s [][]string, opt Options) ([]Pair, *Stats, error) {
 func Similarity(h *Hierarchy, x, y []string, opt Options) (float64, error) {
 	return core.Similarity(h, x, y, opt)
 }
+
+// SimilarityCtx is Similarity under a cancellation context.
+func SimilarityCtx(ctx context.Context, h *Hierarchy, x, y []string, opt Options) (float64, error) {
+	return core.SimilarityCtx(ctx, h, x, y, opt)
+}
+
+// InputError reports a structurally invalid input object (empty token
+// list, empty-string token); detect it with errors.As. Indexer.Add,
+// Indexer.Query and Similarity validate their inputs and return it.
+type InputError = core.InputError
 
 // TopKSelfJoin returns the k most similar pairs with similarity at least
 // opt.Tau (the floor). It probes with a descending threshold schedule,
