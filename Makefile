@@ -1,0 +1,43 @@
+# Developer entry points. CI runs the same targets; see
+# .github/workflows/ci.yml.
+
+GO ?= go
+
+# Fuzz targets for the smoke pass: package, then fuzz function.
+FUZZ_TARGETS = \
+	./internal/hierarchy,FuzzRead \
+	./internal/hierarchy,FuzzFromPaths \
+	./internal/hierarchy,FuzzFromEdges \
+	./internal/strutil,FuzzEditDistanceWithin \
+	./internal/strutil,FuzzTokenize \
+	./internal/core,FuzzLoadIndexer
+
+.PHONY: all build test lint vet fuzz-smoke bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs go vet plus the project's own invariant analyzers
+# (cmd/kjoin-lint): lockcheck, ctxpoll, floateq, maporder, errform.
+lint: vet
+	$(GO) run ./cmd/kjoin-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+# fuzz-smoke runs each native fuzz target briefly against its checked-in
+# seed corpus (testdata/fuzz) — a regression net, not a discovery run.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%,*}; fn=$${t#*,}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=10s; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -1,0 +1,108 @@
+// Command kjoin-lint is the project's multichecker: it runs the five
+// kjoin-specific analyzers (lockcheck, ctxpoll, floateq, maporder,
+// errform) over the module's packages and exits non-zero if any
+// diagnostic is reported. It is wired into `make lint` and the CI lint
+// job; see DESIGN.md "Static analysis & invariants" for what each
+// analyzer enforces and why.
+//
+// Usage:
+//
+//	kjoin-lint [-only a,b] [pattern ...]
+//
+// Patterns are module-relative directories, optionally ending in /...
+// (default ./...). Findings can be suppressed line-by-line with
+// //kjoinlint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kjoin/internal/analysis"
+	"kjoin/internal/analysis/ctxpoll"
+	"kjoin/internal/analysis/errform"
+	"kjoin/internal/analysis/floateq"
+	"kjoin/internal/analysis/load"
+	"kjoin/internal/analysis/lockcheck"
+	"kjoin/internal/analysis/maporder"
+)
+
+var all = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	ctxpoll.Analyzer,
+	floateq.Analyzer,
+	maporder.Analyzer,
+	errform.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kjoin-lint [-only a,b] [pattern ...]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "kjoin-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kjoin-lint: %s: %v\n", pkg.Path, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface that kjoin's project-specific
+// analyzers are written against. The container this repo builds in has
+// no module cache and no network, so the x/tools framework cannot be
+// vendored; the subset below (Analyzer, Pass, Diagnostic, a package
+// loader and a `// want`-comment test harness) is enough to express the
+// five invariant checkers in cmd/kjoin-lint and keeps their code
+// source-compatible with the upstream API shape should the dependency
+// ever become available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// kjoinlint:ignore comments. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by kjoin-lint -help.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Report and returns an error only for internal failures (a
+	// broken invariant of the framework, not a finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an
+// analyzer, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// Package is a loaded, type-checked package ready for analysis. It is
+// produced by the load subpackage (kept separate so analyzers do not
+// depend on the loader).
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// ignoreRe matches suppression comments: //kjoinlint:ignore <name> <reason>.
+var ignoreRe = regexp.MustCompile(`kjoinlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics in position order. Findings on a line carrying (or
+// directly below a line carrying) a matching //kjoinlint:ignore comment
+// are dropped.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	diags = filterIgnored(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// filterIgnored drops diagnostics suppressed by kjoinlint:ignore
+// comments. A suppression applies to findings of the named analyzers on
+// its own line and on the following line (so it can sit above the
+// offending statement).
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// ignored["file:line"] = set of analyzer names (or "all").
+	ignored := make(map[string]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						if ignored[key] == nil {
+							ignored[key] = make(map[string]bool)
+						}
+						ignored[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if set := ignored[key]; set != nil && (set[d.Analyzer] || set["all"]) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,120 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata source line that should trigger a diagnostic carries a
+// trailing comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// with each expectation quoted in backquotes or double quotes. The test
+// fails if a diagnostic is reported on a line with no matching
+// expectation, or an expectation matches no diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kjoin/internal/analysis"
+	"kjoin/internal/analysis/load"
+)
+
+// wantRe captures one quoted expectation after a `// want` marker.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the package rooted at dir (typically
+// filepath.Join("testdata", "src", pkgname)) and applies the analyzers,
+// comparing diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	expects, err := parseWants(pkg.Fset, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// parseWants extracts want expectations from the package's files by
+// scanning raw source lines (comments inside testdata may sit after
+// code on the same line).
+func parseWants(fset *token.FileSet, pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len("// want "):]
+			ms := wantRe.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment", name, i+1)
+			}
+			for _, m := range ms {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package ctxpoll enforces the repo's cancellation discipline from PR 1:
+//
+//  1. In a function that takes a context.Context, every outermost loop
+//     that does real work (contains at least one function or method
+//     call) must touch the context somewhere in its body — ctx.Err() /
+//     ctx.Done() polling, the stride-check idiom
+//     (i%cancelCheckEvery == 0 && ctx.Err() != nil), or passing the
+//     context into a callee that polls. A join loop that never looks at
+//     its context turns cancellation and request deadlines into no-ops
+//     for the whole phase.
+//
+//  2. Every exported function or method F for which a sibling FCtx
+//     exists must be a thin wrapper over FCtx (reference it in a body
+//     of at most four statements). The Ctx variant is the real
+//     implementation; logic drifting into the non-Ctx shell silently
+//     escapes cancellation.
+//
+// "Touching the context" is detected type-directed: any expression of
+// type context.Context inside the loop body qualifies, which covers
+// both direct ctx parameters and stored fields like joiner.cc.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "loops in context-aware functions must poll the context; exported APIs must delegate to their Ctx variants",
+	Run:  run,
+}
+
+// maxWrapperStmts is how many statements a non-Ctx wrapper may have and
+// still count as "thin".
+const maxWrapperStmts = 4
+
+func run(pass *analysis.Pass) error {
+	decls := packageFuncs(pass)
+	for _, fn := range decls {
+		if fn.Body == nil {
+			continue
+		}
+		if hasCtxParam(pass, fn) {
+			checkLoops(pass, fn)
+		}
+	}
+	checkWrappers(pass, decls)
+	return nil
+}
+
+// packageFuncs returns every function declaration in the package.
+func packageFuncs(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func hasCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, p := range fn.Type.Params.List {
+		if t := pass.TypeOf(p.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoops flags outermost loops that call functions but never touch
+// a context value.
+func checkLoops(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch loop := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if callsFunctions(pass, loop) && !touchesContext(pass, loop) {
+					pass.Reportf(loop.Pos(), "loop in context-aware function %s does not poll the context; check ctx.Err() (directly or with the %%cancelCheckEvery stride idiom) or pass ctx to the callee", fn.Name.Name)
+				}
+				return false // nested loops are covered by the outer poll
+			}
+			return true
+		})
+	}
+	visit(fn.Body)
+}
+
+// callsFunctions reports whether the subtree performs at least one real
+// function or method call (conversions and the cheap builtins len, cap,
+// append, delete, copy, make, new do not count).
+func callsFunctions(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok {
+			return true
+		}
+		if tv.IsType() || tv.IsBuiltin() {
+			return true // conversion or builtin
+		}
+		if _, ok := tv.Type.Underlying().(*types.Signature); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// touchesContext reports whether any expression of type context.Context
+// appears in the subtree.
+func touchesContext(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := m.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(e); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkWrappers enforces rule 2: exported F with a sibling FCtx must
+// thinly delegate.
+func checkWrappers(pass *analysis.Pass, decls []*ast.FuncDecl) {
+	// Key: "RecvTypeName.FuncName" (empty recv for plain functions).
+	byKey := make(map[string]*ast.FuncDecl, len(decls))
+	for _, fn := range decls {
+		byKey[funcKey(pass, fn)] = fn
+	}
+	for _, fn := range decls {
+		name := fn.Name.Name
+		if !fn.Name.IsExported() || fn.Body == nil {
+			continue
+		}
+		ctxName := name + "Ctx"
+		key := funcKey(pass, fn)
+		ctxKey := key[:len(key)-len(name)] + ctxName
+		if _, ok := byKey[ctxKey]; !ok {
+			continue
+		}
+		if delegatesToPackage(pass, fn) {
+			continue // pure facade: kjoin.SelfJoin -> core.SelfJoin
+		}
+		if !referencesName(fn.Body, ctxName) {
+			pass.Reportf(fn.Pos(), "exported %s has a %s variant but does not delegate to it; non-Ctx APIs must be thin wrappers over their Ctx variants", name, ctxName)
+			continue
+		}
+		if len(fn.Body.List) > maxWrapperStmts {
+			pass.Reportf(fn.Pos(), "exported %s should be a thin wrapper over %s (max %d statements, got %d); put the logic in the Ctx variant", name, ctxName, maxWrapperStmts, len(fn.Body.List))
+		}
+	}
+}
+
+func funcKey(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	recv := ""
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		t := pass.TypeOf(fn.Recv.List[0].Type)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	return recv + "." + fn.Name.Name
+}
+
+// delegatesToPackage reports whether fn is a facade re-export: a thin
+// body whose only work is calling a same-named function of another
+// package (which carries its own Ctx discipline).
+func delegatesToPackage(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) > maxWrapperStmts {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != fn.Name.Name {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func referencesName(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package ctxpoll_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/ctxpoll"
+)
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ctxdata"), ctxpoll.Analyzer)
+}

@@ -1,0 +1,110 @@
+// Package ctxdata is ctxpoll's testdata: loops that must poll their
+// context and exported wrappers that must delegate to Ctx variants.
+package ctxdata
+
+import "context"
+
+func work() {}
+
+func helper(ctx context.Context) {}
+
+// BadLoop does real work per iteration but never looks at ctx.
+func BadLoop(ctx context.Context, items []int) {
+	for range items { // want `does not poll the context`
+		work()
+	}
+}
+
+// GoodStride uses the stride-check idiom.
+func GoodStride(ctx context.Context, items []int) {
+	for i := range items {
+		if i%64 == 0 && ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// GoodDelegate hands ctx to the callee, which is assumed to poll.
+func GoodDelegate(ctx context.Context, items []int) {
+	for range items {
+		helper(ctx)
+	}
+}
+
+// GoodNested polls in the inner loop; the outer loop is covered.
+func GoodNested(ctx context.Context, items [][]int) {
+	for _, row := range items {
+		for range row {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}
+}
+
+// CheapLoop performs no calls: pure arithmetic scans are exempt.
+func CheapLoop(ctx context.Context, items []int) int {
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+// Process is a correct thin wrapper.
+func Process(items []int) error {
+	return ProcessCtx(context.Background(), items)
+}
+
+// ProcessCtx is the real implementation.
+func ProcessCtx(ctx context.Context, items []int) error {
+	for range items {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		work()
+	}
+	return nil
+}
+
+// Scan has a Ctx sibling but re-implements the logic instead of
+// delegating.
+func Scan(items []int) int { // want `does not delegate`
+	n := 0
+	for range items {
+		n++
+	}
+	return n
+}
+
+// ScanCtx is the variant Scan should delegate to.
+func ScanCtx(ctx context.Context, items []int) int {
+	n := 0
+	for range items {
+		n++
+	}
+	return n
+}
+
+// Fat delegates but carries too much extra logic for a wrapper.
+func Fat(items []int) (int, error) { // want `thin wrapper`
+	a := 1
+	b := 2
+	c := a + b
+	d := c * 2
+	n := FatCtx(context.Background(), items)
+	return n + d, nil
+}
+
+// FatCtx is the variant Fat should thinly wrap.
+func FatCtx(ctx context.Context, items []int) int { return len(items) }
+
+type runner struct{}
+
+// Run is a method wrapper: fine.
+func (r *runner) Run(items []int) error { return r.RunCtx(context.Background(), items) }
+
+// RunCtx is the method's real implementation.
+func (r *runner) RunCtx(ctx context.Context, items []int) error { return ctx.Err() }

@@ -1,0 +1,13 @@
+package errform_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/errform"
+)
+
+func TestErrform(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "errdata"), errform.Analyzer)
+}

@@ -1,0 +1,53 @@
+// Package errdata is errform's testdata: handlers that stringify
+// errors with and without classifying them first.
+package errdata
+
+import (
+	"errors"
+	"net/http"
+)
+
+// inputError mirrors core.InputError's shape.
+type inputError struct{ Detail string }
+
+func (e *inputError) Error() string { return e.Detail }
+
+// writeError stands in for serverutil.WriteError.
+func writeError(w http.ResponseWriter, status int, code, detail string) {}
+
+// BadHTTPError uses the plain-text helper; both the call and the
+// unclassified stringification are flagged.
+func BadHTTPError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest) // want `http.Error writes a plain-text body` `without errors.As/errors.Is classification`
+}
+
+// BadStringify dumps an unclassified error into the response body.
+func BadStringify(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, "bad", err.Error()) // want `without errors.As/errors.Is classification`
+}
+
+// GoodMapper peels the typed input error first; the residual
+// stringification is the sanctioned 500 path.
+func GoodMapper(w http.ResponseWriter, err error) {
+	var ie *inputError
+	if errors.As(err, &ie) {
+		writeError(w, http.StatusBadRequest, "invalid_input", ie.Detail)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err.Error())
+}
+
+// NotAHandler takes no ResponseWriter: out of scope.
+func NotAHandler(err error) string {
+	return err.Error()
+}
+
+// notAnError has an Error method that is not the error interface's.
+type notAnError struct{}
+
+func (notAnError) Error(n int) string { return "" }
+
+// WrongError calls an unrelated method named Error: exempt.
+func WrongError(w http.ResponseWriter, x notAnError) {
+	_ = x.Error(1)
+}

@@ -1,0 +1,86 @@
+// Package floateq forbids == / != / switch on floating-point values
+// outside internal/mathx. Similarity scores and thresholds are the
+// currency of every filter and verifier in this repo, and the paper's
+// bounds (lower ≤ exact ≤ upper, §5.2) only hold under a consistent
+// comparison policy; that policy lives in internal/mathx (Eps, GE, LT,
+// Eq, Cmp). Exact equality sneaking in elsewhere either breaks the
+// epsilon discipline or, in sort comparators, silently depends on
+// bit-exact float behaviour.
+//
+// Two comparisons are exempt: against an exact constant zero (zero is
+// exactly representable and is the documented "unset option" sentinel,
+// e.g. Options.PhiMin == 0), and between two compile-time constants.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!=/switch on float values outside internal/mathx; use the mathx epsilon helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "mathx" {
+		return nil // the one place the comparison policy is implemented
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, e.X) && !isFloat(pass, e.Y) {
+					return true
+				}
+				if isConstZero(pass, e.X) || isConstZero(pass, e.Y) {
+					return true // unset-sentinel check; exact by construction
+				}
+				if isConst(pass, e.X) && isConst(pass, e.Y) {
+					return true
+				}
+				pass.Reportf(e.OpPos, "%s on float values; use kjoin/internal/mathx (Eq/GE/LT for thresholds, Cmp for deterministic ordering) or restructure with </>", e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag != nil && isFloat(pass, e.Tag) {
+					pass.Reportf(e.Switch, "switch on a float value compares with ==; use kjoin/internal/mathx comparisons instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package floateq_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "floatdata"), floateq.Analyzer)
+}
+
+// TestMathxExempt checks the policy package itself is not checked: the
+// same comparisons produce no findings in a package named mathx.
+func TestMathxExempt(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "mathx"), floateq.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package floatdata is floateq's testdata: float equality in all its
+// forbidden and permitted forms.
+package floatdata
+
+const half = 0.5
+
+// eq64 is the canonical violation.
+func eq64(a, b float64) bool {
+	return a == b // want `== on float values`
+}
+
+// ne64 is the negated form.
+func ne64(a, b float64) bool {
+	return a != b // want `!= on float values`
+}
+
+// eq32 covers float32 too.
+func eq32(a, b float32) bool {
+	return a == b // want `== on float values`
+}
+
+// sentinelZero is the documented unset-option idiom: exempt.
+func sentinelZero(a float64) bool { return a == 0 }
+
+// sentinelZeroNe is the negated sentinel: exempt.
+func sentinelZeroNe(a float64) bool { return a != 0.0 }
+
+// intEq is not a float comparison.
+func intEq(a, b int) bool { return a == b }
+
+// constConst folds at compile time: exempt.
+func constConst() bool { return half == 0.5 }
+
+// mixed compares a float against an int constant.
+func mixed(a float64) bool {
+	return a == 1 // want `== on float values`
+}
+
+// sw switches on a float, which compares with == per case.
+func sw(a float64) int {
+	switch a { // want `switch on a float`
+	case 1.0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ordered comparisons are fine — they are what the mathx helpers and
+// sort comparators are built from.
+func ordered(a, b float64) bool { return a < b || a > b }

@@ -1,0 +1,6 @@
+// Package mathx mirrors the real policy package's name: floateq
+// exempts it, so the comparison below must produce no finding.
+package mathx
+
+// ExactEq would be flagged anywhere else.
+func ExactEq(a, b float64) bool { return a == b }

@@ -1,0 +1,53 @@
+package load_test
+
+import (
+	"testing"
+
+	"kjoin/internal/analysis/load"
+)
+
+func TestLoadSinglePackage(t *testing.T) {
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "kjoin" {
+		t.Fatalf("module path = %q, want kjoin", l.ModulePath())
+	}
+	pkgs, err := l.Load("internal/mathx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "kjoin/internal/mathx" {
+		t.Fatalf("got %d packages, first %v", len(pkgs), pkgs)
+	}
+	if pkgs[0].Types == nil || pkgs[0].Types.Scope().Lookup("Cmp") == nil {
+		t.Fatal("mathx.Cmp not in loaded package scope")
+	}
+}
+
+func TestLoadRecursivePattern(t *testing.T) {
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("internal/analysis/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The framework, loader, harness and five analyzers — and never the
+	// testdata directories, which hold deliberately broken packages.
+	if len(pkgs) < 8 {
+		t.Fatalf("expected at least 8 packages under internal/analysis, got %d", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil {
+			t.Errorf("%s: no type information", p.Path)
+		}
+		for i := range p.Path {
+			if p.Path[i:] == "testdata" {
+				t.Errorf("testdata package leaked into Load: %s", p.Path)
+			}
+		}
+	}
+}

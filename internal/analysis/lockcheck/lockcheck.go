@@ -1,0 +1,224 @@
+// Package lockcheck enforces the `// guarded by <mutex>` annotation
+// convention: a struct field carrying that comment may only be accessed
+//
+//   - in a function that locks the named mutex of the same struct
+//     (mu.Lock, mu.RLock — acquisition anywhere in the body counts),
+//   - in a function whose doc comment declares the precondition
+//     ("must hold mu" / "caller holds mu"), or
+//   - through a value the function itself constructed (composite
+//     literal), which cannot be shared yet.
+//
+// The check is intra-procedural and syntactic about lock state — it
+// does not prove the lock is held at the access point, only that the
+// function participates in the locking discipline at all. That is the
+// same altitude as go vet's checks and catches the real failure mode:
+// a new method (or a refactor) touching Indexer/server state with no
+// locking whatsoever.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated `// guarded by mu` must be accessed under the annotated mutex",
+	Run:  run,
+}
+
+var (
+	guardRe   = regexp.MustCompile(`guarded by (\w+)`)
+	holdDocRe = regexp.MustCompile(`(?i)(must hold|caller holds|holds) \w*mu`)
+)
+
+// guard records one annotated field and the mutex field protecting it.
+type guard struct {
+	mutex *types.Var // the sync.Mutex / sync.RWMutex field
+	name  string     // mutex field name, for diagnostics
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds `// guarded by <name>` field annotations and
+// resolves <name> to a mutex field of the same struct.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	out := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Field name -> object, to resolve the mutex by name.
+			byName := make(map[string]*types.Var)
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[nm].(*types.Var); ok {
+						byName[nm.Name] = v
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				text := ""
+				if fld.Doc != nil {
+					text += fld.Doc.Text()
+				}
+				if fld.Comment != nil {
+					text += fld.Comment.Text()
+				}
+				m := guardRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				mu, ok := byName[m[1]]
+				if !ok || !isMutex(mu.Type()) {
+					pass.Reportf(fld.Pos(), "field is annotated `guarded by %s` but the struct has no sync.Mutex/RWMutex field %q", m[1], m[1])
+					continue
+				}
+				for _, nm := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[nm].(*types.Var); ok {
+						out[v] = guard{mutex: mu, name: m[1]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]guard) {
+	if fn.Doc != nil && holdDocRe.MatchString(fn.Doc.Text()) {
+		return // documented precondition: caller provides the lock
+	}
+	held := heldMutexes(pass, fn.Body)
+	constructed := constructedLocals(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[fieldVar]
+		if !guarded || held[g.mutex] {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[base]; obj != nil && constructed[obj] {
+				return true // freshly built value, not yet shared
+			}
+		}
+		pass.Reportf(sel.Pos(), "access to field %s (guarded by %s) in a function that never locks %s; lock it or document the precondition (\"caller holds %s\")",
+			fieldVar.Name(), g.name, g.name, g.name)
+		return true
+	})
+}
+
+// heldMutexes returns the mutex field objects this function acquires
+// anywhere in its body (Lock, RLock, TryLock, RTryLock).
+func heldMutexes(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	held := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[inner]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if v, ok := selection.Obj().(*types.Var); ok && isMutex(v.Type()) {
+			held[v] = true
+		}
+		return true
+	})
+	return held
+}
+
+// constructedLocals returns the objects of local variables assigned
+// from a composite literal (possibly &-taken) in this function: values
+// the function built itself and that cannot be shared with other
+// goroutines yet.
+func constructedLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			e := rhs
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = u.X
+			}
+			if _, ok := e.(*ast.CompositeLit); !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,13 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "lockdata"), lockcheck.Analyzer)
+}

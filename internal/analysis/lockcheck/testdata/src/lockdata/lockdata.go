@@ -1,0 +1,65 @@
+// Package lockdata is lockcheck's testdata: deliberately broken lock
+// discipline next to correct uses of every sanctioned form.
+package lockdata
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok int // unannotated: never checked
+}
+
+// Good locks before touching the guarded field.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad touches the guarded field with no locking anywhere.
+func (c *counter) Bad() int {
+	return c.n // want `guarded by mu`
+}
+
+// Unguarded fields are free.
+func (c *counter) Unguarded() int { return c.ok }
+
+// bump runs under the caller's lock; caller must hold mu.
+func (c *counter) bump() { c.n++ }
+
+// fresh constructs the value itself, so nothing can race yet.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 5
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	// m is the shared mapping.
+	m map[string]int // guarded by mu
+}
+
+// Read holds the read lock: fine.
+func (t *table) Read(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// BadWrite mutates shared state without the lock.
+func (t *table) BadWrite(k string) {
+	t.m[k] = 1 // want `guarded by mu`
+}
+
+type broken struct {
+	mu sync.Mutex
+	x  int // guarded by gone // want `no sync.Mutex/RWMutex field "gone"`
+}
+
+func use(b *broken) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x
+}

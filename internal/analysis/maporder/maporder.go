@@ -1,0 +1,238 @@
+// Package maporder guards the repo's determinism invariant: join
+// results, JSON responses and snapshot bytes must not depend on Go's
+// randomized map iteration order. It flags two shapes of `range` over a
+// map:
+//
+//  1. The loop body appends to a slice declared outside the loop and no
+//     sort call over that slice follows the loop in the same function.
+//     The classic fix — collect, then sort — is recognized and passes.
+//
+//  2. The loop body writes output directly (io.Writer-style Write*
+//     methods, an encoder's Encode, or fmt.Fprint*): no later sort can
+//     fix the order of bytes already written, so this is flagged
+//     unconditionally.
+//
+// Deliberately order-insensitive loops (counting, summing into a
+// scalar, building another map) are untouched. A genuinely benign case
+// can be suppressed with //kjoinlint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map feeding an output slice or writer must be sorted; map order is nondeterministic",
+	Run:  run,
+}
+
+// writerMethods are method names that emit output whose order matters.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"EncodeToken": true,
+}
+
+// sortFuncs are package-level sorting entry points, keyed by package
+// path then function name.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+			return true
+		}
+		if w := directWrite(pass, rng.Body); w != nil {
+			pass.Reportf(rng.For, "range over a map writes output inside the loop; map iteration order is nondeterministic — collect entries, sort, then write")
+			return true
+		}
+		for _, target := range appendTargets(pass, rng) {
+			if !sortedAfter(pass, fn, rng, target) {
+				pass.Reportf(rng.For, "range over a map appends to %s with no sort after the loop; map iteration order is nondeterministic — sort the slice before it is returned or encoded", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// directWrite returns a node performing ordered output inside the loop
+// body, or nil.
+func directWrite(pass *analysis.Pass, body *ast.BlockStmt) ast.Node {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// fmt.Fprint* — selector on the fmt package.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" && (sel.Sel.Name == "Fprint" || sel.Sel.Name == "Fprintf" || sel.Sel.Name == "Fprintln") {
+					found = call
+					return false
+				}
+				return true // other package-level call, not a method
+			}
+		}
+		// Method call named like a writer primitive on a non-basic type.
+		if writerMethods[sel.Sel.Name] {
+			if selection, ok := pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// appendTargets returns slice variables declared outside the range
+// statement that the loop body appends to (x = append(x, ...)).
+func appendTargets(pass *analysis.Pass, rng *ast.RangeStmt) []*types.Var {
+	seen := make(map[*types.Var]bool)
+	var out []*types.Var
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || seen[v] {
+				continue
+			}
+			// Declared outside the loop: the collected slice outlives the
+			// iteration and carries its order out.
+			if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+				continue
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether a recognized sort call mentioning v
+// appears after the range statement in the enclosing function.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	names := sortFuncs[pn.Imported().Path()]
+	return names != nil && names[sel.Sel.Name]
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "mapdata"), maporder.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Package mapdata is maporder's testdata: map iteration feeding
+// ordered outputs, with and without the collect-then-sort fix.
+package mapdata
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"slices"
+)
+
+// BadCollect returns keys in map order.
+func BadCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `no sort after the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodCollect sorts before returning: the canonical fix.
+func GoodCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSlices recognizes the slices package too.
+func GoodSlices(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// GoodSortSlice covers sort.Slice with a comparator.
+func GoodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// BadWrite emits bytes in map order; no later sort can fix it.
+func BadWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output inside the loop`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Count is order-insensitive: exempt.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// LocalScratch appends to a slice that lives and dies inside the loop
+// body: its order never escapes an iteration.
+func LocalScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// Rebuild fills another map: no ordered output.
+func Rebuild(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Suppressed demonstrates the escape hatch.
+func Suppressed(m map[string]int) []string {
+	var keys []string
+	//kjoinlint:ignore maporder order is checked by the caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -318,9 +318,15 @@ func SelfJoinCtx(ctx context.Context, h *hierarchy.Hierarchy, objects [][]string
 	opt.progress("index", 0, len(objs))
 	ix := index.New()
 	for i := range objs {
+		if i&1023 == 1023 && ctx.Err() != nil {
+			break // surfaced by the ctx.Err() check below
+		}
 		ix.AddAll(objs[i].prefix, int32(i))
 	}
 	j.st.BuildIndex = time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	pairs := j.probe(objs, objs, ix, true)
 	if err := ctx.Err(); err != nil {
@@ -376,9 +382,15 @@ func JoinCtx(ctx context.Context, h *hierarchy.Hierarchy, r, s [][]string, opt O
 	t1 := time.Now()
 	ix := index.New()
 	for i := range big {
+		if i&1023 == 1023 && ctx.Err() != nil {
+			break // surfaced by the ctx.Err() check below
+		}
 		ix.AddAll(big[i].prefix, int32(i))
 	}
 	j.st.BuildIndex = time.Since(t1)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	pairs := j.probeRS(small, big, ix, swapped)
 	if err := ctx.Err(); err != nil {
@@ -597,6 +609,9 @@ func SimilarityCtx(ctx context.Context, h *hierarchy.Hierarchy, x, y []string, o
 	j.cc = ctx
 	objs := j.resolveAll([][]string{x, y})
 	for i := range objs {
+		if ctx.Err() != nil {
+			break // surfaced by the ctx.Err() check below
+		}
 		for _, e := range objs[i].elems {
 			j.sp.GroupKeys(e)
 		}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kjoin/internal/hierarchy"
+)
+
+// fuzzHierarchy builds the small taxonomy the snapshot fuzz corpus is
+// written against.
+func fuzzHierarchy(tb testing.TB) *hierarchy.Hierarchy {
+	tb.Helper()
+	h, err := hierarchy.FromPaths(strings.NewReader(
+		"food/western/pizza\nfood/western/burger\nfood/asian/sushi\nplace/us/sf\nplace/us/nyc\n"), '/', "root")
+	if err != nil {
+		tb.Fatalf("building fuzz hierarchy: %v", err)
+	}
+	return h
+}
+
+// FuzzLoadIndexer checks that snapshot decoding never panics on
+// arbitrary bytes, and that every snapshot it accepts round-trips:
+// rewriting the loaded Indexer and loading it again must reproduce the
+// same object count and stable snapshot bytes.
+func FuzzLoadIndexer(f *testing.F) {
+	h := fuzzHierarchy(f)
+	opt := Defaults(0.8, 0.6)
+
+	// Seed with a real snapshot so the fuzzer starts from the accepted
+	// grammar, plus targeted corruptions of every header component.
+	ix, err := NewIndexer(h, opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, obj := range [][]string{{"pizza", "sf"}, {"burger", "sf"}, {"sushi", "nyc"}} {
+		if _, err := ix.Add(obj); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var seed bytes.Buffer
+	if err := ix.WriteSnapshot(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	lines := strings.SplitN(seed.String(), "\n", 3)
+	if len(lines) == 3 {
+		f.Add("wrong-magic 1\n" + lines[1] + "\n" + lines[2])
+		f.Add(lines[0] + "\ndelta=0.9 tau=0.1\n" + lines[2])
+		f.Add(lines[0] + "\n" + lines[1] + "\n\t\t\n")
+	}
+	f.Add("")
+	f.Add("kjoin-indexer-snapshot 99\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		loaded, err := LoadIndexer(h, opt, strings.NewReader(input))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var first bytes.Buffer
+		if err := loaded.WriteSnapshot(&first); err != nil {
+			t.Fatalf("WriteSnapshot after successful load: %v", err)
+		}
+		again, err := LoadIndexer(h, opt, bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading our own snapshot: %v", err)
+		}
+		if again.Len() != loaded.Len() {
+			t.Fatalf("round trip changed object count: %d != %d", again.Len(), loaded.Len())
+		}
+		var second bytes.Buffer
+		if err := again.WriteSnapshot(&second); err != nil {
+			t.Fatalf("second WriteSnapshot: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("snapshot bytes are not stable across a reload")
+		}
+	})
+}

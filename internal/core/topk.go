@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"kjoin/internal/hierarchy"
+	"kjoin/internal/mathx"
 )
 
 // TopKSelfJoin returns the k most similar object pairs (ties broken by
@@ -59,8 +60,8 @@ func TopKSelfJoin(h *hierarchy.Hierarchy, objects [][]string, k int, opt Options
 	}
 
 	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].Sim != pairs[j].Sim {
-			return pairs[i].Sim > pairs[j].Sim
+		if c := mathx.Cmp(pairs[i].Sim, pairs[j].Sim); c != 0 {
+			return c > 0
 		}
 		if pairs[i].X != pairs[j].X {
 			return pairs[i].X < pairs[j].X

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"kjoin/internal/hierarchy"
+	"kjoin/internal/mathx"
 	"kjoin/internal/strutil"
 	"kjoin/internal/synonym"
 )
@@ -237,8 +238,8 @@ func (r *Resolver) resolve(t string) Info {
 	if max := r.opts.MaxMappings; max > 0 && len(info.Mappings) > max {
 		sort.Slice(info.Mappings, func(i, j int) bool {
 			a, b := info.Mappings[i], info.Mappings[j]
-			if a.Phi != b.Phi {
-				return a.Phi > b.Phi
+			if c := mathx.Cmp(a.Phi, b.Phi); c != 0 {
+				return c > 0
 			}
 			if a.Depth != b.Depth {
 				return a.Depth > b.Depth

@@ -5,7 +5,11 @@
 // upper bound of Equation 6.
 package matching
 
-import "sort"
+import (
+	"sort"
+
+	"kjoin/internal/mathx"
+)
 
 // Edge is a weighted edge between left vertex X and right vertex Y of a
 // bigraph. K-Join only creates edges with weight >= δ > 0.
@@ -133,8 +137,8 @@ func GreedyMaxWeight(edges []Edge) float64 {
 	}
 	es := append([]Edge(nil), edges...)
 	sort.Slice(es, func(i, j int) bool {
-		if es[i].W != es[j].W {
-			return es[i].W > es[j].W
+		if c := mathx.Cmp(es[i].W, es[j].W); c != 0 {
+			return c > 0
 		}
 		if es[i].X != es[j].X {
 			return es[i].X < es[j].X
@@ -200,7 +204,7 @@ func GreedyMinDegree(nx, ny int, edges []Edge) float64 {
 			if goneY[e.Y] {
 				continue
 			}
-			if degY[e.Y] < pickD || (degY[e.Y] == pickD && pick != nil && (e.W > pick.W || (e.W == pick.W && e.Y < pick.Y))) {
+			if degY[e.Y] < pickD || (degY[e.Y] == pickD && pick != nil && (e.W > pick.W || (mathx.Cmp(e.W, pick.W) == 0 && e.Y < pick.Y))) {
 				pickD = degY[e.Y]
 				pick = e
 			}

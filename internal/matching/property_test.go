@@ -1,0 +1,109 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"kjoin/internal/mathx"
+)
+
+// randomBigraph draws a bigraph with edge weights in (0, 1], mimicking
+// the δ-thresholded element-similarity graphs verification builds:
+// K-Join only materializes edges with weight ≥ δ > 0.
+func randomBigraph(r *rand.Rand) (nx, ny int, edges []Edge) {
+	nx = 1 + r.Intn(8)
+	ny = 1 + r.Intn(8)
+	density := 0.1 + 0.8*r.Float64()
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			if r.Float64() < density {
+				// Weight in (0, 1]; occasionally duplicated edges to
+				// exercise the max-weight dedup in MaxWeight.
+				w := 0.05 + 0.95*r.Float64()
+				edges = append(edges, Edge{X: x, Y: y, W: w})
+				if r.Intn(10) == 0 {
+					edges = append(edges, Edge{X: x, Y: y, W: w / 2})
+				}
+			}
+		}
+	}
+	return nx, ny, edges
+}
+
+// TestBoundsSandwichDenseGraphs is the §5.2 invariant the adaptive
+// verifier's early accept/reject depends on: for any bigraph, every
+// cheap lower bound is at most the exact Hungarian weight, which is at
+// most the row/column upper bound of Equation 6. It complements the
+// quick.Check sandwich test in matching_test.go with larger, denser
+// graphs, duplicated edges, and a validity cross-check of the reported
+// matching itself. A violation here means the adaptive verifier can
+// return wrong join results.
+func TestBoundsSandwichDenseGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 2000; trial++ {
+		nx, ny, edges := randomBigraph(r)
+		exact, matchX := MaxWeight(nx, ny, edges)
+		lw := GreedyMaxWeight(edges)
+		le := GreedyMinDegree(nx, ny, edges)
+		lb := LowerBound(nx, ny, edges)
+		ub := UpperBound(nx, ny, edges)
+
+		if !mathx.GE(exact, lw) {
+			t.Fatalf("trial %d: greedy max-weight bound %v exceeds exact %v (nx=%d ny=%d edges=%v)", trial, lw, exact, nx, ny, edges)
+		}
+		if !mathx.GE(exact, le) {
+			t.Fatalf("trial %d: greedy min-degree bound %v exceeds exact %v (nx=%d ny=%d edges=%v)", trial, le, exact, nx, ny, edges)
+		}
+		if !mathx.GE(exact, lb) || !mathx.GE(lb, lw) || !mathx.GE(lb, le) {
+			t.Fatalf("trial %d: combined lower bound %v inconsistent (lw=%v le=%v exact=%v)", trial, lb, lw, le, exact)
+		}
+		if !mathx.GE(ub, exact) {
+			t.Fatalf("trial %d: upper bound %v below exact %v (nx=%d ny=%d edges=%v)", trial, ub, exact, nx, ny, edges)
+		}
+
+		// The reported matching must itself be valid and account for
+		// the reported weight: no right vertex matched twice, and the
+		// sum of matched edge weights equals the total.
+		usedY := make(map[int]bool)
+		sum := 0.0
+		for x, y := range matchX {
+			if y < 0 {
+				continue
+			}
+			if usedY[y] {
+				t.Fatalf("trial %d: right vertex %d matched twice", trial, y)
+			}
+			usedY[y] = true
+			best := 0.0
+			for _, e := range edges {
+				if e.X == x && e.Y == y && e.W > best {
+					best = e.W
+				}
+			}
+			if best == 0 {
+				t.Fatalf("trial %d: matching uses nonexistent edge (%d,%d)", trial, x, y)
+			}
+			sum += best
+		}
+		if !mathx.Eq(sum, exact) {
+			t.Fatalf("trial %d: matched edge weights sum to %v but MaxWeight reported %v", trial, sum, exact)
+		}
+	}
+}
+
+// TestBoundsDegenerate pins the empty and edgeless cases the random
+// trials rarely produce.
+func TestBoundsDegenerate(t *testing.T) {
+	for _, tc := range []struct{ nx, ny int }{{0, 0}, {0, 3}, {3, 0}, {1, 1}, {5, 2}} {
+		exact, _ := MaxWeight(tc.nx, tc.ny, nil)
+		if exact != 0 {
+			t.Fatalf("MaxWeight(%d,%d,nil) = %v, want 0", tc.nx, tc.ny, exact)
+		}
+		if lb := LowerBound(tc.nx, tc.ny, nil); lb != 0 {
+			t.Fatalf("LowerBound(%d,%d,nil) = %v, want 0", tc.nx, tc.ny, lb)
+		}
+		if ub := UpperBound(tc.nx, tc.ny, nil); ub != 0 {
+			t.Fatalf("UpperBound(%d,%d,nil) = %v, want 0", tc.nx, tc.ny, ub)
+		}
+	}
+}

@@ -22,3 +22,23 @@ func GE(a, b float64) bool { return a >= b-Eps }
 
 // LT reports a < b with Eps tolerance.
 func LT(a, b float64) bool { return a < b-Eps }
+
+// Eq reports a == b with Eps tolerance. Use it for semantic similarity
+// and threshold comparisons; note it is not transitive, so it must not
+// order a sort (use Cmp there).
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// Cmp compares a and b exactly, returning -1, 0 or +1. It is the one
+// sanctioned exact float comparison: sort comparators need a strict
+// weak order, which epsilon comparisons cannot provide, and tie-breaks
+// on equal similarity scores must be bit-deterministic for the join's
+// result ordering to be reproducible.
+func Cmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

@@ -22,6 +22,38 @@ func TestCeilInt(t *testing.T) {
 	}
 }
 
+func TestEq(t *testing.T) {
+	// Runtime arithmetic, not constants: Go folds 0.1+0.2 exactly at
+	// compile time, which would make this test vacuous.
+	x, y := 0.1, 0.2
+	if !Eq(x+y, 0.3) {
+		t.Error("Eq should tolerate float noise")
+	}
+	if Eq(0.3, 0.31) {
+		t.Error("Eq(0.3, 0.31) should be false")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	x, y := 0.1, 0.2
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{0.1, 0.2, -1},
+		{0.2, 0.1, 1},
+		{0.5, 0.5, 0},
+		// Cmp is exact, not epsilon-based: it must order values that Eq
+		// considers equal, so sort comparators built on it stay transitive.
+		{0.3, x + y, -1},
+	}
+	for _, c := range cases {
+		if got := Cmp(c.a, c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
 func TestGELT(t *testing.T) {
 	if !GE(0.7999999999999999, 0.8) {
 		t.Error("GE should tolerate float noise")

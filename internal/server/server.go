@@ -79,11 +79,16 @@ func (c Config) withDefaults() Config {
 // stats share the read lock, so queries proceed concurrently and are
 // never serialized behind one another.
 type Server struct {
-	mu       sync.RWMutex
-	h        *hierarchy.Hierarchy
-	opt      core.Options
-	cfg      Config
-	ix       *core.Indexer
+	mu  sync.RWMutex
+	h   *hierarchy.Hierarchy
+	opt core.Options
+	cfg Config
+	// ix is the shared Indexer. Mutating calls (AddCtx, PrepareQuery)
+	// need mu held exclusively; RunQuery, WriteSnapshot, Len and Stats
+	// run under the read lock. kjoin-lint's lockcheck enforces that
+	// every access happens in a function that participates in this
+	// discipline.
+	ix       *core.Indexer // guarded by mu
 	sem      *serverutil.Semaphore
 	handler  http.Handler
 	draining atomic.Bool
@@ -196,7 +201,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	err := s.ix.WriteSnapshot(&buf)
 	s.mu.RUnlock()
 	if err != nil {
-		serverutil.WriteError(w, http.StatusInternalServerError, "snapshot_failed", err.Error())
+		s.opError(w, "snapshot_failed", err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -357,6 +362,14 @@ func (s *Server) checkTokens(w http.ResponseWriter, tokens []string) bool {
 // expired deadline → 503, a vanished client → nothing, anything else →
 // 500.
 func (s *Server) joinError(w http.ResponseWriter, err error) {
+	s.opError(w, "internal", err)
+}
+
+// opError is the single error-classification path (kjoin-lint's errform
+// rule): typed input errors become the structured 400, context errors
+// map to their statuses, and only the residue is stringified into a 500
+// with the operation's error code.
+func (s *Server) opError(w http.ResponseWriter, code string, err error) {
 	var ie *core.InputError
 	switch {
 	case errors.As(err, &ie):
@@ -366,7 +379,7 @@ func (s *Server) joinError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		// Client went away; there is no one to answer.
 	default:
-		serverutil.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+		serverutil.WriteError(w, http.StatusInternalServerError, code, err.Error())
 	}
 }
 
