@@ -12,7 +12,7 @@ FUZZ_TARGETS = \
 	./internal/strutil,FuzzTokenize \
 	./internal/core,FuzzLoadIndexer
 
-.PHONY: all build test lint vet fuzz-smoke bench
+.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke
 
 all: build lint test
 
@@ -41,3 +41,19 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# bench-json refreshes the "current" section of BENCH_hotpath.json with
+# the hot-path benchmarks (self-join, R-S join, pairwise similarity).
+# Pass -hotpath-baseline through cmd/kjoin-bench directly to re-pin the
+# baseline section instead.
+bench-json:
+	$(GO) run ./cmd/kjoin-bench -hotpath BENCH_hotpath.json
+
+# perf-smoke is the CI-sized performance gate: the allocation-regression
+# tests (steady-state verification must stay at zero allocs per pair)
+# plus one iteration of each hot benchmark to catch bit-rot in the bench
+# code itself.
+perf-smoke:
+	$(GO) test ./internal/verify/ -run 'ZeroAlloc' -count=1
+	$(GO) test -bench 'SelfJoinPOI|Similarity' -benchtime=1x -benchmem -run='^$$' .
+	$(GO) test -bench . -benchtime=1x -benchmem -run='^$$' ./internal/verify/ ./internal/sig/

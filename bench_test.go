@@ -30,6 +30,7 @@ func benchConfig() experiments.Config {
 
 func runExperiment(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	cfg := benchConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -90,6 +91,7 @@ func BenchmarkDAG(b *testing.B) { runExperiment(b, "dag") }
 // BenchmarkSelfJoinPOI measures one K-Join self join on the POI workload
 // at the benchmark scale (the paper's default configuration).
 func BenchmarkSelfJoinPOI(b *testing.B) {
+	b.ReportAllocs()
 	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
 	c := datasets.GenRecords(hr, datasets.POIConfig(3000))
 	opt := kjoin.Defaults(0.8, 0.85)
@@ -104,6 +106,7 @@ func BenchmarkSelfJoinPOI(b *testing.B) {
 
 // BenchmarkSimilarity measures single-pair scoring.
 func BenchmarkSimilarity(b *testing.B) {
+	b.ReportAllocs()
 	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
 	c := datasets.GenRecords(hr, datasets.POIConfig(100))
 	opt := kjoin.Defaults(0.8, 0.5)

@@ -1,0 +1,128 @@
+package main
+
+// Hot-path benchmark mode: a stdlib-only runner (testing.Benchmark) for
+// the allocation-sensitive steady-state paths — SelfJoin, R-S Join and
+// single-pair Similarity at the paper's default configuration — emitting
+// machine-readable JSON so CI and the README perf table track ns/op,
+// B/op and allocs/op without parsing `go test -bench` text output.
+//
+// The output file keeps two runs side by side: a pinned "baseline"
+// (written with -hotpath-baseline, normally from the pre-optimization
+// tree) and the "current" run. Re-running refreshes only the section
+// being measured, so the before/after comparison survives regeneration.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"kjoin"
+	"kjoin/datasets"
+)
+
+type hotpathResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type hotpathRun struct {
+	Scale      int             `json:"scale"`
+	GoVersion  string          `json:"go_version"`
+	Benchmarks []hotpathResult `json:"benchmarks"`
+}
+
+type hotpathFile struct {
+	Baseline *hotpathRun `json:"baseline,omitempty"`
+	Current  *hotpathRun `json:"current,omitempty"`
+}
+
+// hotpathBenchmarks defines the measured paths. Dataset generation and
+// option construction happen before the timer starts; each iteration is
+// one full join (or one similarity call, which includes its per-call
+// resolver construction — the documented cost of the one-shot API).
+func hotpathBenchmarks(scale int) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(scale))
+	cut := len(c.Records) / 2
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SelfJoinPOI", func(b *testing.B) {
+			opt := kjoin.Defaults(0.8, 0.85)
+			opt.ComputeSims = false
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := kjoin.SelfJoin(hr.H, c.Records, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"JoinPOI", func(b *testing.B) {
+			opt := kjoin.Defaults(0.8, 0.85)
+			opt.ComputeSims = false
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := kjoin.Join(hr.H, c.Records[:cut], c.Records[cut:], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Similarity", func(b *testing.B) {
+			opt := kjoin.Defaults(0.8, 0.5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kjoin.Similarity(hr.H, c.Records[0], c.Records[1], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// runHotpath measures the hot paths and writes (or updates) the JSON
+// report at path. With asBaseline the run is stored under "baseline",
+// otherwise under "current"; the other section is preserved if the file
+// already exists.
+func runHotpath(path string, scale int, asBaseline bool) error {
+	run := &hotpathRun{Scale: scale, GoVersion: runtime.Version()}
+	for _, bm := range hotpathBenchmarks(scale) {
+		r := testing.Benchmark(bm.fn)
+		run.Benchmarks = append(run.Benchmarks, hotpathResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-12s %d iters  %.0f ns/op  %d B/op  %d allocs/op\n",
+			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	var out hotpathFile
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &out) // a malformed file is overwritten
+	}
+	if asBaseline {
+		out.Baseline = run
+	} else {
+		out.Current = run
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

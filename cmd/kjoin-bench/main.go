@@ -24,13 +24,24 @@ import (
 func main() {
 	cfg := experiments.DefaultConfig()
 	var (
-		exp = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|")+"|all")
+		exp         = flag.String("exp", "all", "experiment: "+strings.Join(experiments.Names(), "|")+"|all")
+		hotpath     = flag.String("hotpath", "", "write hot-path benchmark JSON (ns/op, B/op, allocs/op) to FILE and exit")
+		hotScale    = flag.Int("hotpath-scale", 3000, "POI collection size for -hotpath")
+		hotBaseline = flag.Bool("hotpath-baseline", false, "store the -hotpath run as the pinned baseline instead of the current run")
 	)
 	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "POI/Tweet size for efficiency experiments")
 	flag.IntVar(&cfg.BaselineScale, "baseline-scale", cfg.BaselineScale, "collection size for baseline comparisons")
 	flag.IntVar(&cfg.QualityN, "quality-n", cfg.QualityN, "override Pub/Res sizes (0 = paper sizes)")
 	flag.IntVar(&cfg.Workers, "workers", 0, "join workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath, *hotScale, *hotBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "kjoin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := experiments.Run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "kjoin-bench:", err)

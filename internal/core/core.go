@@ -149,6 +149,40 @@ type joiner struct {
 	// periodically and abandon their work when it is done. Defaults to
 	// context.Background() (never cancelled).
 	cc context.Context
+	// elemSeen stamps the last object (by elemStamp value) that contained
+	// each element — the epoch-table form of the per-object dedup map of
+	// resolveAll. Indexed by elem.ID; grown as tokens are interned.
+	elemSeen  []int64
+	elemStamp int64
+	// Arenas backing the retained per-object slices (elems, sorted keys)
+	// and the transient per-object entry lists: chunks are replaced, not
+	// regrown, so carved slices stay valid. One chunk allocation serves
+	// hundreds of objects where the seed allocated per object.
+	elemArena  []elem.ID
+	elemBuf    []elem.ID
+	keyArena   []sig.Sig
+	entryArena []sig.Entry
+}
+
+// carveElems copies buf into the element arena and returns the carved
+// slice (capacity-clamped so appends can never cross object boundaries).
+func (j *joiner) carveElems(buf []elem.ID) []elem.ID {
+	if len(buf) == 0 {
+		return nil
+	}
+	if len(j.elemArena)+len(buf) > cap(j.elemArena) {
+		n := 2 * cap(j.elemArena)
+		if n < 256 {
+			n = 256
+		}
+		if n < len(buf) {
+			n = len(buf)
+		}
+		j.elemArena = make([]elem.ID, 0, n)
+	}
+	start := len(j.elemArena)
+	j.elemArena = append(j.elemArena, buf...)
+	return j.elemArena[start:len(j.elemArena):len(j.elemArena)]
 }
 
 func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
@@ -183,37 +217,80 @@ func newJoiner(h *hierarchy.Hierarchy, opt Options) *joiner {
 }
 
 // resolveAll interns and resolves the token objects, deduplicating tokens
-// within each object (objects are sets of elements, §2.1).
+// within each object (objects are sets of elements, §2.1). Dedup uses the
+// joiner's element stamp table instead of a per-object map: marking an
+// element with the current object's stamp makes every earlier mark stale
+// at once.
 func (j *joiner) resolveAll(objects [][]string) []prepped {
 	out := make([]prepped, len(objects))
 	for i, toks := range objects {
 		if i&1023 == 1023 && j.cc.Err() != nil {
 			return out // caller surfaces j.cc.Err()
 		}
-		seen := make(map[elem.ID]bool, len(toks))
+		j.elemStamp++
+		stamp := j.elemStamp
+		j.elemBuf = j.elemBuf[:0]
 		for _, t := range toks {
 			id := j.res.ID(t)
-			if !seen[id] {
-				seen[id] = true
-				out[i].elems = append(out[i].elems, id)
+			if n := j.res.Len(); n > len(j.elemSeen) {
+				j.elemSeen = append(j.elemSeen, make([]int64, n-len(j.elemSeen))...)
+			}
+			if j.elemSeen[id] != stamp {
+				j.elemSeen[id] = stamp
+				j.elemBuf = append(j.elemBuf, id)
 			}
 		}
+		out[i].elems = j.carveElems(j.elemBuf)
 	}
 	return out
 }
 
-// entriesFor generates and returns the signature entries of every object.
+// entriesFor generates and returns the signature entries of every
+// object. Entry lists and sorted key multisets are carved from the
+// joiner's arenas: each object's exact size is known from the warmed
+// signature caches, so the arena appends below never regrow a chunk
+// mid-object.
 func (j *joiner) entriesFor(objs []prepped) [][]sig.Entry {
 	all := make([][]sig.Entry, len(objs))
 	for i := range objs {
 		if i&1023 == 1023 && j.cc.Err() != nil {
 			return all // caller surfaces j.cc.Err()
 		}
-		all[i] = j.sp.ObjectSigs(objs[i].elems)
-		j.st.SigEntries += int64(len(all[i]))
-		// Warm the verification group-key cache and precompute the
-		// sorted key multiset for fast count pruning.
-		objs[i].keys = j.ctx.SortedKeys(objs[i].elems)
+		elems := objs[i].elems
+		ne, nk := 0, 0
+		for _, e := range elems {
+			ne += j.sp.ElemSigCount(e)
+			nk += len(j.sp.GroupKeys(e))
+		}
+		if len(j.entryArena)+ne > cap(j.entryArena) {
+			n := 2 * cap(j.entryArena)
+			if n < 256 {
+				n = 256
+			}
+			if n < ne {
+				n = ne
+			}
+			j.entryArena = make([]sig.Entry, 0, n)
+		}
+		start := len(j.entryArena)
+		j.entryArena = j.sp.AppendObjectSigs(j.entryArena, elems)
+		all[i] = j.entryArena[start:len(j.entryArena):len(j.entryArena)]
+		j.st.SigEntries += int64(ne)
+
+		// Precompute the sorted key multiset for fast count pruning.
+		if len(j.keyArena)+nk > cap(j.keyArena) {
+			n := 2 * cap(j.keyArena)
+			if n < 256 {
+				n = 256
+			}
+			if n < nk {
+				n = nk
+			}
+			j.keyArena = make([]sig.Sig, 0, n)
+		}
+		kstart := len(j.keyArena)
+		j.keyArena = j.ctx.AppendSortedKeys(j.keyArena, elems)
+		objs[i].keys = j.keyArena[kstart:len(j.keyArena):len(j.keyArena)]
 	}
 	return all
 }
@@ -241,6 +318,16 @@ func (j *joiner) prefixes(objs []prepped, entries [][]sig.Entry, order *sig.Orde
 		go func(w int) {
 			defer wg.Done()
 			total := 0
+			// Per-worker signature stamp table: one allocation replaces a
+			// dedup map per object. Every signature in the entries was
+			// interned before this phase, so NumSigs bounds the ids.
+			seen := make([]int32, j.sp.NumSigs())
+			var stamp int32
+			// Per-worker prefix scratch and output arena: prefixes build
+			// into pbuf and are carved out of chunks this worker owns, so
+			// workers never contend and per-object allocation disappears.
+			var ps sig.PrefixScratch
+			var pbuf, arena []int32
 			for i := w; i < len(objs); i += workers {
 				if i&511 == 511 && j.cc.Err() != nil {
 					break // caller surfaces j.cc.Err()
@@ -250,18 +337,34 @@ func (j *joiner) prefixes(objs []prepped, entries [][]sig.Entry, order *sig.Orde
 				n := len(objs[i].elems)
 				var p int
 				if j.opt.Weighted {
-					p = sig.WeightedPrefix(en, j.opt.Set.MinOverlap(j.opt.Tau, n))
+					p = sig.WeightedPrefixS(en, j.opt.Set.MinOverlap(j.opt.Tau, n), &ps)
 				} else {
-					p = sig.DistElePrefix(en, j.opt.Set.TauS(j.opt.Tau, n))
+					p = sig.DistElePrefixS(en, j.opt.Set.TauS(j.opt.Tau, n), &ps)
 				}
-				seen := make(map[sig.Sig]bool, p)
+				stamp++
+				pbuf = pbuf[:0]
 				for _, e := range en[:p] {
-					if !seen[e.Sig] {
-						seen[e.Sig] = true
-						objs[i].prefix = append(objs[i].prefix, int32(e.Sig))
+					if seen[e.Sig] != stamp {
+						seen[e.Sig] = stamp
+						pbuf = append(pbuf, int32(e.Sig))
 					}
 				}
-				total += len(objs[i].prefix)
+				if len(pbuf) > 0 {
+					if len(arena)+len(pbuf) > cap(arena) {
+						na := 2 * cap(arena)
+						if na < 256 {
+							na = 256
+						}
+						if na < len(pbuf) {
+							na = len(pbuf)
+						}
+						arena = make([]int32, 0, na)
+					}
+					s := len(arena)
+					arena = append(arena, pbuf...)
+					objs[i].prefix = arena[s:len(arena):len(arena)]
+				}
+				total += len(pbuf)
 			}
 			totals[w] = total
 		}(w)
@@ -399,6 +502,16 @@ func JoinCtx(ctx context.Context, h *hierarchy.Hierarchy, r, s [][]string, opt O
 	return pairs, &j.st, nil
 }
 
+// result accumulates one probe worker's output: pairs plus counters,
+// published once when the worker exits (per-candidate writes into a
+// shared slice would false-share cache lines between workers).
+type result struct {
+	pairs      []Pair
+	candidates int64
+	vst        verify.Stats
+	vtime      time.Duration
+}
+
 // probe runs the candidate-generation + verification loop for a self
 // join: object x is a candidate with every smaller-id object sharing a
 // prefix signature.
@@ -415,12 +528,6 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 		workers = 1
 	}
 
-	type result struct {
-		pairs      []Pair
-		candidates int64
-		vst        verify.Stats
-		vtime      time.Duration
-	}
 	results := make([]result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -431,6 +538,11 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 			// per-candidate writes into the shared results slice would
 			// false-share cache lines between workers.
 			var local result
+			// Each worker verifies on its own Context clone: the clone's
+			// Scratch (epoch tables, solver, sim cache) makes the
+			// steady-state verify path allocation-free, and per-worker
+			// ownership keeps it race-free.
+			vctx := j.ctx.Clone()
 			seen := make([]int32, len(indexed))
 			for i := range seen {
 				seen[i] = -1
@@ -461,12 +573,12 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 							break
 						}
 						tv := time.Now()
-						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
+						ok := vctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
 						local.vtime += time.Since(tv)
 						if ok {
 							p := Pair{X: int(y), Y: x}
 							if j.opt.ComputeSims {
-								p.Sim = j.ctx.Similarity(px.elems, indexed[y].elems)
+								p.Sim = vctx.Similarity(px.elems, indexed[y].elems)
 							}
 							local.pairs = append(local.pairs, p)
 						}
@@ -477,8 +589,20 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 		}(w)
 	}
 	wg.Wait()
+	out := j.mergeResults(results)
+	j.st.Probe = time.Since(t0)
+	return out
+}
 
-	var out []Pair
+// mergeResults concatenates the per-worker probe results into one
+// pre-sized, deterministically ordered pair list and folds the worker
+// counters into the join statistics.
+func (j *joiner) mergeResults(results []result) []Pair {
+	total := 0
+	for i := range results {
+		total += len(results[i].pairs)
+	}
+	out := make([]Pair, 0, total)
 	for i := range results {
 		out = append(out, results[i].pairs...)
 		j.st.Candidates += results[i].candidates
@@ -491,7 +615,6 @@ func (j *joiner) probe(probes, indexed []prepped, ix *index.Inverted, self bool)
 		}
 		return out[i].Y < out[k].Y
 	})
-	j.st.Probe = time.Since(t0)
 	return out
 }
 
@@ -510,19 +633,14 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 		workers = 1
 	}
 
-	type result struct {
-		pairs      []Pair
-		candidates int64
-		vst        verify.Stats
-		vtime      time.Duration
-	}
 	results := make([]result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var local result // see probe: avoid false sharing
+			var local result      // see probe: avoid false sharing
+			vctx := j.ctx.Clone() // see probe: per-worker scratch
 			seen := make([]int32, len(indexed))
 			for i := range seen {
 				seen[i] = -1
@@ -543,7 +661,7 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 							break
 						}
 						tv := time.Now()
-						ok := j.ctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
+						ok := vctx.VerifyKeyed(px.elems, indexed[y].elems, px.keys, indexed[y].keys, j.opt.Verifier, &local.vst)
 						local.vtime += time.Since(tv)
 						if ok {
 							var p Pair
@@ -554,7 +672,7 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 								p = Pair{X: int(y), Y: x}
 							}
 							if j.opt.ComputeSims {
-								p.Sim = j.ctx.Similarity(px.elems, indexed[y].elems)
+								p.Sim = vctx.Similarity(px.elems, indexed[y].elems)
 							}
 							local.pairs = append(local.pairs, p)
 						}
@@ -565,20 +683,7 @@ func (j *joiner) probeRS(probes, indexed []prepped, ix *index.Inverted, swapped 
 		}(w)
 	}
 	wg.Wait()
-
-	var out []Pair
-	for i := range results {
-		out = append(out, results[i].pairs...)
-		j.st.Candidates += results[i].candidates
-		j.st.Verify.Add(results[i].vst)
-		j.st.VerifyTime += results[i].vtime
-	}
-	sort.Slice(out, func(i, k int) bool {
-		if out[i].X != out[k].X {
-			return out[i].X < out[k].X
-		}
-		return out[i].Y < out[k].Y
-	})
+	out := j.mergeResults(results)
 	j.st.Probe = time.Since(t0)
 	return out
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"kjoin/internal/hierarchy"
 	"kjoin/internal/index"
 	"kjoin/internal/sig"
+	"kjoin/internal/verify"
 )
 
 // Indexer is the online form of the K-Join framework (Algorithm 1's loop
@@ -42,6 +44,20 @@ type Indexer struct {
 	// later Add would mistake for its own.
 	seen  []int64
 	stamp int64
+	// sigSeen stamps prefix signatures during prepObject (the epoch-table
+	// form of the per-Add dedup map), keyed by signature id.
+	sigSeen  []int64
+	sigStamp int64
+	// entryBuf is the reusable signature-entry buffer of prepObject
+	// (entries are transient — only the derived prefix is retained), and
+	// ps the matching prefix-computation scratch. Both rely on the
+	// exclusive access prepObject already requires.
+	entryBuf []sig.Entry
+	ps       sig.PrefixScratch
+	// vpool holds per-query verify.Context clones: RunQuery may run from
+	// many goroutines at once, and each clone owns the mutable Scratch
+	// that makes steady-state verification allocation-free.
+	vpool sync.Pool
 }
 
 // NewIndexer returns an empty Indexer over the hierarchy with the given
@@ -53,11 +69,13 @@ func NewIndexer(h *hierarchy.Hierarchy, opt Options) (*Indexer, error) {
 		return nil, err
 	}
 	j := newJoiner(h, opt)
-	return &Indexer{
+	ix := &Indexer{
 		j:     j,
 		order: sig.BuildOrder(nil), // empty df: order degrades to signature id
 		ix:    index.New(),
-	}, nil
+	}
+	ix.vpool.New = func() any { return j.ctx.Clone() }
+	return ix, nil
 }
 
 // Len returns the number of indexed objects.
@@ -75,20 +93,24 @@ func (ix *Indexer) Stats() Stats { return ix.j.st }
 func (ix *Indexer) prepObject(tokens []string) (prepped, int) {
 	j := ix.j
 	p := j.resolveAll([][]string{tokens})[0]
-	entries := j.sp.ObjectSigs(p.elems)
+	entries := j.sp.AppendObjectSigs(ix.entryBuf[:0], p.elems)
+	ix.entryBuf = entries
 	p.keys = j.ctx.SortedKeys(p.elems)
 	ix.order.Sort(entries)
 	n := len(p.elems)
 	var plen int
 	if j.opt.Weighted {
-		plen = sig.WeightedPrefix(entries, j.opt.Set.MinOverlap(j.opt.Tau, n))
+		plen = sig.WeightedPrefixS(entries, j.opt.Set.MinOverlap(j.opt.Tau, n), &ix.ps)
 	} else {
-		plen = sig.DistElePrefix(entries, j.opt.Set.TauS(j.opt.Tau, n))
+		plen = sig.DistElePrefixS(entries, j.opt.Set.TauS(j.opt.Tau, n), &ix.ps)
 	}
-	seenSig := make(map[sig.Sig]bool, plen)
+	if n := j.sp.NumSigs(); n > len(ix.sigSeen) {
+		ix.sigSeen = append(ix.sigSeen, make([]int64, n-len(ix.sigSeen))...)
+	}
+	ix.sigStamp++
 	for _, e := range entries[:plen] {
-		if !seenSig[e.Sig] {
-			seenSig[e.Sig] = true
+		if ix.sigSeen[e.Sig] != ix.sigStamp {
+			ix.sigSeen[e.Sig] = ix.sigStamp
 			p.prefix = append(p.prefix, int32(e.Sig))
 		}
 	}
@@ -197,6 +219,11 @@ func (ix *Indexer) PrepareQuery(tokens []string) (*PreparedQuery, error) {
 // one verification batch.
 func (ix *Indexer) RunQuery(ctx context.Context, q *PreparedQuery) ([]Match, error) {
 	j := ix.j
+	// Borrow a verify context: its scratch makes per-candidate
+	// verification allocation-free, and pooling amortizes the scratch
+	// (and its warmed tables) across queries.
+	vctx := ix.vpool.Get().(*verify.Context)
+	defer ix.vpool.Put(vctx)
 	seen := make(map[int32]bool)
 	var out []Match
 	var st Stats
@@ -211,10 +238,10 @@ func (ix *Indexer) RunQuery(ctx context.Context, q *PreparedQuery) ([]Match, err
 			if checked%cancelCheckEvery == 0 && ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			if j.ctx.VerifyKeyed(q.p.elems, ix.objs[y].elems, q.p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
+			if vctx.VerifyKeyed(q.p.elems, ix.objs[y].elems, q.p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
 				m := Match{Index: int(y)}
 				if j.opt.ComputeSims {
-					m.Sim = j.ctx.Similarity(q.p.elems, ix.objs[y].elems)
+					m.Sim = vctx.Similarity(q.p.elems, ix.objs[y].elems)
 				}
 				out = append(out, m)
 			}

@@ -7,6 +7,7 @@ package elem
 
 import (
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -76,6 +77,10 @@ type Resolver struct {
 	ids      map[string]ID
 	infos    []Info
 	resolved []bool
+
+	// rs is the mapping scratch of the lazy (single-threaded) resolution
+	// path; ResolveAll workers carry their own.
+	rs resolveScratch
 
 	// nameIdx maps lowercase node names to nodes (tokens are lowercased,
 	// hierarchy names may be CamelCase). names lists the distinct
@@ -151,7 +156,7 @@ func (r *Resolver) ID(token string) ID {
 // result must not be modified.
 func (r *Resolver) Info(id ID) *Info {
 	if !r.resolved[id] {
-		r.infos[id] = r.resolve(r.infos[id].Token)
+		r.infos[id] = r.resolve(&r.rs, r.infos[id].Token)
 		r.resolved[id] = true
 	}
 	return &r.infos[id]
@@ -183,9 +188,12 @@ func (r *Resolver) ResolveAll(workers int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker mapping scratch: arena chunks stay referenced by
+			// the Mappings they back, so dropping the scratch is safe.
+			var rs resolveScratch
 			for i := w; i < n; i += workers {
 				if !r.resolved[i] {
-					r.infos[i] = r.resolve(r.infos[i].Token)
+					r.infos[i] = r.resolve(&rs, r.infos[i].Token)
 					r.resolved[i] = true
 				}
 			}
@@ -194,19 +202,52 @@ func (r *Resolver) ResolveAll(workers int) {
 	wg.Wait()
 }
 
-// resolve computes the Info for a lowercase token.
-func (r *Resolver) resolve(t string) Info {
+// resolveScratch is per-goroutine resolution state: the mapping build
+// buffer (reused across elements) and the arena the retained Mappings
+// slices are carved from. Arena chunks are never regrown in place — a
+// full chunk is replaced by a fresh one, and earlier slices keep the old
+// chunk alive — so cached Mappings stay valid forever.
+type resolveScratch struct {
+	buf   []Mapping
+	arena []Mapping
+}
+
+// intern copies the build buffer into the arena and returns the carved
+// slice (nil for an empty buffer: non-entity tokens keep nil Mappings).
+func (rs *resolveScratch) intern() []Mapping {
+	if len(rs.buf) == 0 {
+		return nil
+	}
+	if len(rs.arena)+len(rs.buf) > cap(rs.arena) {
+		n := 2 * cap(rs.arena)
+		if n < 256 {
+			n = 256
+		}
+		if n < len(rs.buf) {
+			n = len(rs.buf)
+		}
+		rs.arena = make([]Mapping, 0, n)
+	}
+	start := len(rs.arena)
+	rs.arena = append(rs.arena, rs.buf...)
+	return rs.arena[start:len(rs.arena):len(rs.arena)]
+}
+
+// resolve computes the Info for a lowercase token, building the mapping
+// list in rs.
+func (r *Resolver) resolve(rs *resolveScratch, t string) Info {
 	info := Info{Token: t, Canon: t}
+	rs.buf = rs.buf[:0]
 	add := func(n hierarchy.NodeID, phi float64) {
-		for i := range info.Mappings {
-			if info.Mappings[i].Node == n {
-				if phi > info.Mappings[i].Phi {
-					info.Mappings[i].Phi = phi
+		for i := range rs.buf {
+			if rs.buf[i].Node == n {
+				if phi > rs.buf[i].Phi {
+					rs.buf[i].Phi = phi
 				}
 				return
 			}
 		}
-		info.Mappings = append(info.Mappings, Mapping{Node: n, Depth: int32(r.h.Depth(n)), Phi: phi})
+		rs.buf = append(rs.buf, Mapping{Node: n, Depth: int32(r.h.Depth(n)), Phi: phi})
 	}
 	if !r.opts.Plus {
 		// Plain K-Join: a single node by exact name (paper §2.1.1
@@ -235,19 +276,22 @@ func (r *Resolver) resolve(t string) Info {
 			r.approxMatch(t, add)
 		}
 	}
-	if max := r.opts.MaxMappings; max > 0 && len(info.Mappings) > max {
-		sort.Slice(info.Mappings, func(i, j int) bool {
-			a, b := info.Mappings[i], info.Mappings[j]
+	if max := r.opts.MaxMappings; max > 0 && len(rs.buf) > max {
+		// slices.SortFunc over a total order (Node breaks every tie):
+		// same permutation as any comparison sort, no reflection and no
+		// per-call allocation.
+		slices.SortFunc(rs.buf, func(a, b Mapping) int {
 			if c := mathx.Cmp(a.Phi, b.Phi); c != 0 {
-				return c > 0
+				return -c
 			}
 			if a.Depth != b.Depth {
-				return a.Depth > b.Depth
+				return int(b.Depth - a.Depth)
 			}
-			return a.Node < b.Node
+			return int(a.Node - b.Node)
 		})
-		info.Mappings = info.Mappings[:max]
+		rs.buf = rs.buf[:max]
 	}
+	info.Mappings = rs.intern()
 	for _, m := range info.Mappings {
 		if int(m.Depth) > info.MaxDepth {
 			info.MaxDepth = int(m.Depth)

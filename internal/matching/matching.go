@@ -3,13 +3,14 @@
 // §5.2): an exact Hungarian solver for the fuzzy overlap, the two greedy
 // lower bounds (maximum weight and maximum degree), and the row/column
 // upper bound of Equation 6.
+//
+// The package-level functions allocate their workspace per call. The hot
+// path — verification of millions of candidate pairs — uses a reusable
+// Solver instead (see solver.go), which owns the same workspace, grows it
+// monotonically, and runs allocation-free at steady state. The functions
+// here are thin wrappers over a fresh Solver, so both forms compute
+// bit-identical results.
 package matching
-
-import (
-	"sort"
-
-	"kjoin/internal/mathx"
-)
 
 // Edge is a weighted edge between left vertex X and right vertex Y of a
 // bigraph. K-Join only creates edges with weight >= δ > 0.
@@ -28,103 +29,8 @@ type Edge struct {
 // result equals the maximum-weight (not necessarily perfect) matching —
 // exactly the fuzzy overlap ||Sx ∩̃δ Sy|| of Definition 2.
 func MaxWeight(nx, ny int, edges []Edge) (float64, []int) {
-	if nx == 0 || ny == 0 || len(edges) == 0 {
-		m := make([]int, nx)
-		for i := range m {
-			m[i] = -1
-		}
-		return 0, m
-	}
-	n := nx
-	if ny > n {
-		n = ny
-	}
-	// cost[i][j] = -w so that minimizing total cost maximizes weight.
-	cost := make([][]float64, n+1)
-	flat := make([]float64, (n+1)*(n+1))
-	for i := range cost {
-		cost[i] = flat[i*(n+1) : (i+1)*(n+1)]
-	}
-	for _, e := range edges {
-		if e.W > -cost[e.X+1][e.Y+1] {
-			cost[e.X+1][e.Y+1] = -e.W
-		}
-	}
-
-	const inf = 1e18
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1)   // p[j]: row assigned to column j (1-based), 0 if none
-	way := make([]int, n+1) // way[j]: previous column on the alternating path
-	minv := make([]float64, n+1)
-	used := make([]bool, n+1)
-
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		for j := 0; j <= n; j++ {
-			minv[j] = inf
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := 0
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0][j] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-			if j0 == 0 {
-				break
-			}
-		}
-	}
-
-	matchX := make([]int, nx)
-	for i := range matchX {
-		matchX[i] = -1
-	}
-	total := 0.0
-	for j := 1; j <= n; j++ {
-		i := p[j]
-		if i == 0 || i > nx || j > ny {
-			continue
-		}
-		w := -cost[i][j]
-		if w > 0 {
-			matchX[i-1] = j - 1
-			total += w
-		}
-	}
-	return total, matchX
+	var s Solver
+	return s.MaxWeightMatch(nx, ny, edges, nil)
 }
 
 // GreedyMaxWeight returns the lower bound l_w of §5.2.2: repeatedly pick
@@ -132,31 +38,8 @@ func MaxWeight(nx, ny int, edges []Edge) (float64, []int) {
 // result is the weight of a valid matching, hence a lower bound on the
 // maximum. Ties break on (X, Y) for determinism.
 func GreedyMaxWeight(edges []Edge) float64 {
-	if len(edges) == 0 {
-		return 0
-	}
-	es := append([]Edge(nil), edges...)
-	sort.Slice(es, func(i, j int) bool {
-		if c := mathx.Cmp(es[i].W, es[j].W); c != 0 {
-			return c > 0
-		}
-		if es[i].X != es[j].X {
-			return es[i].X < es[j].X
-		}
-		return es[i].Y < es[j].Y
-	})
-	usedX := map[int]bool{}
-	usedY := map[int]bool{}
-	total := 0.0
-	for _, e := range es {
-		if usedX[e.X] || usedY[e.Y] {
-			continue
-		}
-		usedX[e.X] = true
-		usedY[e.Y] = true
-		total += e.W
-	}
-	return total
+	var s Solver
+	return s.GreedyMaxWeight(edges)
 }
 
 // GreedyMinDegree returns the lower bound l_e of §5.2.2: repeatedly take
@@ -164,127 +47,21 @@ func GreedyMaxWeight(edges []Edge) float64 {
 // neighbour with the smallest degree, and delete both. Covering
 // low-degree vertices first tends to cover more vertices overall.
 func GreedyMinDegree(nx, ny int, edges []Edge) float64 {
-	if len(edges) == 0 {
-		return 0
-	}
-	adjX := make([][]Edge, nx)
-	degY := make([]int, ny)
-	for _, e := range edges {
-		adjX[e.X] = append(adjX[e.X], e)
-		degY[e.Y]++
-	}
-	degX := make([]int, nx)
-	for x := range adjX {
-		degX[x] = len(adjX[x])
-	}
-	goneX := make([]bool, nx)
-	goneY := make([]bool, ny)
-	total := 0.0
-	for {
-		// Pick live left vertex with the smallest positive degree.
-		bestX, bestD := -1, 1<<30
-		for x := 0; x < nx; x++ {
-			if goneX[x] || degX[x] <= 0 {
-				continue
-			}
-			if degX[x] < bestD {
-				bestD = degX[x]
-				bestX = x
-			}
-		}
-		if bestX < 0 {
-			break
-		}
-		// Among its live neighbours pick the one with the smallest degree;
-		// break ties on weight (heavier first) then index for determinism.
-		var pick *Edge
-		pickD := 1 << 30
-		for i := range adjX[bestX] {
-			e := &adjX[bestX][i]
-			if goneY[e.Y] {
-				continue
-			}
-			if degY[e.Y] < pickD || (degY[e.Y] == pickD && pick != nil && (e.W > pick.W || (mathx.Cmp(e.W, pick.W) == 0 && e.Y < pick.Y))) {
-				pickD = degY[e.Y]
-				pick = e
-			}
-		}
-		if pick == nil {
-			goneX[bestX] = true
-			degX[bestX] = 0
-			continue
-		}
-		total += pick.W
-		goneX[bestX] = true
-		goneY[pick.Y] = true
-		// Update degrees of the survivors touching the removed vertices.
-		for x := 0; x < nx; x++ {
-			if goneX[x] {
-				continue
-			}
-			d := 0
-			for _, e := range adjX[x] {
-				if !goneY[e.Y] {
-					d++
-				}
-			}
-			degX[x] = d
-		}
-		for y := 0; y < ny; y++ {
-			if goneY[y] {
-				continue
-			}
-			d := 0
-			for x := 0; x < nx; x++ {
-				if goneX[x] {
-					continue
-				}
-				for _, e := range adjX[x] {
-					if e.Y == y {
-						d++
-					}
-				}
-			}
-			degY[y] = d
-		}
-	}
-	return total
+	var s Solver
+	return s.GreedyMinDegree(nx, ny, edges)
 }
 
 // LowerBound returns the combined lower bound of §5.2.2:
 // max(GreedyMaxWeight, GreedyMinDegree).
 func LowerBound(nx, ny int, edges []Edge) float64 {
-	lw := GreedyMaxWeight(edges)
-	le := GreedyMinDegree(nx, ny, edges)
-	if le > lw {
-		return le
-	}
-	return lw
+	var s Solver
+	return s.LowerBound(nx, ny, edges)
 }
 
 // UpperBound returns the bound B^u of Equation 6: the smaller of the sum
 // of per-left-vertex maximum edge weights and the sum of per-right-vertex
 // maximum edge weights. Any matching weight is at most both sums.
 func UpperBound(nx, ny int, edges []Edge) float64 {
-	maxX := make([]float64, nx)
-	maxY := make([]float64, ny)
-	for _, e := range edges {
-		if e.W > maxX[e.X] {
-			maxX[e.X] = e.W
-		}
-		if e.W > maxY[e.Y] {
-			maxY[e.Y] = e.W
-		}
-	}
-	sx, sy := 0.0, 0.0
-	for _, w := range maxX {
-		sx += w
-	}
-	for _, w := range maxY {
-		sy += w
-	}
-	if sx < sy {
-		return sx
-	}
-	return sy
+	var s Solver
+	return s.UpperBound(nx, ny, edges)
 }

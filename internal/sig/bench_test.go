@@ -26,6 +26,7 @@ func benchSetup(b *testing.B, scheme Scheme) (*Space, [][]elem.ID) {
 }
 
 func BenchmarkObjectSigsDeep(b *testing.B) {
+	b.ReportAllocs()
 	sp, objs := benchSetup(b, Deep)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -34,6 +35,7 @@ func BenchmarkObjectSigsDeep(b *testing.B) {
 }
 
 func BenchmarkObjectSigsNode(b *testing.B) {
+	b.ReportAllocs()
 	sp, objs := benchSetup(b, Node)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -42,6 +44,7 @@ func BenchmarkObjectSigsNode(b *testing.B) {
 }
 
 func BenchmarkPrefixComputation(b *testing.B) {
+	b.ReportAllocs()
 	sp, objs := benchSetup(b, Deep)
 	all := make([][]Entry, len(objs))
 	for i := range objs {
@@ -61,6 +64,7 @@ func BenchmarkPrefixComputation(b *testing.B) {
 }
 
 func BenchmarkBuildOrder(b *testing.B) {
+	b.ReportAllocs()
 	sp, objs := benchSetup(b, Deep)
 	all := make([][]Entry, len(objs))
 	for i := range objs {

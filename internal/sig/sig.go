@@ -13,7 +13,7 @@ package sig
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"kjoin/internal/elem"
@@ -74,6 +74,60 @@ type Space struct {
 
 	sigCache   [][]sigW // per elem.ID signatures under scheme
 	groupCache [][]Sig  // per elem.ID node signatures (grouping keys for verification)
+
+	// gen is the generation scratch of the single-threaded cache-fill
+	// path; Warm workers carry their own.
+	gen genState
+}
+
+// genState is per-goroutine signature-generation state: reusable build
+// buffers plus the arenas the cached per-element slices are carved from.
+// Arena chunks are never regrown in place (a full chunk is replaced and
+// kept alive by the slices pointing into it), so cache entries stay
+// valid forever.
+type genState struct {
+	buf    []sigW
+	kbuf   []Sig
+	arena  []sigW
+	karena []Sig
+}
+
+func (g *genState) internSigs() []sigW {
+	if len(g.buf) == 0 {
+		return []sigW{}
+	}
+	if len(g.arena)+len(g.buf) > cap(g.arena) {
+		n := 2 * cap(g.arena)
+		if n < 256 {
+			n = 256
+		}
+		if n < len(g.buf) {
+			n = len(g.buf)
+		}
+		g.arena = make([]sigW, 0, n)
+	}
+	start := len(g.arena)
+	g.arena = append(g.arena, g.buf...)
+	return g.arena[start:len(g.arena):len(g.arena)]
+}
+
+func (g *genState) internKeys() []Sig {
+	if len(g.kbuf) == 0 {
+		return []Sig{}
+	}
+	if len(g.karena)+len(g.kbuf) > cap(g.karena) {
+		n := 2 * cap(g.karena)
+		if n < 256 {
+			n = 256
+		}
+		if n < len(g.kbuf) {
+			n = len(g.kbuf)
+		}
+		g.karena = make([]Sig, 0, n)
+	}
+	start := len(g.karena)
+	g.karena = append(g.karena, g.kbuf...)
+	return g.karena[start:len(g.karena):len(g.karena)]
 }
 
 type sigW struct {
@@ -98,6 +152,11 @@ func NewSpace(res *elem.Resolver, metric elem.Metric, delta float64, scheme Sche
 
 // Scheme returns the space's signature scheme.
 func (sp *Space) Scheme() Scheme { return sp.scheme }
+
+// NumSigs returns an exclusive upper bound on every signature id the
+// space has handed out so far (hierarchy nodes plus interned token
+// signatures). Dense signature-keyed tables are sized with it.
+func (sp *Space) NumSigs() int { return int(sp.next) }
 
 // DDelta returns d_δ, the node-signature depth.
 func (sp *Space) DDelta() int { return sp.dDelta }
@@ -126,45 +185,51 @@ func (sp *Space) nodeSig(n hierarchy.NodeID) Sig {
 // deduplicated with maximum weight. The result is cached and must not be
 // modified.
 func (sp *Space) ElemSigs(e elem.ID) []Entry {
-	for int(e) >= len(sp.sigCache) {
-		sp.sigCache = append(sp.sigCache, nil)
-	}
-	if sp.sigCache[e] == nil {
-		sp.sigCache[e] = sp.genSigs(e)
-	}
-	out := make([]Entry, len(sp.sigCache[e]))
-	for i, sw := range sp.sigCache[e] {
+	sigs := sp.elemSigs(e)
+	out := make([]Entry, len(sigs))
+	for i, sw := range sigs {
 		out[i] = Entry{Sig: sw.s, W: sw.w}
 	}
 	return out
 }
 
-// appendElemSigs appends e's signatures to dst tagged with element index
-// idx, avoiding the copy in ElemSigs.
-func (sp *Space) appendElemSigs(dst []Entry, e elem.ID, idx int32) []Entry {
+// elemSigs returns e's cached signature list, generating it on a miss.
+func (sp *Space) elemSigs(e elem.ID) []sigW {
 	for int(e) >= len(sp.sigCache) {
 		sp.sigCache = append(sp.sigCache, nil)
 	}
 	if sp.sigCache[e] == nil {
-		sp.sigCache[e] = sp.genSigs(e)
+		sp.sigCache[e] = sp.genSigs(&sp.gen, e)
 	}
-	for _, sw := range sp.sigCache[e] {
+	return sp.sigCache[e]
+}
+
+// ElemSigCount returns the number of signatures of element e — the size
+// AppendObjectSigs contributes for it, for pre-sizing entry buffers.
+func (sp *Space) ElemSigCount(e elem.ID) int { return len(sp.elemSigs(e)) }
+
+// appendElemSigs appends e's signatures to dst tagged with element index
+// idx, avoiding the copy in ElemSigs.
+func (sp *Space) appendElemSigs(dst []Entry, e elem.ID, idx int32) []Entry {
+	for _, sw := range sp.elemSigs(e) {
 		dst = append(dst, Entry{Sig: sw.s, W: sw.w, Elem: idx})
 	}
 	return dst
 }
 
-// genSigs computes the signature list of one element.
-func (sp *Space) genSigs(e elem.ID) []sigW {
+// genSigs computes the signature list of one element into st's build
+// buffer and interns it in st's arena.
+func (sp *Space) genSigs(st *genState, e elem.ID) []sigW {
 	info := sp.res.Info(e)
 	if !info.Entity() {
 		// Unmatched token: its canonical token is its only signature and a
 		// match means equality (or synonymy), maximum similarity 1.
 		return []sigW{{s: sp.tokenSig(info.Canon), w: 1}}
 	}
-	var out []sigW
+	st.buf = st.buf[:0]
 	deepest, deepestIdx := -1, -1
 	add := func(s Sig, w float64) int {
+		out := st.buf
 		for i := range out {
 			if out[i].s == s {
 				if w > out[i].w {
@@ -173,8 +238,8 @@ func (sp *Space) genSigs(e elem.ID) []sigW {
 				return i
 			}
 		}
-		out = append(out, sigW{s: s, w: w})
-		return len(out) - 1
+		st.buf = append(out, sigW{s: s, w: w})
+		return len(st.buf) - 1
 	}
 	for _, m := range info.Mappings {
 		d := int(m.Depth)
@@ -217,10 +282,10 @@ func (sp *Space) genSigs(e elem.ID) []sigW {
 	// all signatures; make one signature carry that weight so the
 	// weighted prefix (Definition 9) stays sound under Plus resolution
 	// where φ < 1 would otherwise under-weight the self-match.
-	if deepestIdx >= 0 && out[deepestIdx].w < 1 {
-		out[deepestIdx].w = 1
+	if deepestIdx >= 0 && st.buf[deepestIdx].w < 1 {
+		st.buf[deepestIdx].w = 1
 	}
-	return out
+	return st.internSigs()
 }
 
 // Warm precomputes the signature and group-key caches for every element
@@ -247,16 +312,19 @@ func (sp *Space) Warm(n, workers int) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// Per-worker generation scratch: its arena chunks stay
+				// alive through the cache slices carved from them.
+				var st genState
 				for i := w; i < n; i += workers {
 					e := elem.ID(i)
 					if !sp.res.Info(e).Entity() {
 						continue
 					}
 					if sp.sigCache[i] == nil {
-						sp.sigCache[i] = sp.genSigs(e)
+						sp.sigCache[i] = sp.genSigs(&st, e)
 					}
 					if sp.groupCache[i] == nil {
-						sp.groupCache[i] = sp.genGroupKeys(e)
+						sp.groupCache[i] = sp.genGroupKeys(&st, e)
 					}
 				}
 			}(w)
@@ -269,10 +337,10 @@ func (sp *Space) Warm(n, workers int) {
 	for i := 0; i < n; i++ {
 		e := elem.ID(i)
 		if sp.sigCache[i] == nil {
-			sp.sigCache[i] = sp.genSigs(e)
+			sp.sigCache[i] = sp.genSigs(&sp.gen, e)
 		}
 		if sp.groupCache[i] == nil {
-			sp.groupCache[i] = sp.genGroupKeys(e)
+			sp.groupCache[i] = sp.genGroupKeys(&sp.gen, e)
 		}
 	}
 }
@@ -286,32 +354,33 @@ func (sp *Space) GroupKeys(e elem.ID) []Sig {
 		sp.groupCache = append(sp.groupCache, nil)
 	}
 	if sp.groupCache[e] == nil {
-		sp.groupCache[e] = sp.genGroupKeys(e)
+		sp.groupCache[e] = sp.genGroupKeys(&sp.gen, e)
 	}
 	return sp.groupCache[e]
 }
 
-// genGroupKeys computes the node-signature grouping keys of one element.
-func (sp *Space) genGroupKeys(e elem.ID) []Sig {
+// genGroupKeys computes the node-signature grouping keys of one element
+// into st's build buffer and interns them in st's arena.
+func (sp *Space) genGroupKeys(st *genState, e elem.ID) []Sig {
 	info := sp.res.Info(e)
 	if !info.Entity() {
 		return []Sig{sp.tokenSig(info.Canon)}
 	}
-	var keys []Sig
+	st.kbuf = st.kbuf[:0]
 	for _, m := range info.Mappings {
 		s := sp.nodeSig(m.Node)
 		dup := false
-		for _, k := range keys {
+		for _, k := range st.kbuf {
 			if k == s {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			keys = append(keys, s)
+			st.kbuf = append(st.kbuf, s)
 		}
 	}
-	return keys
+	return st.internKeys()
 }
 
 // ObjectSigs returns the (unsorted) signature entries of an object: the
@@ -319,31 +388,52 @@ func (sp *Space) genGroupKeys(e elem.ID) []Sig {
 // same signature may appear once per generating element (the paper's G_S
 // is a multiset).
 func (sp *Space) ObjectSigs(elems []elem.ID) []Entry {
-	var out []Entry
-	for i, e := range elems {
-		out = sp.appendElemSigs(out, e, int32(i))
+	n := 0
+	for _, e := range elems {
+		n += sp.ElemSigCount(e)
 	}
-	return out
+	return sp.AppendObjectSigs(make([]Entry, 0, n), elems)
+}
+
+// AppendObjectSigs appends the object's signature entries to dst — the
+// allocation-free form of ObjectSigs for callers that manage their own
+// entry buffers or arenas.
+func (sp *Space) AppendObjectSigs(dst []Entry, elems []elem.ID) []Entry {
+	for i, e := range elems {
+		dst = sp.appendElemSigs(dst, e, int32(i))
+	}
+	return dst
 }
 
 // Order is the global signature order: ascending document frequency with
 // signature id as tie-break (§3.1 "fix a global order for the node
-// signatures ... by document frequency in an ascending order").
+// signatures ... by document frequency in an ascending order"). The df
+// table is dense (indexed by Sig); ids beyond it have frequency zero.
 type Order struct {
-	df map[Sig]int32
+	df []int32
 }
 
 // BuildOrder counts, for every signature, the number of objects whose
 // signature set contains it (each object counts once per signature), over
-// all the given objects — for an R-S join pass both collections.
+// all the given objects — for an R-S join pass both collections. The
+// count runs over a stamp table instead of per-object maps, so building
+// the order costs two allocations regardless of collection size.
 func BuildOrder(objects [][]Entry) *Order {
-	df := make(map[Sig]int32)
-	var seen map[Sig]bool
+	maxSig := Sig(-1)
 	for _, entries := range objects {
-		seen = make(map[Sig]bool, len(entries))
 		for _, en := range entries {
-			if !seen[en.Sig] {
-				seen[en.Sig] = true
+			if en.Sig > maxSig {
+				maxSig = en.Sig
+			}
+		}
+	}
+	df := make([]int32, maxSig+1)
+	seen := make([]int32, maxSig+1)
+	for oi, entries := range objects {
+		stamp := int32(oi + 1)
+		for _, en := range entries {
+			if seen[en.Sig] != stamp {
+				seen[en.Sig] = stamp
 				df[en.Sig]++
 			}
 		}
@@ -351,9 +441,18 @@ func BuildOrder(objects [][]Entry) *Order {
 	return &Order{df: df}
 }
 
+// freq returns the document frequency of s (zero beyond the built range
+// — signatures first seen after BuildOrder, or an empty order).
+func (o *Order) freq(s Sig) int32 {
+	if int(s) < len(o.df) {
+		return o.df[s]
+	}
+	return 0
+}
+
 // Less reports whether signature a precedes b in the global order.
 func (o *Order) Less(a, b Sig) bool {
-	da, db := o.df[a], o.df[b]
+	da, db := o.freq(a), o.freq(b)
 	if da != db {
 		return da < db
 	}
@@ -362,19 +461,26 @@ func (o *Order) Less(a, b Sig) bool {
 
 // Sort sorts entries by the global order (rarest signatures first).
 // Entries of the same signature stay adjacent; ties break on element
-// index for determinism.
+// index for determinism. The (Sig, Elem) pairs of an object's entry
+// list are unique, so the order is total and the permutation is the
+// same under any sorting algorithm; slices.SortFunc avoids both the
+// reflection-based swapper of sort.Slice and the interface-escape
+// allocation of sort.Sort in the prefix-build hot loop.
 func (o *Order) Sort(entries []Entry) {
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
+	slices.SortFunc(entries, func(a, b Entry) int {
 		if a.Sig != b.Sig {
-			return o.Less(a.Sig, b.Sig)
+			da, db := o.freq(a.Sig), o.freq(b.Sig)
+			if da != db {
+				return int(da - db)
+			}
+			return int(a.Sig - b.Sig)
 		}
-		return a.Elem < b.Elem
+		return int(a.Elem - b.Elem)
 	})
 }
 
 // DF returns the document frequency of s under the order.
-func (o *Order) DF(s Sig) int { return int(o.df[s]) }
+func (o *Order) DF(s Sig) int { return int(o.freq(s)) }
 
 // DistElePrefix returns the prefix length p of entries (sorted by the
 // global order) such that entries[:p] is the (node or path) prefix of
@@ -383,14 +489,25 @@ func (o *Order) DF(s Sig) int { return int(o.df[s]) }
 // suffix cover τ_S. If the object has fewer than τ_S distinct elements,
 // the whole list is the prefix.
 func DistElePrefix(entries []Entry, tauS int) int {
+	var ps PrefixScratch
+	return DistElePrefixS(entries, tauS, &ps)
+}
+
+// DistElePrefixS is DistElePrefix over a caller-owned scratch — the
+// allocation-free form for prefix-building loops.
+func DistElePrefixS(entries []Entry, tauS int, ps *PrefixScratch) int {
 	if tauS <= 0 {
 		return 0
 	}
-	seen := make(map[int32]bool)
+	ps.stamp++
+	distinct := 0
 	for i := len(entries) - 1; i >= 0; i-- {
-		if !seen[entries[i].Elem] {
-			seen[entries[i].Elem] = true
-			if len(seen) == tauS {
+		e := entries[i].Elem
+		ps.grow(int(e) + 1)
+		if ps.seen[e] != ps.stamp {
+			ps.seen[e] = ps.stamp
+			distinct++
+			if distinct == tauS {
 				return i + 1
 			}
 		}
@@ -404,20 +521,58 @@ func DistElePrefix(entries []Entry, tauS int) int {
 // signature weight in the suffix. minOverlap is τ·|S| for Jaccard
 // (setmetric.Kind.MinOverlap in general).
 func WeightedPrefix(entries []Entry, minOverlap float64) int {
+	var ps PrefixScratch
+	return WeightedPrefixS(entries, minOverlap, &ps)
+}
+
+// WeightedPrefixS is WeightedPrefix over a caller-owned scratch — the
+// allocation-free form for prefix-building loops.
+func WeightedPrefixS(entries []Entry, minOverlap float64, ps *PrefixScratch) int {
 	if minOverlap <= 0 {
 		return 0
 	}
-	best := make(map[int32]float64)
+	ps.stamp++
 	msim := 0.0
 	for i := len(entries) - 1; i >= 0; i-- {
 		en := entries[i]
-		if w := best[en.Elem]; en.W > w {
+		ps.grow(int(en.Elem) + 1)
+		w := 0.0
+		if ps.seen[en.Elem] == ps.stamp {
+			w = ps.best[en.Elem]
+		}
+		if en.W > w {
 			msim += en.W - w
-			best[en.Elem] = en.W
+			ps.seen[en.Elem] = ps.stamp
+			ps.best[en.Elem] = en.W
 		}
 		if msim >= minOverlap-1e-9 {
 			return i + 1
 		}
 	}
 	return len(entries)
+}
+
+// PrefixScratch is the reusable state of the prefix-length computations:
+// an epoch-stamped dense table keyed by element index within the object.
+// Bumping the stamp invalidates the whole table; a slot is live only when
+// its stamp matches, reproducing the seed's per-call map semantics.
+type PrefixScratch struct {
+	stamp int32
+	seen  []int32
+	best  []float64
+}
+
+func (ps *PrefixScratch) grow(n int) {
+	if n <= len(ps.seen) {
+		return
+	}
+	if n < 2*len(ps.seen) {
+		n = 2 * len(ps.seen)
+	}
+	ns := make([]int32, n)
+	copy(ns, ps.seen)
+	ps.seen = ns
+	nb := make([]float64, n)
+	copy(nb, ps.best)
+	ps.best = nb
 }

@@ -151,8 +151,17 @@ func EditSimAtLeast(a, b string, phi float64) (float64, bool) {
 	if max == 0 {
 		return 1, true
 	}
-	// ED <= (1-phi)*max, take floor.
+	// ED budget: the largest k with 1 - k/max >= phi. Computing
+	// (1-phi)*max loses ulps (1-0.8 = 0.19999…), which can shrink the
+	// band and reject pairs whose similarity equals phi exactly, so
+	// correct the estimate against the definition EditSim evaluates.
 	k := int(float64(max) * (1 - phi))
+	for k+1 <= max && 1-float64(k+1)/float64(max) >= phi {
+		k++
+	}
+	for k > 0 && 1-float64(k)/float64(max) < phi {
+		k--
+	}
 	d, ok := EditDistanceWithin(a, b, k)
 	if !ok {
 		return 0, false

@@ -34,6 +34,7 @@ func benchCtx(b *testing.B) (*Context, [][]elem.ID, [][]sig.Sig) {
 }
 
 func BenchmarkVerifyKeyedFastPath(b *testing.B) {
+	b.ReportAllocs()
 	ctx, objs, keys := benchCtx(b)
 	var st Stats
 	b.ResetTimer()
@@ -45,10 +46,12 @@ func BenchmarkVerifyKeyedFastPath(b *testing.B) {
 }
 
 func BenchmarkVerifyLadder(b *testing.B) {
+	b.ReportAllocs()
 	ctx, objs, _ := benchCtx(b)
 	kinds := []Kind{Basic, SubGraph, Adaptive}
 	for _, k := range kinds {
 		b.Run(k.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var st Stats
 			for i := 0; i < b.N; i++ {
 				x := i % len(objs)
@@ -60,6 +63,7 @@ func BenchmarkVerifyLadder(b *testing.B) {
 }
 
 func BenchmarkOverlapExact(b *testing.B) {
+	b.ReportAllocs()
 	ctx, objs, _ := benchCtx(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -6,7 +6,7 @@
 package verify
 
 import (
-	"sort"
+	"slices"
 
 	"kjoin/internal/elem"
 	"kjoin/internal/matching"
@@ -67,9 +67,12 @@ func (s *Stats) Add(other Stats) {
 	s.Results += other.Results
 }
 
-// Context carries everything verification needs. It is immutable after
-// construction and safe for concurrent use (provided all elements were
-// resolved and their signatures generated beforehand; see elem.Resolver).
+// Context carries everything verification needs. The configuration
+// fields are immutable after construction, but verification runs on a
+// lazily created per-Context Scratch workspace, so a Context is NOT
+// safe for concurrent use: give every worker goroutine its own via
+// Clone. (All elements must be resolved and their signatures generated
+// beforehand; see elem.Resolver.)
 type Context struct {
 	Res    *elem.Resolver
 	Space  *sig.Space
@@ -77,6 +80,48 @@ type Context struct {
 	Set    setmetric.Kind
 	Delta  float64
 	Tau    float64
+
+	scr *Scratch
+}
+
+// Clone returns a copy of c with its own fresh Scratch, sharing the
+// (read-only) resolver and signature space. Use one clone per worker
+// goroutine.
+func (c *Context) Clone() *Context {
+	cp := *c
+	cp.scr = NewScratch()
+	return &cp
+}
+
+// scratch returns the context's workspace, creating it on first use.
+func (c *Context) scratch() *Scratch {
+	if c.scr == nil {
+		c.scr = NewScratch()
+	}
+	return c.scr
+}
+
+// sim returns the element similarity Res.Sim(a, b, Metric) through the
+// scratch's bounded pair cache. The cache key is the packed unordered
+// pair (Resolver.Sim is exactly symmetric: the metric formulas, φ
+// products and LCA are all symmetric in their arguments), and a hit
+// returns the identical float Sim computed, so caching never changes
+// results.
+func (c *Context) sim(s *Scratch, a, b elem.ID) float64 {
+	if a == b {
+		return 1
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+	if v, ok := s.sims.get(key); ok {
+		return v
+	}
+	v := c.Res.Sim(a, b, c.Metric)
+	s.sims.put(key, v)
+	return v
 }
 
 // group is one node-signature group of a candidate pair: the element
@@ -88,107 +133,104 @@ type group struct {
 // groups partitions the elements of x and y by node signature (Lemma 1:
 // elements in different groups cannot be similar). Elements with several
 // node signatures (K-Join+, §6.4) merge their groups via union-find.
+//
+// The returned slice and its element lists belong to the scratch and are
+// valid until the next groups() call on this context.
 func (c *Context) groups(x, y []elem.ID) []group {
-	parent := map[sig.Sig]sig.Sig{}
-	var find func(s sig.Sig) sig.Sig
-	find = func(s sig.Sig) sig.Sig {
-		p, ok := parent[s]
-		if !ok {
-			parent[s] = s
-			return s
-		}
-		if p == s {
-			return s
-		}
-		r := find(p)
-		parent[s] = r
-		return r
-	}
-	union := func(a, b sig.Sig) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			parent[ra] = rb
-		}
-	}
+	s := c.scratch()
+	s.epoch++
+	ep := s.epoch
 	keyOf := func(e elem.ID) sig.Sig {
 		keys := c.Space.GroupKeys(e)
 		for i := 1; i < len(keys); i++ {
-			union(keys[0], keys[i])
+			s.union(keys[0], keys[i])
 		}
 		return keys[0]
 	}
-	idx := map[sig.Sig]int{}
-	var roots []sig.Sig // insertion order, for deterministic output
-	var gs []group
+	s.roots = s.roots[:0]
+	gs := s.groups[:0]
 	for _, e := range x {
-		r := find(keyOf(e))
-		i, ok := idx[r]
+		r := s.find(keyOf(e))
+		i, ok := s.gidx.lookup(r, ep)
 		if !ok {
-			i = len(gs)
-			idx[r] = i
-			roots = append(roots, r)
-			gs = append(gs, group{})
+			i = int32(len(gs))
+			s.gidx.set(r, i, ep)
+			s.roots = append(s.roots, r)
+			gs = appendGroup(gs)
 		}
 		gs[i].xe = append(gs[i].xe, e)
 	}
 	for _, e := range y {
-		r := find(keyOf(e))
-		i, ok := idx[r]
+		r := s.find(keyOf(e))
+		i, ok := s.gidx.lookup(r, ep)
 		if !ok {
-			i = len(gs)
-			idx[r] = i
-			roots = append(roots, r)
-			gs = append(gs, group{})
+			i = int32(len(gs))
+			s.gidx.set(r, i, ep)
+			s.roots = append(s.roots, r)
+			gs = appendGroup(gs)
 		}
 		gs[i].ye = append(gs[i].ye, e)
 	}
+	s.groups = gs
 	// Union-find may have merged two roots after their groups were
 	// created; merge such groups, preserving first-seen order so that
-	// downstream floating-point sums are deterministic.
-	merged := map[sig.Sig]int{}
-	var out []group
-	for _, r := range roots {
-		i := idx[r]
-		root := find(r)
-		if j, ok := merged[root]; ok {
-			out[j].xe = append(out[j].xe, gs[i].xe...)
-			out[j].ye = append(out[j].ye, gs[i].ye...)
-		} else {
-			merged[root] = len(out)
-			out = append(out, gs[i])
+	// downstream floating-point sums are deterministic. Without late
+	// merges (the common case — multi-mapping elements only arise under
+	// Plus resolution) the build order already is the output order.
+	needMerge := false
+	for _, r := range s.roots {
+		if s.find(r) != r {
+			needMerge = true
+			break
 		}
 	}
+	if !needMerge {
+		return gs
+	}
+	out := s.mgroups[:0]
+	for gi, r := range s.roots {
+		root := s.find(r)
+		if j, ok := s.merged.lookup(root, ep); ok {
+			out[j].xe = append(out[j].xe, gs[gi].xe...)
+			out[j].ye = append(out[j].ye, gs[gi].ye...)
+		} else {
+			s.merged.set(root, int32(len(out)), ep)
+			out = appendGroup(out)
+			out[len(out)-1].xe = append(out[len(out)-1].xe, gs[gi].xe...)
+			out[len(out)-1].ye = append(out[len(out)-1].ye, gs[gi].ye...)
+		}
+	}
+	s.mgroups = out
 	return out
 }
 
-// edges returns the δ-thresholded similarity edges between xe and ye
-// (paper §2.1.2: edges below δ are removed from the bigraph).
-func (c *Context) edges(xe, ye []elem.ID) []matching.Edge {
-	var es []matching.Edge
+// appendEdges appends the δ-thresholded similarity edges between xe and
+// ye to dst (paper §2.1.2: edges below δ are removed from the bigraph).
+func (c *Context) appendEdges(s *Scratch, dst []matching.Edge, xe, ye []elem.ID) []matching.Edge {
 	for i, a := range xe {
 		for j, b := range ye {
-			if s := c.Res.Sim(a, b, c.Metric); mathx.GE(s, c.Delta) {
-				es = append(es, matching.Edge{X: i, Y: j, W: s})
+			if w := c.sim(s, a, b); mathx.GE(w, c.Delta) {
+				dst = append(dst, matching.Edge{X: i, Y: j, W: w})
 			}
 		}
 	}
-	return es
+	return dst
 }
 
 // Overlap computes the exact fuzzy overlap ||x ∩̃δ y|| using the subgraph
 // decomposition (Lemma 8 guarantees it equals the whole-graph matching).
 func (c *Context) Overlap(x, y []elem.ID) float64 {
+	s := c.scratch()
 	total := 0.0
 	for _, g := range c.groups(x, y) {
 		if len(g.xe) == 0 || len(g.ye) == 0 {
 			continue
 		}
-		es := c.edges(g.xe, g.ye)
-		if len(es) == 0 {
+		s.edges = c.appendEdges(s, s.edges[:0], g.xe, g.ye)
+		if len(s.edges) == 0 {
 			continue
 		}
-		o, _ := matching.MaxWeight(len(g.xe), len(g.ye), es)
-		total += o
+		total += s.solver.MaxWeight(len(g.xe), len(g.ye), s.edges)
 	}
 	return total
 }
@@ -196,12 +238,12 @@ func (c *Context) Overlap(x, y []elem.ID) float64 {
 // OverlapBasic computes the fuzzy overlap with a single Hungarian run on
 // the whole bigraph (the Basic verifier's work).
 func (c *Context) OverlapBasic(x, y []elem.ID) float64 {
-	es := c.edges(x, y)
-	if len(es) == 0 {
+	s := c.scratch()
+	s.edges = c.appendEdges(s, s.edges[:0], x, y)
+	if len(s.edges) == 0 {
 		return 0
 	}
-	o, _ := matching.MaxWeight(len(x), len(y), es)
-	return o
+	return s.solver.MaxWeight(len(x), len(y), s.edges)
 }
 
 // Similarity returns SIMδ(x, y) under the context's set metric, computed
@@ -214,12 +256,23 @@ func (c *Context) Similarity(x, y []elem.ID) float64 {
 // object, sorted — one key per (element, key) pair. Precompute it once
 // per object and pass it to VerifyKeyed for a fast count-pruning path.
 func (c *Context) SortedKeys(elems []elem.ID) []sig.Sig {
-	var keys []sig.Sig
+	n := 0
 	for _, e := range elems {
-		keys = append(keys, c.Space.GroupKeys(e)...)
+		n += len(c.Space.GroupKeys(e))
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
+	return c.AppendSortedKeys(make([]sig.Sig, 0, n), elems)
+}
+
+// AppendSortedKeys appends the object's sorted group-key multiset to dst
+// (sorting only the appended region) — the allocation-free form of
+// SortedKeys for callers that manage their own key buffers or arenas.
+func (c *Context) AppendSortedKeys(dst []sig.Sig, elems []elem.ID) []sig.Sig {
+	start := len(dst)
+	for _, e := range elems {
+		dst = append(dst, c.Space.GroupKeys(e)...)
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // countBound returns Σ_k min(count_x(k), count_y(k)) over the sorted key
@@ -278,6 +331,7 @@ func (c *Context) VerifyKeyed(x, y []elem.ID, xKeys, yKeys []sig.Sig, kind Kind,
 func (c *Context) Verify(x, y []elem.ID, kind Kind, st *Stats) bool {
 	st.Pairs++
 	need := c.Set.PairOverlap(c.Tau, len(x), len(y))
+	s := c.scratch()
 	gs := c.groups(x, y)
 
 	// Count pruning (Lemma 3): Σ min(|Six|, |Siy|) bounds the overlap.
@@ -307,7 +361,7 @@ func (c *Context) Verify(x, y []elem.ID, kind Kind, st *Stats) bool {
 	// at most their MaxDiffSim.
 	wUB := 0.0
 	for _, g := range gs {
-		wUB += c.groupWeightedUB(g)
+		wUB += c.groupWeightedUB(s, g)
 	}
 	if mathx.LT(wUB, need) {
 		st.WeightedPruned++
@@ -322,17 +376,16 @@ func (c *Context) Verify(x, y []elem.ID, kind Kind, st *Stats) bool {
 			if len(g.xe) == 0 || len(g.ye) == 0 {
 				continue
 			}
-			es := c.edges(g.xe, g.ye)
-			if len(es) == 0 {
+			s.edges = c.appendEdges(s, s.edges[:0], g.xe, g.ye)
+			if len(s.edges) == 0 {
 				continue
 			}
 			st.MatchingCalls++
-			o, _ := matching.MaxWeight(len(g.xe), len(g.ye), es)
-			total += o
+			total += s.solver.MaxWeight(len(g.xe), len(g.ye), s.edges)
 		}
 		ok = mathx.GE(total, need)
 	default: // Adaptive
-		ok = c.adaptive(gs, need, st)
+		ok = c.adaptive(s, gs, need, st)
 	}
 	if ok {
 		st.Results++
@@ -342,36 +395,33 @@ func (c *Context) Verify(x, y []elem.ID, kind Kind, st *Stats) bool {
 
 // groupWeightedUB computes the per-group term of Lemma 4:
 // |Six ∩ Siy| + min(Σ MaxDiffSim over Six−∩, Σ MaxDiffSim over Siy−∩).
-// The intersection is a multiset intersection on element identity.
-func (c *Context) groupWeightedUB(g group) float64 {
+// The intersection is a multiset intersection on element identity,
+// counted in the scratch's epoch-stamped element tables.
+func (c *Context) groupWeightedUB(s *Scratch, g group) float64 {
 	if len(g.xe) == 0 || len(g.ye) == 0 {
 		return 0
 	}
-	cnt := map[elem.ID]int{}
+	s.epoch++
+	ep := s.epoch
 	for _, e := range g.xe {
-		cnt[e]++
+		s.cnt.incr(e, ep)
 	}
 	inter := 0
-	used := map[elem.ID]int{}
 	for _, e := range g.ye {
-		if used[e] < cnt[e] {
-			used[e]++
+		if s.used.get(e, ep) < s.cnt.get(e, ep) {
+			s.used.incr(e, ep)
 			inter++
 		}
 	}
 	sx, sy := 0.0, 0.0
-	takenX := map[elem.ID]int{}
 	for _, e := range g.xe {
-		takenX[e]++
-		if takenX[e] <= used[e] {
+		if s.takenX.incr(e, ep) <= s.used.get(e, ep) {
 			continue // part of the intersection
 		}
 		sx += c.Res.MaxDiffSim(e, c.Metric)
 	}
-	takenY := map[elem.ID]int{}
 	for _, e := range g.ye {
-		takenY[e]++
-		if takenY[e] <= used[e] {
+		if s.takenY.incr(e, ep) <= s.used.get(e, ep) {
 			continue
 		}
 		sy += c.Res.MaxDiffSim(e, c.Metric)
@@ -384,29 +434,30 @@ func (c *Context) groupWeightedUB(g group) float64 {
 }
 
 // adaptive is Algorithm 3: per-group bounds with early accept/reject and
-// loosest-groups-first exact matching.
-func (c *Context) adaptive(gs []group, need float64, st *Stats) bool {
-	type gb struct {
-		g      group
-		es     []matching.Edge
-		lo, up float64
-	}
-	var act []gb
+// loosest-groups-first exact matching. Group edge lists live in the
+// scratch edge arena as [start, end) ranges, so arena growth while later
+// groups are built never invalidates earlier groups.
+func (c *Context) adaptive(s *Scratch, gs []group, need float64, st *Stats) bool {
+	act := s.act.act[:0]
+	s.edges = s.edges[:0]
 	bl, bu := 0.0, 0.0
-	for _, g := range gs {
+	for gi, g := range gs {
 		if len(g.xe) == 0 || len(g.ye) == 0 {
 			continue
 		}
-		es := c.edges(g.xe, g.ye)
-		if len(es) == 0 {
+		start := len(s.edges)
+		s.edges = c.appendEdges(s, s.edges, g.xe, g.ye)
+		if len(s.edges) == start {
 			continue
 		}
-		lo := matching.LowerBound(len(g.xe), len(g.ye), es)
-		up := matching.UpperBound(len(g.xe), len(g.ye), es)
-		act = append(act, gb{g: g, es: es, lo: lo, up: up})
+		es := s.edges[start:]
+		lo := s.solver.LowerBound(len(g.xe), len(g.ye), es)
+		up := s.solver.UpperBound(len(g.xe), len(g.ye), es)
+		act = append(act, gb{gi: int32(gi), start: int32(start), end: int32(len(s.edges)), lo: lo, up: up})
 		bl += lo
 		bu += up
 	}
+	s.act.act = act
 	if mathx.GE(bl, need) {
 		st.LBAccepted++
 		return true
@@ -416,18 +467,17 @@ func (c *Context) adaptive(gs []group, need float64, st *Stats) bool {
 		return false
 	}
 	// Loosest groups first (§5.2.3): largest B^u − B^l gap.
-	sort.Slice(act, func(i, j int) bool {
-		return act[i].up-act[i].lo > act[j].up-act[j].lo
-	})
+	sortGBs(&s.act)
 	for _, a := range act {
 		st.MatchingCalls++
-		s, _ := matching.MaxWeight(len(a.g.xe), len(a.g.ye), a.es)
-		bu += s - a.up
+		g := gs[a.gi]
+		w := s.solver.MaxWeight(len(g.xe), len(g.ye), s.edges[a.start:a.end])
+		bu += w - a.up
 		if mathx.LT(bu, need) {
 			st.UBRejected++
 			return false
 		}
-		bl += s - a.lo
+		bl += w - a.lo
 		if mathx.GE(bl, need) {
 			st.LBAccepted++
 			return true
