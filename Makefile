@@ -10,9 +10,10 @@ FUZZ_TARGETS = \
 	./internal/hierarchy,FuzzFromEdges \
 	./internal/strutil,FuzzEditDistanceWithin \
 	./internal/strutil,FuzzTokenize \
-	./internal/core,FuzzLoadIndexer
+	./internal/core,FuzzLoadIndexer \
+	./internal/wal,FuzzWALReplay
 
-.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke
+.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke
 
 all: build lint test
 
@@ -38,6 +39,16 @@ fuzz-smoke:
 		echo "fuzz $$pkg $$fn"; \
 		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=10s; \
 	done
+
+# crash-smoke runs the deterministic fault-injection recovery matrix
+# under the race detector: scripted WAL/snapshot failures and crashes at
+# every write boundary, each followed by a reboot that must reproduce
+# exactly the acknowledged adds with bit-identical query answers.
+crash-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestCrashMatrix|TestCrashSweepEveryWalWrite|TestConcurrentAddsCrashAtSyncBoundary|TestRecovery|TestRecoverRejectsDeletedWal|TestWalFailureDegradesNotCorrupts' \
+		./internal/server/
+	$(GO) test -race -count=1 ./internal/wal/ ./internal/fault/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

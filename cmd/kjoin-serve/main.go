@@ -23,7 +23,15 @@
 // -drain-timeout to finish, and a final snapshot is written atomically
 // when -snapshot is set. With -snapshot-interval a background
 // snapshotter also persists the index periodically, retrying failures
-// with exponential backoff.
+// with capped, jittered exponential backoff.
+//
+// With -wal-dir and -snapshot-dir the service runs crash-safe: every
+// add is appended to a checksummed write-ahead log and fsync'd before
+// the HTTP acknowledgment, snapshots are kept as -snapshot-keep
+// numbered generations, and startup recovers by loading the newest
+// readable generation (falling back past corrupt ones) and replaying
+// the log, answering 503 on /readyz until recovery completes. See
+// DESIGN.md §9.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"kjoin/internal/core"
 	"kjoin/internal/server"
 	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
 )
 
 func main() {
@@ -50,8 +59,13 @@ func main() {
 		delta      = flag.Float64("delta", 0.8, "element similarity threshold δ")
 		tau        = flag.Float64("tau", 0.8, "object similarity threshold τ")
 		plus       = flag.Bool("plus", false, "K-Join+ resolution")
-		snapshot   = flag.String("snapshot", "", "snapshot file: preloaded at startup if it exists, written atomically on shutdown and every -snapshot-interval")
-		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -snapshot)")
+		snapshot   = flag.String("snapshot", "", "single snapshot file: preloaded at startup if it exists, written atomically on shutdown and every -snapshot-interval (no WAL; mutually exclusive with -snapshot-dir)")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -snapshot or -snapshot-dir)")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory; with -snapshot-dir enables crash-safe durability (adds are fsync'd before the ack)")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (acked adds survive any crash) or none (fast, a crash loses recent adds)")
+		walBatch   = flag.Duration("wal-batch", 0, "WAL group-commit window: trade this much ack latency for fewer fsyncs under concurrency")
+		snapDir    = flag.String("snapshot-dir", "", "snapshot generation directory (requires -wal-dir)")
+		snapKeep   = flag.Int("snapshot-keep", 3, "snapshot generations kept in -snapshot-dir")
 		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes")
 		maxInflt   = flag.Int("max-inflight", 64, "max concurrent expensive requests before shedding with 429")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
@@ -62,8 +76,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *snapEvery > 0 && *snapshot == "" {
-		log.Fatal("kjoin-serve: -snapshot-interval requires -snapshot")
+	durable := *walDir != "" || *snapDir != ""
+	if durable && (*walDir == "" || *snapDir == "") {
+		log.Fatal("kjoin-serve: -wal-dir and -snapshot-dir must be set together")
+	}
+	if durable && *snapshot != "" {
+		log.Fatal("kjoin-serve: -snapshot and -snapshot-dir are mutually exclusive")
+	}
+	if *snapEvery > 0 && *snapshot == "" && !durable {
+		log.Fatal("kjoin-serve: -snapshot-interval requires -snapshot or -snapshot-dir")
+	}
+	var walPolicy wal.Policy
+	switch *walSync {
+	case "always":
+		walPolicy = wal.SyncAlways
+	case "none":
+		walPolicy = wal.SyncNone
+	default:
+		log.Fatalf("kjoin-serve: -wal-sync must be always or none, got %q", *walSync)
 	}
 	f, err := os.Open(*hierPath)
 	if err != nil {
@@ -83,7 +113,15 @@ func main() {
 		Logf:           log.Printf,
 	}
 	var srv *server.Server
-	if *snapshot != "" {
+	if durable {
+		// The server comes up not-ready: the listener starts first so
+		// /readyz honestly reports "recovering" while the index is
+		// rebuilt from the snapshot generations and the WAL.
+		srv, err = server.NewRecovering(h, opt, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *snapshot != "" {
 		sf, err := os.Open(*snapshot)
 		switch {
 		case err == nil:
@@ -126,18 +164,36 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("kjoin-serve: hierarchy %d nodes, listening on %s", h.Len(), *addr)
+
+	if durable {
+		if err := srv.Recover(server.Durability{
+			WALDir:      *walDir,
+			SnapshotDir: *snapDir,
+			Keep:        *snapKeep,
+			Policy:      walPolicy,
+			BatchWindow: *walBatch,
+			Logf:        log.Printf,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("kjoin-serve: recovery complete, serving")
+	}
+
 	if *snapEvery > 0 {
+		write := func() error { return srv.SnapshotTo(*snapshot) }
+		if durable {
+			write = srv.SnapshotGeneration
+		}
 		snap := &serverutil.Snapshotter{
 			Interval: *snapEvery,
-			Write:    func() error { return srv.SnapshotTo(*snapshot) },
+			Write:    write,
 			Logf:     log.Printf,
 		}
 		go snap.Run(ctx)
 	}
-
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("kjoin-serve: hierarchy %d nodes, listening on %s", h.Len(), *addr)
 
 	select {
 	case err := <-errc:
@@ -154,7 +210,19 @@ func main() {
 	if err := hs.Shutdown(shCtx); err != nil {
 		log.Printf("kjoin-serve: drain incomplete: %v", err)
 	}
-	if *snapshot != "" {
+	switch {
+	case durable:
+		// A failed final snapshot is not fatal here: every acknowledged
+		// add is already durable in the WAL and replays on next start.
+		if err := srv.SnapshotGeneration(); err != nil {
+			log.Printf("kjoin-serve: final snapshot failed (wal replay will cover it): %v", err)
+		} else {
+			log.Printf("kjoin-serve: final snapshot written to %s", *snapDir)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("kjoin-serve: wal close: %v", err)
+		}
+	case *snapshot != "":
 		if err := srv.SnapshotTo(*snapshot); err != nil {
 			log.Printf("kjoin-serve: final snapshot failed: %v", err)
 			os.Exit(1)

@@ -54,6 +54,11 @@ type Indexer struct {
 	// exclusive access prepObject already requires.
 	entryBuf []sig.Entry
 	ps       sig.PrefixScratch
+	// walSeq is the last write-ahead-log sequence reflected in the
+	// index (see SetWALSeq/ApplyLogged); it travels inside snapshots so
+	// recovery knows where replay resumes. Mutated only by the
+	// exclusive-access calls, like everything above.
+	walSeq uint64
 	// vpool holds per-query verify.Context clones: RunQuery may run from
 	// many goroutines at once, and each clone owns the mutable Scratch
 	// that makes steady-state verification allocation-free.

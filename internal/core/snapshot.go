@@ -3,6 +3,8 @@ package core
 import (
 	"bufio"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"strings"
 
@@ -12,90 +14,236 @@ import (
 // snapshotMagic heads every Indexer snapshot.
 const snapshotMagic = "kjoin-indexer-snapshot"
 
-// snapshotVersion is the current snapshot format version.
-const snapshotVersion = 1
+// snapshotVersion is the current snapshot format version. Version 2
+// added the walseq header field (the last write-ahead-log sequence the
+// snapshot covers), a CRC32C trailer over everything before it, and a
+// record count — so a truncated or bit-flipped snapshot is detected at
+// load instead of silently serving a shorter index. Version 1 snapshots
+// still load.
+const snapshotVersion = 2
+
+// snapshotTrailer heads the final line of a v2 snapshot.
+const snapshotTrailer = "kjoin-snapshot-trailer"
+
+var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SnapshotMeta is what a snapshot says about itself beyond the objects.
+type SnapshotMeta struct {
+	// Objects is the object count declared (and verified) by the snapshot.
+	Objects int
+	// WALSeq is the last write-ahead-log sequence applied to the
+	// Indexer when the snapshot was taken: recovery replays only WAL
+	// records with larger sequences over it. Zero for v1 snapshots and
+	// indexes that never saw a WAL.
+	WALSeq uint64
+}
+
+// crcLineWriter mirrors every byte into a CRC32C alongside the
+// destination, so the trailer can vouch for exactly the bytes written.
+type crcLineWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcLineWriter) Write(p []byte) (int, error) {
+	cw.crc.Write(p) // hash.Hash never errors
+	return cw.w.Write(p)
+}
+
+func (cw *crcLineWriter) WriteString(s string) (int, error) {
+	cw.crc.Write([]byte(s))
+	return cw.w.WriteString(s)
+}
+
+func (cw *crcLineWriter) WriteByte(b byte) error {
+	var one = [1]byte{b}
+	cw.crc.Write(one[:])
+	return cw.w.WriteByte(b)
+}
 
 // WriteSnapshot persists the Indexer's contents: a header recording the
-// configuration fingerprint and the tokenized objects in insertion
-// order, one per line (tab-separated tokens). The format is plain text
-// — derived state (signatures, prefixes, inverted lists) is cheap to
-// rebuild deterministically and would multiply the format surface.
+// configuration fingerprint, object count and covered WAL sequence, the
+// tokenized objects in insertion order (one per line, tab-separated
+// tokens), and a trailer carrying the record count and a CRC32C of
+// everything before it. The format is plain text — derived state
+// (signatures, prefixes, inverted lists) is cheap to rebuild
+// deterministically and would multiply the format surface.
 func (ix *Indexer) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	cw := &crcLineWriter{w: bw, crc: crc32.New(snapCastagnoli)}
 	opt := ix.j.opt
-	if _, err := fmt.Fprintf(bw, "%s %d\n", snapshotMagic, snapshotVersion); err != nil {
+	if _, err := fmt.Fprintf(cw, "%s %d\n", snapshotMagic, snapshotVersion); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(bw, "delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v objects=%d\n",
-		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, len(ix.objs)); err != nil {
+	if _, err := fmt.Fprintf(cw, "delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v objects=%d walseq=%d\n",
+		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, len(ix.objs), ix.walSeq); err != nil {
 		return err
 	}
 	for _, o := range ix.objs {
 		for i, e := range o.elems {
 			if i > 0 {
-				if err := bw.WriteByte('\t'); err != nil {
+				if err := cw.WriteByte('\t'); err != nil {
 					return err
 				}
 			}
-			if _, err := bw.WriteString(ix.j.res.Info(e).Token); err != nil {
+			if _, err := cw.WriteString(ix.j.res.Info(e).Token); err != nil {
 				return err
 			}
 		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := cw.WriteByte('\n'); err != nil {
 			return err
 		}
+	}
+	if _, err := fmt.Fprintf(bw, "%s crc32c=%08x records=%d\n", snapshotTrailer, cw.crc.Sum32(), len(ix.objs)); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // LoadIndexer rebuilds an Indexer from a snapshot written by
-// WriteSnapshot. The caller supplies the hierarchy and options (they are
-// not serialized — the snapshot carries a fingerprint and loading fails
-// on a mismatch, preventing silent semantic drift). Rebuilding skips the
-// probe phase: objects are re-indexed without re-reporting pairs.
+// WriteSnapshot; see LoadIndexerMeta for the full contract.
 func LoadIndexer(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, error) {
+	ix, _, err := LoadIndexerMeta(h, opt, r)
+	return ix, err
+}
+
+// LoadIndexerMeta rebuilds an Indexer from a snapshot and reports the
+// snapshot's metadata. The caller supplies the hierarchy and options
+// (they are not serialized — the snapshot carries a fingerprint and
+// loading fails on a mismatch, preventing silent semantic drift).
+// Rebuilding skips the probe phase: objects are re-indexed without
+// re-reporting pairs.
+//
+// Loading is strict about integrity: the declared object count must
+// match the lines actually read (a snapshot truncated on a line
+// boundary fails instead of loading short), and a v2 snapshot must end
+// with a trailer whose CRC32C matches the bytes read and whose record
+// count agrees with the header.
+func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, SnapshotMeta, error) {
 	ix, err := NewIndexer(h, opt)
 	if err != nil {
-		return nil, err
+		return nil, SnapshotMeta{}, err
 	}
+	crc := crc32.New(snapCastagnoli)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("kjoin: snapshot: missing header: %w", sc.Err())
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing header: %w", sc.Err())
 	}
+	magicLine := sc.Text()
 	var version int
-	if _, err := fmt.Sscanf(sc.Text(), snapshotMagic+" %d", &version); err != nil {
-		return nil, fmt.Errorf("kjoin: snapshot: bad magic line %q", sc.Text())
+	if _, err := fmt.Sscanf(magicLine, snapshotMagic+" %d", &version); err != nil {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad magic line %q", magicLine)
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("kjoin: snapshot: unsupported version %d", version)
+	if version != 1 && version != snapshotVersion {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: unsupported version %d", version)
 	}
+	hashLine(crc, magicLine)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("kjoin: snapshot: missing config line")
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing config line")
 	}
+	cfgLine := sc.Text()
+	hashLine(crc, cfgLine)
 	wantCfg := fmt.Sprintf("delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v",
 		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus)
-	gotCfg := sc.Text()
+	gotCfg := cfgLine
+	declared := -1 // -1: header does not declare a count (legacy v1)
+	var meta SnapshotMeta
 	if idx := strings.Index(gotCfg, " objects="); idx >= 0 {
+		suffix := gotCfg[idx+1:]
 		gotCfg = gotCfg[:idx]
+		switch version {
+		case 1:
+			if _, err := fmt.Sscanf(suffix, "objects=%d", &declared); err != nil || declared < 0 {
+				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad object count %q", suffix)
+			}
+		default:
+			if _, err := fmt.Sscanf(suffix, "objects=%d walseq=%d", &declared, &meta.WALSeq); err != nil || declared < 0 {
+				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad objects/walseq header %q", suffix)
+			}
+		}
+	} else if version != 1 {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: v%d header missing objects count", version)
 	}
 	if gotCfg != wantCfg {
-		return nil, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", gotCfg, wantCfg)
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", gotCfg, wantCfg)
 	}
+	sawTrailer := false
 	for sc.Scan() {
 		line := sc.Text()
+		if version >= 2 && strings.HasPrefix(line, snapshotTrailer+" ") {
+			var wantCRC uint32
+			var wantRecords int
+			if _, err := fmt.Sscanf(line, snapshotTrailer+" crc32c=%x records=%d", &wantCRC, &wantRecords); err != nil {
+				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad trailer %q", line)
+			}
+			if got := crc.Sum32(); got != wantCRC {
+				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: checksum mismatch: crc32c %08x, trailer says %08x", got, wantCRC)
+			}
+			if wantRecords != ix.Len() {
+				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: trailer records=%d but %d objects read", wantRecords, ix.Len())
+			}
+			sawTrailer = true
+			continue
+		}
+		if sawTrailer {
+			return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: data after trailer")
+		}
+		hashLine(crc, line)
 		var tokens []string
 		if line != "" {
 			tokens = strings.Split(line, "\t")
 		}
 		if err := ix.addNoProbe(tokens); err != nil {
-			return nil, err
+			return nil, SnapshotMeta{}, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, SnapshotMeta{}, err
 	}
-	return ix, nil
+	if version >= 2 && !sawTrailer {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: truncated: missing trailer")
+	}
+	if declared >= 0 && ix.Len() != declared {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: header says objects=%d but %d object lines read (truncated?)", declared, ix.Len())
+	}
+	meta.Objects = ix.Len()
+	ix.walSeq = meta.WALSeq
+	return ix, meta, nil
+}
+
+// hashLine feeds one scanned line (with the newline the scanner
+// stripped) into the snapshot checksum.
+func hashLine(crc hash.Hash32, line string) {
+	crc.Write([]byte(line))
+	crc.Write([]byte{'\n'})
+}
+
+// WALSeq returns the last write-ahead-log sequence applied to this
+// Indexer (via ApplyLogged, SetWALSeq, or the snapshot it was loaded
+// from). Zero when no WAL is involved.
+func (ix *Indexer) WALSeq() uint64 { return ix.walSeq }
+
+// SetWALSeq records that every WAL record up to and including seq is
+// reflected in the Indexer. The server calls it under the same lock
+// that ordered the corresponding Add.
+func (ix *Indexer) SetWALSeq(seq uint64) { ix.walSeq = seq }
+
+// ApplyLogged replays one write-ahead-log record: the object is indexed
+// without probing for pairs (they were already reported when the add
+// was acknowledged) and the Indexer's WAL position advances. Records
+// must arrive in contiguous sequence order — a gap means log segments
+// were lost and the recovered index would silently diverge, so it is an
+// error rather than a skip.
+func (ix *Indexer) ApplyLogged(seq uint64, tokens []string) error {
+	if seq != ix.walSeq+1 {
+		return fmt.Errorf("kjoin: WAL gap: record seq %d after applied seq %d", seq, ix.walSeq)
+	}
+	if err := ix.addNoProbe(tokens); err != nil {
+		return err
+	}
+	ix.walSeq = seq
+	return nil
 }
 
 // addNoProbe indexes an object without searching for its pairs — the

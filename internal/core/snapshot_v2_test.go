@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"kjoin/internal/paperdata"
+)
+
+func table1Indexer(t *testing.T) *Indexer {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	ix, err := NewIndexer(h, Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range paperdata.Table1() {
+		if _, err := ix.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func snapshotOf(t *testing.T, ix *Indexer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotV1TruncatedOnLineBoundary is the regression test for the
+// count check: a v1 snapshot missing its last object line — truncation
+// that still parses cleanly line-by-line — must fail to load instead of
+// silently serving a shorter index.
+func TestSnapshotV1TruncatedOnLineBoundary(t *testing.T) {
+	ix := table1Indexer(t)
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+
+	// Reconstruct the v1 serialization by hand (v1 had no trailer).
+	var v1 bytes.Buffer
+	fmt.Fprintf(&v1, "%s 1\n", snapshotMagic)
+	fmt.Fprintf(&v1, "delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v objects=%d\n",
+		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, ix.Len())
+	lines := objectLines(t, ix)
+	for _, l := range lines {
+		v1.WriteString(l + "\n")
+	}
+	if _, err := LoadIndexer(h, opt, bytes.NewReader(v1.Bytes())); err != nil {
+		t.Fatalf("intact v1 snapshot should load: %v", err)
+	}
+
+	truncated := v1.String()
+	truncated = truncated[:len(truncated)-len(lines[len(lines)-1])-1]
+	if _, err := LoadIndexer(h, opt, strings.NewReader(truncated)); err == nil {
+		t.Fatal("v1 snapshot truncated on a line boundary loaded silently short")
+	} else if !strings.Contains(err.Error(), "objects=") {
+		t.Errorf("error should name the count mismatch: %v", err)
+	}
+}
+
+// objectLines extracts the object lines from the current (v2) snapshot.
+func objectLines(t *testing.T, ix *Indexer) []string {
+	t.Helper()
+	all := strings.Split(strings.TrimSuffix(string(snapshotOf(t, ix)), "\n"), "\n")
+	if len(all) < 3 {
+		t.Fatalf("unexpected snapshot shape: %d lines", len(all))
+	}
+	return all[2 : len(all)-1] // strip magic, config, trailer
+}
+
+func TestSnapshotV2RejectsTruncation(t *testing.T) {
+	ix := table1Indexer(t)
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	snap := snapshotOf(t, ix)
+
+	// Missing trailer (cut after the last object line).
+	idx := bytes.LastIndex(snap, []byte(snapshotTrailer))
+	if _, err := LoadIndexer(h, opt, bytes.NewReader(snap[:idx])); err == nil {
+		t.Error("snapshot without trailer loaded")
+	}
+	// Cut an object line out (line-boundary truncation mid-file).
+	lines := bytes.SplitAfter(snap, []byte("\n"))
+	short := bytes.Join(append(append([][]byte{}, lines[:2]...), lines[3:]...), nil)
+	if _, err := LoadIndexer(h, opt, bytes.NewReader(short)); err == nil {
+		t.Error("snapshot with a missing object line loaded")
+	}
+}
+
+func TestSnapshotV2RejectsBitFlip(t *testing.T) {
+	ix := table1Indexer(t)
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	snap := snapshotOf(t, ix)
+	for _, pos := range []int{len(snap) / 3, len(snap) / 2} {
+		mut := append([]byte(nil), snap...)
+		if mut[pos] == '\n' || mut[pos] == '\t' {
+			pos++ // keep the line structure; hit a content byte
+		}
+		mut[pos] ^= 0x20
+		if _, err := LoadIndexer(h, opt, bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at %d loaded silently", pos)
+		}
+	}
+}
+
+func TestSnapshotV2RejectsDataAfterTrailer(t *testing.T) {
+	ix := table1Indexer(t)
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	snap := append(snapshotOf(t, ix), []byte("KFC\n")...)
+	if _, err := LoadIndexer(h, opt, bytes.NewReader(snap)); err == nil {
+		t.Error("data after trailer loaded")
+	}
+}
+
+func TestSnapshotWALSeqRoundTrip(t *testing.T) {
+	ix := table1Indexer(t)
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	ix.SetWALSeq(42)
+	loaded, meta, err := LoadIndexerMeta(h, opt, bytes.NewReader(snapshotOf(t, ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.WALSeq != 42 || loaded.WALSeq() != 42 {
+		t.Fatalf("walseq after round trip: meta=%d ix=%d, want 42", meta.WALSeq, loaded.WALSeq())
+	}
+	if meta.Objects != ix.Len() {
+		t.Fatalf("meta.Objects = %d, want %d", meta.Objects, ix.Len())
+	}
+}
+
+func TestApplyLoggedReplaysAndEnforcesContiguity(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	opt := Defaults(0.7, 0.6)
+	ix, err := NewIndexer(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewIndexer(h, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range paperdata.Table1() {
+		if err := ix.ApplyLogged(uint64(i+1), o); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+		if _, err := oracle.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.WALSeq() != uint64(len(paperdata.Table1())) {
+		t.Fatalf("walseq = %d", ix.WALSeq())
+	}
+	// The replayed index answers queries exactly like the directly
+	// built one.
+	for _, q := range paperdata.Table1() {
+		m1, err := oracle.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("query %v: %d vs %d matches", q, len(m1), len(m2))
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("query %v: match %d differs", q, i)
+			}
+		}
+	}
+	// A gap is an error, not a skip.
+	if err := ix.ApplyLogged(ix.WALSeq()+2, []string{"KFC"}); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Package fault abstracts the filesystem operations the durability
+// layer performs (WAL appends, atomic snapshot writes, generation
+// scans) behind an FS interface with two implementations: OS, which is
+// the real thing, and Injector, which wraps another FS with a scripted
+// schedule of deterministic failures — fail the Nth write, short-write
+// a record, fail an fsync, crash after a rename. A scripted "crash"
+// models process death: every subsequent operation fails and data
+// written but never fsynced is dropped, which is exactly the state a
+// recovery path must be able to stand up from.
+//
+// The interface is deliberately small: it covers what the durability
+// code uses and nothing more, so the injector can account for every
+// byte that reaches "disk".
+package fault
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// File is the open-file surface the durability layer uses. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file to stable storage. Data not synced is lost
+	// by a crash.
+	Sync() error
+	// Truncate changes the size of the file.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the durability layer uses.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// CreateTemp creates a temp file with os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate changes the size of the named file.
+	Truncate(name string, size int64) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	// Stat stats a file.
+	Stat(name string) (iofs.FileInfo, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm iofs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creates in it
+	// durable.
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (iofs.FileInfo, error) { return os.Stat(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(name string, perm iofs.FileMode) error { return os.MkdirAll(name, perm) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

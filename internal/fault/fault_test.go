@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) error {
+	t.Helper()
+	_, err := f.Write(b)
+	return err
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	path := filepath.Join(dir, "a.txt")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(t, f, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "b.txt"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v, %d entries", err, len(ents))
+	}
+}
+
+func TestInjectFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, N: 2, Mode: Fail})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(t, f, []byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := writeAll(t, f, []byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %v, want ErrInjected", err)
+	}
+	if err := writeAll(t, f, []byte("three")); err != nil {
+		t.Fatalf("write 3 (after non-crash fault): %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Errorf("fired = %d", in.Fired())
+	}
+}
+
+func TestInjectShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, N: 1, Mode: ShortWrite, Keep: 2})
+	path := filepath.Join(dir, "w")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "ab" {
+		t.Fatalf("on-disk bytes %q, want torn prefix \"ab\"", b)
+	}
+}
+
+func TestInjectCrashDropsUnsyncedData(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, N: 3, Mode: CrashBefore})
+	path := filepath.Join(dir, "w")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("durable|")) // write 1
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("cached|")) // write 2, never synced
+	if err := writeAll(t, f, []byte("never")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 3 = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	// Everything after the crash fails.
+	if _, err := in.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash open = %v", err)
+	}
+	if _, err := in.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash readdir = %v", err)
+	}
+	// The reboot (a fresh FS) sees only the synced prefix.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "durable|" {
+		t.Fatalf("surviving bytes %q, want only the synced prefix", b)
+	}
+}
+
+func TestInjectFailFsync(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpSync, N: 1, Mode: Fail})
+	path := filepath.Join(dir, "w")
+	f, _ := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	writeAll(t, f, []byte("data"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	// A failed fsync leaves the data in the cache: a crash now drops it.
+	in.Crash()
+	b, _ := os.ReadFile(path)
+	if len(b) != 0 {
+		t.Fatalf("unsynced bytes survived the crash: %q", b)
+	}
+}
+
+func TestInjectCrashAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpRename, N: 1, Mode: CrashAfter})
+	path := filepath.Join(dir, "t")
+	f, _ := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	writeAll(t, f, []byte("v2"))
+	f.Sync()
+	f.Close()
+	err := in.Rename(path, filepath.Join(dir, "final"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename = %v, want ErrCrashed", err)
+	}
+	// The rename itself happened before the crash.
+	b, rerr := os.ReadFile(filepath.Join(dir, "final"))
+	if rerr != nil || string(b) != "v2" {
+		t.Fatalf("renamed file after crash: %q, %v", b, rerr)
+	}
+}
+
+func TestInjectPathScopedFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Fault{Op: OpWrite, N: 1, Mode: Fail, Path: "wal."})
+	other, _ := in.OpenFile(filepath.Join(dir, "snap.000001"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err := writeAll(t, other, []byte("x")); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	w, _ := in.OpenFile(filepath.Join(dir, "wal.000001"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err := writeAll(t, w, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path not faulted: %v", err)
+	}
+}
+
+func TestInjectTruncateTracksSync(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{})
+	path := filepath.Join(dir, "w")
+	f, _ := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	writeAll(t, f, []byte("abcdef"))
+	f.Sync()
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	in.Crash()
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("after truncate+crash: %q", b)
+	}
+}

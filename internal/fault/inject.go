@@ -1,0 +1,550 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is returned by an operation a scripted fault failed.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrCrashed is returned by every operation after a scripted crash: the
+// "process" is dead as far as this filesystem is concerned, and only a
+// fresh FS over the same directory (the reboot) can see the data again.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// Op selects the operation kind a Fault targets.
+type Op uint8
+
+const (
+	// OpWrite is a File.Write call on a writable file.
+	OpWrite Op = iota
+	// OpSync is a File.Sync call.
+	OpSync
+	// OpRename is an FS.Rename call.
+	OpRename
+	// OpCreate is an FS.CreateTemp call or an OpenFile that creates.
+	OpCreate
+	// OpRemove is an FS.Remove call.
+	OpRemove
+	// OpSyncDir is an FS.SyncDir call.
+	OpSyncDir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpCreate:
+		return "create"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mode is what happens when a Fault fires.
+type Mode uint8
+
+const (
+	// Fail skips the operation and returns ErrInjected. The process
+	// keeps running (an EIO the caller must handle).
+	Fail Mode = iota
+	// ShortWrite performs only Keep bytes of a write, then returns
+	// ErrInjected — the torn record a crash mid-write leaves behind.
+	// Only meaningful for OpWrite.
+	ShortWrite
+	// CrashBefore kills the filesystem instead of performing the
+	// operation: it and everything after it returns ErrCrashed, and all
+	// unsynced data is dropped.
+	CrashBefore
+	// CrashAfter performs the operation, then kills the filesystem —
+	// e.g. a crash right after a snapshot rename, before the WAL was
+	// truncated.
+	CrashAfter
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Fail:
+		return "fail"
+	case ShortWrite:
+		return "short-write"
+	case CrashBefore:
+		return "crash-before"
+	case CrashAfter:
+		return "crash-after"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Fault is one scripted failure: the Nth occurrence (1-based) of Op —
+// counted among operations whose file path contains Path, when Path is
+// non-empty — acts according to Mode.
+type Fault struct {
+	Op   Op
+	N    int
+	Mode Mode
+	// Path, when non-empty, restricts the count to operations on paths
+	// containing it as a substring (e.g. "wal." or "snap.").
+	Path string
+	// Keep is the number of bytes a ShortWrite actually writes.
+	Keep int
+
+	fired bool
+}
+
+// Injector wraps an FS with a scripted fault schedule. It is safe for
+// concurrent use. The zero value is not usable; use NewInjector.
+//
+// The crash model: data written to a file but not yet Sync'd lives in
+// the page cache; a scripted crash truncates every such file back to
+// its last synced size, then fails all further operations with
+// ErrCrashed. Recovery code is expected to reopen the directory with a
+// fresh FS (the reboot) and stand up from what remains.
+type Injector struct {
+	inner FS
+
+	mu      sync.Mutex
+	crashed bool           // guarded by mu
+	counts  map[Op]int     // guarded by mu
+	script  []Fault        // guarded by mu
+	fired   int            // guarded by mu
+	dirty   map[string]int64 // guarded by mu: path → synced size, for files with unsynced bytes
+}
+
+// NewInjector returns an Injector over inner executing the scripted
+// faults in order of occurrence.
+func NewInjector(inner FS, script ...Fault) *Injector {
+	return &Injector{
+		inner:  inner,
+		counts: make(map[Op]int),
+		script: append([]Fault(nil), script...),
+		dirty:  make(map[string]int64),
+	}
+}
+
+// Crashed reports whether a scripted crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Fired returns how many scripted faults have fired.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crash kills the filesystem now, outside any scripted fault: unsynced
+// data is dropped and every later operation fails with ErrCrashed. It
+// is the harness's "kill -9 at an arbitrary point".
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crash()
+}
+
+// crash drops unsynced data and marks the filesystem dead. Caller holds mu.
+func (in *Injector) crash() {
+	if in.crashed {
+		return
+	}
+	in.crashed = true
+	for path, synced := range in.dirty {
+		// Best effort: the file may have been renamed or removed since.
+		_ = in.inner.Truncate(path, synced)
+	}
+	in.dirty = make(map[string]int64)
+}
+
+// step accounts one operation and returns the mode to apply, or ok =
+// false (with ErrCrashed) when the filesystem is already dead. Caller
+// must treat CrashBefore/CrashAfter by calling crashNow around the
+// inner op. Caller holds mu.
+func (in *Injector) step(op Op, path string) (Fault, bool, error) {
+	if in.crashed {
+		return Fault{}, false, ErrCrashed
+	}
+	in.counts[op]++
+	n := in.counts[op]
+	for i := range in.script {
+		f := &in.script[i]
+		if f.fired || f.Op != op {
+			continue
+		}
+		if f.Path != "" {
+			if !strings.Contains(path, f.Path) {
+				continue
+			}
+			// Path-scoped faults keep their own count: recount among
+			// matching ops via a side counter keyed by the fault index.
+			f.N--
+			if f.N > 0 {
+				continue
+			}
+		} else if n != f.N {
+			continue
+		}
+		f.fired = true
+		in.fired++
+		return *f, true, nil
+	}
+	return Fault{}, false, nil
+}
+
+// injFile wraps a writable file, tracking synced vs written size so a
+// crash can drop the unsynced suffix.
+type injFile struct {
+	in     *Injector
+	f      File
+	path   string
+	size   int64 // bytes present in the file (protected by in.mu)
+	synced int64 // size at last successful Sync (protected by in.mu)
+}
+
+// Write implements File.
+func (w *injFile) Write(p []byte) (int, error) {
+	w.in.mu.Lock()
+	f, hit, err := w.in.step(OpWrite, w.path)
+	if err != nil {
+		w.in.mu.Unlock()
+		return 0, err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail:
+			w.in.mu.Unlock()
+			return 0, fmt.Errorf("write %s: %w", w.path, ErrInjected)
+		case ShortWrite:
+			keep := f.Keep
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, _ := w.f.Write(p[:keep])
+			w.size += int64(n)
+			w.in.dirty[w.path] = w.synced
+			w.in.mu.Unlock()
+			return n, fmt.Errorf("short write %s (%d of %d bytes): %w", w.path, n, len(p), ErrInjected)
+		case CrashBefore:
+			w.in.crash()
+			w.in.mu.Unlock()
+			return 0, ErrCrashed
+		case CrashAfter:
+			n, werr := w.f.Write(p)
+			w.size += int64(n)
+			w.in.dirty[w.path] = w.synced
+			w.in.crash()
+			w.in.mu.Unlock()
+			if werr != nil {
+				return n, werr
+			}
+			return n, ErrCrashed
+		}
+	}
+	n, werr := w.f.Write(p)
+	w.size += int64(n)
+	if w.size > w.synced {
+		w.in.dirty[w.path] = w.synced
+	}
+	w.in.mu.Unlock()
+	return n, werr
+}
+
+// Sync implements File.
+func (w *injFile) Sync() error {
+	w.in.mu.Lock()
+	f, hit, err := w.in.step(OpSync, w.path)
+	if err != nil {
+		w.in.mu.Unlock()
+		return err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail, ShortWrite:
+			w.in.mu.Unlock()
+			return fmt.Errorf("fsync %s: %w", w.path, ErrInjected)
+		case CrashBefore:
+			w.in.crash()
+			w.in.mu.Unlock()
+			return ErrCrashed
+		case CrashAfter:
+			serr := w.f.Sync()
+			if serr == nil {
+				w.synced = w.size
+				delete(w.in.dirty, w.path)
+			}
+			w.in.crash()
+			w.in.mu.Unlock()
+			return ErrCrashed
+		}
+	}
+	serr := w.f.Sync()
+	if serr == nil {
+		w.synced = w.size
+		delete(w.in.dirty, w.path)
+	}
+	w.in.mu.Unlock()
+	return serr
+}
+
+// Read implements File.
+func (w *injFile) Read(p []byte) (int, error) {
+	w.in.mu.Lock()
+	dead := w.in.crashed
+	w.in.mu.Unlock()
+	if dead {
+		return 0, ErrCrashed
+	}
+	return w.f.Read(p)
+}
+
+// Close implements File. Unsynced bytes stay tracked: they are still
+// only in the page cache and a later crash drops them.
+func (w *injFile) Close() error {
+	w.in.mu.Lock()
+	dead := w.in.crashed
+	w.in.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	return w.f.Close()
+}
+
+// Name implements File.
+func (w *injFile) Name() string { return w.path }
+
+// Truncate implements File.
+func (w *injFile) Truncate(size int64) error {
+	w.in.mu.Lock()
+	if w.in.crashed {
+		w.in.mu.Unlock()
+		return ErrCrashed
+	}
+	err := w.f.Truncate(size)
+	if err == nil {
+		w.size = size
+		if w.synced > size {
+			w.synced = size
+		}
+		if w.size > w.synced {
+			w.in.dirty[w.path] = w.synced
+		} else {
+			delete(w.in.dirty, w.path)
+		}
+	}
+	w.in.mu.Unlock()
+	return err
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	in.mu.Unlock()
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if st, serr := in.inner.Stat(name); serr == nil {
+		size = st.Size()
+	}
+	// Contents present at open are treated as durable; only bytes this
+	// process writes are at risk.
+	return &injFile{in: in, f: f, path: name, size: size, synced: size}, nil
+}
+
+// CreateTemp implements FS.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	in.mu.Lock()
+	f, hit, err := in.step(OpCreate, dir+"/"+pattern)
+	if err != nil {
+		in.mu.Unlock()
+		return nil, err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail, ShortWrite:
+			in.mu.Unlock()
+			return nil, fmt.Errorf("create temp in %s: %w", dir, ErrInjected)
+		case CrashBefore:
+			in.crash()
+			in.mu.Unlock()
+			return nil, ErrCrashed
+		case CrashAfter:
+			tf, terr := in.inner.CreateTemp(dir, pattern)
+			if terr == nil {
+				tf.Close()
+				// The empty temp file exists (its dir entry may or may
+				// not survive a real crash; keeping it exercises the
+				// stale-temp sweep).
+			}
+			in.crash()
+			in.mu.Unlock()
+			return nil, ErrCrashed
+		}
+	}
+	in.mu.Unlock()
+	tf, terr := in.inner.CreateTemp(dir, pattern)
+	if terr != nil {
+		return nil, terr
+	}
+	return &injFile{in: in, f: tf, path: tf.Name()}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	f, hit, err := in.step(OpRename, newpath)
+	if err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail, ShortWrite:
+			in.mu.Unlock()
+			return fmt.Errorf("rename %s: %w", newpath, ErrInjected)
+		case CrashBefore:
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		case CrashAfter:
+			rerr := in.inner.Rename(oldpath, newpath)
+			if rerr == nil {
+				if synced, ok := in.dirty[oldpath]; ok {
+					delete(in.dirty, oldpath)
+					in.dirty[newpath] = synced
+				}
+			}
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		}
+	}
+	rerr := in.inner.Rename(oldpath, newpath)
+	if rerr == nil {
+		if synced, ok := in.dirty[oldpath]; ok {
+			delete(in.dirty, oldpath)
+			in.dirty[newpath] = synced
+		}
+	}
+	in.mu.Unlock()
+	return rerr
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	in.mu.Lock()
+	f, hit, err := in.step(OpRemove, name)
+	if err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail, ShortWrite:
+			in.mu.Unlock()
+			return fmt.Errorf("remove %s: %w", name, ErrInjected)
+		case CrashBefore:
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		case CrashAfter:
+			_ = in.inner.Remove(name)
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		}
+	}
+	delete(in.dirty, name)
+	in.mu.Unlock()
+	return in.inner.Remove(name)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.inner.Truncate(name, size)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]iofs.DirEntry, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.inner.ReadDir(name)
+}
+
+// Stat implements FS.
+func (in *Injector) Stat(name string) (iofs.FileInfo, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.inner.Stat(name)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(name string, perm iofs.FileMode) error {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return ErrCrashed
+	}
+	in.mu.Unlock()
+	return in.inner.MkdirAll(name, perm)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(name string) error {
+	in.mu.Lock()
+	f, hit, err := in.step(OpSyncDir, name)
+	if err != nil {
+		in.mu.Unlock()
+		return err
+	}
+	if hit {
+		switch f.Mode {
+		case Fail, ShortWrite:
+			in.mu.Unlock()
+			return fmt.Errorf("fsync dir %s: %w", name, ErrInjected)
+		case CrashBefore:
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		case CrashAfter:
+			_ = in.inner.SyncDir(name)
+			in.crash()
+			in.mu.Unlock()
+			return ErrCrashed
+		}
+	}
+	in.mu.Unlock()
+	return in.inner.SyncDir(name)
+}

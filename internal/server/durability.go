@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/fault"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
+)
+
+// Durability configures the crash-safety machinery: a write-ahead log
+// acknowledged adds are fsync'd into before the HTTP response, and a
+// directory of checksummed snapshot generations recovery rebuilds from.
+type Durability struct {
+	// FS is the filesystem (nil → the real one; tests inject faults).
+	FS fault.FS
+	// WALDir is the write-ahead-log directory (required).
+	WALDir string
+	// SnapshotDir is the snapshot generation directory (required; must
+	// differ from WALDir so WAL repair never touches snapshots).
+	SnapshotDir string
+	// Keep is how many snapshot generations are retained (default 3).
+	Keep int
+	// Policy is the WAL fsync policy (default wal.SyncAlways).
+	Policy wal.Policy
+	// BatchWindow is the WAL group-commit window (0 = fsync immediately).
+	BatchWindow time.Duration
+	// Logf, when set, receives recovery and repair notices.
+	Logf func(format string, args ...any)
+}
+
+// NewRecovering returns a server that is up but not yet ready: /healthz
+// answers, /readyz reports 503 ("recovering"), and every expensive
+// endpoint is rejected the same way until Recover completes. It lets
+// the listener come up first so load balancers see an honest readiness
+// signal while the index is rebuilt from disk.
+func NewRecovering(h *hierarchy.Hierarchy, opt core.Options, cfg Config) (*Server, error) {
+	ix, err := core.NewIndexer(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := wrap(h, opt, cfg, ix)
+	s.ready.Store(false)
+	return s, nil
+}
+
+// Recover rebuilds the index from the newest readable snapshot
+// generation plus the write-ahead log and flips the server ready.
+// Snapshot generations that fail to load (torn write, bit rot) are
+// skipped generation-by-generation; the WAL's torn tail — the legitimate
+// residue of a crash mid-append — is truncated at the first bad
+// checksum. Every record acknowledged before the crash is replayed;
+// nothing that was never acknowledged can appear, because
+// unacknowledged records are either absent (fsync refused → rolled
+// back) or past the truncation point.
+func (s *Server) Recover(d Durability) error {
+	fsys := d.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	logf := d.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	gens := &serverutil.GenStore{FS: fsys, Dir: d.SnapshotDir, Keep: d.Keep, Logf: d.Logf}
+	var ix *core.Indexer
+	name, err := gens.Load(func(r io.Reader) error {
+		loaded, _, lerr := core.LoadIndexerMeta(s.h, s.opt, r)
+		if lerr != nil {
+			return lerr
+		}
+		ix = loaded
+		return nil
+	})
+	switch {
+	case errors.Is(err, serverutil.ErrNoSnapshot):
+		if ix, err = core.NewIndexer(s.h, s.opt); err != nil {
+			return err
+		}
+		logf("recovery: no snapshot; starting empty")
+	case err != nil:
+		return fmt.Errorf("server: load snapshot: %w", err)
+	default:
+		logf("recovery: loaded snapshot %s (%d objects, wal seq %d)", name, ix.Len(), ix.WALSeq())
+	}
+	base := ix.WALSeq()
+	replayed := 0
+	w, err := wal.Open(fsys, d.WALDir, wal.Options{Policy: d.Policy, BatchWindow: d.BatchWindow, Logf: d.Logf},
+		func(seq uint64, tokens []string) error {
+			if seq <= base {
+				return nil // already inside the snapshot
+			}
+			replayed++
+			return ix.ApplyLogged(seq, tokens)
+		})
+	if err != nil {
+		return fmt.Errorf("server: open wal: %w", err)
+	}
+	if w.LastSeq() < base {
+		w.Close()
+		return fmt.Errorf("server: wal ends at seq %d but snapshot %s covers seq %d: log truncated or deleted out-of-band", w.LastSeq(), name, base)
+	}
+	logf("recovery: replayed %d wal record(s); index at %d objects, wal seq %d", replayed, ix.Len(), ix.WALSeq())
+	s.mu.Lock()
+	s.ix = ix
+	s.wal = w
+	s.gens = gens
+	s.mu.Unlock()
+	s.snapMu.Lock()
+	s.snapSeqs = append(s.snapSeqs[:0], base)
+	s.snapMu.Unlock()
+	s.lastSnapSeq.Store(base)
+	s.snapOnDisk.Store(name != "")
+	s.ready.Store(true)
+	return nil
+}
+
+// Recover builds a server and runs crash recovery before returning it:
+// the convenience form for callers that do not need to serve a
+// readiness probe during recovery.
+func Recover(h *hierarchy.Hierarchy, opt core.Options, cfg Config, d Durability) (*Server, error) {
+	s, err := NewRecovering(h, opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Recover(d); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SnapshotGeneration persists the index as a new snapshot generation
+// and compacts the WAL. The order is what makes it crash-safe: the
+// index (and the WAL sequence it reflects) is serialized under the read
+// lock, the log is fsync'd through that sequence so the snapshot can
+// never contain a record the log might refuse, the generation is
+// written atomically and CURRENT repointed — and only then is the WAL
+// compacted, no further than the oldest generation still retained, so
+// fallback past a corrupt newest generation always has the log records
+// it needs.
+func (s *Server) SnapshotGeneration() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	var buf bytes.Buffer
+	s.mu.RLock()
+	w, gens := s.wal, s.gens
+	seq := s.ix.WALSeq()
+	// An idle server does not churn generations: when nothing advanced
+	// since the last durable generation there is nothing to persist.
+	skip := s.snapOnDisk.Load() && seq == s.lastSnapSeq.Load()
+	var err error
+	if gens != nil && !skip {
+		err = s.ix.WriteSnapshot(&buf)
+	}
+	s.mu.RUnlock()
+	if gens == nil {
+		return errors.New("server: durability not configured")
+	}
+	if skip {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if w != nil {
+		// A poisoned log also refuses this sync, which is exactly right:
+		// once writes are failing, persisting index state the log cannot
+		// vouch for would resurrect unacknowledged adds.
+		if err := w.Sync(seq); err != nil {
+			return fmt.Errorf("server: wal sync before snapshot: %w", err)
+		}
+	}
+	name, err := gens.Save(func(dst io.Writer) error {
+		_, werr := dst.Write(buf.Bytes())
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	s.lastSnapSeq.Store(seq)
+	s.snapOnDisk.Store(true)
+	keep := gens.Keep
+	if keep < 1 {
+		keep = 3
+	}
+	s.snapSeqs = append(s.snapSeqs, seq)
+	if len(s.snapSeqs) > keep {
+		s.snapSeqs = s.snapSeqs[len(s.snapSeqs)-keep:]
+	}
+	if w != nil {
+		if err := w.Compact(s.snapSeqs[0]); err != nil {
+			return fmt.Errorf("server: compact wal after %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL (a no-op without durability). The
+// server keeps serving reads afterwards; adds fail.
+func (s *Server) Close() error {
+	s.mu.RLock()
+	w := s.wal
+	s.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// notReady gates an endpoint on recovery having finished.
+func (s *Server) notReady(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			serverutil.WriteError(w, http.StatusServiceUnavailable, "recovering", "index recovery in progress")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

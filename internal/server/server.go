@@ -32,6 +32,7 @@ import (
 	"kjoin/internal/core"
 	"kjoin/internal/hierarchy"
 	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
 )
 
 // Config bounds the resources a single request (or a burst of them) can
@@ -88,10 +89,32 @@ type Server struct {
 	// run under the read lock. kjoin-lint's lockcheck enforces that
 	// every access happens in a function that participates in this
 	// discipline.
-	ix       *core.Indexer // guarded by mu
+	ix *core.Indexer // guarded by mu
+	// wal, when durability is configured, is the write-ahead log every
+	// acknowledged add is fsync'd into; gens is the snapshot generation
+	// store recovery rebuilds from. Both are installed by Recover.
+	wal      *wal.WAL             // guarded by mu
+	gens     *serverutil.GenStore // guarded by mu
 	sem      *serverutil.Semaphore
 	handler  http.Handler
 	draining atomic.Bool
+	// ready is false from NewRecovering until Recover completes;
+	// expensive endpoints and /readyz report 503 while it is down.
+	ready atomic.Bool
+	// lastSnapSeq is the WAL sequence the newest durable snapshot
+	// generation covers (for the wal_lag statistic); snapOnDisk records
+	// that at least one generation actually exists, so an idle server
+	// can skip rewriting identical snapshots.
+	lastSnapSeq atomic.Uint64
+	snapOnDisk  atomic.Bool
+
+	// snapMu serializes snapshot generations against each other.
+	snapMu sync.Mutex
+	// snapSeqs holds the WAL sequence of each retained snapshot
+	// generation, oldest first — the WAL may only be compacted up to
+	// snapSeqs[0], or falling back past a corrupt newest generation
+	// would find the log records it needs already deleted.
+	snapSeqs []uint64 // guarded by snapMu
 }
 
 // New returns a server over the hierarchy with the join options and
@@ -127,6 +150,7 @@ func NewFromSnapshotWithConfig(h *hierarchy.Hierarchy, opt core.Options, cfg Con
 func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{h: h, opt: opt, cfg: cfg, ix: ix}
+	s.ready.Store(true)
 	s.sem = serverutil.NewSemaphore(cfg.MaxInflight)
 	mux := http.NewServeMux()
 	mux.Handle("POST /objects", s.limited(http.HandlerFunc(s.handleAdd)))
@@ -141,10 +165,12 @@ func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer
 }
 
 // limited wraps an expensive endpoint with the full protection stack:
-// admission control outermost (reject before spending anything), then
-// the per-request deadline, then the body cap.
+// the recovery gate outermost (nothing runs against a half-rebuilt
+// index), then admission control (reject before spending anything),
+// then the per-request deadline, then the body cap.
 func (s *Server) limited(h http.Handler) http.Handler {
 	return serverutil.Chain(h,
+		s.notReady,
 		serverutil.Admit(s.sem, time.Second),
 		serverutil.WithTimeout(s.cfg.RequestTimeout),
 		serverutil.LimitBody(s.cfg.MaxBodyBytes),
@@ -184,6 +210,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is readiness: whether new traffic should be routed here.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "recovering", "index recovery in progress")
+		return
+	}
 	if s.draining.Load() {
 		serverutil.WriteError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
@@ -233,13 +263,44 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	// Fail fast once the log is poisoned: taking more adds into an index
+	// the log cannot vouch for only widens the gap recovery will erase.
+	if s.wal != nil {
+		if werr := s.wal.Err(); werr != nil {
+			s.mu.Unlock()
+			s.opError(w, "wal_failed", werr)
+			return
+		}
+	}
 	// The id is Add's return value, not a separate Len() read — the two
 	// can never desynchronize, whatever the locking around them does.
+	// The WAL append happens under the same critical section, after a
+	// successful AddCtx (which is atomic on failure): log order therefore
+	// matches insertion order exactly, and a record can never exist for
+	// an object the index rejected.
 	id, pairs, err := s.ix.AddCtx(r.Context(), req.Tokens)
+	wlog := s.wal
+	var seq uint64
+	if err == nil && wlog != nil {
+		if seq, err = wlog.Append(req.Tokens); err == nil {
+			s.ix.SetWALSeq(seq)
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		s.joinError(w, err)
 		return
+	}
+	if wlog != nil {
+		// Group-committed fsync outside the lock: concurrent adds keep
+		// flowing and ride the same flush. The acknowledgment below is
+		// written only after this returns — an acked add survives any
+		// crash, and a refused fsync rolls the record back so the add it
+		// would have acknowledged cannot resurface.
+		if werr := wlog.Sync(seq); werr != nil {
+			s.opError(w, "wal_failed", werr)
+			return
+		}
 	}
 	resp := addResponse{ID: id, Pairs: make([]pairJSON, 0, len(pairs))}
 	for _, p := range pairs {
@@ -308,8 +369,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	st := s.ix.Stats()
 	n := s.ix.Len()
+	wlog := s.wal
 	s.mu.RUnlock()
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"objects":         n,
 		"candidates":      st.Candidates,
 		"results":         st.Verify.Results,
@@ -318,7 +380,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"lb_accepted":     st.Verify.LBAccepted,
 		"ub_rejected":     st.Verify.UBRejected,
 		"inflight":        s.sem.InFlight(),
-	})
+	}
+	if wlog != nil {
+		last, durable, snap := wlog.LastSeq(), wlog.DurableSeq(), s.lastSnapSeq.Load()
+		out["wal_last_seq"] = last
+		out["wal_durable_seq"] = durable
+		out["snapshot_seq"] = snap
+		// wal_lag is how many logged operations the newest snapshot does
+		// not yet cover — what recovery would have to replay.
+		out["wal_lag"] = last - snap
+		out["wal_healthy"] = wlog.Err() == nil
+	}
+	writeJSON(w, out)
 }
 
 // decode parses a JSON body, reporting a structured 400 on failure and

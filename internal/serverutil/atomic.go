@@ -3,19 +3,34 @@ package serverutil
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
+
+	"kjoin/internal/fault"
 )
 
-// WriteFileAtomic writes a file such that path either keeps its old
-// contents or holds the complete new contents — never a torn mix, even
-// if the process dies mid-write. It writes to a temp file in the same
+// tmpInfix marks the temp files WriteFileAtomic writes before renaming;
+// SweepTemps recognizes strays by it after a crash.
+const tmpInfix = ".tmp-"
+
+// WriteFileAtomic writes a file on the real filesystem such that path
+// either keeps its old contents or holds the complete new contents —
+// never a torn mix, even if the process dies mid-write. See
+// WriteFileAtomicFS.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return WriteFileAtomicFS(fault.OS{}, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem (the
+// fault-injection seam). It writes to a temp file in the same
 // directory, fsyncs it, renames it over path, and fsyncs the directory
 // so the rename itself is durable. On any error the temp file is
-// removed and path is untouched.
-func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+// removed and path is untouched; if the process crashes between
+// creating the temp file and cleaning it up, the stray is reclaimed by
+// SweepTemps on the next startup.
+func WriteFileAtomicFS(fsys fault.FS, path string, write func(w io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+tmpInfix+"*")
 	if err != nil {
 		return fmt.Errorf("serverutil: create temp: %w", err)
 	}
@@ -23,7 +38,7 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -35,16 +50,36 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("serverutil: close %s: %w", tmpName, err)
 	}
-	if err = os.Rename(tmpName, path); err != nil {
+	if err = fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("serverutil: rename: %w", err)
 	}
 	// fsync the directory so a crash cannot lose the rename. Failure
 	// here is reported but the file content is already correct.
-	if d, derr := os.Open(dir); derr == nil {
-		if serr := d.Sync(); serr != nil && err == nil {
-			err = fmt.Errorf("serverutil: fsync dir %s: %w", dir, serr)
-		}
-		d.Close()
+	if serr := fsys.SyncDir(dir); serr != nil {
+		err = fmt.Errorf("serverutil: fsync dir %s: %w", dir, serr)
 	}
 	return err
+}
+
+// SweepTemps removes stale WriteFileAtomic temp files from dir: strays
+// left by a crash between creating the temp file and renaming or
+// removing it. It returns the names it removed. Callers run it on
+// startup scans (the generation store does it as part of loading) —
+// never while another process may be mid-write in the same directory.
+func SweepTemps(fsys fault.FS, dir string) ([]string, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serverutil: sweep %s: %w", dir, err)
+	}
+	var removed []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), tmpInfix) {
+			continue
+		}
+		if err := fsys.Remove(dir + "/" + e.Name()); err != nil {
+			return removed, fmt.Errorf("serverutil: sweep %s: %w", e.Name(), err)
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
 }

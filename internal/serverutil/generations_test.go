@@ -1,0 +1,371 @@
+package serverutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kjoin/internal/fault"
+)
+
+func saveString(t *testing.T, g *GenStore, s string) string {
+	t.Helper()
+	name, err := g.Save(func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("save %q: %v", s, err)
+	}
+	return name
+}
+
+// loadChecked is a load callback that mimics a checksummed snapshot
+// reader: contents must start with "ok:", anything else is corruption.
+func loadChecked(got *string) func(r io.Reader) error {
+	return func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(string(b), "ok:") {
+			return errors.New("bad checksum")
+		}
+		*got = string(b)
+		return nil
+	}
+}
+
+func TestGenStoreSaveLoadRoundTrip(t *testing.T) {
+	g := &GenStore{Dir: filepath.Join(t.TempDir(), "snaps")}
+	if _, err := g.Load(func(io.Reader) error { return nil }); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: err = %v, want ErrNoSnapshot", err)
+	}
+	if name := saveString(t, g, "ok:v1"); name != "snap.000001" {
+		t.Fatalf("first generation named %q", name)
+	}
+	if name := saveString(t, g, "ok:v2"); name != "snap.000002" {
+		t.Fatalf("second generation named %q", name)
+	}
+	var got string
+	name, err := g.Load(loadChecked(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "snap.000002" || got != "ok:v2" {
+		t.Fatalf("loaded %q = %q, want snap.000002 = ok:v2", name, got)
+	}
+}
+
+func TestGenStorePrunesBeyondKeep(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	g := &GenStore{Dir: dir, Keep: 2}
+	for i := 1; i <= 4; i++ {
+		saveString(t, g, fmt.Sprintf("ok:v%d", i))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	want := []string{"CURRENT", "snap.000003", "snap.000004"}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("dir holds %v, want %v", names, want)
+	}
+}
+
+func TestGenStoreFallsBackPastCorruptGeneration(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	g := &GenStore{Dir: dir, Logf: t.Logf}
+	saveString(t, g, "ok:v1")
+	saveString(t, g, "ok:v2")
+	// Bit-rot the newest generation, the one CURRENT names.
+	if err := os.WriteFile(filepath.Join(dir, "snap.000002"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	name, err := g.Load(loadChecked(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "snap.000001" || got != "ok:v1" {
+		t.Fatalf("fallback loaded %q = %q, want snap.000001 = ok:v1", name, got)
+	}
+	// All generations corrupt: the error is not ErrNoSnapshot (data
+	// exists, it is just unreadable — the caller must not start empty).
+	if err := os.WriteFile(filepath.Join(dir, "snap.000001"), []byte("also garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Load(loadChecked(&got)); err == nil || errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("all-corrupt dir: err = %v, want hard failure", err)
+	}
+}
+
+func TestGenStoreSurvivesBadCurrent(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	g := &GenStore{Dir: dir, Logf: t.Logf}
+	saveString(t, g, "ok:v1")
+	for _, current := range []string{"snap.000099\n", "not-a-generation\n"} {
+		if err := os.WriteFile(filepath.Join(dir, "CURRENT"), []byte(current), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got string
+		name, err := g.Load(loadChecked(&got))
+		if err != nil {
+			t.Fatalf("CURRENT=%q: %v", current, err)
+		}
+		if name != "snap.000001" || got != "ok:v1" {
+			t.Fatalf("CURRENT=%q loaded %q = %q", current, name, got)
+		}
+	}
+}
+
+func TestGenStoreLoadSweepsStaleTemps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	g := &GenStore{Dir: dir, Logf: t.Logf}
+	saveString(t, g, "ok:v1")
+	// A crash mid-Save leaves a temp file behind.
+	stray := filepath.Join(dir, "snap.000002"+tmpInfix+"123456")
+	if err := os.WriteFile(stray, []byte("half written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if _, err := g.Load(loadChecked(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp survived load: %v", err)
+	}
+}
+
+func TestSweepTempsLeavesRealFilesAlone(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"snap.000001":                  "keep",
+		"snap.000002" + tmpInfix + "x": "sweep",
+		"CURRENT":                      "keep",
+		"other" + tmpInfix + "99":      "sweep",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := SweepTemps(fault.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("removed %v, want the 2 temp files", removed)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 2 {
+		t.Fatalf("%d entries left, want 2", len(ents))
+	}
+}
+
+// TestGenStoreSaveUnderInjectedFaults scripts failures at each point of
+// a Save and checks the previous generation is always the one that
+// loads: a failed save costs the new snapshot, never the old one.
+func TestGenStoreSaveUnderInjectedFaults(t *testing.T) {
+	for _, f := range []fault.Fault{
+		{Op: fault.OpWrite, N: 1, Path: "snap.000002", Mode: fault.Fail},
+		{Op: fault.OpSync, N: 1, Path: "snap.000002", Mode: fault.Fail},
+		{Op: fault.OpRename, N: 1, Path: "snap.000002", Mode: fault.Fail},
+	} {
+		t.Run(fmt.Sprintf("%v-%v", f.Op, f.Mode), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "snaps")
+			inj := fault.NewInjector(fault.OS{}, f)
+			g := &GenStore{FS: inj, Dir: dir, Logf: t.Logf}
+			saveString(t, g, "ok:v1")
+			_, err := g.Save(func(w io.Writer) error {
+				_, werr := io.WriteString(w, "ok:v2")
+				return werr
+			})
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("save under %v/%v: err = %v, want injected", f.Op, f.Mode, err)
+			}
+			if inj.Fired() != 1 {
+				t.Fatalf("fired = %d", inj.Fired())
+			}
+			// Reboot: a fresh store over the same directory still loads v1.
+			var got string
+			name, lerr := (&GenStore{Dir: dir, Logf: t.Logf}).Load(loadChecked(&got))
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			if name != "snap.000001" || got != "ok:v1" {
+				t.Fatalf("after failed save, loaded %q = %q", name, got)
+			}
+		})
+	}
+}
+
+// TestGenStoreCrashAfterRename: the new generation file lands but the
+// process dies before CURRENT repoints. Recovery must still come up —
+// with either generation — and a subsequent Save must keep numbering
+// past the orphan.
+func TestGenStoreCrashAfterRename(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snaps")
+	inj := fault.NewInjector(fault.OS{},
+		fault.Fault{Op: fault.OpRename, N: 1, Path: "snap.000002", Mode: fault.CrashAfter})
+	g := &GenStore{FS: inj, Dir: dir, Logf: t.Logf}
+	saveString(t, g, "ok:v1")
+	_, err := g.Save(func(w io.Writer) error {
+		_, werr := io.WriteString(w, "ok:v2")
+		return werr
+	})
+	if !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("err = %v, want crash", err)
+	}
+	// Reboot.
+	g2 := &GenStore{Dir: dir, Logf: t.Logf}
+	var got string
+	name, err := g2.Load(loadChecked(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CURRENT still names v1; the orphaned v2 is acceptable only via
+	// explicit fallback, so the load must honor CURRENT.
+	if name != "snap.000001" || got != "ok:v1" {
+		t.Fatalf("loaded %q = %q, want CURRENT's snap.000001", name, got)
+	}
+	if next := saveString(t, g2, "ok:v3"); next != "snap.000003" {
+		t.Fatalf("post-crash save named %q, want snap.000003 (past the orphan)", next)
+	}
+}
+
+// fakeTimer lets the backoff test drive the Snapshotter clock by hand:
+// the test fires ticks and observes every Reset duration.
+type fakeTimer struct {
+	ch     chan time.Time
+	resets chan time.Duration
+}
+
+func (f *fakeTimer) C() <-chan time.Time   { return f.ch }
+func (f *fakeTimer) Reset(d time.Duration) { f.resets <- d }
+func (f *fakeTimer) Stop()                 {}
+
+// TestSnapshotterBackoffSchedule drives the retry schedule with a fake
+// clock: no jitter → exact doubling to the cap; a success resets the
+// schedule to the plain interval and the next failure starts over at
+// MinBackoff.
+func TestSnapshotterBackoffSchedule(t *testing.T) {
+	ft := &fakeTimer{ch: make(chan time.Time), resets: make(chan time.Duration, 16)}
+	failing := true
+	s := &Snapshotter{
+		Interval:   time.Minute,
+		MinBackoff: time.Second,
+		MaxBackoff: 8 * time.Second,
+		Jitter:     -1, // exact schedule
+		Write: func() error {
+			if failing {
+				return errors.New("disk full")
+			}
+			return nil
+		},
+		newTimer: func(d time.Duration) snapTimer {
+			if d != time.Minute {
+				t.Errorf("initial timer = %v, want Interval", d)
+			}
+			return ft
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+
+	tick := func() time.Duration {
+		t.Helper()
+		select {
+		case ft.ch <- time.Time{}:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Run not waiting on timer")
+		}
+		select {
+		case d := <-ft.resets:
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatal("Run never reset the timer")
+			return 0
+		}
+	}
+
+	// Six failures: 1s, 2s, 4s, 8s, 8s, 8s — doubling, capped.
+	wantFail := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second,
+		8 * time.Second, 8 * time.Second, 8 * time.Second}
+	for i, want := range wantFail {
+		if got := tick(); got != want {
+			t.Fatalf("retry %d delay = %v, want %v", i+1, got, want)
+		}
+	}
+	// Success: back to the plain interval.
+	failing = false
+	if got := tick(); got != time.Minute {
+		t.Fatalf("post-success delay = %v, want Interval", got)
+	}
+	// Next failure starts the schedule over at MinBackoff, not the cap.
+	failing = true
+	if got := tick(); got != time.Second {
+		t.Fatalf("fresh-failure delay = %v, want MinBackoff", got)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+// TestSnapshotterJitterBoundedAndSeeded: jittered delays stay within
+// ±Jitter of the deterministic base, and the same seed reproduces the
+// same schedule.
+func TestSnapshotterJitterBoundedAndSeeded(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		s := &Snapshotter{
+			Interval:   time.Minute,
+			MinBackoff: time.Second,
+			MaxBackoff: 8 * time.Second,
+			Jitter:     0.5,
+			Seed:       seed,
+		}
+		bo := s.backoff()
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = bo.next()
+		}
+		return out
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	base := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second,
+		8 * time.Second, 8 * time.Second, 8 * time.Second, 8 * time.Second, 8 * time.Second}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		lo := base[i] - time.Duration(float64(base[i])*0.5)
+		hi := base[i] + time.Duration(float64(base[i])*0.5)
+		if lo < time.Second {
+			lo = time.Second
+		}
+		if a[i] < lo || a[i] > hi {
+			t.Errorf("delay %d = %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}

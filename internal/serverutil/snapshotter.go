@@ -3,12 +3,15 @@ package serverutil
 import (
 	"context"
 	"time"
+
+	"kjoin/internal/rng"
 )
 
 // Snapshotter periodically invokes a snapshot function, retrying failed
-// attempts with exponential backoff so a transient disk problem (full
-// volume, slow NFS) degrades to delayed snapshots instead of a crash or
-// a silent stop.
+// attempts with capped, jittered exponential backoff so a transient
+// disk problem (full volume, slow NFS) degrades to delayed snapshots
+// instead of a crash, a silent stop, or a thundering herd of replicas
+// retrying in lockstep.
 type Snapshotter struct {
 	// Interval between successful snapshots. Must be positive.
 	Interval time.Duration
@@ -19,8 +22,18 @@ type Snapshotter struct {
 	MinBackoff time.Duration
 	// MaxBackoff caps the retry delay (default Interval).
 	MaxBackoff time.Duration
+	// Jitter spreads each retry delay uniformly over
+	// [base·(1−Jitter), base·(1+Jitter)] (default 0.2; set negative for
+	// none). The stream is seeded by Seed, so schedules are reproducible
+	// in tests.
+	Jitter float64
+	// Seed seeds the jitter stream (default 1).
+	Seed uint64
 	// Logf, when set, receives snapshot failures and recoveries.
 	Logf func(format string, args ...any)
+
+	// newTimer makes the clock injectable for tests; nil means real time.
+	newTimer func(d time.Duration) snapTimer
 }
 
 func (s *Snapshotter) logf(format string, args ...any) {
@@ -29,10 +42,59 @@ func (s *Snapshotter) logf(format string, args ...any) {
 	}
 }
 
-// Run snapshots on the interval until ctx is done, backing off
-// exponentially while Write keeps failing. It does not write a final
-// snapshot on exit — shutdown owns that, after the listener has drained.
-func (s *Snapshotter) Run(ctx context.Context) {
+// snapTimer is the slice of time.Timer the Snapshotter needs.
+type snapTimer interface {
+	C() <-chan time.Time
+	Reset(d time.Duration)
+	Stop()
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time   { return r.t.C }
+func (r realTimer) Reset(d time.Duration) { r.t.Reset(d) }
+func (r realTimer) Stop()                 { r.t.Stop() }
+
+// backoff computes the retry schedule: exponential doubling from min,
+// capped at max, jittered by ±frac, reset to healthy after a success.
+type backoff struct {
+	min, max time.Duration
+	frac     float64
+	r        *rng.RNG
+	base     time.Duration // 0 = healthy (no failures since last success)
+}
+
+// next returns the delay before the following retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	if b.base == 0 {
+		b.base = b.min
+	} else if b.base > b.max/2 {
+		b.base = b.max
+	} else {
+		b.base *= 2
+	}
+	d := b.base
+	if b.frac > 0 {
+		span := float64(d) * b.frac
+		d += time.Duration(span * (2*b.r.Float64() - 1))
+		if d < b.min {
+			d = b.min
+		}
+		if d > b.max+time.Duration(float64(b.max)*b.frac) {
+			d = b.max
+		}
+	}
+	return d
+}
+
+// reset returns the schedule to healthy after a success.
+func (b *backoff) reset() { b.base = 0 }
+
+// failures reports whether the schedule is in a failure run.
+func (b *backoff) failing() bool { return b.base != 0 }
+
+func (s *Snapshotter) backoff() *backoff {
 	minB := s.MinBackoff
 	if minB <= 0 {
 		minB = time.Second
@@ -44,36 +106,51 @@ func (s *Snapshotter) Run(ctx context.Context) {
 	if maxB < minB {
 		maxB = minB
 	}
-	delay := s.Interval
-	backoff := time.Duration(0) // 0 = healthy
+	frac := s.Jitter
+	if frac == 0 {
+		frac = 0.2
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &backoff{min: minB, max: maxB, frac: frac, r: rng.New(seed)}
+}
+
+// Run snapshots on the interval until ctx is done, backing off on
+// failure per the jittered schedule and returning to the plain interval
+// after the next success. It does not write a final snapshot on exit —
+// shutdown owns that, after the listener has drained.
+func (s *Snapshotter) Run(ctx context.Context) {
+	mk := s.newTimer
+	if mk == nil {
+		mk = func(d time.Duration) snapTimer { return realTimer{time.NewTimer(d)} }
+	}
+	bo := s.backoff()
 	failures := 0
-	t := time.NewTimer(delay)
+	t := mk(s.Interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		if err := s.Write(); err != nil {
 			failures++
-			if backoff == 0 {
-				backoff = minB
-			} else {
-				backoff *= 2
-			}
-			if backoff > maxB {
-				backoff = maxB
-			}
-			s.logf("snapshot failed (attempt %d, retrying in %v): %v", failures, backoff, err)
-			t.Reset(backoff)
+			delay := bo.next()
+			s.logf("snapshot failed (attempt %d, retrying in %v): %v", failures, delay, err)
+			t.Reset(delay)
 			continue
 		}
-		if failures > 0 {
+		if bo.failing() {
 			s.logf("snapshot recovered after %d failed attempts", failures)
 		}
 		failures = 0
-		backoff = 0
+		bo.reset()
 		t.Reset(s.Interval)
 	}
 }

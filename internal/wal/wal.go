@@ -1,0 +1,458 @@
+// Package wal implements the write-ahead log that makes acknowledged
+// adds crash-durable: an append-only sequence of length-prefixed,
+// CRC32C-checksummed records, each carrying a monotonic sequence
+// number, fsync'd before the caller acknowledges the operation.
+//
+// The log lives in its own directory as numbered segment files
+// (`wal.<first-seq>`). Recovery replays every intact record in order
+// and truncates the log at the first torn or corrupt record — the state
+// a crash mid-append legitimately leaves behind — instead of refusing
+// to start. After a snapshot covering sequence S is durable, Compact
+// seals the current segment and deletes segments whose records are all
+// ≤ S, so the log stays proportional to the write traffic since the
+// oldest retained snapshot.
+//
+// Concurrent appenders group-commit: records are serialized into the
+// file under the log's mutex, and one fsync (by whichever appender
+// reaches the sync mutex first) covers every record written before it,
+// so followers observe their records durable without issuing their own
+// fsync. On any write or fsync failure the log poisons itself — further
+// appends fail fast — and rolls the file back to the last durable
+// offset, keeping the invariant that no record an acknowledgment was
+// refused for survives recovery.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kjoin/internal/fault"
+)
+
+// segPrefix heads every segment file name; the suffix is the first
+// sequence number the segment holds, zero-padded so lexical order is
+// numeric order.
+const segPrefix = "wal."
+
+func segName(first uint64) string { return fmt.Sprintf("%s%020d", segPrefix, first) }
+
+func parseSegName(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, segPrefix)
+	if !ok || len(s) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Policy selects when appends are made durable.
+type Policy uint8
+
+const (
+	// SyncAlways fsyncs (group-committed) before Append/Sync returns:
+	// an acknowledged add survives any crash.
+	SyncAlways Policy = iota
+	// SyncNone never fsyncs; the OS flushes on its own schedule. Fast
+	// and unsafe — a crash loses recent acknowledged adds.
+	SyncNone
+)
+
+// Options configures a WAL.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways).
+	Policy Policy
+	// BatchWindow, when positive, makes a group-commit leader wait this
+	// long before fsyncing so more concurrent appenders can ride the
+	// same fsync. Higher throughput, BatchWindow of added ack latency.
+	BatchWindow time.Duration
+	// Logf, when set, receives repair notices (torn tails truncated,
+	// segments dropped) during Open.
+	Logf func(format string, args ...any)
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	name  string
+	first uint64 // first sequence number stored in the segment
+}
+
+// WAL is an open write-ahead log. Safe for concurrent use.
+type WAL struct {
+	fs     fault.FS
+	dir    string
+	policy Policy
+	batch  time.Duration
+
+	mu        sync.Mutex
+	f         fault.File // guarded by mu: current segment, open for append
+	segs      []segment  // guarded by mu: all segments, oldest first
+	nextSeq   uint64     // guarded by mu: sequence the next record gets
+	written   int64      // guarded by mu: bytes in the current segment
+	syncedOff int64      // guarded by mu: durable bytes of the current segment
+	poisoned  error      // guarded by mu: first unrecoverable write/sync error
+	buf       []byte     // guarded by mu: record encoding scratch
+
+	// syncMu serializes fsyncs; holding it is group-commit leadership.
+	syncMu sync.Mutex
+	synced atomic.Uint64 // highest sequence known durable
+}
+
+// errStop aborts replay at a contiguity violation; Open converts it
+// into a truncation point like any other corruption.
+var errStop = errors.New("wal: sequence discontinuity")
+
+// Open opens (creating if necessary) the log in dir, replays every
+// intact record through replay in sequence order, repairs the log —
+// truncating the torn tail at the first bad checksum, short record or
+// sequence discontinuity, and dropping unreachable later segments — and
+// returns the WAL positioned to append. replay may be nil; a non-nil
+// replay error aborts Open (the state is semantically unusable, not
+// merely torn).
+func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, tokens []string) error) (*WAL, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{name: e.Name(), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	var lastSeq uint64
+	repaired := false
+	for i := 0; i < len(segs); i++ {
+		path := dir + "/" + segs[i].name
+		data, err := readFileFS(fsys, path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		good, derr := DecodeAll(data, func(seq uint64, tokens []string) error {
+			// Sequence 0 is reserved, and after the first record the log
+			// must be contiguous; a violation is treated like any other
+			// corruption — the log ends at the previous record.
+			if seq == 0 || (lastSeq != 0 && seq != lastSeq+1) {
+				return errStop
+			}
+			lastSeq = seq
+			if replay != nil {
+				if rerr := replay(seq, tokens); rerr != nil {
+					return fmt.Errorf("wal: replaying seq %d: %w", seq, rerr)
+				}
+			}
+			return nil
+		})
+		if derr != nil && !errors.Is(derr, errStop) {
+			return nil, derr
+		}
+		torn := errors.Is(derr, errStop) || good < len(data)
+		if !torn {
+			continue
+		}
+		// Repair: everything from the bad offset on never happened.
+		logf("wal: %s torn at byte %d (last good seq %d); truncating", segs[i].name, good, lastSeq)
+		if err := fsys.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		for _, s := range segs[i+1:] {
+			logf("wal: dropping unreachable segment %s", s.name)
+			if err := fsys.Remove(dir + "/" + s.name); err != nil {
+				return nil, fmt.Errorf("wal: remove %s: %w", s.name, err)
+			}
+		}
+		segs = segs[:i+1]
+		repaired = true
+		break
+	}
+	if repaired {
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, fmt.Errorf("wal: fsync dir after repair: %w", err)
+		}
+	}
+
+	// The next sequence follows the last replayed record — or the current
+	// segment's name when that is newer: after compaction the log can be
+	// a single empty segment whose name (its first sequence) is the only
+	// on-disk trace of how far numbering had advanced.
+	next := lastSeq + 1
+	if n := len(segs); n > 0 && segs[n-1].first > next {
+		next = segs[n-1].first
+	}
+	w := &WAL{fs: fsys, dir: dir, policy: opt.Policy, batch: opt.BatchWindow, segs: segs, nextSeq: next}
+	w.synced.Store(next - 1)
+	if len(segs) == 0 {
+		if err := w.createSegmentLocked(w.nextSeq); err != nil {
+			return nil, err
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, fmt.Errorf("wal: fsync dir: %w", err)
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := fsys.OpenFile(dir+"/"+last.name, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open %s for append: %w", last.name, err)
+		}
+		st, err := fsys.Stat(dir + "/" + last.name)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: stat %s: %w", last.name, err)
+		}
+		w.f = f
+		w.written = st.Size()
+		w.syncedOff = st.Size() // on-disk bytes at open are what survived; treat as durable
+	}
+	return w, nil
+}
+
+func readFileFS(fsys fault.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// createSegmentLocked creates and opens a fresh segment whose first
+// record will be seq. Caller holds mu (or the WAL is not yet shared).
+func (w *WAL) createSegmentLocked(seq uint64) error {
+	name := segName(seq)
+	f, err := w.fs.OpenFile(w.dir+"/"+name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	w.f = f
+	w.segs = append(w.segs, segment{name: name, first: seq})
+	w.written = 0
+	w.syncedOff = 0
+	return nil
+}
+
+// Append serializes an add record for tokens into the log and returns
+// its sequence number. The record is ordered (its sequence reflects the
+// order Append calls entered the log) but not yet durable — call
+// Sync(seq) before acknowledging. On a write failure the log rolls back
+// to its last durable offset and poisons itself: the failed record and
+// everything after it will not survive, and later Appends fail fast.
+func (w *WAL) Append(tokens []string) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poisoned != nil {
+		return 0, w.poisoned
+	}
+	seq := w.nextSeq
+	w.buf = AppendRecord(w.buf[:0], seq, tokens)
+	n, err := w.f.Write(w.buf)
+	if err != nil {
+		w.poisonLocked(fmt.Errorf("wal: append seq %d: %w", seq, err))
+		return 0, w.poisoned
+	}
+	w.written += int64(n)
+	w.nextSeq++
+	return seq, nil
+}
+
+// Sync blocks until every record up to and including seq is durable
+// (under SyncAlways) and returns the first error that prevents it.
+// Concurrent callers group-commit: one fsync covers all records written
+// before it, and callers whose records are already covered return
+// without touching the disk.
+func (w *WAL) Sync(seq uint64) error {
+	if w.synced.Load() >= seq {
+		return nil // already covered by an earlier group commit
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	if w.batch > 0 {
+		time.Sleep(w.batch) // gather followers onto this fsync
+	}
+	w.mu.Lock()
+	if w.poisoned != nil {
+		err := w.poisoned
+		w.mu.Unlock()
+		return err
+	}
+	f := w.f
+	target := w.nextSeq - 1
+	targetOff := w.written
+	w.mu.Unlock()
+	if w.policy == SyncNone {
+		w.synced.Store(target)
+		return nil
+	}
+	// fsync outside mu: appends keep flowing into the file (they will be
+	// covered by the next leader). Rotation cannot swap f out from under
+	// us — Compact takes syncMu first.
+	if err := f.Sync(); err != nil {
+		w.mu.Lock()
+		w.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
+		err = w.poisoned
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Lock()
+	if targetOff > w.syncedOff {
+		w.syncedOff = targetOff
+	}
+	w.mu.Unlock()
+	w.synced.Store(target)
+	return nil
+}
+
+// AppendSync is Append followed by Sync on the returned sequence: the
+// record is durable (per the policy) when it returns.
+func (w *WAL) AppendSync(tokens []string) (uint64, error) {
+	seq, err := w.Append(tokens)
+	if err != nil {
+		return 0, err
+	}
+	return seq, w.Sync(seq)
+}
+
+// poisonLocked records the first unrecoverable error and rolls the
+// current segment back to its last durable offset, so records that were
+// never acknowledged cannot reappear after recovery. Caller holds mu.
+func (w *WAL) poisonLocked(err error) {
+	if w.poisoned != nil {
+		return
+	}
+	w.poisoned = err
+	if w.f != nil && w.written > w.syncedOff {
+		if terr := w.f.Truncate(w.syncedOff); terr == nil {
+			w.written = w.syncedOff
+		}
+		// If the truncate fails too, recovery's torn-tail scan and the
+		// sequence filter still keep replay consistent; the records are
+		// valid bytes but the operator was told the writes failed.
+	}
+}
+
+// Err returns the error that poisoned the log, or nil while it is
+// healthy.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.poisoned
+}
+
+// LastSeq returns the sequence of the most recently appended record (0
+// when the log is empty).
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// DurableSeq returns the highest sequence known durable.
+func (w *WAL) DurableSeq() uint64 { return w.synced.Load() }
+
+// Segments returns how many segment files the log currently spans.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs)
+}
+
+// Compact tells the log that a snapshot covering every record with
+// sequence ≤ covered is durable: the current segment is sealed (fsync'd
+// and replaced by a fresh one) if it holds anything, and every segment
+// whose records are all ≤ covered is deleted. Called only after the
+// snapshot write is fully durable — never before.
+func (w *WAL) Compact(covered uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poisoned != nil {
+		return w.poisoned
+	}
+	// Seal the current segment so rotation never loses cached bytes.
+	if w.written > 0 {
+		if w.policy != SyncNone && w.written > w.syncedOff {
+			if err := w.f.Sync(); err != nil {
+				w.poisonLocked(fmt.Errorf("wal: fsync before rotation: %w", err))
+				return w.poisoned
+			}
+			w.syncedOff = w.written
+			w.synced.Store(w.nextSeq - 1)
+		}
+		if err := w.f.Close(); err != nil {
+			w.poisonLocked(fmt.Errorf("wal: close sealed segment: %w", err))
+			return w.poisoned
+		}
+		if err := w.createSegmentLocked(w.nextSeq); err != nil {
+			w.poisonLocked(err)
+			return w.poisoned
+		}
+	}
+	// A segment is fully covered when the next segment starts at or
+	// before covered+1 — every record it holds is then ≤ covered.
+	kept := w.segs[:0]
+	for i, s := range w.segs {
+		if i+1 < len(w.segs) && w.segs[i+1].first <= covered+1 {
+			if err := w.fs.Remove(w.dir + "/" + s.name); err != nil {
+				return fmt.Errorf("wal: remove covered segment %s: %w", s.name, err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	w.segs = append([]segment(nil), kept...)
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("wal: fsync dir after compaction: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. The WAL is unusable afterwards.
+func (w *WAL) Close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.poisoned
+	}
+	var err error
+	if w.poisoned == nil && w.policy != SyncNone && w.written > w.syncedOff {
+		if err = w.f.Sync(); err == nil {
+			w.syncedOff = w.written
+			w.synced.Store(w.nextSeq - 1)
+		}
+	}
+	if cerr := w.f.Close(); err == nil && w.poisoned == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

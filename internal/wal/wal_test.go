@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"kjoin/internal/fault"
+)
+
+type rec struct {
+	seq    uint64
+	tokens []string
+}
+
+func replayAll(t *testing.T, dir string) []rec {
+	t.Helper()
+	var got []rec
+	w, err := Open(fault.OS{}, dir, Options{}, func(seq uint64, tokens []string) error {
+		got = append(got, rec{seq, append([]string(nil), tokens...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open for replay: %v", err)
+	}
+	w.Close()
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := [][]string{{"a", "b"}, {"c"}, {"d", "e", "f"}, {}, {"tab\ttoken", "newline\ntoken", "ünïcode"}}
+	for i, o := range objs {
+		seq, err := w.AppendSync(o)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if w.LastSeq() != uint64(len(objs)) || w.DurableSeq() != uint64(len(objs)) {
+		t.Fatalf("last=%d durable=%d", w.LastSeq(), w.DurableSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != len(objs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(objs))
+	}
+	for i, r := range got {
+		if r.seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, r.seq)
+		}
+		if len(r.tokens) != len(objs[i]) {
+			t.Fatalf("record %d: %d tokens, want %d", i, len(r.tokens), len(objs[i]))
+		}
+		for j := range r.tokens {
+			if r.tokens[j] != objs[i][j] {
+				t.Errorf("record %d token %d: %q != %q", i, j, r.tokens[j], objs[i][j])
+			}
+		}
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	w.AppendSync([]string{"one"})
+	w.Close()
+	w2, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.AppendSync([]string{"two"})
+	if err != nil || seq != 2 {
+		t.Fatalf("seq after reopen = %d, %v; want 2", seq, err)
+	}
+	w2.Close()
+	if got := replayAll(t, dir); len(got) != 2 || got[1].seq != 2 {
+		t.Fatalf("replay after reopen: %+v", got)
+	}
+}
+
+// segPath returns the single segment file, failing if there are many.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) != 1 {
+		t.Fatalf("want 1 segment, have %d", len(paths))
+	}
+	return paths[0]
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	w.AppendSync([]string{"keep", "me"})
+	w.AppendSync([]string{"also", "keep"})
+	w.Close()
+	path := segPath(t, dir)
+	clean, _ := os.ReadFile(path)
+
+	// A torn append: the first bytes of a record that never finished.
+	torn := AppendRecord(nil, 3, []string{"torn", "record"})
+	for cut := 1; cut < len(torn); cut += 3 {
+		if err := os.WriteFile(path, append(append([]byte(nil), clean...), torn[:cut]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replayAll(t, dir)
+		if len(got) != 2 {
+			t.Fatalf("cut %d: replayed %d records, want 2", cut, len(got))
+		}
+		b, _ := os.ReadFile(path)
+		if !bytes.Equal(b, clean) {
+			t.Fatalf("cut %d: torn tail not truncated (len %d, want %d)", cut, len(b), len(clean))
+		}
+	}
+}
+
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	w.AppendSync([]string{"first"})
+	w.AppendSync([]string{"second"})
+	w.Close()
+	path := segPath(t, dir)
+	clean, _ := os.ReadFile(path)
+	firstLen := len(AppendRecord(nil, 1, []string{"first"}))
+
+	// Flip one bit inside the second record's payload.
+	mut := append([]byte(nil), clean...)
+	mut[firstLen+headerSize] ^= 0x40
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].tokens[0] != "first" {
+		t.Fatalf("replay after bit flip: %+v", got)
+	}
+	b, _ := os.ReadFile(path)
+	if len(b) != firstLen {
+		t.Fatalf("file not truncated at corruption: %d bytes, want %d", len(b), firstLen)
+	}
+	// Appends continue cleanly after the repair, reusing seq 2.
+	w2, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.AppendSync([]string{"second-again"})
+	if err != nil || seq != 2 {
+		t.Fatalf("append after repair: seq %d, %v", seq, err)
+	}
+	w2.Close()
+}
+
+func TestCompactRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	for i := 0; i < 5; i++ {
+		w.AppendSync([]string{fmt.Sprintf("obj%d", i)})
+	}
+	// Snapshot covers seq 5: everything is compactable.
+	if err := w.Compact(5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 1 {
+		t.Fatalf("segments after full compaction = %d", w.Segments())
+	}
+	// New records land in the fresh segment; replay sees only them.
+	w.AppendSync([]string{"after"})
+	w.Close()
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].seq != 6 || got[0].tokens[0] != "after" {
+		t.Fatalf("replay after compaction: %+v", got)
+	}
+}
+
+func TestCompactKeepsUncoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	w.AppendSync([]string{"covered"})
+	w.Compact(1) // rotate: segment 2 becomes current
+	w.AppendSync([]string{"not-covered"})
+	w.Compact(1) // seq 2 not covered: its segment must survive
+	w.Close()
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].seq != 2 || got[0].tokens[0] != "not-covered" {
+		t.Fatalf("replay: %+v", got)
+	}
+}
+
+func TestAppendFailurePoisonsAndRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS{}, fault.Fault{Op: fault.OpWrite, N: 2, Mode: fault.Fail})
+	w, err := Open(inj, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSync([]string{"acked"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSync([]string{"failed"}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append 2 = %v, want injected failure", err)
+	}
+	// Poisoned: everything after fails fast.
+	if _, err := w.Append([]string{"more"}); err == nil {
+		t.Fatal("poisoned WAL accepted an append")
+	}
+	// Recovery sees exactly the acknowledged record.
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].tokens[0] != "acked" {
+		t.Fatalf("replay after poison: %+v", got)
+	}
+}
+
+func TestSyncFailureRollsBackUnacked(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS{}, fault.Fault{Op: fault.OpSync, N: 2, Mode: fault.Fail})
+	w, err := Open(inj, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSync([]string{"acked"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSync([]string{"unacked"}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("sync = %v, want injected failure", err)
+	}
+	got := replayAll(t, dir)
+	if len(got) != 1 || got[0].tokens[0] != "acked" {
+		t.Fatalf("replay after failed fsync: %+v", got)
+	}
+}
+
+func TestConcurrentAppendersGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = w.AppendSync([]string{fmt.Sprintf("obj-%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("appender %d: %v", i, err)
+		}
+	}
+	if w.DurableSeq() != n {
+		t.Fatalf("durable = %d, want %d", w.DurableSeq(), n)
+	}
+	w.Close()
+	got := replayAll(t, dir)
+	if len(got) != n {
+		t.Fatalf("replayed %d, want %d", len(got), n)
+	}
+	seen := make(map[string]bool)
+	for i, r := range got {
+		if r.seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.seq)
+		}
+		seen[r.tokens[0]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("replay lost records: %d distinct", len(seen))
+	}
+}
+
+func TestReplayErrorAbortsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(fault.OS{}, dir, Options{}, nil)
+	w.AppendSync([]string{"x"})
+	w.Close()
+	boom := errors.New("apply failed")
+	_, err := Open(fault.OS{}, dir, Options{}, func(uint64, []string) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Open = %v, want the replay error", err)
+	}
+}
+
+func TestSyncNonePolicy(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{Policy: SyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendSync([]string{"fast"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := replayAll(t, dir); len(got) != 1 {
+		t.Fatalf("replay: %+v", got)
+	}
+}
+
+// TestReopenAfterFullCompaction: Compact can leave the log as a single
+// empty segment. Reopening must resume numbering from the segment name,
+// not restart at 1 and collide with sequences the snapshot already
+// covers.
+func TestReopenAfterFullCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.AppendSync([]string{"tok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Compact(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(fault.OS{}, dir, Options{}, func(uint64, []string) error {
+		t.Error("compacted log replayed a record")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq after reopen = %d, want 5", got)
+	}
+	seq, err := w2.AppendSync([]string{"next"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("next append got seq %d, want 6", seq)
+	}
+}
