@@ -36,6 +36,8 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"log"
@@ -51,6 +53,19 @@ import (
 	"kjoin/internal/serverutil"
 	"kjoin/internal/wal"
 )
+
+// jitterSeed draws a per-process seed for the snapshotter's retry
+// jitter, falling back to clock-and-pid entropy if the system source is
+// unavailable. Never returns 0 (the Snapshotter treats 0 as unset).
+func jitterSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if s := binary.LittleEndian.Uint64(b[:]); s != 0 {
+			return s
+		}
+	}
+	return uint64(time.Now().UnixNano())<<16 ^ uint64(os.Getpid()) | 1
+}
 
 func main() {
 	var (
@@ -190,7 +205,12 @@ func main() {
 		snap := &serverutil.Snapshotter{
 			Interval: *snapEvery,
 			Write:    write,
-			Logf:     log.Printf,
+			// Per-process entropy: the jitter exists so a fleet of
+			// replicas does not retry in lockstep, which a fixed seed
+			// would reintroduce. Tests that need reproducible schedules
+			// set Seed explicitly.
+			Seed: jitterSeed(),
+			Logf: log.Printf,
 		}
 		go snap.Run(ctx)
 	}

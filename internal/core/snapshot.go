@@ -107,6 +107,68 @@ func LoadIndexer(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, er
 	return ix, err
 }
 
+// snapshotHeader is the parsed magic + config lines of a snapshot.
+type snapshotHeader struct {
+	version  int
+	cfg      string // config line with the objects/walseq suffix stripped
+	declared int    // declared object count; -1 when absent (legacy v1)
+	meta     SnapshotMeta
+}
+
+// parseSnapshotHeader decodes the two header lines shared by every
+// snapshot version.
+func parseSnapshotHeader(magicLine, cfgLine string) (snapshotHeader, error) {
+	hdr := snapshotHeader{declared: -1}
+	if _, err := fmt.Sscanf(magicLine, snapshotMagic+" %d", &hdr.version); err != nil {
+		return hdr, fmt.Errorf("kjoin: snapshot: bad magic line %q", magicLine)
+	}
+	if hdr.version != 1 && hdr.version != snapshotVersion {
+		return hdr, fmt.Errorf("kjoin: snapshot: unsupported version %d", hdr.version)
+	}
+	hdr.cfg = cfgLine
+	if idx := strings.Index(hdr.cfg, " objects="); idx >= 0 {
+		suffix := hdr.cfg[idx+1:]
+		hdr.cfg = hdr.cfg[:idx]
+		switch hdr.version {
+		case 1:
+			if _, err := fmt.Sscanf(suffix, "objects=%d", &hdr.declared); err != nil || hdr.declared < 0 {
+				return hdr, fmt.Errorf("kjoin: snapshot: bad object count %q", suffix)
+			}
+		default:
+			if _, err := fmt.Sscanf(suffix, "objects=%d walseq=%d", &hdr.declared, &hdr.meta.WALSeq); err != nil || hdr.declared < 0 {
+				return hdr, fmt.Errorf("kjoin: snapshot: bad objects/walseq header %q", suffix)
+			}
+		}
+	} else if hdr.version != 1 {
+		return hdr, fmt.Errorf("kjoin: snapshot: v%d header missing objects count", hdr.version)
+	}
+	hdr.meta.Objects = hdr.declared
+	return hdr, nil
+}
+
+// PeekSnapshotMeta reads only a snapshot's header and reports what it
+// claims to cover (object count, WAL sequence) without rebuilding the
+// index or verifying the body checksum. Recovery uses it to learn the
+// WAL position of every retained generation — including the ones it did
+// not load — so compaction can be floored below all of them. A
+// v1 header without a declared count reports Objects = -1.
+func PeekSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	if !sc.Scan() {
+		return SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing header: %w", sc.Err())
+	}
+	magicLine := sc.Text()
+	if !sc.Scan() {
+		return SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing config line")
+	}
+	hdr, err := parseSnapshotHeader(magicLine, sc.Text())
+	if err != nil {
+		return SnapshotMeta{}, err
+	}
+	return hdr.meta, nil
+}
+
 // LoadIndexerMeta rebuilds an Indexer from a snapshot and reports the
 // snapshot's metadata. The caller supplies the hierarchy and options
 // (they are not serialized — the snapshot carries a fingerprint and
@@ -131,42 +193,21 @@ func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer
 		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing header: %w", sc.Err())
 	}
 	magicLine := sc.Text()
-	var version int
-	if _, err := fmt.Sscanf(magicLine, snapshotMagic+" %d", &version); err != nil {
-		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad magic line %q", magicLine)
-	}
-	if version != 1 && version != snapshotVersion {
-		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: unsupported version %d", version)
-	}
 	hashLine(crc, magicLine)
 	if !sc.Scan() {
 		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing config line")
 	}
 	cfgLine := sc.Text()
 	hashLine(crc, cfgLine)
+	hdr, err := parseSnapshotHeader(magicLine, cfgLine)
+	if err != nil {
+		return nil, SnapshotMeta{}, err
+	}
+	version, declared, meta := hdr.version, hdr.declared, hdr.meta
 	wantCfg := fmt.Sprintf("delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v",
 		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus)
-	gotCfg := cfgLine
-	declared := -1 // -1: header does not declare a count (legacy v1)
-	var meta SnapshotMeta
-	if idx := strings.Index(gotCfg, " objects="); idx >= 0 {
-		suffix := gotCfg[idx+1:]
-		gotCfg = gotCfg[:idx]
-		switch version {
-		case 1:
-			if _, err := fmt.Sscanf(suffix, "objects=%d", &declared); err != nil || declared < 0 {
-				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad object count %q", suffix)
-			}
-		default:
-			if _, err := fmt.Sscanf(suffix, "objects=%d walseq=%d", &declared, &meta.WALSeq); err != nil || declared < 0 {
-				return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: bad objects/walseq header %q", suffix)
-			}
-		}
-	} else if version != 1 {
-		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: v%d header missing objects count", version)
-	}
-	if gotCfg != wantCfg {
-		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", gotCfg, wantCfg)
+	if hdr.cfg != wantCfg {
+		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", hdr.cfg, wantCfg)
 	}
 	sawTrailer := false
 	for sc.Scan() {

@@ -34,6 +34,7 @@ type crashHarness struct {
 	t               *testing.T
 	opt             core.Options
 	walDir, snapDir string
+	keep            int
 	acked           [][]string
 }
 
@@ -45,6 +46,7 @@ func newCrashHarness(t *testing.T) *crashHarness {
 		opt:     core.Defaults(0.7, 0.6),
 		walDir:  filepath.Join(dir, "wal"),
 		snapDir: filepath.Join(dir, "snap"),
+		keep:    2,
 	}
 }
 
@@ -61,7 +63,7 @@ func (c *crashHarness) boot(fsys fault.FS) (*Server, error) {
 		FS:          fsys,
 		WALDir:      c.walDir,
 		SnapshotDir: c.snapDir,
-		Keep:        2,
+		Keep:        c.keep,
 		Policy:      wal.SyncAlways,
 		Logf:        c.t.Logf,
 	})
@@ -380,6 +382,143 @@ func TestWalFailureDegradesNotCorrupts(t *testing.T) {
 	}
 	inj.Crash()
 	c.verify(c.mustBoot(fault.OS{}))
+}
+
+// TestWalAppendFailurePoisonsSnapshot: the write-failure flavor of
+// poisoning. A failed Append leaves the rejected object in the index
+// while the durable sequence never advanced, so a later Sync on that
+// stale sequence succeeds — the snapshot must still be refused, or it
+// would durably persist an add whose acknowledgment was refused. The
+// rejected request must also surface as wal_failed, like every other
+// WAL failure path.
+func TestWalAppendFailurePoisonsSnapshot(t *testing.T) {
+	c := newCrashHarness(t)
+	inj := fault.NewInjector(fault.OS{},
+		fault.Fault{Op: fault.OpWrite, Path: "wal.", N: 3, Mode: fault.Fail})
+	s := c.mustBoot(inj)
+	objects := paperdata.Table1()
+	for _, tokens := range objects[:2] {
+		if !c.add(s, tokens) {
+			t.Fatal("healthy add rejected")
+		}
+	}
+	// The third append fails and poisons the log; the object is in the
+	// index but was never acknowledged.
+	body, _ := json.Marshal(map[string]any{"tokens": objects[2]})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/objects", strings.NewReader(string(body))))
+	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "wal_failed") {
+		t.Fatalf("poisoning add = %d %s, want 500 with code wal_failed", rec.Code, rec.Body.String())
+	}
+	if err := s.SnapshotGeneration(); err == nil {
+		t.Fatal("snapshot succeeded on a log poisoned by a failed append (would persist an unacknowledged add)")
+	}
+	inj.Crash()
+	c.verify(c.mustBoot(fault.OS{}))
+}
+
+// TestCompactionFloorSurvivesRestart: the compaction floor must be
+// re-seeded from every generation still on disk, not just the one that
+// loaded. Otherwise the first post-restart compaction deletes WAL
+// records the older generations need, and a later fallback past a
+// corrupt newest generation finds its log gone.
+func TestCompactionFloorSurvivesRestart(t *testing.T) {
+	objects := paperdata.Table1()
+	c := newCrashHarness(t)
+	c.keep = 3
+	s := c.mustBoot(fault.OS{})
+	for i, tokens := range objects[:5] {
+		if !c.add(s, tokens) {
+			t.Fatalf("add %d rejected on a healthy filesystem", i)
+		}
+		if i == 1 || i == 3 {
+			if err := c.snapshot(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart (two generations on disk, one unsnapshotted WAL record),
+	// then add and snapshot so compaction runs with the re-seeded floor.
+	s = c.mustBoot(fault.OS{})
+	if !c.add(s, objects[5]) {
+		t.Fatal("post-restart add rejected")
+	}
+	if err := c.snapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot every generation but the oldest: recovery must fall back to it
+	// and find all the WAL records it needs still in the log.
+	gens, err := filepath.Glob(filepath.Join(c.snapDir, "snap.0*"))
+	if err != nil || len(gens) != 3 {
+		t.Fatalf("want 3 generations, have %v (%v)", gens, err)
+	}
+	for _, g := range gens[1:] {
+		if err := os.WriteFile(g, []byte("rotten"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.verify(c.mustBoot(fault.OS{}))
+}
+
+// TestRecoveryRefusesOvercompactedWal: when the log's numbering proves
+// records were compacted past what the loaded snapshot covers (a single
+// empty segment whose name is ahead of the snapshot's sequence),
+// recovery must fail loudly — replaying nothing and serving the shorter
+// index would silently drop acknowledged adds.
+func TestRecoveryRefusesOvercompactedWal(t *testing.T) {
+	c := newCrashHarness(t)
+	s := c.mustBoot(fault.OS{})
+	objects := paperdata.Table1()
+	for _, tokens := range objects[:2] {
+		c.add(s, tokens)
+	}
+	if err := c.snapshot(s); err != nil { // generation 1 @ seq 2
+		t.Fatal(err)
+	}
+	for _, tokens := range objects[2:4] {
+		c.add(s, tokens)
+	}
+	if err := c.snapshot(s); err != nil { // generation 2 @ seq 4
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an over-compacted log: every record gone, numbering
+	// surviving only in the fresh segment's name (first seq 5).
+	if err := os.RemoveAll(c.walDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(c.walDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.walDir, fmt.Sprintf("wal.%020d", 5)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the newest generation: the fallback covers only seq 2, and the
+	// acknowledged adds at seqs 3 and 4 now exist nowhere.
+	gens, err := filepath.Glob(filepath.Join(c.snapDir, "snap.0*"))
+	if err != nil || len(gens) != 2 {
+		t.Fatalf("want 2 generations, have %v (%v)", gens, err)
+	}
+	if err := os.WriteFile(gens[len(gens)-1], []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.boot(fault.OS{})
+	if err == nil {
+		t.Fatal("recovery over an over-compacted wal succeeded silently")
+	}
+	if !strings.Contains(err.Error(), "compacted") {
+		t.Fatalf("wrong failure shape: %v", err)
+	}
 }
 
 // TestRecoverRejectsDeletedWal: a WAL deleted out-of-band while

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"kjoin/internal/core"
@@ -91,9 +92,42 @@ func (s *Server) Recover(d Durability) error {
 		logf("recovery: loaded snapshot %s (%d objects, wal seq %d)", name, ix.Len(), ix.WALSeq())
 	}
 	base := ix.WALSeq()
+	// Seed the compaction floor from every generation still on disk, not
+	// just the one that loaded: the older ones remain fallback candidates
+	// (the newest may corrupt at rest later), so the WAL records they
+	// need must outlive them. A generation whose header cannot be read
+	// can never be a fallback and contributes nothing.
+	snapSeqs := []uint64{base}
+	if names, gerr := gens.Generations(); gerr == nil && len(names) > 0 {
+		snapSeqs = snapSeqs[:0]
+		for _, gn := range names {
+			f, oerr := gens.Open(gn)
+			if oerr != nil {
+				logf("recovery: generation %s unreadable (%v); ignored for the compaction floor", gn, oerr)
+				continue
+			}
+			m, perr := core.PeekSnapshotMeta(f)
+			f.Close()
+			if perr != nil {
+				logf("recovery: generation %s header corrupt (%v); ignored for the compaction floor", gn, perr)
+				continue
+			}
+			snapSeqs = append(snapSeqs, m.WALSeq)
+		}
+		if len(snapSeqs) == 0 {
+			snapSeqs = append(snapSeqs, base)
+		}
+		// Generation order should already be sequence order; sorting makes
+		// the floor (snapSeqs[0]) the minimum even if a header lies.
+		sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+	}
 	replayed := 0
+	var maxRec uint64 // highest record actually present in the log
 	w, err := wal.Open(fsys, d.WALDir, wal.Options{Policy: d.Policy, BatchWindow: d.BatchWindow, Logf: d.Logf},
 		func(seq uint64, tokens []string) error {
+			if seq > maxRec {
+				maxRec = seq
+			}
 			if seq <= base {
 				return nil // already inside the snapshot
 			}
@@ -107,6 +141,16 @@ func (s *Server) Recover(d Durability) error {
 		w.Close()
 		return fmt.Errorf("server: wal ends at seq %d but snapshot %s covers seq %d: log truncated or deleted out-of-band", w.LastSeq(), name, base)
 	}
+	// The log's numbering can outrun its records: compaction leaves a
+	// fresh segment whose name is the only on-disk trace of how far
+	// acknowledged writes advanced. Records compacted away are only safe
+	// to lose under a snapshot that covers them — if the one we loaded
+	// does not, acknowledged adds are unrecoverable, and recovery must
+	// say so instead of silently serving a shorter index.
+	if tail := w.LastSeq(); tail > base && tail > maxRec {
+		w.Close()
+		return fmt.Errorf("server: wal numbering reaches seq %d but its records end at seq %d and snapshot %s covers only seq %d: acknowledged adds were compacted away", tail, maxRec, name, base)
+	}
 	logf("recovery: replayed %d wal record(s); index at %d objects, wal seq %d", replayed, ix.Len(), ix.WALSeq())
 	s.mu.Lock()
 	s.ix = ix
@@ -114,7 +158,7 @@ func (s *Server) Recover(d Durability) error {
 	s.gens = gens
 	s.mu.Unlock()
 	s.snapMu.Lock()
-	s.snapSeqs = append(s.snapSeqs[:0], base)
+	s.snapSeqs = append(s.snapSeqs[:0], snapSeqs...)
 	s.snapMu.Unlock()
 	s.lastSnapSeq.Store(base)
 	s.snapOnDisk.Store(name != "")
@@ -155,13 +199,27 @@ func (s *Server) SnapshotGeneration() error {
 	// An idle server does not churn generations: when nothing advanced
 	// since the last durable generation there is nothing to persist.
 	skip := s.snapOnDisk.Load() && seq == s.lastSnapSeq.Load()
+	// A poisoned log refuses the snapshot outright. The Sync below is
+	// not enough: after a failed Append the rejected object sits in the
+	// index while the durable sequence never advanced, so a sync on that
+	// stale sequence succeeds — and the snapshot would durably persist
+	// an add whose acknowledgment was refused. Appends serialize under
+	// the write lock, so with the check made under the read lock the
+	// buffer below can never contain such an object while Err reads nil.
+	var poisoned error
+	if w != nil {
+		poisoned = w.Err()
+	}
 	var err error
-	if gens != nil && !skip {
+	if gens != nil && poisoned == nil && !skip {
 		err = s.ix.WriteSnapshot(&buf)
 	}
 	s.mu.RUnlock()
 	if gens == nil {
 		return errors.New("server: durability not configured")
+	}
+	if poisoned != nil {
+		return fmt.Errorf("server: wal unhealthy; refusing snapshot: %w", poisoned)
 	}
 	if skip {
 		return nil
@@ -170,9 +228,9 @@ func (s *Server) SnapshotGeneration() error {
 		return err
 	}
 	if w != nil {
-		// A poisoned log also refuses this sync, which is exactly right:
-		// once writes are failing, persisting index state the log cannot
-		// vouch for would resurrect unacknowledged adds.
+		// Sync-path poisoning can still race in after the check above; it
+		// only ever affects records past the durable point, and those make
+		// seq > synced here, so this sync takes the slow path and refuses.
 		if err := w.Sync(seq); err != nil {
 			return fmt.Errorf("server: wal sync before snapshot: %w", err)
 		}

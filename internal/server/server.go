@@ -281,14 +281,23 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	id, pairs, err := s.ix.AddCtx(r.Context(), req.Tokens)
 	wlog := s.wal
 	var seq uint64
+	walFailed := false
 	if err == nil && wlog != nil {
-		if seq, err = wlog.Append(req.Tokens); err == nil {
+		if seq, err = wlog.Append(req.Tokens); err != nil {
+			walFailed = true
+		} else {
 			s.ix.SetWALSeq(seq)
 		}
 	}
 	s.mu.Unlock()
 	if err != nil {
-		s.joinError(w, err)
+		// The poisoning Append failure is a WAL failure like the fast-fail
+		// and fsync paths — operators watching wal_failed must see it too.
+		if walFailed {
+			s.opError(w, "wal_failed", err)
+		} else {
+			s.joinError(w, err)
+		}
 		return
 	}
 	if wlog != nil {

@@ -414,6 +414,14 @@ func (w *WAL) Compact(covered uint64) error {
 			w.poisonLocked(err)
 			return w.poisoned
 		}
+		// Make the fresh segment's directory entry durable before any
+		// covered segment disappears: its name anchors the sequence
+		// numbering, and a crash that persisted the removals but not this
+		// entry would otherwise reopen an empty directory and restart
+		// numbering from 1, which recovery refuses.
+		if err := w.fs.SyncDir(w.dir); err != nil {
+			return fmt.Errorf("wal: fsync dir after rotation: %w", err)
+		}
 	}
 	// A segment is fully covered when the next segment starts at or
 	// before covered+1 — every record it holds is then ≤ covered.

@@ -208,6 +208,43 @@ func TestCompactKeepsUncoveredSegments(t *testing.T) {
 	}
 }
 
+// TestCompactRotationDurableBeforeRemoval: Compact must fsync the
+// fresh segment's directory entry before any covered segment is
+// removed. The fresh name anchors sequence numbering; if the unlinks
+// could become durable first, a crash in between would reopen a log
+// that restarts at seq 1, which recovery refuses.
+func TestCompactRotationDurableBeforeRemoval(t *testing.T) {
+	dir := t.TempDir()
+	// SyncDir #1 fires in Open (fresh directory); #2 is Compact's
+	// post-rotation anchor.
+	inj := fault.NewInjector(fault.OS{},
+		fault.Fault{Op: fault.OpSyncDir, N: 2, Mode: fault.Fail})
+	w, err := Open(inj, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.AppendSync([]string{"tok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Compact(3); err == nil {
+		t.Fatal("compact succeeded despite the rotation dir-fsync failing")
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatal("covered segment removed before the fresh segment's entry was durable")
+	}
+	w.Close()
+	// The aborted compaction lost nothing: every record still replays.
+	if got := replayAll(t, dir); len(got) != 3 {
+		t.Fatalf("replayed %d records after aborted compaction, want 3", len(got))
+	}
+}
+
 func TestAppendFailurePoisonsAndRollsBack(t *testing.T) {
 	dir := t.TempDir()
 	inj := fault.NewInjector(fault.OS{}, fault.Fault{Op: fault.OpWrite, N: 2, Mode: fault.Fail})
