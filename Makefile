@@ -11,9 +11,10 @@ FUZZ_TARGETS = \
 	./internal/strutil,FuzzEditDistanceWithin \
 	./internal/strutil,FuzzTokenize \
 	./internal/core,FuzzLoadIndexer \
-	./internal/wal,FuzzWALReplay
+	./internal/wal,FuzzWALReplay \
+	./internal/wal,FuzzWALStream
 
-.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke
+.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke
 
 all: build lint test
 
@@ -49,6 +50,19 @@ crash-smoke:
 		-run 'TestCrashMatrix|TestCrashSweepEveryWalWrite|TestConcurrentAddsCrashAtSyncBoundary|TestRecovery|TestRecoverRejectsDeletedWal|TestWalFailureDegradesNotCorrupts' \
 		./internal/server/
 	$(GO) test -race -count=1 ./internal/wal/ ./internal/fault/
+
+# replication-smoke runs the replica chaos matrix under the race
+# detector: WAL-shipping followers fed through deterministic network
+# faults (drops, stalls, mid-frame truncation, hangups), kill/restart
+# resume, primary compaction during follower downtime, staleness gating
+# and fail-over routing — every acked add must be visible on every live
+# replica with bit-identical query answers.
+replication-smoke:
+	$(GO) test -race -count=1 ./internal/replica/
+	$(GO) test -race -count=1 \
+		-run 'TestWALStream|TestReplica|TestApplyReplicated|TestSnapshotBuffer|TestAdmitRetryAfter' \
+		./internal/server/ ./internal/serverutil/
+	$(GO) test -race -count=1 ./cmd/kjoin-serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/url"
+	"time"
+
+	"kjoin/internal/server"
+	"kjoin/internal/wal"
+)
+
+// serveConfig is every kjoin-serve flag, parsed but not yet trusted:
+// validate rejects bad combinations loudly at startup instead of letting
+// them misbehave hours later.
+type serveConfig struct {
+	hierPath   string
+	addr       string
+	delta      float64
+	tau        float64
+	plus       bool
+	snapshot   string
+	snapEvery  time.Duration
+	walDir     string
+	walSync    string
+	walBatch   time.Duration
+	snapDir    string
+	snapKeep   int
+	maxBody    int64
+	maxInflt   int
+	reqTimeout time.Duration
+	drainT     time.Duration
+
+	follow         string
+	replicaDir     string
+	stalenessBound time.Duration
+	stalenessMode  string
+	replicaPoll    time.Duration
+}
+
+// register binds every flag to fs with its default.
+func (c *serveConfig) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.hierPath, "hierarchy", "", "knowledge hierarchy file (required)")
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.Float64Var(&c.delta, "delta", 0.8, "element similarity threshold δ")
+	fs.Float64Var(&c.tau, "tau", 0.8, "object similarity threshold τ")
+	fs.BoolVar(&c.plus, "plus", false, "K-Join+ resolution")
+	fs.StringVar(&c.snapshot, "snapshot", "", "single snapshot file: preloaded at startup if it exists, written atomically on shutdown and every -snapshot-interval (no WAL; mutually exclusive with -snapshot-dir)")
+	fs.DurationVar(&c.snapEvery, "snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -snapshot or -snapshot-dir)")
+	fs.StringVar(&c.walDir, "wal-dir", "", "write-ahead-log directory; with -snapshot-dir enables crash-safe durability (adds are fsync'd before the ack)")
+	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (acked adds survive any crash) or none (fast, a crash loses recent adds)")
+	fs.DurationVar(&c.walBatch, "wal-batch", 0, "WAL group-commit window: trade this much ack latency for fewer fsyncs under concurrency")
+	fs.StringVar(&c.snapDir, "snapshot-dir", "", "snapshot generation directory (requires -wal-dir)")
+	fs.IntVar(&c.snapKeep, "snapshot-keep", 3, "snapshot generations kept in -snapshot-dir")
+	fs.Int64Var(&c.maxBody, "max-body-bytes", 1<<20, "request body size cap in bytes")
+	fs.IntVar(&c.maxInflt, "max-inflight", 64, "max concurrent expensive requests before shedding with 429")
+	fs.DurationVar(&c.reqTimeout, "request-timeout", 30*time.Second, "per-request deadline")
+	fs.DurationVar(&c.drainT, "drain-timeout", 15*time.Second, "graceful shutdown drain budget")
+
+	fs.StringVar(&c.follow, "follow", "", "run as a read replica of this primary base URL (requires -replica-dir; excludes the durability and snapshot flags)")
+	fs.StringVar(&c.replicaDir, "replica-dir", "", "local snapshot-generation directory a replica persists its progress into (requires -follow)")
+	fs.DurationVar(&c.stalenessBound, "staleness-bound", 5*time.Second, "replica only: maximum tolerated staleness before -staleness-mode kicks in")
+	fs.StringVar(&c.stalenessMode, "staleness-mode", "reject", "replica only: reject (503 past the bound) or mark (serve anyway, report lag in a header)")
+	fs.DurationVar(&c.replicaPoll, "replica-poll", 2*time.Second, "replica only: long-poll wait per WAL stream request")
+}
+
+// parseArgs parses args into a serveConfig and validates it, reporting
+// every configuration error at once.
+func parseArgs(fs *flag.FlagSet, args []string) (*serveConfig, error) {
+	c := &serveConfig{}
+	c.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := c.validate(set); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *serveConfig) durable() bool  { return c.walDir != "" || c.snapDir != "" }
+func (c *serveConfig) follower() bool { return c.follow != "" || c.replicaDir != "" }
+
+// walPolicy maps -wal-sync to a policy; only meaningful after validate.
+func (c *serveConfig) walPolicy() wal.Policy {
+	if c.walSync == "none" {
+		return wal.SyncNone
+	}
+	return wal.SyncAlways
+}
+
+// staleness maps -staleness-mode; only meaningful after validate.
+func (c *serveConfig) staleness() server.StalenessMode {
+	if c.stalenessMode == "mark" {
+		return server.StaleMark
+	}
+	return server.StaleReject
+}
+
+// validate cross-checks the whole configuration and returns every
+// problem joined together, so one bad invocation surfaces all of its
+// mistakes in a single run. set records which flags were given
+// explicitly (flag.FlagSet.Visit), distinguishing "left at default"
+// from "explicitly asked for a nonsense value".
+func (c *serveConfig) validate(set map[string]bool) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if c.hierPath == "" {
+		fail("-hierarchy is required")
+	}
+	if c.delta <= 0 || c.delta > 1 {
+		fail("-delta must be in (0, 1], got %v", c.delta)
+	}
+	if c.tau <= 0 || c.tau > 1 {
+		fail("-tau must be in (0, 1], got %v", c.tau)
+	}
+	if c.maxBody < 1 {
+		fail("-max-body-bytes must be positive, got %d", c.maxBody)
+	}
+	if c.maxInflt < 1 {
+		fail("-max-inflight must be positive, got %d", c.maxInflt)
+	}
+	if c.reqTimeout <= 0 {
+		fail("-request-timeout must be positive, got %v", c.reqTimeout)
+	}
+	if c.drainT < 0 {
+		fail("-drain-timeout must not be negative, got %v", c.drainT)
+	}
+	if c.snapKeep < 1 {
+		fail("-snapshot-keep must be at least 1, got %d", c.snapKeep)
+	}
+	if set["wal-batch"] && c.walBatch <= 0 {
+		fail("-wal-batch must be a positive duration when set, got %v", c.walBatch)
+	}
+	if c.walSync != "always" && c.walSync != "none" {
+		fail("-wal-sync must be always or none, got %q", c.walSync)
+	}
+	if c.snapEvery < 0 {
+		fail("-snapshot-interval must not be negative, got %v", c.snapEvery)
+	}
+	if c.durable() && (c.walDir == "" || c.snapDir == "") {
+		fail("-wal-dir and -snapshot-dir must be set together")
+	}
+	if c.durable() && c.snapshot != "" {
+		fail("-snapshot and -snapshot-dir are mutually exclusive")
+	}
+	if c.snapEvery > 0 && c.snapshot == "" && !c.durable() {
+		fail("-snapshot-interval requires -snapshot or -snapshot-dir")
+	}
+
+	// Replication: a follower owns no WAL and no primary-style snapshot
+	// schedule — its only persistence is -replica-dir generations.
+	if c.follow != "" && c.replicaDir == "" {
+		fail("-follow requires -replica-dir (the replica's local snapshot directory)")
+	}
+	if c.replicaDir != "" && c.follow == "" {
+		fail("-replica-dir requires -follow")
+	}
+	if c.follow != "" {
+		if u, err := url.Parse(c.follow); err != nil {
+			fail("-follow %q is not a valid URL: %v", c.follow, err)
+		} else if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			fail("-follow %q must be an http(s) base URL with a host", c.follow)
+		}
+	}
+	if c.follower() {
+		if c.durable() {
+			fail("-follow is mutually exclusive with -wal-dir/-snapshot-dir (a replica persists only into -replica-dir)")
+		}
+		if c.snapshot != "" || c.snapEvery > 0 {
+			fail("-follow is mutually exclusive with -snapshot/-snapshot-interval (a replica snapshots into -replica-dir on its own cadence)")
+		}
+	}
+	if c.stalenessBound <= 0 {
+		fail("-staleness-bound must be positive, got %v", c.stalenessBound)
+	}
+	if c.stalenessMode != "reject" && c.stalenessMode != "mark" {
+		fail("-staleness-mode must be reject or mark, got %q", c.stalenessMode)
+	}
+	if c.replicaPoll <= 0 {
+		fail("-replica-poll must be positive, got %v", c.replicaPoll)
+	}
+	if !c.follower() {
+		for _, name := range []string{"staleness-bound", "staleness-mode", "replica-poll"} {
+			if set[name] {
+				fail("-%s only applies to a replica (-follow)", name)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"kjoin/internal/server"
+	"kjoin/internal/wal"
+)
+
+// parse runs parseArgs on a quiet FlagSet, with -hierarchy prepended
+// unless the caller supplies its own.
+func parse(t *testing.T, args ...string) (*serveConfig, error) {
+	t.Helper()
+	has := false
+	for _, a := range args {
+		if strings.HasPrefix(a, "-hierarchy") {
+			has = true
+		}
+	}
+	if !has {
+		args = append([]string{"-hierarchy", "kb.txt"}, args...)
+	}
+	fs := flag.NewFlagSet("kjoin-serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return parseArgs(fs, args)
+}
+
+func TestFlagsDefaultsAreValid(t *testing.T) {
+	cfg, err := parse(t)
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if cfg.follower() || cfg.durable() {
+		t.Fatal("defaults must be a plain in-memory primary")
+	}
+	if cfg.walPolicy() != wal.SyncAlways {
+		t.Fatal("default wal policy must be SyncAlways")
+	}
+}
+
+// TestFlagsRejectLoudly drives every validation rule through a bad
+// invocation and requires a message naming the offending flag.
+func TestFlagsRejectLoudly(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing hierarchy", []string{"-hierarchy", ""}, "-hierarchy is required"},
+		{"negative snapshot-keep", []string{"-snapshot-keep", "-2"}, "-snapshot-keep must be at least 1"},
+		{"zero snapshot-keep", []string{"-snapshot-keep", "0"}, "-snapshot-keep must be at least 1"},
+		{"zero wal-batch", []string{"-wal-batch", "0s"}, "-wal-batch must be a positive duration"},
+		{"negative wal-batch", []string{"-wal-batch", "-5ms"}, "-wal-batch must be a positive duration"},
+		{"malformed wal-sync", []string{"-wal-sync", "sometimes"}, "-wal-sync must be always or none"},
+		{"wal-dir alone", []string{"-wal-dir", "w"}, "set together"},
+		{"snapshot-dir alone", []string{"-snapshot-dir", "s"}, "set together"},
+		{"snapshot with generations", []string{"-wal-dir", "w", "-snapshot-dir", "s", "-snapshot", "x.snap"}, "mutually exclusive"},
+		{"interval without target", []string{"-snapshot-interval", "30s"}, "-snapshot-interval requires"},
+		{"negative interval", []string{"-snapshot-interval", "-1s"}, "-snapshot-interval must not be negative"},
+		{"bad delta", []string{"-delta", "1.5"}, "-delta must be in (0, 1]"},
+		{"bad tau", []string{"-tau", "0"}, "-tau must be in (0, 1]"},
+		{"bad max-body", []string{"-max-body-bytes", "0"}, "-max-body-bytes must be positive"},
+		{"bad max-inflight", []string{"-max-inflight", "-1"}, "-max-inflight must be positive"},
+		{"bad request-timeout", []string{"-request-timeout", "0s"}, "-request-timeout must be positive"},
+		{"follow without replica-dir", []string{"-follow", "http://primary:8080"}, "-follow requires -replica-dir"},
+		{"replica-dir without follow", []string{"-replica-dir", "r"}, "-replica-dir requires -follow"},
+		{"follow not a URL", []string{"-follow", "http://%zz", "-replica-dir", "r"}, "not a valid URL"},
+		{"follow without scheme", []string{"-follow", "primary:8080", "-replica-dir", "r"}, "http(s) base URL"},
+		{"follow without host", []string{"-follow", "http://", "-replica-dir", "r"}, "http(s) base URL"},
+		{"follow with wal-dir", []string{"-follow", "http://p", "-replica-dir", "r", "-wal-dir", "w", "-snapshot-dir", "s"}, "mutually exclusive with -wal-dir"},
+		{"follow with snapshot", []string{"-follow", "http://p", "-replica-dir", "r", "-snapshot", "x.snap"}, "mutually exclusive with -snapshot"},
+		{"zero staleness-bound", []string{"-follow", "http://p", "-replica-dir", "r", "-staleness-bound", "0s"}, "-staleness-bound must be positive"},
+		{"bad staleness-mode", []string{"-follow", "http://p", "-replica-dir", "r", "-staleness-mode", "maybe"}, "-staleness-mode must be reject or mark"},
+		{"zero replica-poll", []string{"-follow", "http://p", "-replica-dir", "r", "-replica-poll", "0s"}, "-replica-poll must be positive"},
+		{"staleness flag on primary", []string{"-staleness-mode", "mark"}, "only applies to a replica"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.args...)
+			if err == nil {
+				t.Fatalf("args %v accepted, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlagsCollectEveryError: one run reports all mistakes, not just
+// the first.
+func TestFlagsCollectEveryError(t *testing.T) {
+	_, err := parse(t,
+		"-snapshot-keep", "-1",
+		"-wal-sync", "fsync-oops",
+		"-wal-batch", "-1ms",
+		"-replica-dir", "r")
+	if err == nil {
+		t.Fatal("invalid args accepted")
+	}
+	for _, want := range []string{"-snapshot-keep", "-wal-sync", "-wal-batch", "-replica-dir requires -follow"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q is missing %q", err, want)
+		}
+	}
+}
+
+func TestFlagsFollowerConfig(t *testing.T) {
+	cfg, err := parse(t,
+		"-follow", "https://primary.example:8080",
+		"-replica-dir", "/var/lib/kjoin-replica",
+		"-staleness-bound", "750ms",
+		"-staleness-mode", "mark",
+		"-replica-poll", "1s")
+	if err != nil {
+		t.Fatalf("follower config rejected: %v", err)
+	}
+	if !cfg.follower() {
+		t.Fatal("follower() = false")
+	}
+	if cfg.staleness() != server.StaleMark {
+		t.Fatal("staleness() != StaleMark")
+	}
+	if cfg.stalenessBound != 750*time.Millisecond {
+		t.Fatalf("stalenessBound = %v", cfg.stalenessBound)
+	}
+}
+
+func TestFlagsDurableConfig(t *testing.T) {
+	cfg, err := parse(t,
+		"-wal-dir", "w", "-snapshot-dir", "s",
+		"-wal-sync", "none", "-wal-batch", "2ms", "-snapshot-keep", "5")
+	if err != nil {
+		t.Fatalf("durable config rejected: %v", err)
+	}
+	if !cfg.durable() || cfg.walPolicy() != wal.SyncNone || cfg.snapKeep != 5 {
+		t.Fatalf("durable config misparsed: %+v", cfg)
+	}
+}

@@ -16,14 +16,14 @@
 //	GET  /healthz    liveness probe
 //	GET  /readyz     readiness probe (503 while draining)
 //
-// The server sheds load with 429 + Retry-After past -max-inflight
-// concurrent expensive requests, caps bodies at -max-body-bytes, bounds
-// every request by -request-timeout, and shuts down gracefully on
-// SIGINT/SIGTERM: readiness flips to draining, in-flight requests get
-// -drain-timeout to finish, and a final snapshot is written atomically
-// when -snapshot is set. With -snapshot-interval a background
-// snapshotter also persists the index periodically, retrying failures
-// with capped, jittered exponential backoff.
+// The server sheds load with 429 + jittered Retry-After past
+// -max-inflight concurrent expensive requests, caps bodies at
+// -max-body-bytes, bounds every request by -request-timeout, and shuts
+// down gracefully on SIGINT/SIGTERM: readiness flips to draining,
+// in-flight requests get -drain-timeout to finish, and a final snapshot
+// is written atomically when -snapshot is set. With -snapshot-interval a
+// background snapshotter also persists the index periodically, retrying
+// failures with capped, jittered exponential backoff.
 //
 // With -wal-dir and -snapshot-dir the service runs crash-safe: every
 // add is appended to a checksummed write-ahead log and fsync'd before
@@ -32,6 +32,12 @@
 // readable generation (falling back past corrupt ones) and replaying
 // the log, answering 503 on /readyz until recovery completes. See
 // DESIGN.md §9.
+//
+// With -follow the service runs as a read replica instead: it
+// bootstraps from its -replica-dir (or, when empty, from a primary
+// snapshot), tails the primary's WAL stream, rejects writes with 403,
+// and serves reads under the -staleness-bound/-staleness-mode gate.
+// See DESIGN.md §10 and the README's "Operating a replica".
 package main
 
 import (
@@ -44,19 +50,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"kjoin"
 	"kjoin/internal/core"
+	"kjoin/internal/hierarchy"
+	"kjoin/internal/replica"
 	"kjoin/internal/server"
 	"kjoin/internal/serverutil"
-	"kjoin/internal/wal"
 )
 
-// jitterSeed draws a per-process seed for the snapshotter's retry
-// jitter, falling back to clock-and-pid entropy if the system source is
-// unavailable. Never returns 0 (the Snapshotter treats 0 as unset).
+// jitterSeed draws a per-process seed for retry and Retry-After jitter,
+// falling back to clock-and-pid entropy if the system source is
+// unavailable. Never returns 0 (consumers treat 0 as unset).
 func jitterSeed() uint64 {
 	var b [8]byte
 	if _, err := crand.Read(b[:]); err == nil {
@@ -68,49 +76,14 @@ func jitterSeed() uint64 {
 }
 
 func main() {
-	var (
-		hierPath   = flag.String("hierarchy", "", "knowledge hierarchy file (required)")
-		addr       = flag.String("addr", ":8080", "listen address")
-		delta      = flag.Float64("delta", 0.8, "element similarity threshold δ")
-		tau        = flag.Float64("tau", 0.8, "object similarity threshold τ")
-		plus       = flag.Bool("plus", false, "K-Join+ resolution")
-		snapshot   = flag.String("snapshot", "", "single snapshot file: preloaded at startup if it exists, written atomically on shutdown and every -snapshot-interval (no WAL; mutually exclusive with -snapshot-dir)")
-		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -snapshot or -snapshot-dir)")
-		walDir     = flag.String("wal-dir", "", "write-ahead-log directory; with -snapshot-dir enables crash-safe durability (adds are fsync'd before the ack)")
-		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (acked adds survive any crash) or none (fast, a crash loses recent adds)")
-		walBatch   = flag.Duration("wal-batch", 0, "WAL group-commit window: trade this much ack latency for fewer fsyncs under concurrency")
-		snapDir    = flag.String("snapshot-dir", "", "snapshot generation directory (requires -wal-dir)")
-		snapKeep   = flag.Int("snapshot-keep", 3, "snapshot generations kept in -snapshot-dir")
-		maxBody    = flag.Int64("max-body-bytes", 1<<20, "request body size cap in bytes")
-		maxInflt   = flag.Int("max-inflight", 64, "max concurrent expensive requests before shedding with 429")
-		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
-		drainT     = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain budget")
-	)
-	flag.Parse()
-	if *hierPath == "" {
-		flag.Usage()
-		os.Exit(2)
+	cfg, err := parseArgs(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatalf("kjoin-serve: invalid configuration:\n%v", err)
 	}
-	durable := *walDir != "" || *snapDir != ""
-	if durable && (*walDir == "" || *snapDir == "") {
-		log.Fatal("kjoin-serve: -wal-dir and -snapshot-dir must be set together")
-	}
-	if durable && *snapshot != "" {
-		log.Fatal("kjoin-serve: -snapshot and -snapshot-dir are mutually exclusive")
-	}
-	if *snapEvery > 0 && *snapshot == "" && !durable {
-		log.Fatal("kjoin-serve: -snapshot-interval requires -snapshot or -snapshot-dir")
-	}
-	var walPolicy wal.Policy
-	switch *walSync {
-	case "always":
-		walPolicy = wal.SyncAlways
-	case "none":
-		walPolicy = wal.SyncNone
-	default:
-		log.Fatalf("kjoin-serve: -wal-sync must be always or none, got %q", *walSync)
-	}
-	f, err := os.Open(*hierPath)
+	f, err := os.Open(cfg.hierPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,77 +92,72 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := core.Defaults(*delta, *tau)
-	opt.Plus = *plus
-	cfg := server.Config{
-		MaxBodyBytes:   *maxBody,
-		MaxInflight:    *maxInflt,
-		RequestTimeout: *reqTimeout,
+	opt := core.Defaults(cfg.delta, cfg.tau)
+	opt.Plus = cfg.plus
+	scfg := server.Config{
+		MaxBodyBytes:   cfg.maxBody,
+		MaxInflight:    cfg.maxInflt,
+		RequestTimeout: cfg.reqTimeout,
+		Seed:           jitterSeed(),
 		Logf:           log.Printf,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.follower() {
+		runFollower(ctx, cfg, h, opt, scfg)
+		return
+	}
+
 	var srv *server.Server
-	if durable {
+	switch {
+	case cfg.durable():
 		// The server comes up not-ready: the listener starts first so
 		// /readyz honestly reports "recovering" while the index is
 		// rebuilt from the snapshot generations and the WAL.
-		srv, err = server.NewRecovering(h, opt, cfg)
+		srv, err = server.NewRecovering(h, opt, scfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-	} else if *snapshot != "" {
-		sf, err := os.Open(*snapshot)
+	case cfg.snapshot != "":
+		sf, err := os.Open(cfg.snapshot)
 		switch {
 		case err == nil:
-			srv, err = server.NewFromSnapshotWithConfig(h, opt, cfg, sf)
+			srv, err = server.NewFromSnapshotWithConfig(h, opt, scfg, sf)
 			sf.Close()
 			if err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("kjoin-serve: restored snapshot %s", *snapshot)
+			log.Printf("kjoin-serve: restored snapshot %s", cfg.snapshot)
 		case errors.Is(err, os.ErrNotExist):
 			// First run: start empty, the file appears on first write.
-			srv, err = server.NewWithConfig(h, opt, cfg)
+			srv, err = server.NewWithConfig(h, opt, scfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 		default:
 			log.Fatal(err)
 		}
-	} else {
-		srv, err = server.NewWithConfig(h, opt, cfg)
+	default:
+		srv, err = server.NewWithConfig(h, opt, scfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	hs := &http.Server{
-		Addr:    *addr,
-		Handler: srv,
-		// Full timeout battery: slow-loris headers, stuck reads, stuck
-		// writes and idle keep-alives all get bounded. Read/write budgets
-		// leave headroom over the per-request deadline. Request contexts
-		// are deliberately NOT tied to the signal context — in-flight
-		// requests must be allowed to finish during the drain window.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       *reqTimeout + 30*time.Second,
-		WriteTimeout:      *reqTimeout + 30*time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-
+	hs := newHTTPServer(cfg, srv)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("kjoin-serve: hierarchy %d nodes, listening on %s", h.Len(), *addr)
+	log.Printf("kjoin-serve: hierarchy %d nodes, listening on %s", h.Len(), cfg.addr)
 
-	if durable {
+	if cfg.durable() {
 		if err := srv.Recover(server.Durability{
-			WALDir:      *walDir,
-			SnapshotDir: *snapDir,
-			Keep:        *snapKeep,
-			Policy:      walPolicy,
-			BatchWindow: *walBatch,
+			WALDir:      cfg.walDir,
+			SnapshotDir: cfg.snapDir,
+			Keep:        cfg.snapKeep,
+			Policy:      cfg.walPolicy(),
+			BatchWindow: cfg.walBatch,
 			Logf:        log.Printf,
 		}); err != nil {
 			log.Fatal(err)
@@ -197,13 +165,13 @@ func main() {
 		log.Printf("kjoin-serve: recovery complete, serving")
 	}
 
-	if *snapEvery > 0 {
-		write := func() error { return srv.SnapshotTo(*snapshot) }
-		if durable {
+	if cfg.snapEvery > 0 {
+		write := func() error { return srv.SnapshotTo(cfg.snapshot) }
+		if cfg.durable() {
 			write = srv.SnapshotGeneration
 		}
 		snap := &serverutil.Snapshotter{
-			Interval: *snapEvery,
+			Interval: cfg.snapEvery,
 			Write:    write,
 			// Per-process entropy: the jitter exists so a fleet of
 			// replicas does not retry in lockstep, which a fixed seed
@@ -221,32 +189,100 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop advertising readiness, drain in-flight
-	// requests within the budget, then persist a final snapshot.
-	log.Printf("kjoin-serve: shutting down (draining up to %v)", *drainT)
-	srv.SetDraining(true)
-	shCtx, cancel := context.WithTimeout(context.Background(), *drainT)
-	defer cancel()
-	if err := hs.Shutdown(shCtx); err != nil {
-		log.Printf("kjoin-serve: drain incomplete: %v", err)
-	}
+	drain(cfg, srv, hs)
 	switch {
-	case durable:
+	case cfg.durable():
 		// A failed final snapshot is not fatal here: every acknowledged
 		// add is already durable in the WAL and replays on next start.
 		if err := srv.SnapshotGeneration(); err != nil {
 			log.Printf("kjoin-serve: final snapshot failed (wal replay will cover it): %v", err)
 		} else {
-			log.Printf("kjoin-serve: final snapshot written to %s", *snapDir)
+			log.Printf("kjoin-serve: final snapshot written to %s", cfg.snapDir)
 		}
 		if err := srv.Close(); err != nil {
 			log.Printf("kjoin-serve: wal close: %v", err)
 		}
-	case *snapshot != "":
-		if err := srv.SnapshotTo(*snapshot); err != nil {
+	case cfg.snapshot != "":
+		if err := srv.SnapshotTo(cfg.snapshot); err != nil {
 			log.Printf("kjoin-serve: final snapshot failed: %v", err)
 			os.Exit(1)
 		}
-		log.Printf("kjoin-serve: final snapshot written to %s", *snapshot)
+		log.Printf("kjoin-serve: final snapshot written to %s", cfg.snapshot)
 	}
+}
+
+// newHTTPServer wraps srv with the full timeout battery: slow-loris
+// headers, stuck reads, stuck writes and idle keep-alives all get
+// bounded. Read/write budgets leave headroom over the per-request
+// deadline. Request contexts are deliberately NOT tied to the signal
+// context — in-flight requests must be allowed to finish during the
+// drain window.
+func newHTTPServer(cfg *serveConfig, srv *server.Server) *http.Server {
+	return &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.reqTimeout + 30*time.Second,
+		WriteTimeout:      cfg.reqTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// drain performs the graceful part of shutdown: stop advertising
+// readiness, then let in-flight requests finish within the budget.
+func drain(cfg *serveConfig, srv *server.Server, hs *http.Server) {
+	log.Printf("kjoin-serve: shutting down (draining up to %v)", cfg.drainT)
+	srv.SetDraining(true)
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.drainT)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("kjoin-serve: drain incomplete: %v", err)
+	}
+}
+
+// runFollower serves the read-replica mode: a replica server answering
+// queries behind the staleness gate, fed by a Follower tailing the
+// primary's WAL stream. The follower persists its progress as local
+// snapshot generations in cfg.replicaDir and writes a final one on
+// shutdown, so a restart resumes from its own state.
+func runFollower(ctx context.Context, cfg *serveConfig, h *hierarchy.Hierarchy, opt core.Options, scfg server.Config) {
+	srv, err := server.NewReplica(h, opt, scfg, server.ReplicaConfig{
+		Bound: cfg.stalenessBound,
+		Mode:  cfg.staleness(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := newHTTPServer(cfg, srv)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("kjoin-serve: replica of %s, listening on %s (staleness %v/%s)",
+		cfg.follow, cfg.addr, cfg.stalenessBound, cfg.stalenessMode)
+
+	fol := &replica.Follower{
+		Primary:  strings.TrimRight(cfg.follow, "/"),
+		Srv:      srv,
+		H:        h,
+		Opt:      opt,
+		Dir:      cfg.replicaDir,
+		PollWait: cfg.replicaPoll,
+		Seed:     jitterSeed(),
+		Logf:     log.Printf,
+	}
+	folDone := make(chan error, 1)
+	go func() { folDone <- fol.Run(ctx) }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	drain(cfg, srv, hs)
+	// Run persists a final local generation on cancellation; wait for it
+	// so the restart state is as fresh as possible.
+	if err := <-folDone; err != nil {
+		log.Printf("kjoin-serve: follower stopped: %v", err)
+	}
+	log.Printf("kjoin-serve: replica stopped at applied seq %d", srv.ReplicaAppliedSeq())
 }

@@ -1,0 +1,301 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file extends the fault package from disks to networks: a
+// deterministic faulty net.Conn and dialer for the replication layer's
+// chaos tests. The model mirrors the filesystem Injector — a scripted
+// schedule of failures keyed to the Nth occurrence of an operation —
+// so every run of a chaos test exercises exactly the same fault at
+// exactly the same protocol position.
+
+// NetOp selects the operation kind a NetFault targets.
+type NetOp uint8
+
+const (
+	// OpDial is a DialContext call.
+	OpDial NetOp = iota
+	// OpConnRead is a Conn.Read call.
+	OpConnRead
+	// OpConnWrite is a Conn.Write call.
+	OpConnWrite
+)
+
+func (o NetOp) String() string {
+	switch o {
+	case OpDial:
+		return "dial"
+	case OpConnRead:
+		return "conn-read"
+	case OpConnWrite:
+		return "conn-write"
+	}
+	return fmt.Sprintf("netop(%d)", uint8(o))
+}
+
+// NetMode is what happens when a NetFault fires.
+type NetMode uint8
+
+const (
+	// NetFail fails the operation with ErrInjected: a refused dial, a
+	// connection-reset read, a broken-pipe write.
+	NetFail NetMode = iota
+	// NetStall blocks the operation for Stall (or, when Stall is zero,
+	// until the connection is closed — e.g. by the caller's deadline),
+	// then proceeds. A dial stall with zero Stall blocks until the
+	// dial's context is done.
+	NetStall
+	// NetTruncate delivers only Keep bytes of a read or write, then
+	// closes the connection — the mid-frame cut a failing link leaves.
+	NetTruncate
+	// NetHangup closes the connection and fails the operation: the peer
+	// disconnected.
+	NetHangup
+)
+
+func (m NetMode) String() string {
+	switch m {
+	case NetFail:
+		return "fail"
+	case NetStall:
+		return "stall"
+	case NetTruncate:
+		return "truncate"
+	case NetHangup:
+		return "hangup"
+	}
+	return fmt.Sprintf("netmode(%d)", uint8(m))
+}
+
+// NetFault is one scripted network failure: the Nth occurrence
+// (1-based) of Op — counted among operations whose dial address
+// contains Addr, when Addr is non-empty — acts according to Mode.
+type NetFault struct {
+	Op   NetOp
+	N    int
+	Mode NetMode
+	// Addr, when non-empty, restricts the count to connections dialed to
+	// addresses containing it as a substring (one endpoint of several).
+	Addr string
+	// Keep is how many bytes a NetTruncate delivers before the cut.
+	Keep int
+	// Stall is how long a NetStall blocks (0 = until close/context).
+	Stall time.Duration
+
+	fired bool
+}
+
+// NetInjector wraps a dialer with a scripted network-fault schedule. It
+// is safe for concurrent use; operation counts are global across every
+// connection it has dialed, so a schedule addresses "the 3rd read this
+// process performs", which is deterministic for a single-threaded
+// client loop such as a replication follower.
+type NetInjector struct {
+	dial func(ctx context.Context, network, addr string) (net.Conn, error)
+
+	mu     sync.Mutex
+	counts map[NetOp]int // guarded by mu
+	script []NetFault    // guarded by mu
+	fired  int           // guarded by mu
+}
+
+// NewNetInjector returns an injector over dial (nil → net.Dialer)
+// executing the scripted faults in order of occurrence.
+func NewNetInjector(dial func(ctx context.Context, network, addr string) (net.Conn, error), script ...NetFault) *NetInjector {
+	if dial == nil {
+		d := &net.Dialer{}
+		dial = d.DialContext
+	}
+	return &NetInjector{
+		dial:   dial,
+		counts: make(map[NetOp]int),
+		script: append([]NetFault(nil), script...),
+	}
+}
+
+// Fired returns how many scripted faults have fired.
+func (in *NetInjector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Transport returns an http.Transport dialing through the injector.
+// Keep-alives are disabled so connection (and therefore operation)
+// counts do not depend on pool reuse timing.
+func (in *NetInjector) Transport() *http.Transport {
+	return &http.Transport{DialContext: in.DialContext, DisableKeepAlives: true}
+}
+
+// step accounts one operation and returns the fault to apply, if any.
+func (in *NetInjector) step(op NetOp, addr string) (NetFault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	n := in.counts[op]
+	for i := range in.script {
+		f := &in.script[i]
+		if f.fired || f.Op != op {
+			continue
+		}
+		if f.Addr != "" {
+			if !strings.Contains(addr, f.Addr) {
+				continue
+			}
+			// Addr-scoped faults keep their own count among matching ops.
+			f.N--
+			if f.N > 0 {
+				continue
+			}
+		} else if n != f.N {
+			continue
+		}
+		f.fired = true
+		in.fired++
+		return *f, true
+	}
+	return NetFault{}, false
+}
+
+// DialContext dials through the injector, applying any scripted dial
+// fault and wrapping the resulting connection so read/write faults can
+// fire on it.
+func (in *NetInjector) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	if f, hit := in.step(OpDial, addr); hit {
+		switch f.Mode {
+		case NetFail, NetTruncate, NetHangup:
+			return nil, fmt.Errorf("dial %s: %w", addr, ErrInjected)
+		case NetStall:
+			if f.Stall <= 0 {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			t := time.NewTimer(f.Stall)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-t.C:
+				// Stall elapsed; the dial then proceeds (a slow network,
+				// not a dead one).
+			}
+		}
+	}
+	c, err := in.dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: c, in: in, addr: addr, closed: make(chan struct{})}, nil
+}
+
+// faultConn applies scripted read/write faults to one connection.
+type faultConn struct {
+	net.Conn
+	in        *NetInjector
+	addr      string
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// Close implements net.Conn and releases any stalled operation.
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// stall blocks for d, or until the connection is closed.
+func (c *faultConn) stall(d time.Duration) error {
+	if d <= 0 {
+		<-c.closed
+		return fmt.Errorf("stall %s: %w", c.addr, net.ErrClosed)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return fmt.Errorf("stall %s: %w", c.addr, net.ErrClosed)
+	}
+}
+
+// Read implements net.Conn.
+func (c *faultConn) Read(p []byte) (int, error) {
+	f, hit := c.in.step(OpConnRead, c.addr)
+	if !hit {
+		return c.Conn.Read(p)
+	}
+	switch f.Mode {
+	case NetFail:
+		return 0, fmt.Errorf("read %s: %w", c.addr, ErrInjected)
+	case NetStall:
+		if err := c.stall(f.Stall); err != nil {
+			return 0, err
+		}
+		return c.Conn.Read(p)
+	case NetTruncate:
+		keep := f.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		var n int
+		var rerr error
+		if keep > 0 {
+			n, rerr = c.Conn.Read(p[:keep])
+		}
+		c.Close()
+		if rerr != nil {
+			return n, rerr
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("truncated read %s: %w", c.addr, ErrInjected)
+		}
+		// The delivered prefix is real; the cut surfaces on the next read
+		// of the now-closed connection.
+		return n, nil
+	case NetHangup:
+		c.Close()
+		return 0, fmt.Errorf("hangup %s: %w", c.addr, ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *faultConn) Write(p []byte) (int, error) {
+	f, hit := c.in.step(OpConnWrite, c.addr)
+	if !hit {
+		return c.Conn.Write(p)
+	}
+	switch f.Mode {
+	case NetFail:
+		return 0, fmt.Errorf("write %s: %w", c.addr, ErrInjected)
+	case NetStall:
+		if err := c.stall(f.Stall); err != nil {
+			return 0, err
+		}
+		return c.Conn.Write(p)
+	case NetTruncate:
+		keep := f.Keep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		var n int
+		if keep > 0 {
+			n, _ = c.Conn.Write(p[:keep])
+		}
+		c.Close()
+		return n, fmt.Errorf("truncated write %s (%d of %d bytes): %w", c.addr, n, len(p), ErrInjected)
+	case NetHangup:
+		c.Close()
+		return 0, fmt.Errorf("hangup %s: %w", c.addr, ErrInjected)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipeDialer returns a dialer whose every dial yields one end of a
+// fresh in-memory pipe; the other end echoes back whatever arrives,
+// prefixed with "echo:".
+func pipeDialer(t *testing.T) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	t.Helper()
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			buf := make([]byte, 1024)
+			for {
+				n, err := server.Read(buf)
+				if err != nil {
+					return
+				}
+				if _, err := server.Write(append([]byte("echo:"), buf[:n]...)); err != nil {
+					return
+				}
+			}
+		}()
+		return client, nil
+	}
+}
+
+func TestNetInjectorFailsNthOp(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t),
+		NetFault{Op: OpConnWrite, N: 2, Mode: NetFail},
+		NetFault{Op: OpConnRead, N: 3, Mode: NetHangup},
+	)
+	c, err := in.DialContext(context.Background(), "tcp", "primary:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 64)
+	// Write 1 and read 1 succeed.
+	if _, err := c.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	// Write 2 fires NetFail.
+	if _, err := c.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: want ErrInjected, got %v", err)
+	}
+	// Write 3 proceeds; reads 2 then 3 — the latter is the hangup.
+	if _, err := c.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read 2: %v", err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 3: want hangup ErrInjected, got %v", err)
+	}
+	// Hangup closed the conn: further reads fail too.
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after hangup succeeded")
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("fired %d faults, want 2", in.Fired())
+	}
+}
+
+func TestNetInjectorTruncateRead(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t), NetFault{Op: OpConnRead, N: 1, Mode: NetTruncate, Keep: 3})
+	c, err := in.DialContext(context.Background(), "tcp", "primary:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := c.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("truncated read: n=%d err=%v, want 3 bytes delivered", n, err)
+	}
+	if got := string(buf[:n]); got != "ech" {
+		t.Fatalf("truncated read delivered %q", got)
+	}
+	// The cut surfaces on the next operation: the conn is closed.
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after truncate succeeded")
+	}
+}
+
+func TestNetInjectorStallReleasedByClose(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t), NetFault{Op: OpConnRead, N: 1, Mode: NetStall}) // Stall 0 = until close
+	c, err := in.DialContext(context.Background(), "tcp", "primary:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 8))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("released stall: want net.ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read not released by Close")
+	}
+}
+
+func TestNetInjectorDialFaults(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t),
+		NetFault{Op: OpDial, N: 1, Mode: NetFail},
+		NetFault{Op: OpDial, N: 2, Mode: NetStall},
+	)
+	if _, err := in.DialContext(context.Background(), "tcp", "primary:1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial 1: want ErrInjected, got %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := in.DialContext(ctx, "tcp", "primary:1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled dial: want DeadlineExceeded, got %v", err)
+	}
+	c, err := in.DialContext(context.Background(), "tcp", "primary:1")
+	if err != nil {
+		t.Fatalf("dial 3 should be clean: %v", err)
+	}
+	c.Close()
+}
+
+func TestNetInjectorAddrScoping(t *testing.T) {
+	// The fault targets the 2nd dial of replica-b only; dials of other
+	// addresses do not advance its count.
+	in := NewNetInjector(pipeDialer(t), NetFault{Op: OpDial, N: 2, Mode: NetFail, Addr: "replica-b"})
+	for i, addr := range []string{"replica-b:1", "replica-a:1", "primary:1", "replica-b:1"} {
+		c, err := in.DialContext(context.Background(), "tcp", addr)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("dial %d (%s): want ErrInjected, got %v", i, addr, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("dial %d (%s): %v", i, addr, err)
+		}
+		c.Close()
+	}
+}
+
+// TestNetInjectorTransport proves the injector composes with a real
+// net/http round trip: the first request fails with the injected dial
+// fault, the retry succeeds.
+func TestNetInjectorTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	in := NewNetInjector(nil, NetFault{Op: OpDial, N: 1, Mode: NetFail})
+	client := &http.Client{Transport: in.Transport(), Timeout: 5 * time.Second}
+	if _, err := client.Get(ts.URL); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("first request: want injected dial failure, got %v", err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ok" {
+		t.Fatalf("second request body %q", b)
+	}
+}

@@ -1,0 +1,460 @@
+package replica
+
+// The replication chaos matrix: run a real primary and real followers
+// over deterministic faulty transports (drops, stalls, mid-frame
+// truncation, hangups), kill and restart followers, compact the primary
+// out from under them — and assert the replication contract holds:
+//
+//  1. every primary-acked add becomes query-visible on every live
+//     replica, with results bit-identical to the primary's,
+//  2. no unacknowledged or torn record is ever applied,
+//  3. a killed replica restarts from its own local snapshot (zero
+//     resyncs) and resumes the stream from its last applied sequence,
+//  4. primary compaction never strands a follower silently: the typed
+//     410 turns into exactly one snapshot resync and full catch-up.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/fault"
+	"kjoin/internal/paperdata"
+	"kjoin/internal/server"
+	"kjoin/internal/wal"
+)
+
+func testOpt() core.Options { return core.Defaults(0.7, 0.6) }
+
+// primaryHarness owns a durable primary and the record of what it has
+// acknowledged.
+type primaryHarness struct {
+	t     *testing.T
+	srv   *server.Server
+	ts    *httptest.Server
+	acked [][]string
+}
+
+func newPrimary(t *testing.T, keep int, fsys fault.FS) *primaryHarness {
+	t.Helper()
+	dir := t.TempDir()
+	h, _ := paperdata.Fig1()
+	s, err := server.Recover(h, testOpt(), server.Config{Logf: t.Logf}, server.Durability{
+		FS:          fsys,
+		WALDir:      filepath.Join(dir, "wal"),
+		SnapshotDir: filepath.Join(dir, "snap"),
+		Keep:        keep,
+		Policy:      wal.SyncAlways,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return &primaryHarness{t: t, srv: s, ts: ts}
+}
+
+// add posts one object; acked records it only on a 200.
+func (p *primaryHarness) add(tokens []string) bool {
+	p.t.Helper()
+	body, _ := json.Marshal(map[string]any{"tokens": tokens})
+	resp, err := http.Post(p.ts.URL+"/objects", "application/json", bytes.NewReader(body))
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	p.acked = append(p.acked, tokens)
+	return true
+}
+
+func (p *primaryHarness) mustAdd(tokens []string) {
+	p.t.Helper()
+	if !p.add(tokens) {
+		p.t.Fatalf("add of %v was not acknowledged", tokens)
+	}
+}
+
+// followerHandle is one running follower: its replica server, listener
+// and tail loop.
+type followerHandle struct {
+	t      *testing.T
+	srv    *server.Server
+	ts     *httptest.Server
+	f      *Follower
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// startFollower boots a follower over dir (restartable state) talking
+// to primaryURL through hc (nil → default transport).
+func startFollower(t *testing.T, primaryURL, dir string, hc *http.Client, rc server.ReplicaConfig) *followerHandle {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	srv, err := server.NewReplica(h, testOpt(), server.Config{Logf: t.Logf}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Follower{
+		Primary:        primaryURL,
+		Srv:            srv,
+		H:              h,
+		Opt:            testOpt(),
+		HTTP:           hc,
+		Dir:            dir,
+		SnapshotEvery:  4,
+		PollWait:       50 * time.Millisecond,
+		RequestTimeout: 700 * time.Millisecond,
+		BackoffMin:     time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+		Seed:           7,
+		Logf:           t.Logf,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if rerr := f.Run(ctx); rerr != nil {
+			t.Errorf("follower run: %v", rerr)
+		}
+	}()
+	ts := httptest.NewServer(srv)
+	fh := &followerHandle{t: t, srv: srv, ts: ts, f: f, cancel: cancel, done: done}
+	t.Cleanup(fh.stop)
+	return fh
+}
+
+// stop cancels the tail loop and waits for it (idempotent).
+func (fh *followerHandle) stop() {
+	fh.cancel()
+	select {
+	case <-fh.done:
+	case <-time.After(10 * time.Second):
+		fh.t.Error("follower did not stop on cancel")
+	}
+	fh.ts.Close()
+}
+
+// waitUntil polls cond for up to 15s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitCaughtUp waits until the follower has applied through seq and its
+// readiness probe answers 200.
+func waitCaughtUp(t *testing.T, fh *followerHandle, seq uint64) {
+	t.Helper()
+	waitUntil(t, fmt.Sprintf("replica to apply through seq %d", seq), func() bool {
+		if fh.srv.ReplicaAppliedSeq() < seq {
+			return false
+		}
+		resp, err := http.Get(fh.ts.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+}
+
+// queryHTTP runs POST /query against a base URL and returns the matches.
+func queryHTTP(t *testing.T, url string, tokens []string) []Match {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"tokens": tokens})
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query at %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	var out struct {
+		Matches []Match `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Matches
+}
+
+// assertBitIdentical queries every workload object on the primary and
+// each replica and requires byte-for-byte identical answers (float
+// similarity compared by bit pattern, not tolerance).
+func assertBitIdentical(t *testing.T, primaryURL string, replicaURLs ...string) {
+	t.Helper()
+	for qi, q := range paperdata.Table1() {
+		want := queryHTTP(t, primaryURL, q)
+		for _, ru := range replicaURLs {
+			got := queryHTTP(t, ru, q)
+			if len(got) != len(want) {
+				t.Fatalf("query %d: replica %s returned %d matches, primary %d", qi, ru, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index ||
+					math.Float64bits(got[i].Sim) != math.Float64bits(want[i].Sim) {
+					t.Fatalf("query %d match %d: replica %s returned %+v, primary %+v", qi, i, ru, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// generousBound keeps the staleness gate out of convergence tests.
+func generousBound() server.ReplicaConfig {
+	return server.ReplicaConfig{Bound: time.Minute}
+}
+
+// TestReplicaChaosMatrix runs the same workload under a matrix of
+// injected transport faults and requires full, bit-identical
+// convergence every time.
+func TestReplicaChaosMatrix(t *testing.T) {
+	objs := paperdata.Table1()
+	cases := []struct {
+		name   string
+		script []fault.NetFault
+	}{
+		{"clean", nil},
+		{"drop-dial", []fault.NetFault{
+			{Op: fault.OpDial, N: 2, Mode: fault.NetFail},
+			{Op: fault.OpDial, N: 5, Mode: fault.NetFail},
+		}},
+		{"stall-read", []fault.NetFault{
+			{Op: fault.OpConnRead, N: 3, Mode: fault.NetStall}, // blocks until the deadline cuts the conn
+		}},
+		{"truncate-read-mid-frame", []fault.NetFault{
+			{Op: fault.OpConnRead, N: 2, Mode: fault.NetTruncate, Keep: 9},
+			{Op: fault.OpConnRead, N: 5, Mode: fault.NetTruncate, Keep: 3},
+		}},
+		{"hangup-write", []fault.NetFault{
+			{Op: fault.OpConnWrite, N: 2, Mode: fault.NetHangup},
+			{Op: fault.OpConnWrite, N: 6, Mode: fault.NetHangup},
+		}},
+		{"combined", []fault.NetFault{
+			{Op: fault.OpDial, N: 3, Mode: fault.NetFail},
+			{Op: fault.OpConnRead, N: 5, Mode: fault.NetTruncate, Keep: 5},
+			{Op: fault.OpConnWrite, N: 4, Mode: fault.NetHangup},
+			{Op: fault.OpConnRead, N: 11, Mode: fault.NetStall},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			p := newPrimary(t, 0, nil)
+			// Half the workload lands before the follower exists (streamed
+			// catch-up from seq 1), half while it is tailing live.
+			for _, o := range objs[:len(objs)/2] {
+				p.mustAdd(o)
+			}
+			inj := fault.NewNetInjector(nil, tc.script...)
+			hc := &http.Client{Transport: inj.Transport()}
+			fh := startFollower(t, p.ts.URL, t.TempDir(), hc, generousBound())
+			for _, o := range objs[len(objs)/2:] {
+				p.mustAdd(o)
+			}
+			waitCaughtUp(t, fh, uint64(len(p.acked)))
+			if got := fh.srv.ReplicaAppliedSeq(); got != uint64(len(p.acked)) {
+				t.Fatalf("replica applied seq %d, want %d", got, len(p.acked))
+			}
+			assertBitIdentical(t, p.ts.URL, fh.ts.URL)
+			if tc.script != nil && inj.Fired() == 0 {
+				t.Fatal("no scripted fault fired; the case tested nothing")
+			}
+		})
+	}
+}
+
+// TestEveryAckedAddVisibleOnEveryLiveReplica runs two followers — one
+// clean, one through a faulty transport — and requires both to converge
+// to bit-identical answers.
+func TestEveryAckedAddVisibleOnEveryLiveReplica(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	inj := fault.NewNetInjector(nil,
+		fault.NetFault{Op: fault.OpConnRead, N: 3, Mode: fault.NetTruncate, Keep: 7},
+		fault.NetFault{Op: fault.OpDial, N: 4, Mode: fault.NetFail},
+	)
+	faulty := startFollower(t, p.ts.URL, t.TempDir(), &http.Client{Transport: inj.Transport()}, generousBound())
+	clean := startFollower(t, p.ts.URL, t.TempDir(), nil, generousBound())
+	for _, o := range paperdata.Table1() {
+		p.mustAdd(o)
+	}
+	want := uint64(len(p.acked))
+	waitCaughtUp(t, faulty, want)
+	waitCaughtUp(t, clean, want)
+	assertBitIdentical(t, p.ts.URL, faulty.ts.URL, clean.ts.URL)
+}
+
+// TestReplicaKillRestartResumesFromLocalSnapshot kills a caught-up
+// follower and restarts it over the same directory: it must bootstrap
+// from its own local generation and resume the stream — zero snapshot
+// resyncs — then catch up with records added while it was down.
+func TestReplicaKillRestartResumesFromLocalSnapshot(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	dir := t.TempDir()
+	objs := paperdata.Table1()
+	for _, o := range objs {
+		p.mustAdd(o)
+	}
+	fh := startFollower(t, p.ts.URL, dir, nil, generousBound())
+	waitCaughtUp(t, fh, uint64(len(p.acked)))
+	fh.stop() // clean kill: Run persists a final local generation
+
+	// The primary moves on while the replica is down.
+	for _, o := range objs[:3] {
+		p.mustAdd(o)
+	}
+	fh2 := startFollower(t, p.ts.URL, dir, nil, generousBound())
+	waitCaughtUp(t, fh2, uint64(len(p.acked)))
+	if src := fh2.f.BootSource(); src != "local" {
+		t.Fatalf("restarted follower bootstrapped from %q, want local", src)
+	}
+	if n := fh2.f.Resyncs(); n != 0 {
+		t.Fatalf("restarted follower performed %d snapshot resyncs, want 0 (stream resume)", n)
+	}
+	assertBitIdentical(t, p.ts.URL, fh2.ts.URL)
+}
+
+// TestPrimaryCompactionNeverStrandsFollowerSilently compacts the
+// primary's WAL past a downed follower's position. On restart the
+// follower must hit the loud 410 path, resync from a primary snapshot
+// exactly once, and fully catch up.
+func TestPrimaryCompactionNeverStrandsFollowerSilently(t *testing.T) {
+	p := newPrimary(t, 1, nil) // keep=1: each snapshot floors the WAL at its seq
+	dir := t.TempDir()
+	objs := paperdata.Table1()
+	for _, o := range objs[:4] {
+		p.mustAdd(o)
+	}
+	fh := startFollower(t, p.ts.URL, dir, nil, generousBound())
+	waitCaughtUp(t, fh, uint64(len(p.acked)))
+	fh.stop()
+
+	// While the follower is down: more adds, then a snapshot that
+	// compacts the log past everything — including the records the
+	// follower would need to resume.
+	for _, o := range objs[4:] {
+		p.mustAdd(o)
+	}
+	if err := p.srv.SnapshotGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs[:2] {
+		p.mustAdd(o)
+	}
+	if err := p.srv.SnapshotGeneration(); err != nil {
+		t.Fatal(err)
+	}
+
+	fh2 := startFollower(t, p.ts.URL, dir, nil, generousBound())
+	waitCaughtUp(t, fh2, uint64(len(p.acked)))
+	if src := fh2.f.BootSource(); src != "local" {
+		t.Fatalf("restarted follower bootstrapped from %q, want local", src)
+	}
+	if n := fh2.f.Resyncs(); n != 1 {
+		t.Fatalf("follower performed %d snapshot resyncs, want exactly 1 (the 410 fallback)", n)
+	}
+	assertBitIdentical(t, p.ts.URL, fh2.ts.URL)
+}
+
+// TestUnackedRecordNeverAppliedOnReplica poisons the primary's WAL so
+// an add is refused, and requires that the refused add never becomes
+// visible on the replica: the stream only ever ships what an
+// acknowledgment could have been issued for.
+func TestUnackedRecordNeverAppliedOnReplica(t *testing.T) {
+	// The third WAL fsync fails: adds 1 and 2 are acked, add 3 refused.
+	inj := fault.NewInjector(fault.OS{},
+		fault.Fault{Op: fault.OpSync, Path: "wal", N: 3, Mode: fault.Fail})
+	p := newPrimary(t, 0, inj)
+	fh := startFollower(t, p.ts.URL, t.TempDir(), nil, generousBound())
+	objs := paperdata.Table1()
+	p.mustAdd(objs[0])
+	p.mustAdd(objs[1])
+	if p.add(objs[2]) {
+		t.Fatal("add during injected fsync failure was acknowledged")
+	}
+	waitCaughtUp(t, fh, 2)
+	// Give the follower time to (wrongly) apply anything extra.
+	time.Sleep(200 * time.Millisecond)
+	if got := fh.srv.ReplicaAppliedSeq(); got != 2 {
+		t.Fatalf("replica applied seq %d, want 2 (unacked record leaked)", got)
+	}
+	resp, err := http.Get(fh.ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["objects"] != float64(2) {
+		t.Fatalf("replica serves %v objects, want 2 — the unacked add must never appear", stats["objects"])
+	}
+}
+
+// TestStalenessGateRejectsWhenPrimaryDies proves the bounded-staleness
+// contract end to end: a caught-up replica serves, and once the primary
+// is unreachable longer than the bound, reject-mode queries answer 503
+// stale_replica instead of silently serving old data.
+func TestStalenessGateRejectsWhenPrimaryDies(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	for _, o := range paperdata.Table1()[:3] {
+		p.mustAdd(o)
+	}
+	fh := startFollower(t, p.ts.URL, t.TempDir(), nil,
+		server.ReplicaConfig{Bound: 150 * time.Millisecond, Mode: server.StaleReject})
+	waitCaughtUp(t, fh, uint64(len(p.acked)))
+	q, _ := json.Marshal(map[string]any{"tokens": paperdata.Table1()[0]})
+	resp, err := http.Post(fh.ts.URL+"/query", "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("caught-up replica rejected a fresh read: status %d", resp.StatusCode)
+	}
+	p.ts.Close() // the primary vanishes; polls start failing
+	waitUntil(t, "staleness gate to reject", func() bool {
+		resp, err := http.Post(fh.ts.URL+"/query", "application/json", bytes.NewReader(q))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			return false
+		}
+		var eb struct {
+			Code string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			return false
+		}
+		return eb.Code == "stale_replica"
+	})
+}

@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"kjoin/internal/rng"
+)
+
+// Match is one similarity-query result.
+type Match struct {
+	Index int     `json:"index"`
+	Sim   float64 `json:"sim"`
+}
+
+// Result is a fail-over query's answer plus where it came from.
+type Result struct {
+	Matches []Match
+	// Endpoint is the base URL that answered.
+	Endpoint string
+	// LagMS is the answering replica's advertised staleness in
+	// milliseconds; -1 when unknown (e.g. the primary answered).
+	LagMS int64
+}
+
+// Client routes similarity queries across a primary and its read
+// replicas: each attempt gets its own deadline, replicas are tried in
+// rotating order with jittered backoff between endpoints, and a replica
+// try that fails or dawdles is hedged with a concurrent request to the
+// primary — the read stays fast even while a replica is down, stalled
+// or too stale to serve.
+type Client struct {
+	// Primary is the primary's base URL (required; last resort for reads
+	// and the hedge target).
+	Primary string
+	// Replicas are the read replicas' base URLs (may be empty — then
+	// every read goes straight to the primary).
+	Replicas []string
+	// HTTP is the transport (nil → http.DefaultClient).
+	HTTP *http.Client
+	// TryTimeout bounds one endpoint attempt, hedge included (default 2s).
+	TryTimeout time.Duration
+	// HedgeDelay is how long a replica attempt may run before a
+	// concurrent hedge request is sent to the primary (default
+	// TryTimeout/4). The first success wins.
+	HedgeDelay time.Duration
+	// BackoffMin/BackoffMax bound the jittered pause between endpoint
+	// attempts within one Query call (defaults 10ms / 250ms).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed makes rotation and jitter deterministic (default 1).
+	Seed uint64
+
+	mu   sync.Mutex
+	r    *rng.RNG // guarded by mu
+	next int      // guarded by mu; round-robin start offset
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) tryTimeout() time.Duration {
+	if c.TryTimeout > 0 {
+		return c.TryTimeout
+	}
+	return 2 * time.Second
+}
+
+func (c *Client) hedgeDelay() time.Duration {
+	if c.HedgeDelay > 0 {
+		return c.HedgeDelay
+	}
+	return c.tryTimeout() / 4
+}
+
+// order returns this call's endpoint sequence: replicas rotated by a
+// round-robin counter (so load spreads across them), primary last.
+func (c *Client) order() []string {
+	c.mu.Lock()
+	start := c.next
+	if len(c.Replicas) > 0 {
+		c.next = (c.next + 1) % len(c.Replicas)
+	}
+	c.mu.Unlock()
+	eps := make([]string, 0, len(c.Replicas)+1)
+	for i := range c.Replicas {
+		eps = append(eps, c.Replicas[(start+i)%len(c.Replicas)])
+	}
+	return append(eps, c.Primary)
+}
+
+// jitter returns a deterministic pause in [min, max].
+func (c *Client) jitter(min, max time.Duration) time.Duration {
+	if min <= 0 {
+		min = 10 * time.Millisecond
+	}
+	if max < min {
+		max = 250 * time.Millisecond
+		if max < min {
+			max = min
+		}
+	}
+	c.mu.Lock()
+	if c.r == nil {
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.r = rng.New(seed)
+	}
+	d := min + time.Duration(c.r.Float64()*float64(max-min))
+	c.mu.Unlock()
+	return d
+}
+
+// Query runs one similarity query with fail-over: every endpoint gets a
+// bounded attempt (replica attempts hedged to the primary), and the
+// first success anywhere is the answer. It returns the last error only
+// after every endpoint has failed.
+func (c *Client) Query(ctx context.Context, tokens []string) (*Result, error) {
+	if c.Primary == "" {
+		return nil, errors.New("replica: client has no primary endpoint")
+	}
+	var lastErr error
+	for i, ep := range c.order() {
+		if i > 0 {
+			t := time.NewTimer(c.jitter(c.BackoffMin, c.BackoffMax))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		res, err := c.tryHedged(ctx, ep, tokens)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("replica: every endpoint failed: %w", lastErr)
+}
+
+// tryHedged attempts one endpoint under the per-try deadline. When the
+// endpoint is a replica, a hedge request to the primary launches after
+// HedgeDelay (or immediately when the replica errors out fast); the
+// first success wins and the loser is cancelled with the shared try
+// context.
+func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Result, error) {
+	tctx, cancel := context.WithTimeout(ctx, c.tryTimeout())
+	defer cancel()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 2)
+	launch := func(target string) {
+		go func() {
+			res, err := c.try(tctx, target, tokens)
+			ch <- outcome{res, err}
+		}()
+	}
+	launch(ep)
+	pending := 1
+	hedged := ep == c.Primary // nothing to hedge with when ep is the primary
+	var timer *time.Timer
+	var hedgeC <-chan time.Time
+	if !hedged {
+		timer = time.NewTimer(c.hedgeDelay())
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	var lastErr error
+	for pending > 0 {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				return out.res, nil
+			}
+			lastErr = out.err
+			if !hedged {
+				// The replica failed outright; hedge immediately rather than
+				// waiting out the delay.
+				hedged = true
+				launch(c.Primary)
+				pending++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !hedged {
+				hedged = true
+				launch(c.Primary)
+				pending++
+			}
+		case <-tctx.Done():
+			if lastErr == nil {
+				lastErr = tctx.Err()
+			}
+			return nil, fmt.Errorf("replica: try %s: %w", ep, lastErr)
+		}
+	}
+	return nil, fmt.Errorf("replica: try %s: %w", ep, lastErr)
+}
+
+// try runs one POST /query against one endpoint.
+func (c *Client) try(ctx context.Context, ep string, tokens []string) (*Result, error) {
+	body, err := json.Marshal(map[string]any{"tokens": tokens})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: %s answered %d", ep, resp.StatusCode)
+	}
+	var out struct {
+		Matches []Match `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("replica: %s: bad response body: %w", ep, err)
+	}
+	lag := int64(-1)
+	if h := resp.Header.Get("X-Kjoin-Replica-Lag-Ms"); h != "" {
+		if ms, perr := strconv.ParseInt(h, 10, 64); perr == nil {
+			lag = ms
+		}
+	}
+	return &Result{Matches: out.Matches, Endpoint: ep, LagMS: lag}, nil
+}

@@ -1,0 +1,180 @@
+package replica
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kjoin/internal/paperdata"
+	"kjoin/internal/server"
+)
+
+// deadEndpoint returns a URL nothing listens on.
+func deadEndpoint(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	return url
+}
+
+// stalledEndpoint serves /query by hanging until the client gives up.
+// The body must be drained first: net/http only watches for a client
+// disconnect (and cancels r.Context()) once the request body hits EOF.
+func stalledEndpoint(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// assertSameMatches requires res to be bit-identical to want.
+func assertSameMatches(t *testing.T, res *Result, want []Match) {
+	t.Helper()
+	if len(res.Matches) != len(want) {
+		t.Fatalf("client returned %d matches from %s, want %d", len(res.Matches), res.Endpoint, len(want))
+	}
+	for i := range want {
+		if res.Matches[i].Index != want[i].Index ||
+			math.Float64bits(res.Matches[i].Sim) != math.Float64bits(want[i].Sim) {
+			t.Fatalf("match %d from %s: got %+v, want %+v", i, res.Endpoint, res.Matches[i], want[i])
+		}
+	}
+}
+
+// TestClientFailsOverWhileAnyReplicaIsDownOrStalled routes reads
+// through a fleet where one replica is dead and one is stalled: every
+// query must still return the primary's exact answer within the per-try
+// deadline budget.
+func TestClientFailsOverWhileAnyReplicaIsDownOrStalled(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	for _, o := range paperdata.Table1() {
+		p.mustAdd(o)
+	}
+	live := startFollower(t, p.ts.URL, t.TempDir(), nil, generousBound())
+	waitCaughtUp(t, live, uint64(len(p.acked)))
+	c := &Client{
+		Primary:    p.ts.URL,
+		Replicas:   []string{deadEndpoint(t), stalledEndpoint(t), live.ts.URL},
+		TryTimeout: 800 * time.Millisecond,
+		HedgeDelay: 50 * time.Millisecond,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+		Seed:       3,
+	}
+	// Budget: three endpoints (one dead → fast hedge, one stalled →
+	// hedge at 50ms, one live) plus backoffs; each query must land well
+	// inside a few try timeouts.
+	for qi, q := range paperdata.Table1() {
+		want := queryHTTP(t, p.ts.URL, q)
+		start := time.Now()
+		res, err := c.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if elapsed := time.Since(start); elapsed > 3*c.TryTimeout {
+			t.Fatalf("query %d took %v, want under %v", qi, elapsed, 3*c.TryTimeout)
+		}
+		assertSameMatches(t, res, want)
+	}
+}
+
+// TestClientHedgesStalledReplicaToPrimary proves the hedge: with the
+// only replica stalled, the answer comes from the primary at roughly
+// the hedge delay — not after the full try timeout.
+func TestClientHedgesStalledReplicaToPrimary(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	for _, o := range paperdata.Table1()[:4] {
+		p.mustAdd(o)
+	}
+	c := &Client{
+		Primary:    p.ts.URL,
+		Replicas:   []string{stalledEndpoint(t)},
+		TryTimeout: 5 * time.Second,
+		HedgeDelay: 50 * time.Millisecond,
+		Seed:       3,
+	}
+	q := paperdata.Table1()[0]
+	want := queryHTTP(t, p.ts.URL, q)
+	start := time.Now()
+	res, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if res.Endpoint != p.ts.URL {
+		t.Fatalf("answer came from %s, want the hedged primary %s", res.Endpoint, p.ts.URL)
+	}
+	if elapsed >= c.TryTimeout {
+		t.Fatalf("hedged query took %v — it waited out the stalled replica instead of hedging", elapsed)
+	}
+	assertSameMatches(t, res, want)
+}
+
+// TestClientReportsReplicaLagInMarkMode: a mark-mode replica serves
+// with the lag header, and the client surfaces it.
+func TestClientReportsReplicaLagInMarkMode(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	for _, o := range paperdata.Table1()[:4] {
+		p.mustAdd(o)
+	}
+	fh := startFollower(t, p.ts.URL, t.TempDir(), nil,
+		server.ReplicaConfig{Bound: time.Minute, Mode: server.StaleMark})
+	waitCaughtUp(t, fh, uint64(len(p.acked)))
+	c := &Client{Primary: p.ts.URL, Replicas: []string{fh.ts.URL}, Seed: 3}
+	res, err := c.Query(context.Background(), paperdata.Table1()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Endpoint != fh.ts.URL {
+		t.Fatalf("answer came from %s, want the healthy replica %s", res.Endpoint, fh.ts.URL)
+	}
+	if res.LagMS < 0 {
+		t.Fatalf("LagMS = %d, want the replica's advertised staleness", res.LagMS)
+	}
+}
+
+// TestClientAllEndpointsDown: the client reports failure rather than
+// hanging once every endpoint is unreachable.
+func TestClientAllEndpointsDown(t *testing.T) {
+	c := &Client{
+		Primary:    deadEndpoint(t),
+		Replicas:   []string{deadEndpoint(t)},
+		TryTimeout: 300 * time.Millisecond,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+		Seed:       3,
+	}
+	_, err := c.Query(context.Background(), paperdata.Table1()[0])
+	if err == nil || !strings.Contains(err.Error(), "every endpoint failed") {
+		t.Fatalf("err = %v, want every-endpoint failure", err)
+	}
+}
+
+// TestClientHonorsCallerContext: a cancelled caller context aborts the
+// fail-over sweep immediately.
+func TestClientHonorsCallerContext(t *testing.T) {
+	c := &Client{
+		Primary:    stalledEndpoint(t),
+		TryTimeout: 30 * time.Second,
+		Seed:       3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, paperdata.Table1()[0])
+	if err == nil {
+		t.Fatal("query against a stalled primary succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled query returned after %v, want promptly", elapsed)
+	}
+}

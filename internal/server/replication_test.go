@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/fault"
+	"kjoin/internal/paperdata"
+	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
+)
+
+// newDurablePrimary boots a durable primary in a temp dir and returns
+// the server plus its test listener. keep <= 0 selects the default
+// generation retention.
+func newDurablePrimary(t *testing.T, keep int) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	h, _ := paperdata.Fig1()
+	s, err := Recover(h, core.Defaults(0.7, 0.6), Config{Logf: t.Logf}, Durability{
+		WALDir:      filepath.Join(dir, "wal"),
+		SnapshotDir: filepath.Join(dir, "snap"),
+		Keep:        keep,
+		Policy:      wal.SyncAlways,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func addObject(t *testing.T, url string, tokens []string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"tokens": tokens})
+	resp, err := http.Post(url+"/objects", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: status %d", resp.StatusCode)
+	}
+}
+
+func errCode(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var eb serverutil.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return eb.Code
+}
+
+func TestWALStreamServesDurableFrames(t *testing.T) {
+	_, ts := newDurablePrimary(t, 0)
+	objs := paperdata.Table1()
+	for _, o := range objs[:4] {
+		addObject(t, ts.URL, o)
+	}
+	resp, err := http.Get(ts.URL + "/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderDurableSeq); got != "4" {
+		t.Fatalf("durable header %q, want 4", got)
+	}
+	dec := wal.NewStreamDecoder(resp.Body)
+	var seqs []uint64
+	for {
+		seq, tokens, derr := dec.Next()
+		if errors.Is(derr, io.EOF) {
+			break
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if len(tokens) != len(objs[seq-1]) {
+			t.Fatalf("seq %d carried %d tokens, want %d", seq, len(tokens), len(objs[seq-1]))
+		}
+		seqs = append(seqs, seq)
+	}
+	if len(seqs) != 4 || seqs[0] != 1 || seqs[3] != 4 {
+		t.Fatalf("streamed seqs %v, want 1..4", seqs)
+	}
+}
+
+func TestWALStreamRejectsBadParams(t *testing.T) {
+	_, ts := newDurablePrimary(t, 0)
+	for _, tc := range []struct{ query, code string }{
+		{"", "bad_from"},
+		{"?from=0", "bad_from"},
+		{"?from=abc", "bad_from"},
+		{"?from=1&wait=banana", "bad_wait"},
+		{"?from=1&wait=-5s", "bad_wait"},
+	} {
+		resp, err := http.Get(ts.URL + "/wal/stream" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := errCode(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || code != tc.code {
+			t.Errorf("%q: status %d code %q, want 400 %s", tc.query, resp.StatusCode, code, tc.code)
+		}
+	}
+}
+
+func TestWALStreamWithoutDurability(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	s, err := New(h, core.Defaults(0.7, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := errCode(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || code != "replication_unavailable" {
+		t.Fatalf("status %d code %q, want 503 replication_unavailable", resp.StatusCode, code)
+	}
+}
+
+// TestWALStreamCompactionGone proves a follower is never silently
+// stranded: once compaction deletes the records it needs, the stream
+// answers 410 with the floor, and reading from the floor works.
+func TestWALStreamCompactionGone(t *testing.T) {
+	s, ts := newDurablePrimary(t, 1)
+	for _, o := range paperdata.Table1() {
+		addObject(t, ts.URL, o)
+	}
+	// With a single retained generation, each snapshot floors the WAL at
+	// the sequence it covers.
+	if err := s.SnapshotGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range paperdata.Table1() {
+		addObject(t, ts.URL, o)
+	}
+	if err := s.SnapshotGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/wal/stream?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorHdr := resp.Header.Get(HeaderWALFloor)
+	code := errCode(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || code != "wal_compacted" {
+		t.Fatalf("status %d code %q, want 410 wal_compacted", resp.StatusCode, code)
+	}
+	floor, err := strconv.ParseUint(floorHdr, 10, 64)
+	if err != nil || floor <= 1 {
+		t.Fatalf("floor header %q, want a sequence past 1", floorHdr)
+	}
+	// At the advertised floor the stream serves again (possibly empty).
+	resp, err = http.Get(fmt.Sprintf("%s/wal/stream?from=%d", ts.URL, floor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read from advertised floor %d: status %d", floor, resp.StatusCode)
+	}
+}
+
+// TestWALStreamLongPollDeliversNewRecord starts a wait-ing stream
+// request with nothing to serve, then adds an object; the poll must
+// return it well before the wait expires.
+func TestWALStreamLongPollDeliversNewRecord(t *testing.T) {
+	_, ts := newDurablePrimary(t, 0)
+	addObject(t, ts.URL, paperdata.Table1()[0])
+	type result struct {
+		seqs []uint64
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/wal/stream?from=2&wait=10s")
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		dec := wal.NewStreamDecoder(resp.Body)
+		var seqs []uint64
+		for {
+			seq, _, derr := dec.Next()
+			if errors.Is(derr, io.EOF) {
+				ch <- result{seqs: seqs}
+				return
+			}
+			if derr != nil {
+				ch <- result{err: derr}
+				return
+			}
+			seqs = append(seqs, seq)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	addObject(t, ts.URL, paperdata.Table1()[1])
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.seqs) != 1 || res.seqs[0] != 2 {
+			t.Fatalf("long poll delivered %v, want [2]", res.seqs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll did not return after a record became available")
+	}
+}
+
+func TestReplicaSnapshotEndpointRoundTrips(t *testing.T) {
+	_, ts := newDurablePrimary(t, 0)
+	for _, o := range paperdata.Table1() {
+		addObject(t, ts.URL, o)
+	}
+	resp, err := http.Get(ts.URL + "/replica/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	n := len(paperdata.Table1())
+	if got := resp.Header.Get(HeaderDurableSeq); got != strconv.Itoa(n) {
+		t.Fatalf("durable header %q, want %d", got, n)
+	}
+	h, _ := paperdata.Fig1()
+	ix, meta, err := core.LoadIndexerMeta(h, core.Defaults(0.7, 0.6), resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != n || meta.WALSeq != uint64(n) {
+		t.Fatalf("snapshot has %d objects at seq %d, want %d at %d", ix.Len(), meta.WALSeq, n, n)
+	}
+}
+
+// TestReplicaServerIsReadOnly proves a follower rejects writes and
+// gates queries until its first catch-up.
+func TestReplicaServerIsReadOnly(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	s, err := NewReplica(h, core.Defaults(0.7, 0.6), Config{}, ReplicaConfig{Bound: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body, _ := json.Marshal(map[string]any{"tokens": []string{"burgerking"}})
+	resp, err := http.Post(ts.URL+"/objects", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := errCode(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden || code != "read_only_replica" {
+		t.Fatalf("add on replica: status %d code %q, want 403 read_only_replica", resp.StatusCode, code)
+	}
+	// Not ready (never caught up): queries and readyz answer 503.
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = errCode(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || code != "recovering" {
+		t.Fatalf("query before catch-up: status %d code %q", resp.StatusCode, code)
+	}
+	// After catch-up the replica serves.
+	s.MarkReplicaCaughtUp(time.Now())
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	lagHdr := resp.Header.Get(HeaderReplicaLag)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after catch-up: status %d", resp.StatusCode)
+	}
+	if lagHdr == "" || lagHdr == "-1" {
+		t.Fatalf("lag header %q, want a non-negative millisecond count", lagHdr)
+	}
+}
+
+// TestReplicaStalenessGate proves both staleness modes: reject answers
+// 503 once the bound is exceeded, mark serves with the lag header.
+func TestReplicaStalenessGate(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	body, _ := json.Marshal(map[string]any{"tokens": []string{"burgerking"}})
+	for _, mode := range []StalenessMode{StaleReject, StaleMark} {
+		s, err := NewReplica(h, core.Defaults(0.7, 0.6), Config{}, ReplicaConfig{Bound: 10 * time.Millisecond, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		// Caught up far in the past: lag is way over the 10ms bound.
+		s.MarkReplicaCaughtUp(time.Now().Add(-time.Second))
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lagHdr := resp.Header.Get(HeaderReplicaLag)
+		if mode == StaleReject {
+			code := errCode(t, resp)
+			if resp.StatusCode != http.StatusServiceUnavailable || code != "stale_replica" {
+				t.Fatalf("reject mode: status %d code %q, want 503 stale_replica", resp.StatusCode, code)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("mark mode: status %d, want 200", resp.StatusCode)
+			}
+		}
+		resp.Body.Close()
+		if ms, perr := strconv.ParseInt(lagHdr, 10, 64); perr != nil || ms < 1000 {
+			t.Fatalf("lag header %q, want >= 1000ms", lagHdr)
+		}
+		ts.Close()
+	}
+}
+
+func TestReplicaStatsFields(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	s, err := NewReplica(h, core.Defaults(0.7, 0.6), Config{}, ReplicaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	stats := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := stats()
+	if m["replica_lag"] != float64(-1) || m["replica_healthy"] != false || m["replica_applied_seq"] != float64(0) {
+		t.Fatalf("fresh replica stats: lag=%v healthy=%v applied=%v", m["replica_lag"], m["replica_healthy"], m["replica_applied_seq"])
+	}
+	if err := s.ApplyReplicated(1, []string{"burgerking"}); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkReplicaCaughtUp(time.Now())
+	m = stats()
+	lag, ok := m["replica_lag"].(float64)
+	if !ok || lag < 0 {
+		t.Fatalf("caught-up replica_lag = %v, want >= 0", m["replica_lag"])
+	}
+	if m["replica_healthy"] != true || m["replica_applied_seq"] != float64(1) {
+		t.Fatalf("caught-up stats: healthy=%v applied=%v", m["replica_healthy"], m["replica_applied_seq"])
+	}
+	if m["objects"] != float64(1) {
+		t.Fatalf("objects = %v, want 1", m["objects"])
+	}
+}
+
+// TestApplyReplicatedEnforcesContiguity: a gap means lost records and
+// must refuse, exactly like recovery replay.
+func TestApplyReplicatedEnforcesContiguity(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	s, err := NewReplica(h, core.Defaults(0.7, 0.6), Config{}, ReplicaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyReplicated(1, []string{"kfc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyReplicated(3, []string{"burgerking"}); err == nil {
+		t.Fatal("applying seq 3 after seq 1 succeeded; contiguity not enforced")
+	}
+	if got := s.ReplicaAppliedSeq(); got != 1 {
+		t.Fatalf("applied seq %d after refused gap, want 1", got)
+	}
+}
+
+// TestSnapshotBufferRefusesPoisonedWAL mirrors SnapshotGeneration's
+// contract on the replication bootstrap path.
+func TestSnapshotBufferRefusesPoisonedWAL(t *testing.T) {
+	dir := t.TempDir()
+	h, _ := paperdata.Fig1()
+	inj := fault.NewInjector(fault.OS{}, fault.Fault{Op: fault.OpSync, Path: "wal", N: 2, Mode: fault.Fail})
+	s, err := Recover(h, core.Defaults(0.7, 0.6), Config{Logf: t.Logf}, Durability{
+		FS:          inj,
+		WALDir:      filepath.Join(dir, "wal"),
+		SnapshotDir: filepath.Join(dir, "snap"),
+		Policy:      wal.SyncAlways,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	addObject(t, ts.URL, []string{"burgerking"})
+	// The second fsync fails and poisons the log.
+	body, _ := json.Marshal(map[string]any{"tokens": []string{"kfc"}})
+	resp, err := http.Post(ts.URL+"/objects", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("add during injected fsync failure was acknowledged")
+	}
+	if _, _, err := s.SnapshotBuffer(); err == nil || !strings.Contains(err.Error(), "refusing snapshot") {
+		t.Fatalf("SnapshotBuffer on poisoned wal: %v, want refusal", err)
+	}
+}

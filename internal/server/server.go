@@ -52,6 +52,13 @@ type Config struct {
 	MaxTokens int
 	// MaxTokenLen caps the byte length of one token (default 1024).
 	MaxTokenLen int
+	// RetryAfterMin and RetryAfterMax bound the jittered Retry-After
+	// header on shed (429) requests (defaults 1s and 3s). A fixed value
+	// would synchronize every shed client's retry into a herd.
+	RetryAfterMin time.Duration
+	RetryAfterMax time.Duration
+	// Seed seeds the deterministic jitter (default 1).
+	Seed uint64
 	// Logf, when set, receives recovered panics and snapshot errors.
 	Logf func(format string, args ...any)
 }
@@ -71,6 +78,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTokenLen == 0 {
 		c.MaxTokenLen = 1024
+	}
+	if c.RetryAfterMin == 0 {
+		c.RetryAfterMin = time.Second
+	}
+	if c.RetryAfterMax == 0 {
+		c.RetryAfterMax = 3 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -107,6 +123,11 @@ type Server struct {
 	// can skip rewriting identical snapshots.
 	lastSnapSeq atomic.Uint64
 	snapOnDisk  atomic.Bool
+
+	// replica is non-nil on a follower: the server is read-only (adds are
+	// rejected), /query passes a bounded-staleness gate, and /stats
+	// reports replication lag. Installed by NewReplica before serving.
+	replica *replicaState
 
 	// snapMu serializes snapshot generations against each other.
 	snapMu sync.Mutex
@@ -153,10 +174,12 @@ func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer
 	s.ready.Store(true)
 	s.sem = serverutil.NewSemaphore(cfg.MaxInflight)
 	mux := http.NewServeMux()
-	mux.Handle("POST /objects", s.limited(http.HandlerFunc(s.handleAdd)))
-	mux.Handle("POST /query", s.limited(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("POST /objects", s.readOnly(s.limited(http.HandlerFunc(s.handleAdd))))
+	mux.Handle("POST /query", s.limited(s.staleGate(http.HandlerFunc(s.handleQuery))))
 	mux.Handle("POST /similarity", s.limited(http.HandlerFunc(s.handleSimilarity)))
 	mux.Handle("GET /snapshot", s.limited(http.HandlerFunc(s.handleSnapshot)))
+	mux.Handle("GET /wal/stream", s.notReady(http.HandlerFunc(s.handleWALStream)))
+	mux.Handle("GET /replica/snapshot", s.limited(http.HandlerFunc(s.handleReplicaSnapshot)))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -171,7 +194,7 @@ func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer
 func (s *Server) limited(h http.Handler) http.Handler {
 	return serverutil.Chain(h,
 		s.notReady,
-		serverutil.Admit(s.sem, time.Second),
+		serverutil.Admit(s.sem, s.cfg.RetryAfterMin, s.cfg.RetryAfterMax, s.cfg.Seed),
 		serverutil.WithTimeout(s.cfg.RequestTimeout),
 		serverutil.LimitBody(s.cfg.MaxBodyBytes),
 	)
@@ -399,6 +422,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// not yet cover — what recovery would have to replay.
 		out["wal_lag"] = last - snap
 		out["wal_healthy"] = wlog.Err() == nil
+	}
+	if rs := s.replica; rs != nil {
+		out["replica_applied_seq"] = rs.applied.Load()
+		out["replica_healthy"] = rs.healthy.Load()
+		// replica_lag is seconds since this follower last confirmed it was
+		// caught up with the primary's durable horizon; -1 until the first
+		// catch-up.
+		out["replica_lag"] = rs.lagSeconds()
 	}
 	writeJSON(w, out)
 }

@@ -10,7 +10,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
+
+	"kjoin/internal/rng"
 )
 
 // Middleware wraps an http.Handler with extra behavior.
@@ -96,21 +99,35 @@ func (s *Semaphore) InFlight() int { return len(s.ch) }
 
 // Admit rejects requests with 429 + Retry-After when the semaphore is
 // saturated, instead of queueing them unboundedly. Load-shedding at the
-// door keeps latency bounded for the requests that are admitted.
-func Admit(sem *Semaphore, retryAfter time.Duration) Middleware {
-	secs := int(retryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
+// door keeps latency bounded for the requests that are admitted. The
+// Retry-After value is jittered uniformly over [retryMin, retryMax]
+// (whole seconds, at least 1): a fixed value would tell every shed
+// client to come back at the same instant, converting one overload spike
+// into a synchronized retry herd that recreates it. seed makes the
+// jitter sequence deterministic for tests.
+func Admit(sem *Semaphore, retryMin, retryMax time.Duration, seed uint64) Middleware {
+	lo := int(retryMin / time.Second)
+	if lo < 1 {
+		lo = 1
 	}
+	hi := int(retryMax / time.Second)
+	if hi < lo {
+		hi = lo
+	}
+	var mu sync.Mutex
+	r := rng.New(seed)
 	return func(next http.Handler) http.Handler {
-		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 			if !sem.TryAcquire() {
+				mu.Lock()
+				secs := lo + r.Intn(hi-lo+1)
+				mu.Unlock()
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
 				WriteError(w, http.StatusTooManyRequests, "saturated", "server is at capacity; retry later")
 				return
 			}
 			defer sem.Release()
-			next.ServeHTTP(w, r)
+			next.ServeHTTP(w, req)
 		})
 	}
 }

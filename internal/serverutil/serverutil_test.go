@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,7 +76,7 @@ func TestAdmitShedsLoadAt429(t *testing.T) {
 		enter <- struct{}{}
 		<-release
 		w.WriteHeader(http.StatusOK)
-	}), Admit(sem, 3*time.Second))
+	}), Admit(sem, 3*time.Second, 3*time.Second, 1))
 
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
@@ -116,6 +117,41 @@ func TestAdmitShedsLoadAt429(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("post-release request: status %d", rec.Code)
+	}
+}
+
+// TestAdmitRetryAfterJitterBand saturates the gate and checks every
+// shed response advertises a Retry-After inside the configured band —
+// and not always the same value, or shed clients would all retry in the
+// same instant and recreate the overload they were shed for.
+func TestAdmitRetryAfterJitterBand(t *testing.T) {
+	sem := NewSemaphore(1)
+	if !sem.TryAcquire() {
+		t.Fatal("could not saturate semaphore")
+	}
+	defer sem.Release()
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), Admit(sem, 2*time.Second, 5*time.Second, 42))
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 429", i, rec.Code)
+		}
+		ra := rec.Header().Get("Retry-After")
+		secs, err := strconv.Atoi(ra)
+		if err != nil {
+			t.Fatalf("request %d: Retry-After %q is not an integer", i, ra)
+		}
+		if secs < 2 || secs > 5 {
+			t.Fatalf("request %d: Retry-After %d outside band [2,5]", i, secs)
+		}
+		seen[ra] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("64 shed requests all got the same Retry-After %v; jitter is not jittering", seen)
 	}
 }
 

@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -47,6 +49,52 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		if good > len(b) {
 			t.Fatalf("good prefix %d beyond input %d", good, len(b))
+		}
+	})
+}
+
+// FuzzWALStream feeds arbitrary bytes to the replication frame decoder
+// and checks the follower-side contract: it never panics, every record
+// it yields round-trips through the encoder byte-for-byte at the
+// position it was read from, and the first error cleanly terminates the
+// stream (io.EOF only at a frame boundary).
+func FuzzWALStream(f *testing.F) {
+	// A clean two-record stream.
+	clean := AppendRecord(nil, 1, []string{"burgerking", "mountainview"})
+	clean = AppendRecord(clean, 2, []string{"kfc"})
+	f.Add(clean)
+	// Torn mid-frame (dropped connection).
+	torn := AppendRecord(append([]byte(nil), clean...), 3, []string{"torn", "tail"})
+	f.Add(torn[:len(clean)+5])
+	f.Add(torn[:len(torn)-2])
+	// Bit flip inside a frame.
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)-3] ^= 0x04
+	f.Add(flipped)
+	// A header claiming a giant frame, garbage, and empty input.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dec := NewStreamDecoder(bytes.NewReader(b))
+		pos := 0
+		for {
+			seq, tokens, err := dec.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) && pos != len(b) {
+					t.Fatalf("clean EOF at %d with %d bytes left", pos, len(b)-pos)
+				}
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			enc := AppendRecord(nil, seq, tokens)
+			if pos+len(enc) > len(b) || !bytes.Equal(b[pos:pos+len(enc)], enc) {
+				t.Fatalf("frame at %d does not round-trip: seq %d, %d tokens", pos, seq, len(tokens))
+			}
+			pos += len(enc)
 		}
 	})
 }

@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// This file is the replication surface of the WAL: a primary reads
+// durable records back out of the log to ship them to followers, and a
+// follower decodes the shipped frames one at a time. The wire format is
+// exactly the on-disk record format — length-prefixed, CRC32C-checksummed
+// frames — so a truncated stream tears the same way a crashed log does
+// and the same checksums reject it.
+
+// CompactedError is returned by ReadDurable when the requested sequence
+// predates the compaction floor: the records were deleted under a
+// snapshot that covers them, and the caller must fall back to fetching a
+// snapshot instead of silently starting from a later offset.
+type CompactedError struct {
+	// From is the sequence the caller asked for.
+	From uint64
+	// Floor is the lowest sequence the log can still serve.
+	Floor uint64
+}
+
+func (e *CompactedError) Error() string {
+	return fmt.Sprintf("wal: records from seq %d were compacted away (floor is seq %d); resync from a snapshot", e.From, e.Floor)
+}
+
+// Floor returns the lowest sequence number still present in the log's
+// segments — requests below it get a CompactedError. On an empty log it
+// equals the next sequence to be assigned.
+func (w *WAL) Floor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.floorLocked()
+}
+
+// floorLocked is Floor. Caller holds mu.
+func (w *WAL) floorLocked() uint64 {
+	if len(w.segs) == 0 {
+		return w.nextSeq
+	}
+	return w.segs[0].first
+}
+
+// ReadDurable returns the raw encoded frames of every durable record
+// with sequence in [from, DurableSeq], capped at roughly maxBytes
+// (always at whole-frame boundaries), plus the sequence to resume from
+// and the durable horizon observed. Records appended but not yet
+// fsync'd are never returned — a follower can only ever apply what an
+// acknowledgment could have been issued for. When from predates the
+// compaction floor it returns a *CompactedError. Safe for concurrent
+// use with appenders and with Compact: a segment deleted mid-read
+// surfaces as the same *CompactedError, never as torn bytes.
+func (w *WAL) ReadDurable(from uint64, maxBytes int) (frames []byte, next uint64, durable uint64, err error) {
+	if from == 0 {
+		from = 1
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	w.mu.Lock()
+	durable = w.synced.Load()
+	segs := append([]segment(nil), w.segs...)
+	var curName string
+	var curCap int64
+	if n := len(segs); n > 0 {
+		curName = segs[n-1].name
+		curCap = w.syncedOff
+		if w.policy == SyncNone {
+			// Under SyncNone every written byte counts as durable — that is
+			// the policy's (weaker) contract.
+			curCap = w.written
+		}
+	}
+	w.mu.Unlock()
+	next = from
+	if from > durable {
+		return nil, from, durable, nil
+	}
+	if len(segs) == 0 || from < segs[0].first {
+		return nil, from, durable, &CompactedError{From: from, Floor: w.Floor()}
+	}
+	// Skip segments that end before from: a segment is dead to this read
+	// when the next one starts at or before from.
+	start := 0
+	for start+1 < len(segs) && segs[start+1].first <= from {
+		start++
+	}
+	for _, s := range segs[start:] {
+		if s.first > durable {
+			break
+		}
+		data, rerr := readFileFS(w.fs, w.dir+"/"+s.name)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				// Compact raced us and deleted the segment. The caller's
+				// records are gone for the same reason a lower floor would
+				// report: a snapshot covers them.
+				return nil, from, durable, &CompactedError{From: from, Floor: w.Floor()}
+			}
+			return nil, from, durable, fmt.Errorf("wal: read segment %s: %w", s.name, rerr)
+		}
+		if s.name == curName && int64(len(data)) > curCap {
+			// The active segment keeps growing under concurrent appends;
+			// only the bytes durable at the snapshot above may be served.
+			data = data[:curCap]
+		}
+		full := true
+		scanFrames(data, func(frame []byte, seq uint64) bool {
+			if seq < next {
+				return true // before from, or duplicated at a segment seam
+			}
+			if seq > durable || seq != next || len(frames) >= maxBytes {
+				full = false
+				return false
+			}
+			frames = append(frames, frame...)
+			next = seq + 1
+			return true
+		})
+		if !full {
+			break
+		}
+	}
+	return frames, next, durable, nil
+}
+
+// scanFrames walks the intact frames in b, calling fn with each frame's
+// raw bytes and sequence number, stopping at the first torn frame or
+// when fn returns false.
+func scanFrames(b []byte, fn func(frame []byte, seq uint64) bool) {
+	off := 0
+	for {
+		if len(b)-off < headerSize {
+			return
+		}
+		length := binary.LittleEndian.Uint32(b[off:])
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		if length > maxRecordBytes || int(length) > len(b)-off-headerSize {
+			return
+		}
+		payload := b[off+headerSize : off+headerSize+int(length)]
+		if crc32.Checksum(payload, castagnoli) != crc || len(payload) < 8 {
+			return
+		}
+		if !fn(b[off:off+headerSize+int(length)], binary.LittleEndian.Uint64(payload)) {
+			return
+		}
+		off += headerSize + int(length)
+	}
+}
+
+// ErrBadFrame marks a replication frame that is structurally broken —
+// an impossible length, a checksum mismatch, or a payload that does not
+// parse. A follower must drop the connection and resume from its last
+// applied sequence; the offending frame is never applied.
+var ErrBadFrame = errors.New("wal: bad stream frame")
+
+// StreamDecoder incrementally decodes framed WAL records from a
+// replication stream. Next returns io.EOF at a clean frame boundary,
+// io.ErrUnexpectedEOF when the stream ends mid-frame (the torn record a
+// dropped connection leaves behind), and an error wrapping ErrBadFrame
+// for a frame that is present but corrupt.
+type StreamDecoder struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewStreamDecoder returns a decoder reading frames from r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	return &StreamDecoder{r: r}
+}
+
+// Next decodes one frame.
+func (d *StreamDecoder) Next() (seq uint64, tokens []string, err error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(d.hdr[:])
+	crc := binary.LittleEndian.Uint32(d.hdr[4:])
+	if length > maxRecordBytes {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds %d-byte cap", ErrBadFrame, length, maxRecordBytes)
+	}
+	if cap(d.buf) < int(length) {
+		d.buf = make([]byte, length)
+	}
+	payload := d.buf[:length]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	seq, tokens, derr := decodePayload(payload)
+	if derr != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, derr)
+	}
+	return seq, tokens, nil
+}

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"kjoin/internal/fault"
+)
+
+// streamOpen opens a WAL in a fresh temp dir.
+func streamOpen(t *testing.T, opt Options) *WAL {
+	t.Helper()
+	w, err := Open(fault.OS{}, t.TempDir(), opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// decodeFrames decodes every frame in b and returns the sequences seen,
+// failing the test on any torn or corrupt frame.
+func decodeFrames(t *testing.T, b []byte) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	dec := NewStreamDecoder(bytes.NewReader(b))
+	for {
+		seq, _, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return seqs
+		}
+		if err != nil {
+			t.Fatalf("torn or corrupt frame after %d records: %v", len(seqs), err)
+		}
+		seqs = append(seqs, seq)
+	}
+}
+
+func TestReadDurableServesAckedRecords(t *testing.T) {
+	w := streamOpen(t, Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := w.AppendSync([]string{fmt.Sprintf("tok%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames, next, durable, err := w.ReadDurable(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != 10 || next != 11 {
+		t.Fatalf("durable=%d next=%d, want 10 and 11", durable, next)
+	}
+	seqs := decodeFrames(t, frames)
+	if len(seqs) != 10 || seqs[0] != 1 || seqs[9] != 10 {
+		t.Fatalf("decoded seqs %v, want 1..10", seqs)
+	}
+	// Resume mid-log.
+	frames, next, _, err = w.ReadDurable(7, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeFrames(t, frames); len(got) != 4 || got[0] != 7 {
+		t.Fatalf("resume from 7 decoded %v", got)
+	}
+	if next != 11 {
+		t.Fatalf("resume next=%d, want 11", next)
+	}
+	// Past the end: empty, resume point unchanged.
+	frames, next, _, err = w.ReadDurable(11, 1<<20)
+	if err != nil || len(frames) != 0 || next != 11 {
+		t.Fatalf("past-end read: frames=%d next=%d err=%v", len(frames), next, err)
+	}
+}
+
+// TestReadDurableOmitsUnsyncedTail proves a follower can never be
+// shipped a record no acknowledgment could have been issued for: bytes
+// appended but not yet fsync'd are invisible to the stream.
+func TestReadDurableOmitsUnsyncedTail(t *testing.T) {
+	w := streamOpen(t, Options{Policy: SyncAlways})
+	if _, err := w.AppendSync([]string{"acked"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]string{"not", "yet", "durable"}); err != nil {
+		t.Fatal(err)
+	}
+	frames, next, durable, err := w.ReadDurable(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != 1 || next != 2 {
+		t.Fatalf("durable=%d next=%d, want 1 and 2", durable, next)
+	}
+	if got := decodeFrames(t, frames); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("stream leaked unsynced records: %v", got)
+	}
+	if err := w.Sync(2); err != nil {
+		t.Fatal(err)
+	}
+	frames, _, _, err = w.ReadDurable(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeFrames(t, frames); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after sync, stream should serve seq 2: %v", got)
+	}
+}
+
+func TestReadDurableByteCapStopsAtFrameBoundary(t *testing.T) {
+	w := streamOpen(t, Options{})
+	for i := 0; i < 20; i++ {
+		if _, err := w.AppendSync([]string{"aaaaaaaaaaaaaaaa"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	from := uint64(1)
+	for {
+		frames, next, durable, err := w.ReadDurable(from, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, decodeFrames(t, frames)...)
+		if next == from && from > durable {
+			break
+		}
+		if next == from {
+			t.Fatalf("no progress at seq %d", from)
+		}
+		from = next
+	}
+	if len(got) != 20 {
+		t.Fatalf("capped reads decoded %d records, want 20", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, s)
+		}
+	}
+}
+
+func TestReadDurableCompactionFloor(t *testing.T) {
+	w := streamOpen(t, Options{})
+	for i := 0; i < 6; i++ {
+		if _, err := w.AppendSync([]string{fmt.Sprintf("tok%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A snapshot covering the whole segment lets Compact delete it: the
+	// floor jumps past every record it held.
+	if err := w.Compact(6); err != nil {
+		t.Fatal(err)
+	}
+	if w.Floor() != 7 {
+		t.Fatalf("floor after full compaction is %d, want 7", w.Floor())
+	}
+	_, _, _, err := w.ReadDurable(2, 1<<20)
+	var ce *CompactedError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CompactedError for pre-floor read, got %v", err)
+	}
+	if ce.From != 2 || ce.Floor != 7 {
+		t.Fatalf("CompactedError %+v, want From=2 Floor=7", ce)
+	}
+	for i := 6; i < 9; i++ {
+		if _, err := w.AppendSync([]string{fmt.Sprintf("tok%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At or after the floor the read succeeds.
+	frames, _, _, err := w.ReadDurable(w.Floor(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := decodeFrames(t, frames)
+	if len(seqs) == 0 || seqs[0] != w.Floor() {
+		t.Fatalf("read from floor decoded %v", seqs)
+	}
+}
+
+// TestCompactRaceTailingReader is the satellite regression for WAL
+// compaction racing a tailing stream reader: the reader must either
+// complete its read from the old segments or get the typed
+// compaction-floor error — never a torn or corrupt frame, which
+// decodeFrames would fail on.
+func TestCompactRaceTailingReader(t *testing.T) {
+	w := streamOpen(t, Options{})
+	const total = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var compacted, served int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		from := uint64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			frames, next, _, err := w.ReadDurable(from, 256)
+			if err != nil {
+				var ce *CompactedError
+				if !errors.As(err, &ce) {
+					t.Errorf("tailing reader got non-floor error: %v", err)
+					return
+				}
+				compacted++
+				from = ce.Floor // resync point a real follower gets from a snapshot
+				continue
+			}
+			seqs := decodeFramesErr(frames)
+			if seqs == nil && len(frames) > 0 {
+				t.Errorf("tailing reader got torn frames at seq %d", from)
+				return
+			}
+			for i, s := range seqs {
+				if s != from+uint64(i) {
+					t.Errorf("discontiguous stream: got seq %d at position %d from %d", s, i, from)
+					return
+				}
+			}
+			served += len(seqs)
+			from = next
+		}
+	}()
+	for i := 1; i <= total; i++ {
+		if _, err := w.AppendSync([]string{fmt.Sprintf("tok%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 == 0 {
+			// A snapshot covering everything so far lets compaction delete
+			// every sealed segment out from under the reader.
+			if err := w.Compact(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	t.Logf("tailing reader served %d records, hit the compaction floor %d time(s)", served, compacted)
+}
+
+// decodeFramesErr decodes frames, returning nil on any bad frame.
+func decodeFramesErr(b []byte) []uint64 {
+	seqs := []uint64{}
+	dec := NewStreamDecoder(bytes.NewReader(b))
+	for {
+		seq, _, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			return seqs
+		}
+		if err != nil {
+			return nil
+		}
+		seqs = append(seqs, seq)
+	}
+}
+
+func TestStreamDecoderTornAndCorruptFrames(t *testing.T) {
+	var clean []byte
+	clean = AppendRecord(clean, 1, []string{"burgerking", "mountainview"})
+	clean = AppendRecord(clean, 2, []string{"kfc"})
+	one := len(AppendRecord(nil, 1, []string{"burgerking", "mountainview"}))
+
+	// Torn mid-frame: the first record decodes, the partial second is
+	// ErrUnexpectedEOF — never a partially applied record.
+	dec := NewStreamDecoder(bytes.NewReader(clean[:one+5]))
+	if seq, _, err := dec.Next(); err != nil || seq != 1 {
+		t.Fatalf("first frame: seq=%d err=%v", seq, err)
+	}
+	if _, _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn frame: want ErrUnexpectedEOF, got %v", err)
+	}
+
+	// Bit flip inside the second record: ErrBadFrame.
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)-2] ^= 0x40
+	dec = NewStreamDecoder(bytes.NewReader(flipped))
+	if _, _, err := dec.Next(); err != nil {
+		t.Fatalf("first frame of flipped stream: %v", err)
+	}
+	if _, _, err := dec.Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("corrupt frame: want ErrBadFrame, got %v", err)
+	}
+
+	// Clean end.
+	dec = NewStreamDecoder(bytes.NewReader(clean))
+	for i := 0; i < 2; i++ {
+		if _, _, err := dec.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := dec.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean end: want io.EOF, got %v", err)
+	}
+}
