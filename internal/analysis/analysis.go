@@ -33,22 +33,32 @@ type Analyzer struct {
 }
 
 // Pass carries one package's parsed and type-checked form to an
-// analyzer, mirroring x/tools' analysis.Pass.
+// analyzer, mirroring x/tools' analysis.Pass. Module-aware analyzers
+// additionally see the whole-module call graph via Graph and exchange
+// cross-package information through the fact methods in facts.go.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Graph is the module-wide static call graph. It is never nil; for
+	// a single-package Run it covers just that package.
+	Graph *CallGraph
 
-	diags *[]Diagnostic
+	module *Module
+	diags  *[]Diagnostic
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Suppressed findings (matched by a
+// //kjoinlint:ignore comment) are retained rather than dropped so
+// drivers can surface them (e.g. in -json output); they do not count
+// toward a failing exit code.
 type Diagnostic struct {
-	Pos      token.Pos
-	Message  string
-	Analyzer string
+	Pos        token.Pos
+	Message    string
+	Analyzer   string
+	Suppressed bool
 }
 
 // Reportf records a finding at pos.
@@ -75,17 +85,65 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// Imports lists the module-internal packages this one imports
+	// (stdlib imports are omitted). The loader fills it so NewModule
+	// can order packages dependencies-first for fact propagation.
+	Imports []*Package
 }
 
-// ignoreRe matches suppression comments: //kjoinlint:ignore <name> <reason>.
-var ignoreRe = regexp.MustCompile(`kjoinlint:ignore\s+([A-Za-z0-9_,]+)`)
+// Module is a set of packages analyzed together: the unit across which
+// facts flow and over which the call graph is built. Packages are held
+// in dependency order — every package appears after all of its
+// module-internal imports — so an analyzer running over them in order
+// can always import facts about the objects a call site references.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+	facts *factStore
+}
 
-// Run applies the analyzers to the package and returns the surviving
-// diagnostics in position order. Findings on a line carrying (or
-// directly below a line carrying) a matching //kjoinlint:ignore comment
-// are dropped.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// NewModule builds a module from the loaded packages: topologically
+// sorts them along Package.Imports and constructs the shared call
+// graph. Packages imported by members but not listed are not analyzed
+// (the loader is expected to supply the full closure when analyzers
+// need it).
+func NewModule(pkgs []*Package) *Module {
+	listed := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		listed[p] = true
+	}
+	var order []*Package
+	done := make(map[*Package]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if done[p] {
+			return
+		}
+		done[p] = true
+		for _, imp := range p.Imports {
+			if listed[imp] {
+				visit(imp)
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return &Module{
+		Pkgs:  order,
+		Graph: buildCallGraph(order),
+		facts: newFactStore(),
+	}
+}
+
+// Run applies the analyzers to one member package. Facts exported by
+// earlier runs over the package's dependencies are visible; facts
+// exported here become visible to later runs over dependents. Findings
+// matched by //kjoinlint:ignore comments are returned with Suppressed
+// set rather than dropped. An analyzer panic is converted into the
+// error return (exit-code 2 territory for drivers, not a finding).
+func (m *Module) Run(pkg *Package, analyzers []*Analyzer) (diags []Diagnostic, err error) {
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -93,13 +151,15 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Graph:     m.Graph,
+			module:    m,
 			diags:     &diags,
 		}
-		if err := a.Run(pass); err != nil {
+		if err := runSafely(a, pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
-	diags = filterIgnored(pkg, diags)
+	markIgnored(pkg, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
@@ -109,11 +169,41 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// filterIgnored drops diagnostics suppressed by kjoinlint:ignore
+func runSafely(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal panic: %v", r)
+		}
+	}()
+	return a.Run(pass)
+}
+
+// ignoreRe matches suppression comments: //kjoinlint:ignore <name> <reason>.
+var ignoreRe = regexp.MustCompile(`kjoinlint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// Run applies the analyzers to a standalone package and returns the
+// unsuppressed diagnostics in position order. It is the single-package
+// convenience over Module.Run: the package becomes a one-member module,
+// so facts still work within it and Pass.Graph covers its own calls.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := NewModule([]*Package{pkg}).Run(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// markIgnored flags diagnostics suppressed by kjoinlint:ignore
 // comments. A suppression applies to findings of the named analyzers on
 // its own line and on the following line (so it can sit above the
 // offending statement).
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+func markIgnored(pkg *Package, diags []Diagnostic) {
 	// ignored["file:line"] = set of analyzer names (or "all").
 	ignored := make(map[string]map[string]bool)
 	for _, f := range pkg.Files {
@@ -137,16 +227,13 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	if len(ignored) == 0 {
-		return diags
+		return
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+	for i := range diags {
+		pos := pkg.Fset.Position(diags[i].Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		if set := ignored[key]; set != nil && (set[d.Analyzer] || set["all"]) {
-			continue
+		if set := ignored[key]; set != nil && (set[diags[i].Analyzer] || set["all"]) {
+			diags[i].Suppressed = true
 		}
-		kept = append(kept, d)
 	}
-	return kept
 }

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallEdge is one call site: Caller's body contains a call that may
+// reach Callee. Static edges come from direct function and concrete-
+// method calls and are exact. Dynamic edges are the conservative
+// closure of an interface method call: one edge to the interface
+// method itself plus one to every method in the module whose receiver
+// type implements the interface. Calls through plain func values
+// produce no edges at all — analyzers relying on the graph must treat
+// them as unknown (the same altitude of conservatism go vet accepts).
+type CallEdge struct {
+	Caller  *types.Func
+	Callee  *types.Func
+	Site    token.Pos
+	Dynamic bool
+}
+
+// CallGraph is the module-wide static call graph, built once from the
+// type-checked packages before any analyzer runs and exposed to every
+// pass via Pass.Graph.
+type CallGraph struct {
+	out map[*types.Func][]CallEdge
+	in  map[*types.Func][]CallEdge
+}
+
+// Callees returns the edges leaving fn (calls fn's body may make).
+func (g *CallGraph) Callees(fn *types.Func) []CallEdge { return g.out[fn] }
+
+// Callers returns the edges entering fn (sites that may call fn).
+func (g *CallGraph) Callers(fn *types.Func) []CallEdge { return g.in[fn] }
+
+// Reachable returns the set of functions reachable from roots along
+// the graph's edges (roots included). includeDynamic selects whether
+// conservative interface edges are followed.
+func (g *CallGraph) Reachable(roots []*types.Func, includeDynamic bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var stack []*types.Func
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[fn] {
+			if e.Dynamic && !includeDynamic {
+				continue
+			}
+			if e.Callee != nil && !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// StaticCallee resolves the *types.Func a call expression dispatches to
+// when that is statically known: a direct function call, a method call
+// on a concrete receiver, or a method expression. It returns nil (with
+// dynamic=false) for calls through func values and conversions, and
+// the interface method (with dynamic=true) for interface method calls.
+func StaticCallee(info *types.Info, call *ast.CallExpr) (fn *types.Func, dynamic bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f, false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			f, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil, false
+			}
+			if types.IsInterface(sel.Recv()) {
+				return f, true
+			}
+			return f, false
+		}
+		// Qualified identifier (pkg.Fn) has no Selection entry.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f, false
+		}
+	}
+	return nil, false
+}
+
+// buildCallGraph walks every function body in the packages and records
+// the edges. Call sites inside function literals are attributed to the
+// enclosing declared function.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		out: make(map[*types.Func][]CallEdge),
+		in:  make(map[*types.Func][]CallEdge),
+	}
+	impl := newImplCache(pkgs)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee, dynamic := StaticCallee(pkg.TypesInfo, call)
+					if callee == nil {
+						return true
+					}
+					g.addEdge(CallEdge{Caller: caller, Callee: callee, Site: call.Pos(), Dynamic: dynamic})
+					if dynamic {
+						// Conservative closure: the interface call may land on
+						// any module method implementing it.
+						for _, m := range impl.implementers(callee) {
+							g.addEdge(CallEdge{Caller: caller, Callee: m, Site: call.Pos(), Dynamic: true})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) addEdge(e CallEdge) {
+	g.out[e.Caller] = append(g.out[e.Caller], e)
+	g.in[e.Callee] = append(g.in[e.Callee], e)
+}
+
+// implCache resolves interface methods to the module's concrete
+// implementations. Only named types declared in the analyzed packages
+// are candidates — the module cannot call methods it cannot name.
+type implCache struct {
+	named []*types.Named
+	memo  map[*types.Func][]*types.Func
+}
+
+func newImplCache(pkgs []*Package) *implCache {
+	c := &implCache{memo: make(map[*types.Func][]*types.Func)}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				c.named = append(c.named, named)
+			}
+		}
+	}
+	return c
+}
+
+// implementers returns the concrete methods an interface method call
+// may dispatch to within the module.
+func (c *implCache) implementers(ifaceMethod *types.Func) []*types.Func {
+	if ms, ok := c.memo[ifaceMethod]; ok {
+		return ms
+	}
+	var out []*types.Func
+	sig, ok := ifaceMethod.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			for _, named := range c.named {
+				if types.IsInterface(named) {
+					continue
+				}
+				var recv types.Type = named
+				if !types.Implements(recv, iface) {
+					recv = types.NewPointer(named)
+					if !types.Implements(recv, iface) {
+						continue
+					}
+				}
+				obj, _, _ := types.LookupFieldOrMethod(recv, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+				if m, ok := obj.(*types.Func); ok {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	c.memo[ifaceMethod] = out
+	return out
+}

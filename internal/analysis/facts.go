@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// Fact is a datum one analyzer attaches to a types.Object or a package
+// while analyzing the package that declares it, for its own later
+// passes over dependent packages to read. Facts are the module-wide
+// memory of an analyzer: the loader feeds packages to Module.Run in
+// dependency order, so by the time a pass sees a call into another
+// package, the facts for that package's objects are already in place.
+//
+// A fact type must be a pointer to a struct, and the struct must be
+// gob-serializable — the store round-trips every exported fact through
+// encoding/gob to enforce it, exactly so facts stay plain data and a
+// future driver can cache them per package on disk (the x/tools
+// drivers do; we keep the door open).
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// factKey identifies one fact slot: which analyzer wrote it, about
+// which object, and which concrete fact type (an analyzer may export
+// several fact types).
+type factKey struct {
+	analyzer string
+	typ      reflect.Type
+}
+
+// factStore holds the module's facts. It is safe for concurrent use:
+// the lint driver runs independent packages of one dependency wave in
+// parallel.
+type factStore struct {
+	mu  sync.RWMutex
+	obj map[types.Object]map[factKey]Fact
+	pkg map[*types.Package]map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: make(map[types.Object]map[factKey]Fact),
+		pkg: make(map[*types.Package]map[factKey]Fact),
+	}
+}
+
+// checkFact validates the fact's shape and round-trips it through gob,
+// returning the decoded copy. The copy (not the caller's pointer) is
+// what the store keeps, so a caller mutating its fact after export
+// cannot corrupt the store.
+func checkFact(f Fact) (Fact, error) {
+	v := reflect.ValueOf(f)
+	if !v.IsValid() || v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("analysis: fact %T must be a non-nil pointer to a struct", f)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(v.Elem()); err != nil {
+		return nil, fmt.Errorf("analysis: fact %T is not gob-serializable: %v", f, err)
+	}
+	out := reflect.New(v.Elem().Type())
+	if err := gob.NewDecoder(&buf).DecodeValue(out.Elem()); err != nil {
+		return nil, fmt.Errorf("analysis: fact %T does not round-trip through gob: %v", f, err)
+	}
+	return out.Interface().(Fact), nil
+}
+
+func (s *factStore) exportObject(an string, obj types.Object, f Fact) error {
+	if obj == nil {
+		return fmt.Errorf("analysis: ExportObjectFact with nil object")
+	}
+	stored, err := checkFact(f)
+	if err != nil {
+		return err
+	}
+	key := factKey{an, reflect.TypeOf(f)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.obj[obj]
+	if m == nil {
+		m = make(map[factKey]Fact)
+		s.obj[obj] = m
+	}
+	m[key] = stored
+	return nil
+}
+
+func (s *factStore) importObject(an string, obj types.Object, f Fact) bool {
+	key := factKey{an, reflect.TypeOf(f)}
+	s.mu.RLock()
+	stored, ok := s.obj[obj][key]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (s *factStore) exportPackage(an string, pkg *types.Package, f Fact) error {
+	if pkg == nil {
+		return fmt.Errorf("analysis: ExportPackageFact with nil package")
+	}
+	stored, err := checkFact(f)
+	if err != nil {
+		return err
+	}
+	key := factKey{an, reflect.TypeOf(f)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.pkg[pkg]
+	if m == nil {
+		m = make(map[factKey]Fact)
+		s.pkg[pkg] = m
+	}
+	m[key] = stored
+	return nil
+}
+
+func (s *factStore) importPackage(an string, pkg *types.Package, f Fact) bool {
+	key := factKey{an, reflect.TypeOf(f)}
+	s.mu.RLock()
+	stored, ok := s.pkg[pkg][key]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// ExportObjectFact records a fact about obj (typically a *types.Func or
+// *types.Var of the package being analyzed) for this analyzer's passes
+// over dependent packages. The fact is copied; later mutation of f does
+// not affect the store. A non-serializable fact is an internal error
+// and aborts the pass.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if err := p.module.facts.exportObject(p.Analyzer.Name, obj, f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportObjectFact copies the fact of f's type previously exported
+// about obj by this analyzer into f, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	return p.module.facts.importObject(p.Analyzer.Name, obj, f)
+}
+
+// ExportPackageFact records a fact about the package being analyzed.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if err := p.module.facts.exportPackage(p.Analyzer.Name, p.Pkg, f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportPackageFact copies the fact of f's type previously exported
+// about pkg (one of this package's dependencies) into f, reporting
+// whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	return p.module.facts.importPackage(p.Analyzer.Name, pkg, f)
+}

@@ -29,6 +29,7 @@ type Loader struct {
 	modulePath string
 	std        types.Importer
 	pkgs       map[string]*analysis.Package // by import path
+	order      []*analysis.Package          // completion order: deps before dependents
 	loading    map[string]bool              // cycle detection
 	// IncludeTests, when set, adds _test.go files of the package itself
 	// (not external _test packages) to the loaded files.
@@ -53,6 +54,17 @@ func NewLoader(dir string) (*Loader, error) {
 
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
+
+// All returns every package this loader has type-checked, in completion
+// order: a package's module-internal imports always precede it. This is
+// the dependency order the analysis facts layer relies on — analyzing
+// packages in this order guarantees facts about imported objects exist
+// before any importer is analyzed.
+func (l *Loader) All() []*analysis.Package {
+	out := make([]*analysis.Package, len(l.order))
+	copy(out, l.order)
+	return out
+}
 
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
@@ -262,7 +274,20 @@ func (l *Loader) load(dir, importPath string) (*analysis.Package, error) {
 		Types:     tpkg,
 		TypesInfo: info,
 	}
+	// Module-internal dependencies were loaded (recursively) by the
+	// importer during Check, so they are all in l.pkgs by now.
+	depSeen := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ip := strings.Trim(spec.Path.Value, `"`)
+			if dep, ok := l.pkgs[ip]; ok && !depSeen[ip] {
+				depSeen[ip] = true
+				p.Imports = append(p.Imports, dep)
+			}
+		}
+	}
 	l.pkgs[importPath] = p
+	l.order = append(l.order, p)
 	return p, nil
 }
 

@@ -1,6 +1,9 @@
 package load_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"kjoin/internal/analysis/load"
@@ -47,6 +50,104 @@ func TestLoadRecursivePattern(t *testing.T) {
 		for i := range p.Path {
 			if p.Path[i:] == "testdata" {
 				t.Errorf("testdata package leaked into Load: %s", p.Path)
+			}
+		}
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("internal/no_such_package"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	}
+}
+
+func TestLoadMalformedRecursivePattern(t *testing.T) {
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("no/such/dir/..."); err == nil {
+		t.Fatal("walking a nonexistent pattern base succeeded")
+	}
+}
+
+func TestLoadTypeErrorPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc F() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(dir, "broken")
+	if err == nil {
+		t.Fatal("type-error package loaded without error")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("error does not name the type-check phase: %v", err)
+	}
+}
+
+func TestLoadParseErrorPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc F( {\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(dir, "broken"); err == nil {
+		t.Fatal("syntax-error package loaded without error")
+	}
+}
+
+// TestAllDependencyOrder loads a package with module-internal imports
+// and checks the loader's completion order: every dependency must
+// appear in All() before its importer, and the importer's Imports list
+// must carry the resolved dependency package.
+func TestAllDependencyOrder(t *testing.T) {
+	l, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("internal/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	wal := pkgs[0]
+	var foundDep bool
+	for _, dep := range wal.Imports {
+		if dep.Path == "kjoin/internal/fault" {
+			foundDep = true
+		}
+	}
+	if !foundDep {
+		t.Fatal("wal.Imports does not include kjoin/internal/fault")
+	}
+	idx := make(map[string]int)
+	for i, p := range l.All() {
+		idx[p.Path] = i
+	}
+	for _, p := range l.All() {
+		for _, dep := range p.Imports {
+			di, ok := idx[dep.Path]
+			if !ok {
+				t.Fatalf("%s imports %s, which is missing from All()", p.Path, dep.Path)
+			}
+			if di >= idx[p.Path] {
+				t.Errorf("All() lists %s (index %d) before its dependency %s (index %d)",
+					p.Path, idx[p.Path], dep.Path, di)
 			}
 		}
 	}

@@ -1,0 +1,387 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis"
+	"kjoin/internal/analysis/load"
+)
+
+// writeModule materializes a throwaway module on disk so the loader can
+// type-check real cross-package imports.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadModule(t *testing.T, root string, patterns ...string) []*analysis.Package {
+	t.Helper()
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+type markFact struct{ Label string }
+
+func (*markFact) AFact() {}
+
+// TestObjectFactPropagation analyzes a two-package module with an
+// analyzer that tags exported functions of package a and, when it later
+// sees package b, looks the tag up at the call site. The fact must
+// survive the package boundary.
+func TestObjectFactPropagation(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc Tagged() {}\n",
+		"b/b.go": "package b\n\nimport \"tmpmod/a\"\n\nfunc Use() { a.Tagged() }\n",
+	})
+	pkgs := loadModule(t, root, "a", "b")
+	mod := analysis.NewModule(pkgs)
+
+	var sawFact string
+	az := &analysis.Analyzer{
+		Name: "mark",
+		Doc:  "test",
+		Run: func(pass *analysis.Pass) error {
+			switch pass.Pkg.Path() {
+			case "tmpmod/a":
+				obj := pass.Pkg.Scope().Lookup("Tagged")
+				pass.ExportObjectFact(obj, &markFact{Label: "durable"})
+			case "tmpmod/b":
+				for ident, obj := range pass.TypesInfo.Uses {
+					if ident.Name != "Tagged" {
+						continue
+					}
+					var f markFact
+					if pass.ImportObjectFact(obj, &f) {
+						sawFact = f.Label
+					}
+				}
+			}
+			return nil
+		},
+	}
+	for _, pkg := range mod.Pkgs {
+		if _, err := mod.Run(pkg, []*analysis.Analyzer{az}); err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+	}
+	if sawFact != "durable" {
+		t.Fatalf("fact did not propagate from a to b: got %q, want %q", sawFact, "durable")
+	}
+}
+
+type badFact struct{ Fn func() } // funcs do not gob-encode
+
+func (*badFact) AFact() {}
+
+// TestNonSerializableFactRejected checks that the store's gob
+// round-trip enforcement turns a non-serializable fact into a Run
+// error (not a silent acceptance, not a process crash).
+func TestNonSerializableFactRejected(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc F() {}\n",
+	})
+	pkgs := loadModule(t, root, "a")
+	mod := analysis.NewModule(pkgs)
+	az := &analysis.Analyzer{
+		Name: "bad",
+		Doc:  "test",
+		Run: func(pass *analysis.Pass) error {
+			pass.ExportObjectFact(pass.Pkg.Scope().Lookup("F"), &badFact{})
+			return nil
+		},
+	}
+	if _, err := mod.Run(pkgs[0], []*analysis.Analyzer{az}); err == nil {
+		t.Fatal("exporting a non-serializable fact should fail the run")
+	}
+}
+
+// TestFactCopiedOnExport ensures mutating the exported fact after the
+// ExportObjectFact call does not alter what importers observe.
+func TestFactCopiedOnExport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc F() {}\n",
+	})
+	pkgs := loadModule(t, root, "a")
+	mod := analysis.NewModule(pkgs)
+	var got markFact
+	az := &analysis.Analyzer{
+		Name: "copy",
+		Doc:  "test",
+		Run: func(pass *analysis.Pass) error {
+			obj := pass.Pkg.Scope().Lookup("F")
+			f := &markFact{Label: "before"}
+			pass.ExportObjectFact(obj, f)
+			f.Label = "after"
+			pass.ImportObjectFact(obj, &got)
+			return nil
+		},
+	}
+	if _, err := mod.Run(pkgs[0], []*analysis.Analyzer{az}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "before" {
+		t.Fatalf("store returned mutated fact: got %q, want %q", got.Label, "before")
+	}
+}
+
+type pkgFact struct{ N int }
+
+func (*pkgFact) AFact() {}
+
+func TestPackageFactPropagation(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() {}\n",
+		"b/b.go": "package b\n\nimport \"tmpmod/a\"\n\nfunc B() { a.A() }\n",
+	})
+	pkgs := loadModule(t, root, "a", "b")
+	mod := analysis.NewModule(pkgs)
+	var got pkgFact
+	az := &analysis.Analyzer{
+		Name: "pkgfact",
+		Doc:  "test",
+		Run: func(pass *analysis.Pass) error {
+			if pass.Pkg.Path() == "tmpmod/a" {
+				pass.ExportPackageFact(&pkgFact{N: 42})
+				return nil
+			}
+			for _, imp := range pass.Pkg.Imports() {
+				pass.ImportPackageFact(imp, &got)
+			}
+			return nil
+		},
+	}
+	for _, pkg := range mod.Pkgs {
+		if _, err := mod.Run(pkg, []*analysis.Analyzer{az}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.N != 42 {
+		t.Fatalf("package fact did not propagate: got %d, want 42", got.N)
+	}
+}
+
+// TestModuleDependencyOrder checks NewModule sorts dependents after
+// their imports regardless of input order.
+func TestModuleDependencyOrder(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc A() {}\n",
+		"b/b.go": "package b\n\nimport \"tmpmod/a\"\n\nfunc B() { a.A() }\n",
+		"c/c.go": "package c\n\nimport \"tmpmod/b\"\n\nfunc C() { b.B() }\n",
+	})
+	pkgs := loadModule(t, root, "c", "b", "a")
+	mod := analysis.NewModule(pkgs)
+	rank := make(map[string]int)
+	for i, p := range mod.Pkgs {
+		rank[p.Path] = i
+	}
+	if !(rank["tmpmod/a"] < rank["tmpmod/b"] && rank["tmpmod/b"] < rank["tmpmod/c"]) {
+		t.Fatalf("module order is not dependencies-first: %v", rank)
+	}
+}
+
+// TestCallGraph covers the three edge classes: static cross-package
+// call, dynamic interface dispatch expanded to the concrete
+// implementation, and the absence of edges for func-value calls.
+func TestCallGraph(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+type Doer interface{ Do() }
+
+type Impl struct{}
+
+func (Impl) Do() {}
+
+func Direct() {}
+`,
+		"b/b.go": `package b
+
+import "tmpmod/a"
+
+func Static() { a.Direct() }
+
+func Dynamic(d a.Doer) { d.Do() }
+
+func FuncValue(f func()) { f() }
+`,
+	})
+	pkgs := loadModule(t, root, "a", "b")
+	mod := analysis.NewModule(pkgs)
+
+	fn := func(pkgPath, name string) *types.Func {
+		for _, p := range pkgs {
+			if p.Path != pkgPath {
+				continue
+			}
+			if f, ok := p.Types.Scope().Lookup(name).(*types.Func); ok {
+				return f
+			}
+		}
+		t.Fatalf("function %s.%s not found", pkgPath, name)
+		return nil
+	}
+
+	edges := mod.Graph.Callees(fn("tmpmod/b", "Static"))
+	if len(edges) != 1 || edges[0].Callee.Name() != "Direct" || edges[0].Dynamic {
+		t.Fatalf("Static should have one static edge to Direct, got %+v", edges)
+	}
+
+	var sawIface, sawConcrete bool
+	for _, e := range mod.Graph.Callees(fn("tmpmod/b", "Dynamic")) {
+		if !e.Dynamic {
+			t.Fatalf("interface dispatch produced a static edge: %+v", e)
+		}
+		if e.Callee.Name() == "Do" {
+			if _, isIface := e.Callee.Type().(*types.Signature); isIface {
+				recv := e.Callee.Type().(*types.Signature).Recv()
+				if recv != nil && types.IsInterface(recv.Type()) {
+					sawIface = true
+				} else {
+					sawConcrete = true
+				}
+			}
+		}
+	}
+	if !sawIface || !sawConcrete {
+		t.Fatalf("interface call should yield both the interface method and the Impl expansion (iface=%v concrete=%v)", sawIface, sawConcrete)
+	}
+
+	if edges := mod.Graph.Callees(fn("tmpmod/b", "FuncValue")); len(edges) != 0 {
+		t.Fatalf("func-value call should produce no edges, got %+v", edges)
+	}
+}
+
+// TestSuppressedMarking verifies Module.Run marks ignored findings
+// rather than dropping them, and the single-package Run drops them.
+func TestSuppressedMarking(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\n//kjoinlint:ignore always\nfunc F() {}\n\nfunc G() {}\n",
+	})
+	pkgs := loadModule(t, root, "a")
+	mod := analysis.NewModule(pkgs)
+	az := &analysis.Analyzer{
+		Name: "always",
+		Doc:  "test",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := mod.Run(pkgs[0], []*analysis.Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want both findings retained, got %d", len(diags))
+	}
+	var suppressed, live int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			live++
+		}
+	}
+	if suppressed != 1 || live != 1 {
+		t.Fatalf("want 1 suppressed + 1 live, got %d suppressed %d live", suppressed, live)
+	}
+
+	kept, err := analysis.Run(pkgs[0], []*analysis.Analyzer{az})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0].Suppressed {
+		t.Fatalf("single-package Run should drop suppressed findings, got %+v", kept)
+	}
+}
+
+// TestMultiFileSuppression runs two analyzers over a two-file package
+// where one line in each file draws findings from both. A single
+// comma-list ignore comment must suppress both analyzers on its line,
+// a one-name ignore must leave the other analyzer's finding live, and
+// suppression in one file must not bleed into the same line number of
+// the other file.
+func TestMultiFileSuppression(t *testing.T) {
+	// Line 4 of each file declares a function; both analyzers report
+	// every FuncDecl. first.go suppresses both, second.go only "alpha".
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module tmpmod\n\ngo 1.22\n",
+		"p/first.go":  "package p\n\n//kjoinlint:ignore alpha,beta test fixture\nfunc F() {}\n",
+		"p/second.go": "package p\n\n//kjoinlint:ignore alpha test fixture\nfunc G() {}\n",
+	})
+	pkgs := loadModule(t, root, "p")
+	report := func(name string) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name: name,
+			Doc:  "test",
+			Run: func(pass *analysis.Pass) error {
+				for _, f := range pass.Files {
+					for _, d := range f.Decls {
+						if fd, ok := d.(*ast.FuncDecl); ok {
+							pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+						}
+					}
+				}
+				return nil
+			},
+		}
+	}
+	mod := analysis.NewModule(pkgs)
+	diags, err := mod.Run(pkgs[0], []*analysis.Analyzer{report("alpha"), report("beta")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("want all 4 findings retained, got %d", len(diags))
+	}
+	state := make(map[string]bool) // "analyzer/func" -> suppressed
+	for _, d := range diags {
+		file := filepath.Base(pkgs[0].Fset.Position(d.Pos).Filename)
+		state[d.Analyzer+"/"+file] = d.Suppressed
+	}
+	want := map[string]bool{
+		"alpha/first.go":  true,
+		"beta/first.go":   true,
+		"alpha/second.go": true,
+		"beta/second.go":  false, // second.go names only alpha
+	}
+	for k, w := range want {
+		if state[k] != w {
+			t.Errorf("%s: suppressed = %v, want %v", k, state[k], w)
+		}
+	}
+}
