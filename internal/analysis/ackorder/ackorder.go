@@ -1,0 +1,698 @@
+// Package ackorder proves, at compile time, the durability ordering the
+// crash-smoke matrix probes dynamically: a success response (ack) is
+// written only on paths where the WAL append that recorded the request
+// has been fsynced, and snapshot-generation commits happen only after a
+// WAL sync barrier.
+//
+// Functions participating in the protocol are annotated at their
+// declaration:
+//
+//	//kjoinlint:ackorder append    — records a durable intent (wal.Append)
+//	//kjoinlint:ackorder barrier   — makes prior appends durable (wal.Sync)
+//	//kjoinlint:ackorder ack       — writes the success response
+//	//kjoinlint:ackorder commit    — publishes state that must not
+//	                                 outrun the WAL (GenStore.Save)
+//
+// Roles also derive automatically and propagate as facts along the
+// dependency order: a function that calls a barrier unconditionally at
+// the top level of its body is itself a barrier (wal.AppendSync), and a
+// function that can return with an unsynced append pending is itself an
+// append. The checker then walks every function path-sensitively —
+// tracking nil-ness and boolean atoms from if conditions, invalidating
+// them on assignment, and pruning infeasible branches — and reports
+//
+//   - an ack call reachable with an append pending (appended on this
+//     path, no barrier since), and
+//   - a commit call on a path with no barrier, unless every value the
+//     function syncs through is known nil on that path (the "no WAL
+//     configured" escape used by snapshot paths).
+//
+// Calls through func values propagate nothing; interface method calls
+// resolve roles via the interface method's annotation.
+package ackorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ackorder",
+	Doc:  "prove WAL append+sync dominates success acks and generation commits",
+	Run:  run,
+}
+
+// Roles is the object fact carrying a function's protocol roles, in
+// application order (an append+barrier function nets to "synced").
+type Roles struct {
+	List []string
+}
+
+func (*Roles) AFact() {}
+
+var roleRe = regexp.MustCompile(`kjoinlint:ackorder\s+(append|barrier|ack|commit)`)
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:  pass,
+		roles: make(map[*types.Func][]string),
+	}
+	c.collectAnnotations()
+
+	// Derive roles to fixpoint within the package: derivation of one
+	// function can make a call in another one role-bearing. Bounded
+	// iteration — the role lattice has two derivable bits per function.
+	for range 4 {
+		if !c.derive() {
+			break
+		}
+	}
+
+	c.reported = make(map[token.Pos]bool)
+	for _, fb := range c.bodies() {
+		c.check(fb)
+	}
+
+	for fn, roles := range c.roles {
+		if fn.Pkg() == pass.Pkg && len(roles) > 0 {
+			pass.ExportObjectFact(fn, &Roles{List: roles})
+		}
+	}
+	return nil
+}
+
+type funcBody struct {
+	fn   *types.Func // nil for function literals
+	body *ast.BlockStmt
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	roles    map[*types.Func][]string
+	reported map[token.Pos]bool
+
+	// per-function walk state
+	providers map[string]bool // expr strings of barrier receivers in the current function
+	pending   bool            // some path returns with an unsynced append
+	reporting bool
+}
+
+func (c *checker) bodies() []funcBody {
+	var out []funcBody
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			out = append(out, funcBody{fn: fn, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcBody{body: lit.Body})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (c *checker) collectAnnotations() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, cmt := range fd.Doc.List {
+				if m := roleRe.FindStringSubmatch(cmt.Text); m != nil {
+					c.addRole(fn, m[1])
+				}
+			}
+		}
+	}
+	// Interface methods may carry annotations too (a barrier contract on
+	// the interface, honored by implementations).
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				if m.Doc == nil || len(m.Names) == 0 {
+					continue
+				}
+				fn, ok := c.pass.TypesInfo.Defs[m.Names[0]].(*types.Func)
+				if !ok {
+					continue
+				}
+				for _, cmt := range m.Doc.List {
+					if mm := roleRe.FindStringSubmatch(cmt.Text); mm != nil {
+						c.addRole(fn, mm[1])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) addRole(fn *types.Func, role string) bool {
+	for _, r := range c.roles[fn] {
+		if r == role {
+			return false
+		}
+	}
+	c.roles[fn] = append(c.roles[fn], role)
+	// Keep application order deterministic and semantically right:
+	// append before barrier, protocol roles before checks.
+	order := map[string]int{"append": 0, "barrier": 1, "ack": 2, "commit": 3}
+	sort.Slice(c.roles[fn], func(i, j int) bool {
+		return order[c.roles[fn][i]] < order[c.roles[fn][j]]
+	})
+	return true
+}
+
+// rolesOf resolves the protocol roles of a call: local map for this
+// package's functions, imported facts for dependencies. Interface
+// method calls use the interface method's own roles.
+func (c *checker) rolesOf(call *ast.CallExpr) []string {
+	fn, _ := analysis.StaticCallee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		return c.roles[fn]
+	}
+	var f Roles
+	if c.pass.ImportObjectFact(fn, &f) {
+		return f.List
+	}
+	return nil
+}
+
+// derive runs one derivation round over every declared function,
+// returning whether any role was added.
+func (c *checker) derive() bool {
+	changed := false
+	for _, fb := range c.bodies() {
+		if fb.fn == nil {
+			continue
+		}
+		// Barrier: an unconditional top-level call to a barrier.
+		if c.hasTopLevelBarrier(fb.body) && c.addRole(fb.fn, "barrier") {
+			changed = true
+		}
+		// Append: some path ends with an unsynced append pending.
+		c.walkFunction(fb, false)
+		if c.pending && c.addRole(fb.fn, "append") {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (c *checker) hasTopLevelBarrier(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch stmt.(type) {
+		case *ast.ExprStmt, *ast.ReturnStmt, *ast.AssignStmt, *ast.DeclStmt:
+			found := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					for _, r := range c.rolesOf(call) {
+						if r == "barrier" {
+							found = true
+						}
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) check(fb funcBody) {
+	c.walkFunction(fb, true)
+}
+
+// pstate is one abstract path: whether an append is pending, whether a
+// barrier has executed since, and the condition atoms known on this
+// path ("nn:<expr>" → expr != nil, "b:<expr>" → expr is true).
+type pstate struct {
+	appended  bool
+	barriered bool
+	conds     map[string]bool
+}
+
+func (s *pstate) clone() *pstate {
+	n := &pstate{appended: s.appended, barriered: s.barriered, conds: make(map[string]bool, len(s.conds))}
+	for k, v := range s.conds {
+		n.conds[k] = v
+	}
+	return n
+}
+
+func (s *pstate) key() string {
+	var b strings.Builder
+	if s.appended {
+		b.WriteByte('A')
+	}
+	if s.barriered {
+		b.WriteByte('B')
+	}
+	keys := make([]string, 0, len(s.conds))
+	for k := range s.conds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		if s.conds[k] {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+const maxStates = 64
+
+func dedup(states []*pstate) []*pstate {
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, s := range states {
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	if len(out) > maxStates {
+		// Coarsen rather than drop: forget the condition atoms, keep
+		// the durability bits.
+		for _, s := range out {
+			s.conds = map[string]bool{}
+		}
+		return dedup(out[:maxStates])
+	}
+	return out
+}
+
+func (c *checker) walkFunction(fb funcBody, reporting bool) {
+	c.reporting = reporting
+	c.pending = false
+	c.providers = make(map[string]bool)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, r := range c.rolesOf(call) {
+				if r == "barrier" {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						c.providers[types.ExprString(sel.X)] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	out := c.walkStmts(fb.body.List, []*pstate{{conds: map[string]bool{}}})
+	for _, s := range out {
+		if s.appended && !s.barriered {
+			c.pending = true
+		}
+	}
+}
+
+// walkStmts threads the state set through a statement list. An empty
+// return means every path terminated.
+func (c *checker) walkStmts(list []ast.Stmt, states []*pstate) []*pstate {
+	for _, stmt := range list {
+		states = c.walkStmt(stmt, states)
+		if len(states) == 0 {
+			return nil
+		}
+	}
+	return states
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, states []*pstate) []*pstate {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return c.applyExpr(s.X, states)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			states = c.applyExpr(rhs, states)
+		}
+		c.invalidate(states, s.Lhs)
+		// Boolean-constant assignment keeps an atom alive: the
+		// walFailed := true / if walFailed idiom.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if lit, ok := s.Rhs[0].(*ast.Ident); ok && (lit.Name == "true" || lit.Name == "false") {
+					for _, st := range states {
+						st.conds["b:"+id.Name] = lit.Name == "true"
+					}
+				}
+			}
+		}
+		return states
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			states = c.applyExpr(r, states)
+		}
+		for _, st := range states {
+			if st.appended && !st.barriered {
+				c.pending = true
+			}
+		}
+		return nil
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, states)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = c.walkStmt(s.Init, states)
+		}
+		states = c.applyExpr(s.Cond, states)
+		thenAtoms, elseAtoms := condAtoms(s.Cond)
+		var out []*pstate
+		var thenStates, elseStates []*pstate
+		for _, st := range states {
+			if ts := applyAtoms(st, thenAtoms); ts != nil {
+				thenStates = append(thenStates, ts)
+			}
+			if es := applyAtoms(st, elseAtoms); es != nil {
+				elseStates = append(elseStates, es)
+			}
+		}
+		if len(thenStates) > 0 {
+			out = append(out, c.walkStmts(s.Body.List, thenStates)...)
+		}
+		if s.Else != nil {
+			if len(elseStates) > 0 {
+				out = append(out, c.walkStmt(s.Else, elseStates)...)
+			}
+		} else {
+			out = append(out, elseStates...)
+		}
+		return dedup(out)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			states = c.walkStmt(s.Init, states)
+		}
+		if s.Cond != nil {
+			states = c.applyExpr(s.Cond, states)
+		}
+		body := c.walkStmts(s.Body.List, clones(states))
+		return dedup(append(body, states...))
+	case *ast.RangeStmt:
+		states = c.applyExpr(s.X, states)
+		body := c.walkStmts(s.Body.List, clones(states))
+		return dedup(append(body, states...))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranches(s, states)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, states)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						states = c.applyExpr(v, states)
+					}
+				}
+			}
+		}
+		return states
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred and concurrent effects do not order this path;
+		// literal bodies are walked as functions of their own.
+		return states
+	case *ast.BranchStmt:
+		// break/continue/goto: end this path's linear view.
+		return nil
+	default:
+		return states
+	}
+}
+
+func (c *checker) walkBranches(stmt ast.Stmt, states []*pstate) []*pstate {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			states = c.walkStmt(s.Init, states)
+		}
+		if s.Tag != nil {
+			states = c.applyExpr(s.Tag, states)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out []*pstate
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		}
+		out = append(out, c.walkStmts(stmts, clones(states))...)
+	}
+	if !hasDefault {
+		out = append(out, states...)
+	}
+	return dedup(out)
+}
+
+// applyExpr applies role effects of calls inside expr to every state,
+// in syntactic order, and performs the ack/commit checks.
+func (c *checker) applyExpr(expr ast.Expr, states []*pstate) []*pstate {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, role := range c.rolesOf(call) {
+			switch role {
+			case "append":
+				for _, s := range states {
+					s.appended = true
+					s.barriered = false
+				}
+			case "barrier":
+				for _, s := range states {
+					s.barriered = true
+				}
+			case "ack":
+				c.checkAck(call, states)
+			case "commit":
+				c.checkCommit(call, states)
+			}
+		}
+		return true
+	})
+	return states
+}
+
+func (c *checker) checkAck(call *ast.CallExpr, states []*pstate) {
+	if !c.reporting || c.reported[call.Pos()] {
+		return
+	}
+	for _, s := range states {
+		if s.appended && !s.barriered {
+			c.reported[call.Pos()] = true
+			c.pass.Reportf(call.Pos(), "success response written on a path where the WAL append is not synced (ack before fsync)")
+			return
+		}
+	}
+}
+
+func (c *checker) checkCommit(call *ast.CallExpr, states []*pstate) {
+	if !c.reporting || c.reported[call.Pos()] {
+		return
+	}
+	for _, s := range states {
+		if s.barriered {
+			continue
+		}
+		// The nil escape: if every value this function syncs through is
+		// known nil on this path, there is no WAL to order against.
+		if len(c.providers) > 0 {
+			allNil := true
+			for p := range c.providers {
+				if v, ok := s.conds["nn:"+p]; !ok || v {
+					allNil = false
+					break
+				}
+			}
+			if allNil {
+				continue
+			}
+		}
+		c.reported[call.Pos()] = true
+		c.pass.Reportf(call.Pos(), "commit on a path not dominated by a WAL sync barrier")
+		return
+	}
+}
+
+// invalidate drops condition atoms that mention any assigned identifier.
+func (c *checker) invalidate(states []*pstate, lhs []ast.Expr) {
+	var bases []string
+	for _, l := range lhs {
+		switch x := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			bases = append(bases, x.Name)
+		case *ast.SelectorExpr:
+			bases = append(bases, types.ExprString(x))
+		}
+	}
+	for _, s := range states {
+		for k := range s.conds {
+			expr := k[strings.Index(k, ":")+1:]
+			base := expr
+			if i := strings.Index(expr, "."); i >= 0 {
+				base = expr[:i]
+			}
+			for _, b := range bases {
+				if expr == b || base == b || strings.HasPrefix(b+".", expr+".") || strings.HasPrefix(expr, b+".") {
+					delete(s.conds, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+type atom struct {
+	key string
+	val bool
+}
+
+// condAtoms extracts the atoms known true in the then and else branches
+// of a condition. Atoms from one conjunct of && hold only in then;
+// atoms from || only in else.
+func condAtoms(cond ast.Expr) (then, els []atom) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			lt, _ := condAtoms(e.X)
+			rt, _ := condAtoms(e.Y)
+			return append(lt, rt...), nil
+		case token.LOR:
+			_, le := condAtoms(e.X)
+			_, re := condAtoms(e.Y)
+			return nil, append(le, re...)
+		case token.NEQ:
+			if k, ok := nilCompare(e); ok {
+				return []atom{{k, true}}, []atom{{k, false}}
+			}
+		case token.EQL:
+			if k, ok := nilCompare(e); ok {
+				return []atom{{k, false}}, []atom{{k, true}}
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			t, f := condAtoms(e.X)
+			return f, t
+		}
+	case *ast.Ident:
+		if e.Name != "true" && e.Name != "false" && e.Name != "_" {
+			k := "b:" + e.Name
+			return []atom{{k, true}}, []atom{{k, false}}
+		}
+	}
+	return nil, nil
+}
+
+// nilCompare returns the "nn:<expr>" atom key for X != nil / X == nil
+// comparisons over identifiers and field selections.
+func nilCompare(e *ast.BinaryExpr) (string, bool) {
+	operand := func(x ast.Expr) (string, bool) {
+		switch v := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			if v.Name == "nil" {
+				return "", false
+			}
+			return v.Name, true
+		case *ast.SelectorExpr:
+			return types.ExprString(v), true
+		}
+		return "", false
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(e.Y) {
+		if s, ok := operand(e.X); ok {
+			return "nn:" + s, true
+		}
+	}
+	if isNil(e.X) {
+		if s, ok := operand(e.Y); ok {
+			return "nn:" + s, true
+		}
+	}
+	return "", false
+}
+
+// applyAtoms returns st extended with the atoms, or nil if an atom
+// contradicts what the path already knows (branch infeasible).
+func applyAtoms(st *pstate, atoms []atom) *pstate {
+	out := st.clone()
+	for _, a := range atoms {
+		if v, ok := out.conds[a.key]; ok && v != a.val {
+			return nil
+		}
+		out.conds[a.key] = a.val
+	}
+	return out
+}
+
+func clones(states []*pstate) []*pstate {
+	out := make([]*pstate, len(states))
+	for i, s := range states {
+		out[i] = s.clone()
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package ackorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/ackorder"
+	"kjoin/internal/analysis/analysistest"
+)
+
+func TestAckorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ackdata"), ackorder.Analyzer)
+}

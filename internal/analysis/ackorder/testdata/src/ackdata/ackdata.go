@@ -1,0 +1,129 @@
+// Package ackdata exercises the ackorder analyzer: the ack-before-fsync
+// regression (mirroring TestWalAppendFailurePoisonsSnapshot's protocol),
+// nil-correlated conditional syncs, derived roles, and commit barriers.
+package ackdata
+
+type WAL struct{}
+
+//kjoinlint:ackorder append
+func (w *WAL) Append(rec []byte) (uint64, error) { return 0, nil }
+
+//kjoinlint:ackorder barrier
+func (w *WAL) Sync(seq uint64) error { return nil }
+
+type Gens struct{}
+
+//kjoinlint:ackorder commit
+func (g *Gens) Save(seq uint64) error { return nil }
+
+//kjoinlint:ackorder ack
+func writeJSON(v any) {}
+
+// GoodHandler is the correct protocol: append, sync, then ack.
+func GoodHandler(w *WAL) {
+	seq, err := w.Append(nil)
+	if err != nil {
+		return
+	}
+	if err := w.Sync(seq); err != nil {
+		return
+	}
+	writeJSON(seq)
+}
+
+// BadHandler reintroduces the regression: the ack is written before the
+// record is fsynced.
+func BadHandler(w *WAL) {
+	seq, err := w.Append(nil)
+	if err != nil {
+		return
+	}
+	writeJSON(seq) // want `success response written on a path where the WAL append is not synced \(ack before fsync\)`
+	_ = w.Sync(seq)
+}
+
+// NilCorrelated is the handleAdd shape: append and sync both guarded by
+// the same nil check. Every path that appended also synced; the atoms
+// correlate the two conditions, so no report.
+func NilCorrelated(w *WAL, on bool) {
+	var seq uint64
+	var err error
+	if on && w != nil {
+		seq, err = w.Append(nil)
+	}
+	if err != nil {
+		return
+	}
+	if w != nil {
+		if serr := w.Sync(seq); serr != nil {
+			return
+		}
+	}
+	writeJSON(seq)
+}
+
+// MissedSyncPath syncs on the slow path only; the fast path acks an
+// unsynced append.
+func MissedSyncPath(w *WAL, fast bool) {
+	seq, _ := w.Append(nil)
+	if fast {
+		writeJSON(seq) // want `success response written on a path where the WAL append is not synced \(ack before fsync\)`
+		return
+	}
+	if err := w.Sync(seq); err != nil {
+		return
+	}
+	writeJSON(seq)
+}
+
+// AppendSync derives both roles — append (pending on the error return)
+// and barrier (unconditional top-level Sync) — so callers net a synced
+// append.
+func AppendSync(w *WAL, rec []byte) error {
+	seq, err := w.Append(rec)
+	if err != nil {
+		return err
+	}
+	return w.Sync(seq)
+}
+
+// UsesDerivedBarrier acks after AppendSync: fine, the derived barrier
+// role covers the append.
+func UsesDerivedBarrier(w *WAL) {
+	if err := AppendSync(w, nil); err != nil {
+		return
+	}
+	writeJSON(1)
+}
+
+// appendOnly derives the append role: it can return with the record
+// unsynced.
+func appendOnly(w *WAL) error {
+	_, err := w.Append(nil)
+	return err
+}
+
+// UsesAppendOnly acks behind a helper that never synced.
+func UsesAppendOnly(w *WAL) {
+	if err := appendOnly(w); err != nil {
+		return
+	}
+	writeJSON(1) // want `success response written on a path where the WAL append is not synced \(ack before fsync\)`
+}
+
+// GoodSnapshot is the SnapshotGeneration shape: the sync is conditional
+// on the WAL existing, and the commit is exempt on the known-nil path.
+func GoodSnapshot(w *WAL, g *Gens) {
+	if w != nil {
+		if err := w.Sync(0); err != nil {
+			return
+		}
+	}
+	_ = g.Save(1)
+}
+
+// BadSnapshot commits before the barrier.
+func BadSnapshot(w *WAL, g *Gens) {
+	_ = g.Save(1) // want `commit on a path not dominated by a WAL sync barrier`
+	_ = w.Sync(0)
+}

@@ -1,0 +1,302 @@
+// Package goleak flags goroutines spawned with no reachable shutdown
+// edge: no context, channel, or WaitGroup flows into the goroutine, so
+// nothing can ever tell it to stop or wait for it to finish. Such a
+// goroutine outlives every test that starts it and leaks under -race
+// accumulation, and in a server it is work that cannot be drained.
+//
+// A goroutine is considered joinable when any of these holds:
+//
+//   - its body (for `go func() {...}()`) uses a context.Context value,
+//     performs a channel operation (send, receive, select, range), or
+//     calls Done/Wait on a sync.WaitGroup;
+//   - it calls, anywhere in its body, a function known joinable — a
+//     fact exported for every function whose own body has one of the
+//     edges above, so wrappers like `go func() { worker(ctx) }()` and
+//     cross-package helpers are credited;
+//   - for `go f(...)`, the callee f is known joinable, or its
+//     signature accepts a context.Context, a channel, or a
+//     *sync.WaitGroup (the caller handed it a shutdown handle).
+//
+// Helpers that spawn a parameter (func(fn func()) { go fn() }) export a
+// spawns-its-argument fact; their call sites are then checked as if the
+// argument were the `go` operand.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "flag goroutines spawned without a reachable shutdown edge (context, channel, or WaitGroup)",
+	Run:  run,
+}
+
+// Joinable marks a function whose body contains a shutdown edge.
+type Joinable struct{}
+
+func (*Joinable) AFact() {}
+
+// SpawnsParam marks a function that starts one of its parameters as a
+// goroutine; Indices are the positions of those parameters.
+type SpawnsParam struct {
+	Indices []int
+}
+
+func (*SpawnsParam) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, joinable: make(map[*types.Func]bool)}
+
+	// Round 1: syntactic joinability of every declared function, to
+	// fixpoint over in-package calls (a wrapper calling a joinable
+	// function is joinable).
+	decls := c.funcDecls()
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if c.joinable[fn] {
+				continue
+			}
+			if c.bodyJoinable(fd.Body) {
+				c.joinable[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn := range c.joinable {
+		pass.ExportObjectFact(fn, &Joinable{})
+	}
+
+	// Round 2: spawns-param facts.
+	spawns := make(map[*types.Func][]int)
+	for fn, fd := range decls {
+		if idx := c.spawnedParams(fn, fd); len(idx) > 0 {
+			spawns[fn] = idx
+			pass.ExportObjectFact(fn, &SpawnsParam{Indices: idx})
+		}
+	}
+
+	// Round 3: check every go statement and every call into a
+	// spawns-param function.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				c.checkSpawn(s.Call.Fun, s.Call)
+			case *ast.CallExpr:
+				callee, _ := analysis.StaticCallee(pass.TypesInfo, s)
+				if callee == nil {
+					return true
+				}
+				var idx []int
+				if callee.Pkg() == pass.Pkg {
+					idx = spawns[callee]
+				} else {
+					var sp SpawnsParam
+					if pass.ImportObjectFact(callee, &sp) {
+						idx = sp.Indices
+					}
+				}
+				for _, i := range idx {
+					if i < len(s.Args) {
+						c.checkSpawn(s.Args[i], s)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	joinable map[*types.Func]bool
+}
+
+func (c *checker) funcDecls() map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// checkSpawn validates one spawned entity: the operand of a go
+// statement or the argument passed into a spawns-param helper.
+func (c *checker) checkSpawn(fun ast.Expr, at *ast.CallExpr) {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.FuncLit:
+		if c.bodyJoinable(f.Body) {
+			return
+		}
+		c.pass.Reportf(at.Pos(), "goroutine has no shutdown edge (no context, channel, or WaitGroup reaches it)")
+	default:
+		fn := c.resolveFunc(fun)
+		if fn == nil {
+			// Func values we cannot name: give the benefit of the doubt
+			// rather than flag every callback.
+			return
+		}
+		if c.fnJoinable(fn) || signatureJoinable(fn) {
+			return
+		}
+		c.pass.Reportf(at.Pos(), "goroutine runs %s, which has no shutdown edge (no context, channel, or WaitGroup reaches it)", fn.Name())
+	}
+}
+
+func (c *checker) resolveFunc(fun ast.Expr) *types.Func {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := c.pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (c *checker) fnJoinable(fn *types.Func) bool {
+	if fn.Pkg() == c.pass.Pkg {
+		return c.joinable[fn]
+	}
+	var j Joinable
+	return c.pass.ImportObjectFact(fn, &j)
+}
+
+// bodyJoinable reports whether the body contains a shutdown edge
+// directly or calls a known-joinable function. Nested function literals
+// are included: the edge is reachable from the goroutine.
+func (c *checker) bodyJoinable(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := c.pass.TypesInfo.Uses[x]; ok && isContext(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") && isWaitGroup(c.pass.TypeOf(sel.X)) {
+					found = true
+					return false
+				}
+			}
+			if fn, _ := analysis.StaticCallee(c.pass.TypesInfo, x); fn != nil && c.fnJoinable(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnedParams returns the indices of parameters of fn that its body
+// starts as goroutines. Only the direct form `go p(...)` counts: a
+// parameter merely called inside a joinable goroutine literal (the
+// worker-pool shape) is not the goroutine body and must not move the
+// check to call sites.
+func (c *checker) spawnedParams(fn *types.Func, fd *ast.FuncDecl) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	paramIndex := make(map[types.Object]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIndex[sig.Params().At(i)] = i
+	}
+	var out []int
+	seen := make(map[int]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(gs.Call.Fun).(*ast.Ident); ok {
+			if obj, ok := c.pass.TypesInfo.Uses[id]; ok {
+				if i, isParam := paramIndex[obj]; isParam && !seen[i] {
+					seen[i] = true
+					out = append(out, i)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// signatureJoinable reports whether the function's signature accepts a
+// shutdown handle: a context, a channel, or a *sync.WaitGroup.
+func signatureJoinable(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContext(t) || isWaitGroup(t) {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+	}
+	return false
+}

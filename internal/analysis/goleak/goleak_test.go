@@ -1,0 +1,13 @@
+package goleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "leakdata"), goleak.Analyzer)
+}

@@ -1,0 +1,70 @@
+// Package leakdata exercises the goleak analyzer: goroutines with and
+// without shutdown edges, joinability through wrappers and signatures,
+// and spawner helpers checked at their call sites.
+package leakdata
+
+import (
+	"context"
+	"sync"
+)
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+func forever() {
+	for {
+	}
+}
+
+// GoodCtxWrapper: the literal reaches a context.
+func GoodCtxWrapper(ctx context.Context) {
+	go func() { worker(ctx) }()
+}
+
+// GoodChan: the literal ranges over a channel.
+func GoodChan(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// GoodWG: the literal signals a WaitGroup.
+func GoodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// GoodNamed: the callee's signature accepts a context.
+func GoodNamed(ctx context.Context) {
+	go worker(ctx)
+}
+
+// BadLit spawns a literal no shutdown signal can reach.
+func BadLit() {
+	go func() { // want `goroutine has no shutdown edge \(no context, channel, or WaitGroup reaches it\)`
+		forever()
+	}()
+}
+
+// BadNamed spawns a named function with no shutdown edge.
+func BadNamed() {
+	go forever() // want `goroutine runs forever, which has no shutdown edge \(no context, channel, or WaitGroup reaches it\)`
+}
+
+// spawner starts its argument as a goroutine; the spawns-param fact
+// moves the check to call sites.
+func spawner(fn func()) {
+	go fn()
+}
+
+// BadViaSpawner hands the spawner an unjoinable task.
+func BadViaSpawner() {
+	spawner(func() { forever() }) // want `goroutine has no shutdown edge \(no context, channel, or WaitGroup reaches it\)`
+}
+
+// GoodViaSpawner hands the spawner a channel-blocked task.
+func GoodViaSpawner(ch chan struct{}) {
+	spawner(func() { <-ch })
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "orderdata"), lockorder.Analyzer)
+}

@@ -1,0 +1,211 @@
+// Package syncerr flags discarded errors from Sync, Close, and Flush on
+// durability-critical values. A failed fsync or close on a write path
+// is a lost-data event: the kernel reported that bytes believed durable
+// may not be, and the only correct reactions are propagating the error
+// or consciously suppressing it.
+//
+// Durability-critical types are *os.File (always) plus any type whose
+// declaration carries a //kjoinlint:durable annotation — the WAL, the
+// fault-injection file interface, the atomic-write helpers. The
+// annotation is exported as a fact, so a package calling Close on a
+// durable type from a dependency is checked without seeing the
+// annotation.
+//
+// Reported forms:
+//
+//	f.Sync()          // bare call, error discarded
+//	defer f.Close()   // error dropped when the frame unwinds
+//	go f.Sync()       // error dropped on another goroutine
+//	_ = f.Sync()      // explicit discard of a sync/flush
+//
+// One deliberate asymmetry: `_ = f.Close()` is accepted. Explicitly
+// blanking a Close error is a visible decision (read-only files,
+// best-effort cleanup); blanking a Sync error never is — a sync exists
+// only to report durability.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"kjoin/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "flag discarded errors from Sync/Close/Flush on durability-critical values",
+	Run:  run,
+}
+
+// Durable is the object fact placed on the types.TypeName of an
+// annotated durability-critical type.
+type Durable struct{}
+
+func (*Durable) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	local := collectDurable(pass)
+	for tn := range local {
+		pass.ExportObjectFact(tn, &Durable{})
+	}
+	isDurable := func(t types.Type) bool {
+		named := namedOf(t)
+		if named == nil {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		if obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			return true
+		}
+		if obj.Pkg() == pass.Pkg {
+			return local[obj]
+		}
+		var f Durable
+		return pass.ImportObjectFact(obj, &f)
+	}
+
+	check := func(call *ast.CallExpr, how string) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		method := sel.Sel.Name
+		if method != "Sync" && method != "Close" && method != "Flush" {
+			return
+		}
+		// Only methods that actually return an error can have it
+		// discarded.
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return
+		}
+		if !returnsError(sig) {
+			return
+		}
+		if !isDurable(pass.TypeOf(sel.X)) {
+			return
+		}
+		if how == "blank" && method == "Close" {
+			return // explicit discard of Close is a visible decision
+		}
+		pass.Reportf(call.Pos(), "%s from %s on durability-critical %s", how2msg(how), method, typeLabel(pass.TypeOf(sel.X)))
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "bare")
+				}
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			case *ast.GoStmt:
+				check(s.Call, "go")
+			case *ast.AssignStmt:
+				// _ = f.Sync() — every LHS blank, a single call RHS.
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				allBlank := true
+				for _, l := range s.Lhs {
+					if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					check(call, "blank")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func how2msg(how string) string {
+	switch how {
+	case "bare":
+		return "discarded error"
+	case "defer":
+		return "error dropped through defer"
+	case "go":
+		return "error dropped on spawned goroutine"
+	case "blank":
+		return "explicitly discarded error"
+	}
+	return "discarded error"
+}
+
+// collectDurable finds //kjoinlint:durable annotations on type
+// declarations in this package.
+func collectDurable(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDurableComment(gd.Doc) && !hasDurableComment(ts.Doc) && !hasDurableComment(ts.Comment) {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasDurableComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "kjoinlint:durable") {
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(sig *types.Signature) bool {
+	last := sig.Results().At(sig.Results().Len() - 1)
+	named, ok := last.Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// namedOf unwraps pointers to the named type, looking through neither
+// interfaces nor aliases beyond what go/types resolves itself.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeLabel(t types.Type) string {
+	if named := namedOf(t); named != nil && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,13 @@
+package syncerr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kjoin/internal/analysis/analysistest"
+	"kjoin/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "syncdata"), syncerr.Analyzer)
+}

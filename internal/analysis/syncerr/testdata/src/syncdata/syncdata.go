@@ -1,0 +1,45 @@
+// Package syncdata exercises the syncerr analyzer: discarded Sync and
+// Close errors on durability-critical values, in every discard shape.
+package syncdata
+
+import "os"
+
+// Log is durability-critical: its Sync result must not be discarded.
+//
+//kjoinlint:durable
+type Log struct{}
+
+func (l *Log) Sync() error  { return nil }
+func (l *Log) Close() error { return nil }
+
+// Durable is an annotated interface: implementations inherit the
+// obligation at call sites typed as the interface.
+//
+//kjoinlint:durable
+type Durable interface {
+	Close() error
+}
+
+// Plain is not durability-critical; its Close may be dropped.
+type Plain struct{}
+
+func (p *Plain) Close() error { return nil }
+
+func uses(f *os.File, l *Log, p *Plain, d Durable) error {
+	f.Sync()  // want `discarded error from Sync on durability-critical os\.File`
+	f.Close() // want `discarded error from Close on durability-critical os\.File`
+	l.Sync()  // want `discarded error from Sync on durability-critical syncdata\.Log`
+	d.Close() // want `discarded error from Close on durability-critical syncdata\.Durable`
+	p.Close() // ok: not durability-critical
+
+	_ = f.Close() // ok: explicit discard of Close is a visible decision
+	_ = f.Sync()  // want `explicitly discarded error from Sync on durability-critical os\.File`
+
+	go l.Sync() // want `error dropped on spawned goroutine from Sync on durability-critical syncdata\.Log`
+
+	if err := f.Sync(); err != nil { // ok: error checked
+		return err
+	}
+	defer f.Close() // want `error dropped through defer from Close on durability-critical os\.File`
+	return nil
+}
