@@ -1,32 +1,52 @@
-// Command kjoin-lint is the project's multichecker: it runs the five
-// kjoin-specific analyzers (lockcheck, ctxpoll, floateq, maporder,
-// errform) over the module's packages and exits non-zero if any
+// Command kjoin-lint is the project's multichecker: it runs the nine
+// kjoin-specific analyzers — the per-package checkers (lockcheck,
+// ctxpoll, floateq, maporder, errform) and the module-aware
+// concurrency/durability provers (lockorder, ackorder, syncerr,
+// goleak) — over the module's packages and exits non-zero if any
 // diagnostic is reported. It is wired into `make lint` and the CI lint
 // job; see DESIGN.md "Static analysis & invariants" for what each
 // analyzer enforces and why.
 //
 // Usage:
 //
-//	kjoin-lint [-only a,b] [pattern ...]
+//	kjoin-lint [-only a,b] [-json] [pattern ...]
 //
 // Patterns are module-relative directories, optionally ending in /...
-// (default ./...). Findings can be suppressed line-by-line with
-// //kjoinlint:ignore <analyzer> <reason>.
+// (default ./...). The dependency closure of the selected packages is
+// always analyzed so cross-package facts are available, but diagnostics
+// are reported only for the packages the patterns selected. Findings
+// can be suppressed line-by-line with //kjoinlint:ignore <analyzer>
+// <reason>; suppressed findings still appear in -json output with
+// "suppressed": true and do not affect the exit code.
+//
+// Exit codes:
+//
+//	0 — no findings (suppressed findings do not count)
+//	1 — at least one unsuppressed finding
+//	2 — driver error (bad flags, unloadable packages, analyzer panic)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"kjoin/internal/analysis"
+	"kjoin/internal/analysis/ackorder"
 	"kjoin/internal/analysis/ctxpoll"
 	"kjoin/internal/analysis/errform"
 	"kjoin/internal/analysis/floateq"
+	"kjoin/internal/analysis/goleak"
 	"kjoin/internal/analysis/load"
 	"kjoin/internal/analysis/lockcheck"
+	"kjoin/internal/analysis/lockorder"
 	"kjoin/internal/analysis/maporder"
+	"kjoin/internal/analysis/syncerr"
 )
 
 var all = []*analysis.Analyzer{
@@ -35,13 +55,33 @@ var all = []*analysis.Analyzer{
 	floateq.Analyzer,
 	maporder.Analyzer,
 	errform.Analyzer,
+	lockorder.Analyzer,
+	ackorder.Analyzer,
+	syncerr.Analyzer,
+	goleak.Analyzer,
+}
+
+// finding is one diagnostic in reporting form; the JSON field names are
+// the documented machine interface.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line (includes suppressed findings)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: kjoin-lint [-only a,b] [pattern ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: kjoin-lint [-only a,b] [-json] [pattern ...]\n\nAnalyzers:\n")
 		for _, a := range all {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -53,7 +93,7 @@ func main() {
 		for _, a := range all {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := all
@@ -67,7 +107,7 @@ func main() {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "kjoin-lint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -81,28 +121,127 @@ func main() {
 	loader, err := load.NewLoader(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	pkgs, err := loader.Load(patterns...)
+	selected, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
-		os.Exit(2)
+		return 2
+	}
+	report := make(map[*analysis.Package]bool, len(selected))
+	for _, p := range selected {
+		report[p] = true
 	}
 
-	bad := false
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kjoin-lint: %s: %v\n", pkg.Path, err)
-			os.Exit(2)
+	// The module spans the full dependency closure the loader pulled in:
+	// facts must exist for every package a selected one imports, even
+	// when the patterns did not name it.
+	mod := analysis.NewModule(loader.All())
+
+	findings, err := analyzeModule(mod, analyzers, report)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
+		return 2
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	bad := false
+	enc := json.NewEncoder(os.Stdout)
+	for _, f := range findings {
+		if f.Suppressed && !*jsonOut {
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kjoin-lint: %v\n", err)
+				return 2
+			}
+		} else {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+		if !f.Suppressed {
 			bad = true
 		}
 	}
 	if bad {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// analyzeModule runs the analyzers over every module package, in
+// parallel across packages with the dependency order preserved: a
+// package starts only after all of its module-internal imports finished
+// (their facts are then complete). Only packages in report contribute
+// diagnostics.
+func analyzeModule(mod *analysis.Module, analyzers []*analysis.Analyzer, report map[*analysis.Package]bool) ([]finding, error) {
+	inModule := make(map[*analysis.Package]bool, len(mod.Pkgs))
+	done := make(map[*analysis.Package]chan struct{}, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		inModule[p] = true
+		done[p] = make(chan struct{})
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+
+	var (
+		mu       sync.Mutex
+		findings []finding
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for _, p := range mod.Pkgs {
+		wg.Add(1)
+		go func(p *analysis.Package) {
+			defer wg.Done()
+			defer close(done[p])
+			for _, dep := range p.Imports {
+				if inModule[dep] {
+					<-done[dep]
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			diags, err := mod.Run(p, analyzers)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %v", p.Path, err)
+				}
+				return
+			}
+			if !report[p] {
+				return
+			}
+			for _, d := range diags {
+				pos := p.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File:       pos.Filename,
+					Line:       pos.Line,
+					Col:        pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	return findings, firstErr
 }
