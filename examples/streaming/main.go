@@ -51,7 +51,11 @@ func main() {
 	if err := ix.WriteSnapshot(f); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	// A failed close on a just-written snapshot is a failed write: the
+	// kernel may have refused the final flush.
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	defer os.Remove(path)
 
 	f, err = os.Open(path)
@@ -59,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 	restored, err := kjoin.LoadIndexer(hr.H, opt, f)
-	f.Close()
+	_ = f.Close() // read-only; nothing written that a close could lose
 	if err != nil {
 		log.Fatal(err)
 	}
