@@ -88,7 +88,7 @@ func main() {
 		log.Fatal(err)
 	}
 	h, err := kjoin.ReadHierarchy(f)
-	f.Close()
+	_ = f.Close() // read-only; nothing written that a close could lose
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func main() {
 		switch {
 		case err == nil:
 			srv, err = server.NewFromSnapshotWithConfig(h, opt, scfg, sf)
-			sf.Close()
+			_ = sf.Close() // read-only; nothing written that a close could lose
 			if err != nil {
 				log.Fatal(err)
 			}

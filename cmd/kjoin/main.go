@@ -140,6 +140,7 @@ func readHierarchy(path, format string) (*kjoin.Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
+	//kjoinlint:ignore syncerr read-only open; a close failure cannot lose data
 	defer f.Close()
 	switch format {
 	case "kjoin":
@@ -158,6 +159,7 @@ func readObjects(path string, raw bool) ([][]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	//kjoinlint:ignore syncerr read-only open; a close failure cannot lose data
 	defer f.Close()
 	var out [][]string
 	sc := bufio.NewScanner(f)
@@ -177,6 +179,7 @@ func readSynonyms(path string) (*kjoin.Synonyms, error) {
 	if err != nil {
 		return nil, err
 	}
+	//kjoinlint:ignore syncerr read-only open; a close failure cannot lose data
 	defer f.Close()
 	d := kjoin.NewSynonyms()
 	sc := bufio.NewScanner(f)
