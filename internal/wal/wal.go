@@ -88,12 +88,15 @@ type segment struct {
 }
 
 // WAL is an open write-ahead log. Safe for concurrent use.
+//
+//kjoinlint:durable
 type WAL struct {
 	fs     fault.FS
 	dir    string
 	policy Policy
 	batch  time.Duration
 
+	//kjoinlint:lockorder rank=40
 	mu        sync.Mutex
 	f         fault.File // guarded by mu: current segment, open for append
 	segs      []segment  // guarded by mu: all segments, oldest first
@@ -104,6 +107,7 @@ type WAL struct {
 	buf       []byte     // guarded by mu: record encoding scratch
 
 	// syncMu serializes fsyncs; holding it is group-commit leadership.
+	//kjoinlint:lockorder rank=30
 	syncMu sync.Mutex
 	synced atomic.Uint64 // highest sequence known durable
 }
@@ -221,7 +225,7 @@ func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, tokens
 		}
 		st, err := fsys.Stat(dir + "/" + last.name)
 		if err != nil {
-			f.Close()
+			_ = f.Close() // open already failed overall; the stat error is the one to report
 			return nil, fmt.Errorf("wal: stat %s: %w", last.name, err)
 		}
 		w.f = f
@@ -236,6 +240,7 @@ func readFileFS(fsys fault.FS, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	//kjoinlint:ignore syncerr read-only open; a close failure cannot lose data
 	defer f.Close()
 	return io.ReadAll(f)
 }
@@ -261,6 +266,8 @@ func (w *WAL) createSegmentLocked(seq uint64) error {
 // Sync(seq) before acknowledging. On a write failure the log rolls back
 // to its last durable offset and poisons itself: the failed record and
 // everything after it will not survive, and later Appends fail fast.
+//
+//kjoinlint:ackorder append
 func (w *WAL) Append(tokens []string) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -284,6 +291,8 @@ func (w *WAL) Append(tokens []string) (uint64, error) {
 // Concurrent callers group-commit: one fsync covers all records written
 // before it, and callers whose records are already covered return
 // without touching the disk.
+//
+//kjoinlint:ackorder barrier
 func (w *WAL) Sync(seq uint64) error {
 	if w.synced.Load() >= seq {
 		return nil // already covered by an earlier group commit
