@@ -107,7 +107,7 @@ func (s *Server) Recover(d Durability) error {
 				continue
 			}
 			m, perr := core.PeekSnapshotMeta(f)
-			f.Close()
+			_ = f.Close() // read-only; nothing written that a close could lose
 			if perr != nil {
 				logf("recovery: generation %s header corrupt (%v); ignored for the compaction floor", gn, perr)
 				continue
@@ -138,7 +138,7 @@ func (s *Server) Recover(d Durability) error {
 		return fmt.Errorf("server: open wal: %w", err)
 	}
 	if w.LastSeq() < base {
-		w.Close()
+		_ = w.Close() // recovery already failed; the open error is the one to report
 		return fmt.Errorf("server: wal ends at seq %d but snapshot %s covers seq %d: log truncated or deleted out-of-band", w.LastSeq(), name, base)
 	}
 	// The log's numbering can outrun its records: compaction leaves a
@@ -148,7 +148,7 @@ func (s *Server) Recover(d Durability) error {
 	// does not, acknowledged adds are unrecoverable, and recovery must
 	// say so instead of silently serving a shorter index.
 	if tail := w.LastSeq(); tail > base && tail > maxRec {
-		w.Close()
+		_ = w.Close() // recovery already failed; the gap error is the one to report
 		return fmt.Errorf("server: wal numbering reaches seq %d but its records end at seq %d and snapshot %s covers only seq %d: acknowledged adds were compacted away", tail, maxRec, name, base)
 	}
 	logf("recovery: replayed %d wal record(s); index at %d objects, wal seq %d", replayed, ix.Len(), ix.WALSeq())

@@ -323,6 +323,13 @@ func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 // It returns the buffer and the WAL sequence the snapshot covers.
 // Followers also use it to persist their local catch-up snapshots
 // (where no WAL is configured and the sync is a no-op).
+//
+// The barrier role is declared by contract rather than derived: the
+// sync is conditional on a WAL being configured, and when there is
+// none, a successful return still means "everything this snapshot
+// covers is as durable as the log can make it".
+//
+//kjoinlint:ackorder barrier
 func (s *Server) SnapshotBuffer() (*bytes.Buffer, uint64, error) {
 	var buf bytes.Buffer
 	s.mu.RLock()

@@ -96,6 +96,7 @@ func (c Config) withDefaults() Config {
 // stats share the read lock, so queries proceed concurrently and are
 // never serialized behind one another.
 type Server struct {
+	//kjoinlint:lockorder rank=20
 	mu  sync.RWMutex
 	h   *hierarchy.Hierarchy
 	opt core.Options
@@ -130,6 +131,7 @@ type Server struct {
 	replica *replicaState
 
 	// snapMu serializes snapshot generations against each other.
+	//kjoinlint:lockorder rank=10
 	snapMu sync.Mutex
 	// snapSeqs holds the WAL sequence of each retained snapshot
 	// generation, oldest first — the WAL may only be compacted up to
@@ -496,6 +498,10 @@ func (s *Server) opError(w http.ResponseWriter, code string, err error) {
 	}
 }
 
+// writeJSON writes the success response. ackorder proves no handler
+// reaches it with an unsynced WAL append pending.
+//
+//kjoinlint:ackorder ack
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
