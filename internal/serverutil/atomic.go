@@ -37,7 +37,7 @@ func WriteFileAtomicFS(fsys fault.FS, path string, write func(w io.Writer) error
 	tmpName := tmp.Name()
 	defer func() {
 		if err != nil {
-			tmp.Close()
+			_ = tmp.Close() // best-effort cleanup; err already carries the failure
 			fsys.Remove(tmpName)
 		}
 	}()
