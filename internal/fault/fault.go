@@ -21,6 +21,8 @@ import (
 
 // File is the open-file surface the durability layer uses. *os.File
 // satisfies it directly.
+//
+//kjoinlint:durable
 type File interface {
 	io.Reader
 	io.Writer

@@ -115,10 +115,10 @@ type Injector struct {
 	inner FS
 
 	mu      sync.Mutex
-	crashed bool           // guarded by mu
-	counts  map[Op]int     // guarded by mu
-	script  []Fault        // guarded by mu
-	fired   int            // guarded by mu
+	crashed bool             // guarded by mu
+	counts  map[Op]int       // guarded by mu
+	script  []Fault          // guarded by mu
+	fired   int              // guarded by mu
 	dirty   map[string]int64 // guarded by mu: path → synced size, for files with unsynced bytes
 }
 
@@ -389,7 +389,7 @@ func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
 		case CrashAfter:
 			tf, terr := in.inner.CreateTemp(dir, pattern)
 			if terr == nil {
-				tf.Close()
+				_ = tf.Close() // nothing written; the file exists only to be swept
 				// The empty temp file exists (its dir entry may or may
 				// not survive a real crash; keeping it exercises the
 				// stale-temp sweep).
