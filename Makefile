@@ -14,7 +14,9 @@ FUZZ_TARGETS = \
 	./internal/wal,FuzzWALReplay \
 	./internal/wal,FuzzWALStream
 
-.PHONY: all build test lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke
+# bin/kjoin-lint is declared phony so `go build` (itself incremental)
+# decides staleness, not make.
+.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke
 
 all: build lint test
 
@@ -24,10 +26,31 @@ build:
 test:
 	$(GO) test ./...
 
+# test-race is the CI test job: the whole suite under the race detector.
+test-race:
+	$(GO) test -race ./...
+
 # lint runs go vet plus the project's own invariant analyzers
-# (cmd/kjoin-lint): lockcheck, ctxpoll, floateq, maporder, errform.
-lint: vet
-	$(GO) run ./cmd/kjoin-lint ./...
+# (cmd/kjoin-lint): lockcheck, ctxpoll, floateq, maporder, errform,
+# lockorder, ackorder, syncerr, goleak. The driver is built once so the
+# module-wide pass (which loads every package for facts) isn't paying a
+# `go run` rebuild on top.
+lint: vet bin/kjoin-lint
+	./bin/kjoin-lint ./...
+
+# lint-self runs the analyzers over the analysis framework itself —
+# the linter must hold its own invariants.
+lint-self: bin/kjoin-lint
+	./bin/kjoin-lint ./internal/analysis/...
+
+bin/kjoin-lint:
+	$(GO) build -o bin/kjoin-lint ./cmd/kjoin-lint
+
+# analysis-test runs the analyzer framework and analyzer suites
+# uncached: analysistest fixtures live on disk and a stale cache can
+# mask testdata edits.
+analysis-test:
+	$(GO) test -count=1 ./internal/analysis/...
 
 vet:
 	$(GO) vet ./...
