@@ -16,7 +16,7 @@ FUZZ_TARGETS = \
 
 # bin/kjoin-lint is declared phony so `go build` (itself incremental)
 # decides staleness, not make.
-.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke
+.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke segment-smoke
 
 all: build lint test
 
@@ -100,8 +100,20 @@ bench-json:
 # perf-smoke is the CI-sized performance gate: the allocation-regression
 # tests (steady-state verification must stay at zero allocs per pair)
 # plus one iteration of each hot benchmark to catch bit-rot in the bench
-# code itself.
+# code itself. MixedAddQuery covers the segmented engine's concurrent
+# add/query path.
 perf-smoke:
 	$(GO) test ./internal/verify/ -run 'ZeroAlloc' -count=1
-	$(GO) test -bench 'SelfJoinPOI|Similarity' -benchtime=1x -benchmem -run='^$$' .
+	$(GO) test -bench 'SelfJoinPOI|Similarity|MixedAddQuery' -benchtime=1x -benchmem -run='^$$' .
 	$(GO) test -bench . -benchtime=1x -benchmem -run='^$$' ./internal/verify/ ./internal/sig/
+
+# segment-smoke runs the segmented-engine proofs under the race
+# detector: the concurrent Add/Seal/Merge/RunQuery stress, the
+# differential bit-identity suite against the single-structure path,
+# the merge-policy/confluence units, the snapshot-v3 layout round-trip,
+# and the WAL seal-record recovery layout test.
+segment-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestSegmented|TestSnapshotV3|TestMerge|TestIndexer|TestParallelJoinBitIdentical' \
+		./internal/core/
+	$(GO) test -race -count=1 -run 'TestRecoverySegmentLayoutFromSealRecords' ./internal/server/

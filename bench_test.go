@@ -10,8 +10,13 @@
 package kjoin_test
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"kjoin"
 	"kjoin/datasets"
@@ -115,5 +120,145 @@ func BenchmarkSimilarity(b *testing.B) {
 		if _, err := kjoin.Similarity(hr.H, c.Records[0], c.Records[1], opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMixedAddQuery measures the similarity-search latency of the
+// segmented engine under sustained write pressure, against an RWMutex
+// emulation of the pre-segmentation locking (queries shared one big
+// read-write lock with adds; each add holds it across the engine insert
+// plus a simulated 2ms WAL group commit, the server's durable-add
+// shape). One iteration runs both variants on an identical workload and
+// reports their query p50 as metrics; cmd/kjoin-bench -hotpath records
+// the full comparison in BENCH_hotpath.json.
+func BenchmarkMixedAddQuery(b *testing.B) {
+	const (
+		writers  = 2
+		queriers = 2
+		window   = 300 * time.Millisecond
+		commit   = 2 * time.Millisecond
+	)
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(1600))
+	preload, stream := c.Records[:800], c.Records[800:]
+	opt := kjoin.Defaults(0.8, 0.85)
+	opt.ComputeSims = false
+
+	run := func(lockfree bool) (float64, error) {
+		ix, err := kjoin.NewIndexer(hr.H, opt)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range preload {
+			if _, err := ix.Add(r); err != nil {
+				return 0, err
+			}
+		}
+		var queries [][]string
+		for i := 0; i < len(preload); i += 25 {
+			q := preload[i]
+			if len(q) > 3 {
+				q = q[:3]
+			}
+			queries = append(queries, q)
+		}
+
+		var mu sync.RWMutex
+		var wmu sync.Mutex
+		ctx := context.Background()
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		lats := make([][]time.Duration, queriers)
+		errs := make([]error, writers+queriers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(deadline); i += writers {
+					rec := append(append([]string(nil), stream[i%len(stream)]...), fmt.Sprintf("w%d", i))
+					if lockfree {
+						wmu.Lock()
+					} else {
+						mu.Lock()
+					}
+					_, err := ix.Add(rec)
+					if err == nil {
+						time.Sleep(commit)
+					}
+					if lockfree {
+						wmu.Unlock()
+					} else {
+						mu.Unlock()
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		for g := 0; g < queriers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline); i++ {
+					tokens := queries[(g+i)%len(queries)]
+					t0 := time.Now()
+					var err error
+					if lockfree {
+						var q *kjoin.PreparedQuery
+						if q, err = ix.PrepareQuery(tokens); err == nil {
+							_, err = ix.RunQuery(ctx, q)
+						}
+					} else {
+						mu.Lock()
+						q, perr := ix.PrepareQuery(tokens)
+						mu.Unlock()
+						err = perr
+						if err == nil {
+							mu.RLock()
+							_, err = ix.RunQuery(ctx, q)
+							mu.RUnlock()
+						}
+					}
+					if err != nil {
+						errs[writers+g] = err
+						return
+					}
+					lats[g] = append(lats[g], time.Since(t0))
+					time.Sleep(time.Millisecond)
+				}
+			}(g)
+		}
+		wg.Wait()
+		ix.WaitMerges()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		if len(all) == 0 {
+			return 0, nil
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return float64(all[len(all)/2]) / float64(time.Millisecond), nil
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segP50, err := run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rwP50, err := run(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(segP50, "p50-segmented-ms")
+		b.ReportMetric(rwP50, "p50-rwmutex-ms")
 	}
 }

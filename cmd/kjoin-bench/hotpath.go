@@ -12,14 +12,19 @@ package main
 // being measured, so the before/after comparison survives regeneration.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"kjoin"
 	"kjoin/datasets"
+	"kjoin/internal/core"
 )
 
 type hotpathResult struct {
@@ -34,6 +39,29 @@ type hotpathRun struct {
 	Scale      int             `json:"scale"`
 	GoVersion  string          `json:"go_version"`
 	Benchmarks []hotpathResult `json:"benchmarks"`
+	Mixed      *mixedRun       `json:"mixed,omitempty"`
+}
+
+// mixedEngine is one engine's side of the mixed add/query benchmark.
+type mixedEngine struct {
+	AddOps         int     `json:"add_ops"`
+	AddOpsPerSec   float64 `json:"add_ops_per_sec"`
+	QueryOps       int     `json:"query_ops"`
+	QueryOpsPerSec float64 `json:"query_ops_per_sec"`
+	QueryP50Ms     float64 `json:"query_p50_ms"`
+	QueryP99Ms     float64 `json:"query_p99_ms"`
+}
+
+// mixedRun compares the segmented engine's lock-free read path against
+// an RWMutex emulation of the pre-segmentation engine (queries under a
+// read lock, adds under the write lock) on the same workload: writers
+// streaming adds while queriers hammer similarity searches.
+type mixedRun struct {
+	Writers     int         `json:"writers"`
+	Queriers    int         `json:"queriers"`
+	DurationSec float64     `json:"duration_sec"`
+	Segmented   mixedEngine `json:"segmented"`
+	RWMutex     mixedEngine `json:"rwmutex_baseline"`
 }
 
 type hotpathFile struct {
@@ -92,6 +120,205 @@ func hotpathBenchmarks(scale int) []struct {
 	}
 }
 
+// percentileMs returns the p-th percentile of the sorted latency set,
+// in milliseconds.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// mixedCommitLatency models the WAL group-commit fsync the server pays
+// inside its write critical section (Durability{Policy: SyncAlways} in
+// handleAdd): a few milliseconds on production disks. It is simulated
+// with a fixed sleep so the benchmark measures the locking architecture
+// rather than this machine's storage stack.
+const mixedCommitLatency = 2 * time.Millisecond
+
+// runMixedEngine drives one engine variant: writers stream durable adds
+// (engine insert + simulated WAL commit) while queriers run the
+// server's full query path, for dur. With lockfree, queries go straight
+// to the engine's epoch-pinned read path and only writers serialize on
+// the server mutex; otherwise queries share one RWMutex with the
+// writers the way the pre-segmentation server did.
+func runMixedEngine(hr *datasets.Hier, preload, stream [][]string, writers, queriers int, dur time.Duration, lockfree bool) (mixedEngine, error) {
+	opt := core.Defaults(0.8, 0.85)
+	opt.ComputeSims = false
+	ix, err := core.NewIndexer(hr.H, opt)
+	if err != nil {
+		return mixedEngine{}, err
+	}
+	for _, r := range preload {
+		if _, err := ix.Add(r); err != nil {
+			return mixedEngine{}, err
+		}
+	}
+	// Queries are lookup-shaped: short selective probes (a record's
+	// leading tokens) against the full collection — the similarity-search
+	// side of the service. Their service time is small and constant,
+	// which is exactly what exposes the coupling the old locking had:
+	// under the RWMutex discipline a cheap query still waits out the
+	// in-flight add, while the epoch-pinned path answers immediately.
+	var queries [][]string
+	for i := 0; i < len(preload); i += 1 + len(preload)/64 {
+		q := preload[i]
+		if len(q) > 3 {
+			q = q[:3]
+		}
+		queries = append(queries, q)
+	}
+
+	var mu sync.RWMutex // pre-segmentation server lock: adds and queries
+	var wmu sync.Mutex  // segmented server lock: writers only
+	ctx := context.Background()
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	addCounts := make([]int, writers)
+	lats := make([][]time.Duration, queriers)
+	errc := make(chan error, writers+queriers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i += writers {
+				// Writers must stay busy for the whole window — the
+				// benchmark measures query latency under sustained write
+				// pressure. Past the end of the stream, re-issue records
+				// with a distinguishing token so objects stay unique.
+				rec := stream[i%len(stream)]
+				if i >= len(stream) {
+					rec = append(append([]string(nil), rec...), fmt.Sprintf("pass%d", i/len(stream)))
+				}
+				// The server holds its write lock across the engine add
+				// AND the WAL commit (the add is only acknowledged
+				// durable). Both variants pay the same commit latency;
+				// they differ in who else waits on the lock.
+				if lockfree {
+					wmu.Lock()
+				} else {
+					mu.Lock()
+				}
+				_, err := ix.Add(rec)
+				if err == nil {
+					time.Sleep(mixedCommitLatency)
+				}
+				if lockfree {
+					wmu.Unlock()
+				} else {
+					mu.Unlock()
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				addCounts[w]++
+			}
+		}(w)
+	}
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One query is the server's full /query path: prepare, then
+			// run. The baseline reproduces the pre-segmentation locking
+			// verbatim — PrepareQuery mutated shared caches and needed
+			// the write lock, RunQuery ran under the read lock.
+			for i := 0; time.Now().Before(deadline); i++ {
+				tokens := queries[(g+i)%len(queries)]
+				t0 := time.Now()
+				var err error
+				if lockfree {
+					var q *core.PreparedQuery
+					if q, err = ix.PrepareQuery(tokens); err == nil {
+						_, err = ix.RunQuery(ctx, q)
+					}
+				} else {
+					mu.Lock()
+					q, perr := ix.PrepareQuery(tokens)
+					mu.Unlock()
+					err = perr
+					if err == nil {
+						mu.RLock()
+						_, err = ix.RunQuery(ctx, q)
+						mu.RUnlock()
+					}
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				lats[g] = append(lats[g], time.Since(t0))
+				// Think time: queriers model clients issuing requests,
+				// not a closed busy-loop that would starve the writers
+				// of CPU and measure scheduler pressure instead of lock
+				// architecture.
+				time.Sleep(time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ix.WaitMerges()
+	close(errc)
+	for err := range errc {
+		return mixedEngine{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if os.Getenv("KJOIN_MIXED_DEBUG") != "" {
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+			fmt.Fprintf(os.Stderr, "  lockfree=%v p%02.0f %.3fms\n", lockfree, p*100, percentileMs(all, p))
+		}
+	}
+	adds := 0
+	for _, n := range addCounts {
+		adds += n
+	}
+	sec := dur.Seconds()
+	return mixedEngine{
+		AddOps:         adds,
+		AddOpsPerSec:   float64(adds) / sec,
+		QueryOps:       len(all),
+		QueryOpsPerSec: float64(len(all)) / sec,
+		QueryP50Ms:     percentileMs(all, 0.50),
+		QueryP99Ms:     percentileMs(all, 0.99),
+	}, nil
+}
+
+// runMixed measures both engine variants on an identical workload.
+func runMixed(scale int) (*mixedRun, error) {
+	const (
+		writers  = 4
+		queriers = 4
+		dur      = 1500 * time.Millisecond
+	)
+	hr := datasets.GenHierarchy(datasets.DefaultHierarchy())
+	c := datasets.GenRecords(hr, datasets.POIConfig(2*scale))
+	preload, stream := c.Records[:scale], c.Records[scale:]
+
+	seg, err := runMixedEngine(hr, preload, stream, writers, queriers, dur, true)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := runMixedEngine(hr, preload, stream, writers, queriers, dur, false)
+	if err != nil {
+		return nil, err
+	}
+	return &mixedRun{
+		Writers:     writers,
+		Queriers:    queriers,
+		DurationSec: dur.Seconds(),
+		Segmented:   seg,
+		RWMutex:     rw,
+	}, nil
+}
+
 // runHotpath measures the hot paths and writes (or updates) the JSON
 // report at path. With asBaseline the run is stored under "baseline",
 // otherwise under "current"; the other section is preserved if the file
@@ -110,6 +337,15 @@ func runHotpath(path string, scale int, asBaseline bool) error {
 		fmt.Fprintf(os.Stderr, "%-12s %d iters  %.0f ns/op  %d B/op  %d allocs/op\n",
 			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	mixed, err := runMixed(scale)
+	if err != nil {
+		return err
+	}
+	run.Mixed = mixed
+	fmt.Fprintf(os.Stderr, "MixedAddQuery (%dw+%dq) segmented: %.0f adds/s %.0f queries/s p50 %.3fms p99 %.3fms | rwmutex: %.0f adds/s %.0f queries/s p50 %.3fms p99 %.3fms\n",
+		mixed.Writers, mixed.Queriers,
+		mixed.Segmented.AddOpsPerSec, mixed.Segmented.QueryOpsPerSec, mixed.Segmented.QueryP50Ms, mixed.Segmented.QueryP99Ms,
+		mixed.RWMutex.AddOpsPerSec, mixed.RWMutex.QueryOpsPerSec, mixed.RWMutex.QueryP50Ms, mixed.RWMutex.QueryP99Ms)
 
 	var out hotpathFile
 	if prev, err := os.ReadFile(path); err == nil {

@@ -60,6 +60,19 @@ type Options struct {
 	// ComputeSims fills Pair.Sim with the exact similarity of each
 	// result pair (a little extra work after verification).
 	ComputeSims bool
+	// SealEvery is the streaming Indexer's memtable capacity in objects:
+	// when an add would grow the memtable past it, the memtable is first
+	// sealed into an immutable segment (0 selects 256). Batch joins
+	// ignore it. It is an engine tuning knob, not part of the join
+	// semantics — query results are identical for any value.
+	SealEvery int
+	// SealAge, when positive, additionally seals a non-empty memtable at
+	// the first add after it has been open this long, bounding how stale
+	// the segmented read path's freshest segment can get under slow
+	// write rates. Zero disables age-based sealing. Age seals make the
+	// segment layout timing-dependent; layout-deterministic tests and
+	// replay leave it zero.
+	SealAge time.Duration
 	// Progress, when set, receives coarse phase notifications:
 	// ("resolve", 0, n), ("signatures", 0, n), ("index", 0, n), then
 	// ("probe", done, n) roughly every probeProgressStep objects per

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kjoin/internal/hierarchy"
@@ -26,39 +28,91 @@ import (
 // exactly the same join result — candidate counts are merely less
 // optimized than the offline df order.
 //
-// An Indexer is not safe for unsynchronized concurrent use. Mutating
-// calls (Add, AddCtx, PrepareQuery, Query, QueryCtx) require exclusive
-// access; the read-only calls RunQuery, WriteSnapshot, Len and Stats may
-// run concurrently with each other provided no mutating call is in
-// flight — the split that lets a server run queries under a shared
-// (read) lock.
+// Internally the Indexer is an LSM-style segmented engine: adds land in
+// a small mutable memtable (under mu), which is sealed into an immutable
+// segment at Options.SealEvery objects, and a background merger compacts
+// segments toward a strictly-decreasing-size layout. Readers never take
+// mu: every mutation publishes an immutable view (segment list, memtable
+// prefix, counters) through an atomic pointer, and RunQuery, Len, Stats,
+// WALSeq, SegmentSizes, SegmentStats and Pin work entirely off a loaded
+// view. PrepareQuery synchronizes internally (prepMu). The segment
+// layout never influences results: candidate sets are unions over
+// disjoint id ranges and are verified in ascending id order regardless
+// of which segment supplied them.
+//
+// Concurrency contract: Add/AddCtx/Query/QueryCtx serialize internally
+// on mu and may be called concurrently with everything; PrepareQuery and
+// all read-only calls are safe from any number of goroutines at once.
 type Indexer struct {
+	// j holds the shared preprocessing and verification state. It is
+	// dual-protected: the resolution/signature caches and arenas are
+	// mutated only under prepMu, while the statistics (j.st) and
+	// verification context scratch (j.ctx) are mutated only under mu.
+	// (Annotating a single guard here would be wrong, so the split is
+	// enforced by review rather than kjoinlint.)
 	j     *joiner
 	order *sig.Order
-	ix    *index.Inverted
-	objs  []prepped
-	// seen stamps the last probe (by stamp value) that visited each
-	// indexed object, deduplicating candidates across an object's prefix
-	// signatures. Stamps are drawn from a monotonic counter rather than
-	// the object id so that a cancelled Add can never leave stamps a
-	// later Add would mistake for its own.
-	seen  []int64
-	stamp int64
+
+	// prepMu guards object preprocessing: token interning, lazy
+	// resolution, signature generation, and the prep scratch below.
+	// Preprocessed state becomes visible to lock-free readers through
+	// the published cache snapshots (elem.Resolver.Publish,
+	// sig.Space.Publish) stored before prepMu is released.
+	//kjoinlint:lockorder rank=26
+	prepMu sync.Mutex
 	// sigSeen stamps prefix signatures during prepObject (the epoch-table
 	// form of the per-Add dedup map), keyed by signature id.
-	sigSeen  []int64
-	sigStamp int64
+	sigSeen  []int64 // guarded by prepMu
+	sigStamp int64   // guarded by prepMu
 	// entryBuf is the reusable signature-entry buffer of prepObject
 	// (entries are transient — only the derived prefix is retained), and
-	// ps the matching prefix-computation scratch. Both rely on the
-	// exclusive access prepObject already requires.
-	entryBuf []sig.Entry
-	ps       sig.PrefixScratch
+	// ps the matching prefix-computation scratch.
+	entryBuf []sig.Entry       // guarded by prepMu
+	ps       sig.PrefixScratch // guarded by prepMu
+
+	// mu guards the engine: the segment list, the memtable, the merger
+	// handle, the WAL position and the statistics. Writers hold it for
+	// the probe+commit of an add; readers never take it.
+	//kjoinlint:lockorder rank=24
+	mu   sync.Mutex
+	segs []*segment // guarded by mu; elements immutable once listed
+	mem  *memtable  // guarded by mu
+	// memInv is the writer-private inverted index over the memtable
+	// (global ids): the add probe uses it, and a seal adopts it as the
+	// new segment's index. Lock-free readers scan the published memtable
+	// prefix instead.
+	memInv   *index.Inverted // guarded by mu
+	memBirth time.Time       // guarded by mu: first insert into current memtable
+	// seen stamps the last probe (by stamp value) that visited each
+	// object (global id), deduplicating candidates across an object's
+	// prefix signatures and across segments. Stamps are drawn from a
+	// monotonic counter rather than the object id so that a cancelled
+	// Add can never leave stamps a later Add would mistake for its own.
+	seen    []int64 // guarded by mu
+	stamp   int64   // guarded by mu
+	candBuf []int32 // guarded by mu: reusable candidate id buffer
 	// walSeq is the last write-ahead-log sequence reflected in the
 	// index (see SetWALSeq/ApplyLogged); it travels inside snapshots so
-	// recovery knows where replay resumes. Mutated only by the
-	// exclusive-access calls, like everything above.
-	walSeq uint64
+	// recovery knows where replay resumes.
+	walSeq uint64 // guarded by mu
+	// sealLog, when installed, appends a seal record to the WAL right
+	// before a live seal mutates the engine (see SetSealLogger).
+	sealLog    func() (uint64, error) // guarded by mu
+	sealTotal  uint64                 // guarded by mu
+	mergeTotal uint64                 // guarded by mu
+	// mergeCh is non-nil while a background merger goroutine runs; it is
+	// closed when the merger exits (WaitMerges blocks on it).
+	mergeCh chan struct{} // guarded by mu
+
+	// loadLayout suppresses count-based auto-seals while a v3 snapshot
+	// load reproduces a recorded segment layout. Set only during the
+	// single-threaded load, before any concurrent use.
+	loadLayout bool
+
+	// view is the atomically published engine epoch lock-free readers
+	// pin. Stored only by publishLocked (under mu); loaded anywhere.
+	view atomic.Pointer[view]
+
 	// vpool holds per-query verify.Context clones: RunQuery may run from
 	// many goroutines at once, and each clone owns the mutable Scratch
 	// that makes steady-state verification allocation-free.
@@ -74,25 +128,62 @@ func NewIndexer(h *hierarchy.Hierarchy, opt Options) (*Indexer, error) {
 		return nil, err
 	}
 	j := newJoiner(h, opt)
+	// Materialize j.ctx's scratch now: vpool.New clones the context from
+	// query goroutines, and Clone must never race a lazy first-use
+	// scratch write on the original.
+	j.ctx.Prime()
 	ix := &Indexer{
-		j:     j,
-		order: sig.BuildOrder(nil), // empty df: order degrades to signature id
-		ix:    index.New(),
+		j:      j,
+		order:  sig.BuildOrder(nil), // empty df: order degrades to signature id
+		mem:    &memtable{},
+		memInv: index.New(),
 	}
 	ix.vpool.New = func() any { return j.ctx.Clone() }
+	ix.mu.Lock()
+	ix.publishLocked()
+	ix.mu.Unlock()
 	return ix, nil
 }
 
-// Len returns the number of indexed objects.
-func (ix *Indexer) Len() int { return len(ix.objs) }
+// publishLocked stores a fresh view of the engine for lock-free
+// readers. Caller holds mu and calls it after every mutation batch.
+func (ix *Indexer) publishLocked() {
+	v := &view{
+		segs:       ix.segs,
+		memBase:    ix.mem.base,
+		memObjs:    ix.mem.objs[:len(ix.mem.objs):len(ix.mem.objs)],
+		total:      ix.mem.base + len(ix.mem.objs),
+		walSeq:     ix.walSeq,
+		stats:      ix.j.st,
+		sealTotal:  ix.sealTotal,
+		mergeTotal: ix.mergeTotal,
+	}
+	ix.view.Store(v)
+}
 
-// Stats returns the accumulated statistics.
-func (ix *Indexer) Stats() Stats { return ix.j.st }
+// publishPrepLocked publishes the resolution and signature cache
+// snapshots for lock-free readers; the caller holds prepMu and has
+// fully preprocessed (resolved, signature-generated, group-keyed) every
+// element the snapshots cover.
+func (ix *Indexer) publishPrepLocked() {
+	ix.j.res.Publish()
+	ix.j.sp.Publish()
+}
+
+// Len returns the number of indexed objects. Safe to call concurrently
+// with anything.
+func (ix *Indexer) Len() int { return ix.view.Load().total }
+
+// Stats returns the accumulated statistics as of the last published
+// engine epoch. Safe to call concurrently with anything; counters
+// mutated by an add in flight (or a cancelled add) appear at the next
+// publish.
+func (ix *Indexer) Stats() Stats { return ix.view.Load().stats }
 
 // prepObject computes the preprocessed form of one tokenized object:
 // interned elements, sorted group keys and the deduplicated prefix under
 // the Indexer's fixed signature order. It mutates the shared resolution
-// and signature caches and therefore requires exclusive access. The
+// and signature caches: caller holds prepMu for the whole call. The
 // returned entry count feeds the SigEntries statistic (queries do not
 // count).
 func (ix *Indexer) prepObject(tokens []string) (prepped, int) {
@@ -122,6 +213,17 @@ func (ix *Indexer) prepObject(tokens []string) (prepped, int) {
 	return p, len(entries)
 }
 
+// prep preprocesses one object under prepMu and publishes the cache
+// snapshots before releasing it, so the returned prepped object is
+// fully servable to lock-free readers.
+func (ix *Indexer) prep(tokens []string) (prepped, int) {
+	ix.prepMu.Lock()
+	defer ix.prepMu.Unlock()
+	p, n := ix.prepObject(tokens)
+	ix.publishPrepLocked()
+	return p, n
+}
+
 // Add indexes the tokenized object and returns the pairs (i, Len()-1)
 // for every previously added object i similar to it. The returned pair
 // indices refer to insertion order.
@@ -132,7 +234,7 @@ func (ix *Indexer) Add(tokens []string) ([]Pair, error) {
 
 // AddCtx is Add under a cancellation context, returning the id assigned
 // to the object (its insertion index). A cancelled context aborts the
-// probe within one verification batch and leaves the Indexer exactly as
+// probe within one verification batch and leaves the index exactly as
 // it was — the object is not indexed. Structurally invalid objects
 // (empty token list, empty-string token) return an *InputError.
 func (ix *Indexer) AddCtx(ctx context.Context, tokens []string) (int, []Pair, error) {
@@ -143,50 +245,108 @@ func (ix *Indexer) AddCtx(ctx context.Context, tokens []string) (int, []Pair, er
 		return 0, nil, err
 	}
 	t0 := time.Now()
+	p, entries := ix.prep(tokens)
+	prepTime := time.Since(t0)
+
 	j := ix.j
-	id := len(ix.objs)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	j.st.SigEntries += int64(entries)
+	j.st.Preprocess += prepTime
+	id := ix.mem.base + len(ix.mem.objs)
 	if id > (1<<31)-2 {
 		return 0, nil, fmt.Errorf("kjoin: indexer is full")
 	}
-	p, entries := ix.prepObject(tokens)
-	j.st.SigEntries += int64(entries)
-	j.st.Preprocess += time.Since(t0)
 
-	// Probe: all prior objects sharing a prefix signature, deduplicated
-	// by stamping them with this probe's stamp value.
+	// Probe: all prior objects sharing a prefix signature, gathered from
+	// every segment plus the memtable's private index, deduplicated by
+	// stamping, then verified in ascending id order — the candidate set
+	// and the verification of each pair are independent of the segment
+	// layout, so results are bit-identical for any seal/merge schedule.
 	t1 := time.Now()
 	ix.stamp++
 	stamp := ix.stamp
-	var out []Pair
-	for _, s := range p.prefix {
-		for _, y := range ix.ix.Postings(s) {
-			if ix.seen[y] == stamp {
-				continue
-			}
-			ix.seen[y] = stamp
-			j.st.Candidates++
-			if j.st.Candidates%cancelCheckEvery == 0 && ctx.Err() != nil {
-				j.st.Probe += time.Since(t1)
-				return 0, nil, ctx.Err()
-			}
-			tv := time.Now()
-			ok := j.ctx.VerifyKeyed(p.elems, ix.objs[y].elems, p.keys, ix.objs[y].keys, j.opt.Verifier, &j.st.Verify)
-			j.st.VerifyTime += time.Since(tv)
-			if ok {
-				pair := Pair{X: int(y), Y: id}
-				if j.opt.ComputeSims {
-					pair.Sim = j.ctx.Similarity(p.elems, ix.objs[y].elems)
+	cands := ix.candBuf[:0]
+	for _, seg := range ix.segs {
+		if err := ctx.Err(); err != nil {
+			j.st.Probe += time.Since(t1)
+			return 0, nil, err
+		}
+		for _, s := range p.prefix {
+			for _, y := range seg.inv.Postings(s) {
+				if ix.seen[y] != stamp {
+					ix.seen[y] = stamp
+					cands = append(cands, y)
 				}
-				out = append(out, pair)
 			}
 		}
 	}
-	ix.ix.AddAll(p.prefix, int32(id))
-	ix.objs = append(ix.objs, p)
-	ix.seen = append(ix.seen, 0)
-	j.st.Objects = len(ix.objs)
+	for _, s := range p.prefix {
+		if err := ctx.Err(); err != nil {
+			j.st.Probe += time.Since(t1)
+			return 0, nil, err
+		}
+		for _, y := range ix.memInv.Postings(s) {
+			if ix.seen[y] != stamp {
+				ix.seen[y] = stamp
+				cands = append(cands, y)
+			}
+		}
+	}
+	slices.Sort(cands)
+	ix.candBuf = cands
+	var out []Pair
+	for _, y := range cands {
+		j.st.Candidates++
+		if j.st.Candidates%cancelCheckEvery == 0 && ctx.Err() != nil {
+			j.st.Probe += time.Since(t1)
+			return 0, nil, ctx.Err()
+		}
+		oy := ix.objLocked(int(y))
+		tv := time.Now()
+		ok := j.ctx.VerifyKeyed(p.elems, oy.elems, p.keys, oy.keys, j.opt.Verifier, &j.st.Verify)
+		j.st.VerifyTime += time.Since(tv)
+		if ok {
+			pair := Pair{X: int(y), Y: id}
+			if j.opt.ComputeSims {
+				pair.Sim = j.ctx.Similarity(p.elems, oy.elems)
+			}
+			out = append(out, pair)
+		}
+	}
+
+	// Commit: seal first if this insert would overflow the memtable (the
+	// seal record must hit the WAL before the layout changes — a failed
+	// append aborts the add with the engine untouched), then insert and
+	// publish the new epoch.
+	if ix.sealDueLocked() {
+		if err := ix.logSealLocked(); err != nil {
+			j.st.Probe += time.Since(t1)
+			return 0, nil, err
+		}
+		ix.sealLocked()
+		if ch := ix.maybeMergeLocked(); ch != nil {
+			go ix.mergeLoop(ch)
+		}
+	}
+	ix.insertLocked(p)
 	j.st.Probe += time.Since(t1)
+	ix.publishLocked()
 	return id, out, nil
+}
+
+// objLocked returns the object with the given global id; ids must be
+// in range. Caller holds mu.
+func (ix *Indexer) objLocked(id int) *prepped {
+	if id >= ix.mem.base {
+		return &ix.mem.objs[id-ix.mem.base]
+	}
+	for _, s := range ix.segs {
+		if id < s.base+len(s.objs) {
+			return &s.objs[id-s.base]
+		}
+	}
+	panic("kjoin: object id outside engine")
 }
 
 // Match is one similarity-search result: the insertion index of a
@@ -203,53 +363,87 @@ type PreparedQuery struct {
 }
 
 // PrepareQuery resolves and preprocesses a query object without probing
-// the index. It mutates the Indexer's shared caches (token interning,
-// lazy resolution, signature generation) and therefore requires the same
-// exclusive access as Add — but it is cheap (proportional to the query's
-// tokens), whereas the probe it prepares for is the expensive part and
-// runs read-only in RunQuery.
+// the index. It synchronizes internally (the shared token-interning,
+// resolution and signature caches are guarded by their own short lock),
+// so any number of PrepareQuery calls may run concurrently with each
+// other, with adds, and with queries — the server's query path takes no
+// lock at all. It is cheap (proportional to the query's tokens); the
+// probe it prepares for is the expensive part and runs lock-free in
+// RunQuery.
 func (ix *Indexer) PrepareQuery(tokens []string) (*PreparedQuery, error) {
 	if err := validateTokens(tokens); err != nil {
 		return nil, err
 	}
-	p, _ := ix.prepObject(tokens)
+	p, _ := ix.prep(tokens)
 	return &PreparedQuery{p: p}, nil
 }
 
 // RunQuery probes the index with a prepared query and reports the
-// indexed objects similar to it. It reads only state that PrepareQuery
-// and earlier Adds fully materialized, so any number of RunQuery calls
-// (and WriteSnapshot, Len, Stats) may run concurrently — only mutating
-// calls must be excluded. A cancelled context aborts the probe within
-// one verification batch.
+// indexed objects similar to it, in ascending index order. It pins the
+// current engine epoch with one atomic load and takes no locks: any
+// number of RunQuery calls may run concurrently with each other and
+// with adds, seals and merges. A cancelled context aborts the probe
+// within one verification batch.
 func (ix *Indexer) RunQuery(ctx context.Context, q *PreparedQuery) ([]Match, error) {
 	j := ix.j
+	v := ix.view.Load()
 	// Borrow a verify context: its scratch makes per-candidate
 	// verification allocation-free, and pooling amortizes the scratch
 	// (and its warmed tables) across queries.
 	vctx := ix.vpool.Get().(*verify.Context)
 	defer ix.vpool.Put(vctx)
+
+	// Gather candidates from the immutable segments' inverted indexes,
+	// then scan the memtable prefix for shared prefix signatures (the
+	// memtable's index is writer-private). Ids are disjoint across
+	// segments and the memtable; the map dedups within a segment across
+	// the query's prefix signatures.
+	var cands []int32
 	seen := make(map[int32]bool)
+	for _, seg := range v.segs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, s := range q.p.prefix {
+			for _, y := range seg.inv.Postings(s) {
+				if !seen[y] {
+					seen[y] = true
+					cands = append(cands, y)
+				}
+			}
+		}
+	}
+	if len(v.memObjs) > 0 {
+		qsig := make(map[int32]bool, len(q.p.prefix))
+		for _, s := range q.p.prefix {
+			qsig[s] = true
+		}
+		for i := range v.memObjs {
+			for _, s := range v.memObjs[i].prefix {
+				if qsig[s] {
+					cands = append(cands, int32(v.memBase+i))
+					break
+				}
+			}
+		}
+	}
+	slices.Sort(cands)
+
 	var out []Match
 	var st Stats
 	var checked int64
-	for _, s := range q.p.prefix {
-		for _, y := range ix.ix.Postings(s) {
-			if seen[y] {
-				continue
+	for _, y := range cands {
+		checked++
+		if checked%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		oy := v.objAt(int(y))
+		if vctx.VerifyKeyed(q.p.elems, oy.elems, q.p.keys, oy.keys, j.opt.Verifier, &st.Verify) {
+			m := Match{Index: int(y)}
+			if j.opt.ComputeSims {
+				m.Sim = vctx.Similarity(q.p.elems, oy.elems)
 			}
-			seen[y] = true
-			checked++
-			if checked%cancelCheckEvery == 0 && ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			if vctx.VerifyKeyed(q.p.elems, ix.objs[y].elems, q.p.keys, ix.objs[y].keys, j.opt.Verifier, &st.Verify) {
-				m := Match{Index: int(y)}
-				if j.opt.ComputeSims {
-					m.Sim = vctx.Similarity(q.p.elems, ix.objs[y].elems)
-				}
-				out = append(out, m)
-			}
+			out = append(out, m)
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -266,8 +460,8 @@ func (ix *Indexer) Query(tokens []string) ([]Match, error) {
 }
 
 // QueryCtx is Query under a cancellation context: PrepareQuery followed
-// by RunQuery. Callers that hold their own locks (like the HTTP server)
-// call the two phases directly so the probe runs under a shared lock.
+// by RunQuery. Both phases synchronize internally, so QueryCtx is safe
+// from any goroutine without external locking.
 func (ix *Indexer) QueryCtx(ctx context.Context, tokens []string) ([]Match, error) {
 	q, err := ix.PrepareQuery(tokens)
 	if err != nil {

@@ -1,0 +1,73 @@
+package core
+
+import "kjoin/internal/index"
+
+// segment is one immutable unit of the segmented index engine: a
+// contiguous run of objects (global ids [base, base+len(objs))) with
+// their inverted prefix index prebuilt. Once constructed a segment is
+// never mutated — readers probe it without synchronization, and the
+// merger replaces pairs of segments with freshly built ones instead of
+// editing them in place.
+type segment struct {
+	base int       // global id of objs[0]
+	objs []prepped // the segment's objects, in insertion order
+	inv  *index.Inverted
+}
+
+// newSegment builds a segment over objs starting at global id base,
+// constructing its inverted index (postings carry global object ids,
+// ascending — objs are added in insertion order).
+func newSegment(base int, objs []prepped) *segment {
+	inv := index.New()
+	for i := range objs {
+		inv.AddAll(objs[i].prefix, int32(base+i))
+	}
+	return &segment{base: base, objs: objs, inv: inv}
+}
+
+// mergeSegments combines two adjacent segments (b immediately follows
+// a) into one. Merging rebuilds the inverted index from the
+// concatenated object runs rather than splicing posting lists: the
+// result is byte-for-byte the segment a single seal over the combined
+// run would have produced, so segment layout can never influence
+// candidate sets or map iteration order.
+func mergeSegments(a, b *segment) *segment {
+	objs := make([]prepped, 0, len(a.objs)+len(b.objs))
+	objs = append(objs, a.objs...)
+	objs = append(objs, b.objs...)
+	return newSegment(a.base, objs)
+}
+
+// view is one epoch of the engine: an immutable snapshot of the segment
+// list, the memtable's published prefix, and the scalar state a reader
+// may need, published as a unit through Indexer.view. Readers load the
+// pointer once and work off the copy; writers build a new view under
+// ix.mu and store it (copy-on-write). The slices alias the writer's —
+// safe because the writer only ever appends past the published length
+// (seals append segments on the right, adds append memtable objects)
+// and the merger splices into a freshly allocated segs slice.
+type view struct {
+	segs       []*segment
+	memBase    int       // global id of memObjs[0]
+	memObjs    []prepped // published prefix of the memtable
+	total      int       // total objects: memBase + len(memObjs)
+	walSeq     uint64
+	stats      Stats
+	sealTotal  uint64
+	mergeTotal uint64
+}
+
+// objAt returns the object with the given global id within this view.
+// Ids must come from the view itself (its postings or its total);
+// anything else is a bug in the engine, not a caller error.
+func (v *view) objAt(id int) *prepped {
+	if id >= v.memBase {
+		return &v.memObjs[id-v.memBase]
+	}
+	for _, s := range v.segs {
+		if id < s.base+len(s.objs) {
+			return &s.objs[id-s.base]
+		}
+	}
+	panic("kjoin: object id outside pinned view")
+}

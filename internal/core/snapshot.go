@@ -6,6 +6,7 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"strconv"
 	"strings"
 
 	"kjoin/internal/hierarchy"
@@ -18,12 +19,18 @@ const snapshotMagic = "kjoin-indexer-snapshot"
 // added the walseq header field (the last write-ahead-log sequence the
 // snapshot covers), a CRC32C trailer over everything before it, and a
 // record count — so a truncated or bit-flipped snapshot is detected at
-// load instead of silently serving a shorter index. Version 1 snapshots
-// still load.
-const snapshotVersion = 2
+// load instead of silently serving a shorter index. Version 3 added the
+// segments line recording the engine's sealed-segment layout, so a load
+// reproduces the exact segment structure the snapshot pinned. Versions
+// 1 and 2 still load (their layout is rebuilt by the deterministic
+// count-based seal policy).
+const snapshotVersion = 3
 
-// snapshotTrailer heads the final line of a v2 snapshot.
+// snapshotTrailer heads the final line of a v2+ snapshot.
 const snapshotTrailer = "kjoin-snapshot-trailer"
+
+// snapshotSegments heads the v3 segment-layout line.
+const snapshotSegments = "kjoin-snapshot-segments"
 
 var snapCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -61,14 +68,47 @@ func (cw *crcLineWriter) WriteByte(b byte) error {
 	return cw.w.WriteByte(b)
 }
 
-// WriteSnapshot persists the Indexer's contents: a header recording the
+// PinnedView is one immutable epoch of the Indexer, pinned by Pin: the
+// segment layout, object count and WAL position it reports all belong
+// to the same atomically published engine state, and WriteSnapshot
+// serializes exactly that state no matter how many adds land after the
+// pin. All methods are safe from any goroutine.
+type PinnedView struct {
+	ix *Indexer
+	v  *view
+}
+
+// Pin captures the current engine epoch with one atomic load.
+func (ix *Indexer) Pin() *PinnedView {
+	return &PinnedView{ix: ix, v: ix.view.Load()}
+}
+
+// Objects returns the pinned object count.
+func (pv *PinnedView) Objects() int { return pv.v.total }
+
+// WALSeq returns the last write-ahead-log sequence the pinned state
+// reflects.
+func (pv *PinnedView) WALSeq() uint64 { return pv.v.walSeq }
+
+// SegmentSizes returns the pinned sealed-segment layout (object count
+// per segment, in order).
+func (pv *PinnedView) SegmentSizes() []int {
+	out := make([]int, len(pv.v.segs))
+	for i, s := range pv.v.segs {
+		out[i] = len(s.objs)
+	}
+	return out
+}
+
+// WriteSnapshot persists the pinned state: a header recording the
 // configuration fingerprint, object count and covered WAL sequence, the
-// tokenized objects in insertion order (one per line, tab-separated
-// tokens), and a trailer carrying the record count and a CRC32C of
-// everything before it. The format is plain text — derived state
-// (signatures, prefixes, inverted lists) is cheap to rebuild
-// deterministically and would multiply the format surface.
-func (ix *Indexer) WriteSnapshot(w io.Writer) error {
+// sealed-segment layout, the tokenized objects in insertion order (one
+// per line, tab-separated tokens), and a trailer carrying the record
+// count and a CRC32C of everything before it. The format is plain text
+// — derived state (signatures, prefixes, inverted lists) is cheap to
+// rebuild deterministically and would multiply the format surface.
+func (pv *PinnedView) WriteSnapshot(w io.Writer) error {
+	ix, v := pv.ix, pv.v
 	bw := bufio.NewWriter(w)
 	cw := &crcLineWriter{w: bw, crc: crc32.New(snapCastagnoli)}
 	opt := ix.j.opt
@@ -76,10 +116,16 @@ func (ix *Indexer) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	if _, err := fmt.Fprintf(cw, "delta=%g tau=%g metric=%v set=%v scheme=%v weighted=%v verifier=%v plus=%v objects=%d walseq=%d\n",
-		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, len(ix.objs), ix.walSeq); err != nil {
+		opt.Delta, opt.Tau, opt.Metric, opt.Set, opt.Scheme, opt.Weighted, opt.Verifier, opt.Plus, v.total, v.walSeq); err != nil {
 		return err
 	}
-	for _, o := range ix.objs {
+	if _, err := cw.WriteString(segmentsLine(pv.SegmentSizes())); err != nil {
+		return err
+	}
+	if err := cw.WriteByte('\n'); err != nil {
+		return err
+	}
+	writeObj := func(o *prepped) error {
 		for i, e := range o.elems {
 			if i > 0 {
 				if err := cw.WriteByte('\t'); err != nil {
@@ -90,14 +136,79 @@ func (ix *Indexer) WriteSnapshot(w io.Writer) error {
 				return err
 			}
 		}
-		if err := cw.WriteByte('\n'); err != nil {
+		return cw.WriteByte('\n')
+	}
+	for _, seg := range v.segs {
+		for i := range seg.objs {
+			if err := writeObj(&seg.objs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range v.memObjs {
+		if err := writeObj(&v.memObjs[i]); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(bw, "%s crc32c=%08x records=%d\n", snapshotTrailer, cw.crc.Sum32(), len(ix.objs)); err != nil {
+	if _, err := fmt.Fprintf(bw, "%s crc32c=%08x records=%d\n", snapshotTrailer, cw.crc.Sum32(), v.total); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// WriteSnapshot persists the Indexer's contents as of the current
+// engine epoch — Pin().WriteSnapshot(w). Callers that need the pinned
+// WAL sequence or layout alongside the bytes use Pin directly.
+func (ix *Indexer) WriteSnapshot(w io.Writer) error {
+	return ix.Pin().WriteSnapshot(w)
+}
+
+// segmentsLine renders the segment-layout line: comma-separated sizes,
+// or "-" for an empty layout.
+func segmentsLine(sizes []int) string {
+	var sb strings.Builder
+	sb.WriteString(snapshotSegments)
+	sb.WriteByte(' ')
+	if len(sizes) == 0 {
+		sb.WriteByte('-')
+		return sb.String()
+	}
+	for i, n := range sizes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(n))
+	}
+	return sb.String()
+}
+
+// parseSegmentsLine decodes the v3 segment-layout line and validates it
+// against the declared object count: sizes are positive and their sum
+// cannot exceed the objects the snapshot holds (the remainder is the
+// memtable).
+func parseSegmentsLine(line string, declared int) ([]int, error) {
+	rest, ok := strings.CutPrefix(line, snapshotSegments+" ")
+	if !ok {
+		return nil, fmt.Errorf("kjoin: snapshot: bad segments line %q", line)
+	}
+	if rest == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(rest, ",")
+	sizes := make([]int, len(parts))
+	sum := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("kjoin: snapshot: bad segment size %q", p)
+		}
+		sizes[i] = n
+		sum += n
+	}
+	if declared >= 0 && sum > declared {
+		return nil, fmt.Errorf("kjoin: snapshot: segment sizes sum to %d but header declares %d objects", sum, declared)
+	}
+	return sizes, nil
 }
 
 // LoadIndexer rebuilds an Indexer from a snapshot written by
@@ -122,7 +233,7 @@ func parseSnapshotHeader(magicLine, cfgLine string) (snapshotHeader, error) {
 	if _, err := fmt.Sscanf(magicLine, snapshotMagic+" %d", &hdr.version); err != nil {
 		return hdr, fmt.Errorf("kjoin: snapshot: bad magic line %q", magicLine)
 	}
-	if hdr.version != 1 && hdr.version != snapshotVersion {
+	if hdr.version < 1 || hdr.version > snapshotVersion {
 		return hdr, fmt.Errorf("kjoin: snapshot: unsupported version %d", hdr.version)
 	}
 	hdr.cfg = cfgLine
@@ -174,11 +285,14 @@ func PeekSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
 // (they are not serialized — the snapshot carries a fingerprint and
 // loading fails on a mismatch, preventing silent semantic drift).
 // Rebuilding skips the probe phase: objects are re-indexed without
-// re-reporting pairs.
+// re-reporting pairs. A v3 snapshot's recorded segment layout is
+// reproduced verbatim (seals at exactly the recorded boundaries, no
+// merging); older snapshots rebuild their layout through the
+// deterministic count-based seal policy.
 //
 // Loading is strict about integrity: the declared object count must
 // match the lines actually read (a snapshot truncated on a line
-// boundary fails instead of loading short), and a v2 snapshot must end
+// boundary fails instead of loading short), and a v2+ snapshot must end
 // with a trailer whose CRC32C matches the bytes read and whose record
 // count agrees with the header.
 func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer, SnapshotMeta, error) {
@@ -209,6 +323,27 @@ func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer
 	if hdr.cfg != wantCfg {
 		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: configuration mismatch:\n snapshot: %s\n  options: %s", hdr.cfg, wantCfg)
 	}
+	// A recorded layout overrides the count-based seal policy: seal at
+	// exactly the recorded cumulative boundaries and nowhere else.
+	var boundaries []int // cumulative object counts at which to seal
+	if version >= 3 {
+		if !sc.Scan() {
+			return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: missing segments line")
+		}
+		segLine := sc.Text()
+		hashLine(crc, segLine)
+		sizes, err := parseSegmentsLine(segLine, declared)
+		if err != nil {
+			return nil, SnapshotMeta{}, err
+		}
+		cum := 0
+		for _, n := range sizes {
+			cum += n
+			boundaries = append(boundaries, cum)
+		}
+		ix.loadLayout = true
+		defer func() { ix.loadLayout = false }()
+	}
 	sawTrailer := false
 	for sc.Scan() {
 		line := sc.Text()
@@ -238,6 +373,10 @@ func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer
 		if err := ix.addNoProbe(tokens); err != nil {
 			return nil, SnapshotMeta{}, err
 		}
+		if len(boundaries) > 0 && ix.Len() == boundaries[0] {
+			ix.sealBoundary()
+			boundaries = boundaries[1:]
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, SnapshotMeta{}, err
@@ -249,7 +388,10 @@ func LoadIndexerMeta(h *hierarchy.Hierarchy, opt Options, r io.Reader) (*Indexer
 		return nil, SnapshotMeta{}, fmt.Errorf("kjoin: snapshot: header says objects=%d but %d object lines read (truncated?)", declared, ix.Len())
 	}
 	meta.Objects = ix.Len()
+	ix.mu.Lock()
 	ix.walSeq = meta.WALSeq
+	ix.publishLocked()
+	ix.mu.Unlock()
 	return ix, meta, nil
 }
 
@@ -262,46 +404,99 @@ func hashLine(crc hash.Hash32, line string) {
 
 // WALSeq returns the last write-ahead-log sequence applied to this
 // Indexer (via ApplyLogged, SetWALSeq, or the snapshot it was loaded
-// from). Zero when no WAL is involved.
-func (ix *Indexer) WALSeq() uint64 { return ix.walSeq }
+// from). Zero when no WAL is involved. Safe to call concurrently with
+// anything (it reads the published view).
+func (ix *Indexer) WALSeq() uint64 { return ix.view.Load().walSeq }
 
 // SetWALSeq records that every WAL record up to and including seq is
 // reflected in the Indexer. The server calls it under the same lock
 // that ordered the corresponding Add.
-func (ix *Indexer) SetWALSeq(seq uint64) { ix.walSeq = seq }
+func (ix *Indexer) SetWALSeq(seq uint64) {
+	ix.mu.Lock()
+	ix.walSeq = seq
+	ix.publishLocked()
+	ix.mu.Unlock()
+}
 
-// ApplyLogged replays one write-ahead-log record: the object is indexed
-// without probing for pairs (they were already reported when the add
-// was acknowledged) and the Indexer's WAL position advances. Records
-// must arrive in contiguous sequence order — a gap means log segments
-// were lost and the recovered index would silently diverge, so it is an
-// error rather than a skip.
+// ApplyLogged replays one write-ahead-log add record: the object is
+// indexed without probing for pairs (they were already reported when
+// the add was acknowledged) and the Indexer's WAL position advances.
+// Records must arrive in contiguous sequence order — a gap means log
+// segments were lost and the recovered index would silently diverge, so
+// it is an error rather than a skip.
 func (ix *Indexer) ApplyLogged(seq uint64, tokens []string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if seq != ix.walSeq+1 {
 		return fmt.Errorf("kjoin: WAL gap: record seq %d after applied seq %d", seq, ix.walSeq)
 	}
-	if err := ix.addNoProbe(tokens); err != nil {
+	if err := ix.insertNoProbeLocked(tokens); err != nil {
 		return err
 	}
 	ix.walSeq = seq
+	ix.publishLocked()
+	return nil
+}
+
+// ApplySealLogged replays one write-ahead-log seal record: the memtable
+// is sealed (a no-op when it is already empty — logs written before
+// seal records existed replay through the count-based policy instead,
+// and the two stay idempotent), merged to the layout fixpoint, and the
+// WAL position advances. The same contiguity contract as ApplyLogged
+// applies.
+func (ix *Indexer) ApplySealLogged(seq uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if seq != ix.walSeq+1 {
+		return fmt.Errorf("kjoin: WAL gap: seal record seq %d after applied seq %d", seq, ix.walSeq)
+	}
+	ix.sealLocked()
+	ix.mergeToFixpointLocked()
+	ix.walSeq = seq
+	ix.publishLocked()
 	return nil
 }
 
 // addNoProbe indexes an object without searching for its pairs — the
-// replay path of LoadIndexer. It stays lenient about structurally odd
-// objects (empty lines) so snapshots written before input validation
-// existed still load.
+// replay path of LoadIndexer.
 func (ix *Indexer) addNoProbe(tokens []string) error {
-	j := ix.j
-	id := len(ix.objs)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.insertNoProbeLocked(tokens); err != nil {
+		return err
+	}
+	ix.publishLocked()
+	return nil
+}
+
+// sealBoundary seals the memtable at a snapshot-recorded segment
+// boundary — the v3 load path, which reproduces the recorded layout
+// verbatim and therefore never merges.
+func (ix *Indexer) sealBoundary() {
+	ix.mu.Lock()
+	ix.sealLocked()
+	ix.publishLocked()
+	ix.mu.Unlock()
+}
+
+// insertNoProbeLocked preps and commits one object without probing for
+// pairs — shared by snapshot loading and WAL replay. Replay never logs
+// seals: count-based seals here reproduce the layout of logs written
+// before seal records existed, and are suppressed while a recorded v3
+// layout is being reproduced. It stays lenient about structurally odd
+// objects (empty lines) so snapshots written before input validation
+// existed still load. Caller holds mu.
+func (ix *Indexer) insertNoProbeLocked(tokens []string) error {
+	id := ix.mem.base + len(ix.mem.objs)
 	if id > (1<<31)-2 {
 		return fmt.Errorf("kjoin: indexer is full")
 	}
-	p, entries := ix.prepObject(tokens)
-	j.st.SigEntries += int64(entries)
-	ix.seen = append(ix.seen, 0)
-	ix.ix.AddAll(p.prefix, int32(id))
-	ix.objs = append(ix.objs, p)
-	j.st.Objects = len(ix.objs)
+	p, entries := ix.prep(tokens)
+	if !ix.loadLayout && len(ix.mem.objs) >= ix.sealCap() {
+		ix.sealLocked()
+		ix.mergeToFixpointLocked()
+	}
+	ix.insertLocked(p)
+	ix.j.st.SigEntries += int64(entries)
 	return nil
 }

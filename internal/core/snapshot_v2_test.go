@@ -64,14 +64,14 @@ func TestSnapshotV1TruncatedOnLineBoundary(t *testing.T) {
 	}
 }
 
-// objectLines extracts the object lines from the current (v2) snapshot.
+// objectLines extracts the object lines from the current (v3) snapshot.
 func objectLines(t *testing.T, ix *Indexer) []string {
 	t.Helper()
 	all := strings.Split(strings.TrimSuffix(string(snapshotOf(t, ix)), "\n"), "\n")
-	if len(all) < 3 {
+	if len(all) < 4 {
 		t.Fatalf("unexpected snapshot shape: %d lines", len(all))
 	}
-	return all[2 : len(all)-1] // strip magic, config, trailer
+	return all[3 : len(all)-1] // strip magic, config, segments, trailer
 }
 
 func TestSnapshotV2RejectsTruncation(t *testing.T) {
@@ -87,7 +87,7 @@ func TestSnapshotV2RejectsTruncation(t *testing.T) {
 	}
 	// Cut an object line out (line-boundary truncation mid-file).
 	lines := bytes.SplitAfter(snap, []byte("\n"))
-	short := bytes.Join(append(append([][]byte{}, lines[:2]...), lines[3:]...), nil)
+	short := bytes.Join(append(append([][]byte{}, lines[:3]...), lines[4:]...), nil)
 	if _, err := LoadIndexer(h, opt, bytes.NewReader(short)); err == nil {
 		t.Error("snapshot with a missing object line loaded")
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kjoin/internal/hierarchy"
 	"kjoin/internal/mathx"
@@ -70,6 +71,12 @@ type Options struct {
 // use; reads (Info, Sim) are safe to share across goroutines once all
 // tokens have been resolved. The K-Join driver resolves every token in a
 // sequential preprocessing pass for exactly this reason.
+//
+// The streaming Indexer cannot wait for "all tokens resolved" — adds keep
+// interning forever while queries read concurrently. For that shape a
+// single writer calls Publish after each batch of interning+resolution:
+// reads of published ids then go through an atomic snapshot of the info
+// table and never touch the mutable tail.
 type Resolver struct {
 	h    *hierarchy.Hierarchy
 	opts Options
@@ -77,6 +84,14 @@ type Resolver struct {
 	ids      map[string]ID
 	infos    []Info
 	resolved []bool
+
+	// pub is the atomically published resolved prefix of infos: Info (and
+	// through it Sim and MaxDiffSim) serves ids below the published length
+	// from this immutable snapshot, so readers in other goroutines never
+	// race the writer's interning appends. Nil until the first Publish —
+	// the batch-join path never publishes and keeps its single-writer
+	// contract instead.
+	pub atomic.Pointer[[]Info]
 
 	// rs is the mapping scratch of the lazy (single-threaded) resolution
 	// path; ResolveAll workers carry their own.
@@ -154,12 +169,30 @@ func (r *Resolver) ID(token string) ID {
 
 // Info returns the resolved information for id, resolving lazily. The
 // result must not be modified.
+//
+// Ids covered by a Publish snapshot are served from it, making Info (and
+// Sim/MaxDiffSim) safe to call concurrently with the writer for any id
+// published before the caller learned of it. Unpublished ids fall back to
+// the lazy single-writer path.
 func (r *Resolver) Info(id ID) *Info {
+	if p := r.pub.Load(); p != nil && int(id) < len(*p) {
+		return &(*p)[id]
+	}
 	if !r.resolved[id] {
 		r.infos[id] = r.resolve(&r.rs, r.infos[id].Token)
 		r.resolved[id] = true
 	}
 	return &r.infos[id]
+}
+
+// Publish atomically snapshots the current info table for concurrent
+// readers. Every interned id must already be resolved — the caller (the
+// streaming Indexer's preprocessing, which resolves everything it
+// interns) guarantees it; published slots are never written again, so
+// the snapshot stays valid even as the writer keeps appending.
+func (r *Resolver) Publish() {
+	s := r.infos[:len(r.infos):len(r.infos)]
+	r.pub.Store(&s)
 }
 
 // ResolveAll resolves every interned token that is still unresolved,

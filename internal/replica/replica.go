@@ -300,7 +300,7 @@ func (f *Follower) pollOnce(ctx context.Context) error {
 			// the next poll (if any) resumes from f.applied.
 			return cerr
 		}
-		seq, tokens, derr := dec.Next()
+		seq, op, tokens, derr := dec.Next()
 		if errors.Is(derr, io.EOF) {
 			break
 		}
@@ -312,7 +312,7 @@ func (f *Follower) pollOnce(ctx context.Context) error {
 		if seq <= f.applied {
 			continue // duplicate delivery is harmless; replay is idempotent here
 		}
-		if aerr := f.Srv.ApplyReplicated(seq, tokens); aerr != nil {
+		if aerr := f.Srv.ApplyReplicated(seq, op, tokens); aerr != nil {
 			// A contiguity refusal means this follower's state and the
 			// stream disagree; only a snapshot can re-ground it.
 			f.logf("replica: apply seq %d failed: %v", seq, aerr)

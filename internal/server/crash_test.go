@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -109,9 +110,8 @@ func (c *crashHarness) verify(s *Server) {
 			c.t.Fatal(err)
 		}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if got, want := s.ix.Len(), oracle.Len(); got != want {
+	ix := s.ix.Load()
+	if got, want := ix.Len(), oracle.Len(); got != want {
 		c.t.Fatalf("recovered index has %d objects, acknowledged %d", got, want)
 	}
 	for qi, q := range append(paperdata.Table1(), []string{"kfc", "jfk"}) {
@@ -119,7 +119,7 @@ func (c *crashHarness) verify(s *Server) {
 		if err != nil {
 			c.t.Fatal(err)
 		}
-		got, err := s.ix.Query(q)
+		got, err := ix.Query(q)
 		if err != nil {
 			c.t.Fatal(err)
 		}
@@ -638,4 +638,66 @@ func TestSnapshotGenerationSkipsWhenIdle(t *testing.T) {
 		t.Fatalf("post-add snapshot produced %d generations, want 2", len(gens))
 	}
 	c.verify(c.mustBoot(fault.OS{}))
+}
+
+// TestRecoverySegmentLayoutFromSealRecords: the segmented-engine
+// durability contract. A small memtable forces several seals (each
+// logged as an OpSeal record) and background merges while the workload
+// streams in; a mid-run snapshot captures one intermediate layout so
+// recovery exercises both the v3 verbatim-layout load and seal-record
+// replay on top of it. After a power cut, the rebooted engine — once
+// its merger quiesces — must reproduce the exact pre-crash segment
+// layout, not merely the same objects.
+func TestRecoverySegmentLayoutFromSealRecords(t *testing.T) {
+	c := newCrashHarness(t)
+	c.opt.SealEvery = 3
+
+	// 22 objects: Table 1 cycled with a distinguishing free token. With
+	// SealEvery=3 the seal sequence reaches the multi-segment fixpoint
+	// [12 6 3] with one object left in the memtable — a layout with
+	// history, not a single collapsed segment.
+	base := paperdata.Table1()
+	var objects [][]string
+	for i := 0; i < 22; i++ {
+		o := append([]string(nil), base[i%len(base)]...)
+		objects = append(objects, append(o, fmt.Sprintf("extra%d", i)))
+	}
+
+	inj := fault.NewInjector(fault.OS{})
+	s := c.mustBoot(inj)
+	for i, tokens := range objects {
+		if !c.add(s, tokens) {
+			t.Fatalf("add %d rejected on a healthy filesystem", i)
+		}
+		if i == 7 {
+			// Snapshot while merges may be mid-flight: the pinned view's
+			// layout is whatever the race left published.
+			if err := c.snapshot(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ix := s.ix.Load()
+	ix.WaitMerges()
+	pre := ix.SegmentSizes()
+	preStats := ix.SegmentStats()
+	if len(pre) < 2 {
+		t.Fatalf("workload produced layout %v; need a multi-segment fixpoint to make the test meaningful", pre)
+	}
+	if preStats.SealTotal == 0 || preStats.MergeTotal == 0 {
+		t.Fatalf("workload never sealed or merged: %+v", preStats)
+	}
+
+	inj.Crash()
+	s2 := c.mustBoot(fault.OS{})
+	ix2 := s2.ix.Load()
+	ix2.WaitMerges()
+	if got := ix2.SegmentSizes(); !reflect.DeepEqual(got, pre) {
+		t.Fatalf("recovered layout %v, pre-crash layout %v", got, pre)
+	}
+	if got := ix2.SegmentStats(); got.MemObjects != preStats.MemObjects {
+		t.Fatalf("recovered memtable holds %d objects, pre-crash %d", got.MemObjects, preStats.MemObjects)
+	}
+	c.verify(s2)
 }

@@ -124,14 +124,19 @@ func (s *Server) Recover(d Durability) error {
 	replayed := 0
 	var maxRec uint64 // highest record actually present in the log
 	w, err := wal.Open(fsys, d.WALDir, wal.Options{Policy: d.Policy, BatchWindow: d.BatchWindow, Logf: d.Logf},
-		func(seq uint64, tokens []string) error {
+		func(seq uint64, op wal.Op, tokens []string) error {
 			if seq > maxRec {
 				maxRec = seq
 			}
 			if seq <= base {
-				return nil // already inside the snapshot
+				return nil // already inside the snapshot (v3 snapshots carry the segment layout too)
 			}
 			replayed++
+			if op == wal.OpSeal {
+				// A logged seal boundary: reproduce the pre-crash segment
+				// layout by sealing at exactly the same point.
+				return ix.ApplySealLogged(seq)
+			}
 			return ix.ApplyLogged(seq, tokens)
 		})
 	if err != nil {
@@ -152,9 +157,14 @@ func (s *Server) Recover(d Durability) error {
 		return fmt.Errorf("server: wal numbering reaches seq %d but its records end at seq %d and snapshot %s covers only seq %d: acknowledged adds were compacted away", tail, maxRec, name, base)
 	}
 	logf("recovery: replayed %d wal record(s); index at %d objects, wal seq %d", replayed, ix.Len(), ix.WALSeq())
+	// The seal logger goes in only after replay: replayed seals are
+	// already in the log, and re-logging them would duplicate boundaries.
+	// From here on, every seal the engine performs writes its OpSeal
+	// record before the engine mutates.
+	ix.SetSealLogger(w.AppendSeal)
 	s.mu.Lock()
-	s.ix = ix
-	s.wal = w
+	s.ix.Store(ix)
+	s.wal.Store(w)
 	s.gens = gens
 	s.mu.Unlock()
 	s.snapMu.Lock()
@@ -192,10 +202,10 @@ func Recover(h *hierarchy.Hierarchy, opt core.Options, cfg Config, d Durability)
 func (s *Server) SnapshotGeneration() error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	var buf bytes.Buffer
 	s.mu.RLock()
-	w, gens := s.wal, s.gens
-	seq := s.ix.WALSeq()
+	w, gens := s.wal.Load(), s.gens
+	pv := s.ix.Load().Pin()
+	seq := pv.WALSeq()
 	// An idle server does not churn generations: when nothing advanced
 	// since the last durable generation there is nothing to persist.
 	skip := s.snapOnDisk.Load() && seq == s.lastSnapSeq.Load()
@@ -205,14 +215,10 @@ func (s *Server) SnapshotGeneration() error {
 	// stale sequence succeeds — and the snapshot would durably persist
 	// an add whose acknowledgment was refused. Appends serialize under
 	// the write lock, so with the check made under the read lock the
-	// buffer below can never contain such an object while Err reads nil.
+	// pinned view can never contain such an object while Err reads nil.
 	var poisoned error
 	if w != nil {
 		poisoned = w.Err()
-	}
-	var err error
-	if gens != nil && poisoned == nil && !skip {
-		err = s.ix.WriteSnapshot(&buf)
 	}
 	s.mu.RUnlock()
 	if gens == nil {
@@ -224,7 +230,10 @@ func (s *Server) SnapshotGeneration() error {
 	if skip {
 		return nil
 	}
-	if err != nil {
+	// Serialization happens outside every lock: the pinned view is
+	// immutable, so writers keep flowing while the bytes are produced.
+	var buf bytes.Buffer
+	if err := pv.WriteSnapshot(&buf); err != nil {
 		return err
 	}
 	if w != nil {
@@ -263,9 +272,7 @@ func (s *Server) SnapshotGeneration() error {
 // Close syncs and closes the WAL (a no-op without durability). The
 // server keeps serving reads afterwards; adds fail.
 func (s *Server) Close() error {
-	s.mu.RLock()
-	w := s.wal
-	s.mu.RUnlock()
+	w := s.wal.Load()
 	if w == nil {
 		return nil
 	}

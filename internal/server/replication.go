@@ -137,11 +137,18 @@ func NewReplica(h *hierarchy.Hierarchy, opt core.Options, cfg Config, rc Replica
 func (s *Server) IsReplica() bool { return s.replica != nil }
 
 // ApplyReplicated applies one shipped WAL record to the index through
-// the same contiguity-checked path recovery replays through: seq must
-// be exactly one past the last applied sequence.
-func (s *Server) ApplyReplicated(seq uint64, tokens []string) error {
+// the same contiguity-checked paths recovery replays through: seq must
+// be exactly one past the last applied sequence. Seal records reproduce
+// the primary's segment layout on the follower.
+func (s *Server) ApplyReplicated(seq uint64, op wal.Op, tokens []string) error {
 	s.mu.Lock()
-	err := s.ix.ApplyLogged(seq, tokens)
+	ix := s.ix.Load()
+	var err error
+	if op == wal.OpSeal {
+		err = ix.ApplySealLogged(seq)
+	} else {
+		err = ix.ApplyLogged(seq, tokens)
+	}
 	s.mu.Unlock()
 	if err == nil && s.replica != nil {
 		s.replica.applied.Store(seq)
@@ -154,7 +161,7 @@ func (s *Server) ApplyReplicated(seq uint64, tokens []string) error {
 // whole, never exposing a half-applied state to queries.
 func (s *Server) InstallIndex(ix *core.Indexer) {
 	s.mu.Lock()
-	s.ix = ix
+	s.ix.Store(ix)
 	s.mu.Unlock()
 	if s.replica != nil {
 		s.replica.applied.Store(ix.WALSeq())
@@ -245,9 +252,7 @@ func (s *Server) staleGate(next http.Handler) http.Handler {
 // Gone with the floor in a header — the follower must resync from a
 // snapshot, and silently skipping ahead would hide lost records.
 func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	wlog := s.wal
-	s.mu.RUnlock()
+	wlog := s.wal.Load()
 	if wlog == nil {
 		serverutil.WriteError(w, http.StatusServiceUnavailable, "replication_unavailable",
 			"this server has no write-ahead log to stream (durability not configured)")
@@ -331,24 +336,20 @@ func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 //
 //kjoinlint:ackorder barrier
 func (s *Server) SnapshotBuffer() (*bytes.Buffer, uint64, error) {
-	var buf bytes.Buffer
 	s.mu.RLock()
-	wlog := s.wal
+	wlog := s.wal.Load()
+	pv := s.ix.Load().Pin()
 	var poisoned error
 	if wlog != nil {
 		poisoned = wlog.Err()
-	}
-	var seq uint64
-	var err error
-	if poisoned == nil {
-		seq = s.ix.WALSeq()
-		err = s.ix.WriteSnapshot(&buf)
 	}
 	s.mu.RUnlock()
 	if poisoned != nil {
 		return nil, 0, fmt.Errorf("server: wal unhealthy; refusing snapshot: %w", poisoned)
 	}
-	if err != nil {
+	seq := pv.WALSeq()
+	var buf bytes.Buffer
+	if err := pv.WriteSnapshot(&buf); err != nil {
 		return nil, 0, err
 	}
 	if wlog != nil {

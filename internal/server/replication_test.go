@@ -87,7 +87,7 @@ func TestWALStreamServesDurableFrames(t *testing.T) {
 	dec := wal.NewStreamDecoder(resp.Body)
 	var seqs []uint64
 	for {
-		seq, tokens, derr := dec.Next()
+		seq, _, tokens, derr := dec.Next()
 		if errors.Is(derr, io.EOF) {
 			break
 		}
@@ -210,7 +210,7 @@ func TestWALStreamLongPollDeliversNewRecord(t *testing.T) {
 		dec := wal.NewStreamDecoder(resp.Body)
 		var seqs []uint64
 		for {
-			seq, _, derr := dec.Next()
+			seq, _, _, derr := dec.Next()
 			if errors.Is(derr, io.EOF) {
 				ch <- result{seqs: seqs}
 				return
@@ -372,7 +372,7 @@ func TestReplicaStatsFields(t *testing.T) {
 	if m["replica_lag"] != float64(-1) || m["replica_healthy"] != false || m["replica_applied_seq"] != float64(0) {
 		t.Fatalf("fresh replica stats: lag=%v healthy=%v applied=%v", m["replica_lag"], m["replica_healthy"], m["replica_applied_seq"])
 	}
-	if err := s.ApplyReplicated(1, []string{"burgerking"}); err != nil {
+	if err := s.ApplyReplicated(1, wal.OpAdd, []string{"burgerking"}); err != nil {
 		t.Fatal(err)
 	}
 	s.MarkReplicaCaughtUp(time.Now())
@@ -397,10 +397,10 @@ func TestApplyReplicatedEnforcesContiguity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ApplyReplicated(1, []string{"kfc"}); err != nil {
+	if err := s.ApplyReplicated(1, wal.OpAdd, []string{"kfc"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ApplyReplicated(3, []string{"burgerking"}); err == nil {
+	if err := s.ApplyReplicated(3, wal.OpAdd, []string{"burgerking"}); err == nil {
 		t.Fatal("applying seq 3 after seq 1 succeeded; contiguity not enforced")
 	}
 	if got := s.ReplicaAppliedSeq(); got != 1 {

@@ -6,14 +6,16 @@
 // the "Yelp classifies similar restaurants" deployment shape from the
 // paper's introduction.
 //
-// The server is production-hardened: queries run concurrently under a
-// read lock while adds serialize under the write lock, expensive
-// endpoints sit behind a bounded-concurrency admission gate (429 +
-// Retry-After when saturated), request bodies are size-capped, every
-// request carries a deadline that aborts an in-flight join within one
-// verification batch, handler panics degrade to a 500, and snapshots
-// are taken under the read lock into a buffer so a slow client never
-// blocks writers.
+// The server is production-hardened: queries and stats reads take no
+// server lock at all — they pin the indexer's atomically published
+// engine epoch and run against immutable segments — while adds
+// serialize under the write lock, expensive endpoints sit behind a
+// bounded-concurrency admission gate (429 + Retry-After when
+// saturated), request bodies are size-capped, every request carries a
+// deadline that aborts an in-flight join within one verification
+// batch, handler panics degrade to a 500, and snapshots pin a view
+// under the read lock (excluding only adds) and serialize it outside
+// every lock so a slow client never blocks writers.
 package server
 
 import (
@@ -91,26 +93,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is an http.Handler serving one Indexer. Mutating requests
-// (adds, query preparation) hold the write lock; probes, snapshots and
-// stats share the read lock, so queries proceed concurrently and are
-// never serialized behind one another.
+// Server is an http.Handler serving one Indexer. The Indexer's
+// segmented engine publishes an immutable view on every mutation, so
+// queries and stats read it with no server lock at all. The server's mu
+// has a narrower job: adds hold it exclusively so the index mutation
+// and its WAL append commit as one unit (log order = insertion order),
+// and snapshot pins take the read side so a pinned view can never land
+// between an AddCtx and the SetWALSeq that records its log position.
 type Server struct {
 	//kjoinlint:lockorder rank=20
 	mu  sync.RWMutex
 	h   *hierarchy.Hierarchy
 	opt core.Options
 	cfg Config
-	// ix is the shared Indexer. Mutating calls (AddCtx, PrepareQuery)
-	// need mu held exclusively; RunQuery, WriteSnapshot, Len and Stats
-	// run under the read lock. kjoin-lint's lockcheck enforces that
-	// every access happens in a function that participates in this
-	// discipline.
-	ix *core.Indexer // guarded by mu
+	// ix is the shared Indexer, swapped whole by Recover and
+	// InstallIndex. Handlers Load it once and use that epoch: queries,
+	// stats and snapshot pins are lock-free against the engine; only the
+	// add path still serializes (under mu, see above).
+	ix atomic.Pointer[core.Indexer]
 	// wal, when durability is configured, is the write-ahead log every
-	// acknowledged add is fsync'd into; gens is the snapshot generation
-	// store recovery rebuilds from. Both are installed by Recover.
-	wal      *wal.WAL             // guarded by mu
+	// acknowledged add is fsync'd into (installed by Recover, nil
+	// before); gens is the snapshot generation store recovery rebuilds
+	// from.
+	wal      atomic.Pointer[wal.WAL]
 	gens     *serverutil.GenStore // guarded by mu
 	sem      *serverutil.Semaphore
 	handler  http.Handler
@@ -172,7 +177,8 @@ func NewFromSnapshotWithConfig(h *hierarchy.Hierarchy, opt core.Options, cfg Con
 
 func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{h: h, opt: opt, cfg: cfg, ix: ix}
+	s := &Server{h: h, opt: opt, cfg: cfg}
+	s.ix.Store(ix)
 	s.ready.Store(true)
 	s.sem = serverutil.NewSemaphore(cfg.MaxInflight)
 	mux := http.NewServeMux()
@@ -210,21 +216,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // in-flight requests finish. Serving itself is not affected.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
-// SnapshotTo atomically writes the current index to path: the snapshot
-// is serialized into memory under the read lock (writers wait, queries
-// proceed), then written temp+fsync+rename so a crash mid-write never
-// leaves a corrupt or truncated snapshot behind.
+// SnapshotTo atomically writes the current index to path: the view is
+// pinned under the read lock (a cheap pointer copy — writers wait only
+// for that instant), serialized outside it, and written
+// temp+fsync+rename so a crash mid-write never leaves a corrupt or
+// truncated snapshot behind.
 func (s *Server) SnapshotTo(path string) error {
-	var buf bytes.Buffer
 	s.mu.RLock()
-	err := s.ix.WriteSnapshot(&buf)
+	pv := s.ix.Load().Pin()
 	s.mu.RUnlock()
-	if err != nil {
-		return err
-	}
 	return serverutil.WriteFileAtomic(path, func(w io.Writer) error {
-		_, werr := w.Write(buf.Bytes())
-		return werr
+		return pv.WriteSnapshot(w)
 	})
 }
 
@@ -247,15 +249,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleSnapshot streams the current index contents as a snapshot the
-// server (or any Indexer) can be rebuilt from. The snapshot is taken
-// under the read lock into a buffer and streamed after the lock is
-// released — a slow client cannot block writers.
+// server (or any Indexer) can be rebuilt from. The view is pinned under
+// the read lock and serialized after the lock is released — neither a
+// slow client nor the serialization itself can block writers.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	var buf bytes.Buffer
 	s.mu.RLock()
-	err := s.ix.WriteSnapshot(&buf)
+	pv := s.ix.Load().Pin()
 	s.mu.RUnlock()
-	if err != nil {
+	var buf bytes.Buffer
+	if err := pv.WriteSnapshot(&buf); err != nil {
 		s.opError(w, "snapshot_failed", err)
 		return
 	}
@@ -288,10 +290,12 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	ix := s.ix.Load()
+	wlog := s.wal.Load()
 	// Fail fast once the log is poisoned: taking more adds into an index
 	// the log cannot vouch for only widens the gap recovery will erase.
-	if s.wal != nil {
-		if werr := s.wal.Err(); werr != nil {
+	if wlog != nil {
+		if werr := wlog.Err(); werr != nil {
 			s.mu.Unlock()
 			s.opError(w, "wal_failed", werr)
 			return
@@ -302,16 +306,17 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	// The WAL append happens under the same critical section, after a
 	// successful AddCtx (which is atomic on failure): log order therefore
 	// matches insertion order exactly, and a record can never exist for
-	// an object the index rejected.
-	id, pairs, err := s.ix.AddCtx(r.Context(), req.Tokens)
-	wlog := s.wal
+	// an object the index rejected. (A seal the add triggers logs its own
+	// OpSeal record from inside AddCtx, immediately before this add's
+	// record — same critical section, so the pair stays adjacent.)
+	id, pairs, err := ix.AddCtx(r.Context(), req.Tokens)
 	var seq uint64
 	walFailed := false
 	if err == nil && wlog != nil {
 		if seq, err = wlog.Append(req.Tokens); err != nil {
 			walFailed = true
 		} else {
-			s.ix.SetWALSeq(seq)
+			ix.SetWALSeq(seq)
 		}
 	}
 	s.mu.Unlock()
@@ -354,19 +359,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) || !s.checkTokens(w, req.Tokens) {
 		return
 	}
-	// Preparation interns tokens into the shared caches — short, under
-	// the write lock. The expensive probe then runs under the read lock,
-	// concurrently with other queries, stats reads and snapshots.
-	s.mu.Lock()
-	q, err := s.ix.PrepareQuery(req.Tokens)
-	s.mu.Unlock()
+	// The whole query path is lock-free at the server layer: PrepareQuery
+	// synchronizes the shared preprocessing caches internally, and
+	// RunQuery probes the engine's atomically published view. Concurrent
+	// adds never stall a query.
+	ix := s.ix.Load()
+	q, err := ix.PrepareQuery(req.Tokens)
 	if err != nil {
 		s.joinError(w, err)
 		return
 	}
-	s.mu.RLock()
-	matches, err := s.ix.RunQuery(r.Context(), q)
-	s.mu.RUnlock()
+	matches, err := ix.RunQuery(r.Context(), q)
 	if err != nil {
 		s.joinError(w, err)
 		return
@@ -400,20 +403,25 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	st := s.ix.Stats()
-	n := s.ix.Len()
-	wlog := s.wal
-	s.mu.RUnlock()
+	ix := s.ix.Load()
+	st := ix.Stats()
+	n := ix.Len()
+	seg := ix.SegmentStats()
+	wlog := s.wal.Load()
 	out := map[string]any{
-		"objects":         n,
-		"candidates":      st.Candidates,
-		"results":         st.Verify.Results,
-		"count_pruned":    st.Verify.CountPruned,
-		"weighted_pruned": st.Verify.WeightedPruned,
-		"lb_accepted":     st.Verify.LBAccepted,
-		"ub_rejected":     st.Verify.UBRejected,
-		"inflight":        s.sem.InFlight(),
+		"objects":          n,
+		"candidates":       st.Candidates,
+		"results":          st.Verify.Results,
+		"count_pruned":     st.Verify.CountPruned,
+		"weighted_pruned":  st.Verify.WeightedPruned,
+		"lb_accepted":      st.Verify.LBAccepted,
+		"ub_rejected":      st.Verify.UBRejected,
+		"inflight":         s.sem.InFlight(),
+		"segment_count":    seg.Segments,
+		"memtable_objects": seg.MemObjects,
+		"seal_total":       seg.SealTotal,
+		"merge_total":      seg.MergeTotal,
+		"merge_backlog":    seg.MergeBacklog,
 	}
 	if wlog != nil {
 		last, durable, snap := wlog.LastSeq(), wlog.DurableSeq(), s.lastSnapSeq.Load()

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"kjoin/internal/elem"
 	"kjoin/internal/hierarchy"
@@ -74,6 +75,14 @@ type Space struct {
 
 	sigCache   [][]sigW // per elem.ID signatures under scheme
 	groupCache [][]Sig  // per elem.ID node signatures (grouping keys for verification)
+
+	// pub is an atomically published snapshot of groupCache, for the
+	// streaming Indexer: the owner fills the cache for every element of
+	// an object under its build lock, then calls Publish; lock-free
+	// query goroutines served from the snapshot never touch the mutable
+	// cache. Ids beyond the snapshot (or unfilled slots) fall back to
+	// the single-threaded lazy path, which remains owner-only.
+	pub atomic.Pointer[[][]Sig]
 
 	// gen is the generation scratch of the single-threaded cache-fill
 	// path; Warm workers carry their own.
@@ -350,6 +359,9 @@ func (sp *Space) Warm(n, workers int) {
 // Lemmas 1, 3 and 8: elements in different groups cannot be similar.
 // The result is cached and must not be modified.
 func (sp *Space) GroupKeys(e elem.ID) []Sig {
+	if p := sp.pub.Load(); p != nil && int(e) < len(*p) && (*p)[e] != nil {
+		return (*p)[e]
+	}
 	for int(e) >= len(sp.groupCache) {
 		sp.groupCache = append(sp.groupCache, nil)
 	}
@@ -357,6 +369,16 @@ func (sp *Space) GroupKeys(e elem.ID) []Sig {
 		sp.groupCache[e] = sp.genGroupKeys(&sp.gen, e)
 	}
 	return sp.groupCache[e]
+}
+
+// Publish snapshots the group-key cache for lock-free readers. The
+// caller (the cache owner) must have filled every slot it wants readers
+// to see — genGroupKeys never stores nil, so a filled slot is exactly a
+// non-nil one — and must establish a happens-before edge between
+// Publish and those readers (the Indexer does so via its view pointer).
+func (sp *Space) Publish() {
+	s := sp.groupCache[:len(sp.groupCache):len(sp.groupCache)]
+	sp.pub.Store(&s)
 }
 
 // genGroupKeys computes the node-signature grouping keys of one element

@@ -93,6 +93,12 @@ func (c *Context) Clone() *Context {
 	return &cp
 }
 
+// Prime materializes the context's lazily created Scratch. Callers that
+// later Clone the context from other goroutines (a sync.Pool New hook)
+// must prime it first: Clone reads the scratch pointer, and a concurrent
+// first verification on the original would otherwise write it.
+func (c *Context) Prime() { c.scratch() }
+
 // scratch returns the context's workspace, creating it on first use.
 func (c *Context) scratch() *Scratch {
 	if c.scr == nil {

@@ -33,8 +33,8 @@ func FuzzWALReplay(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		pos := 0
-		good, err := DecodeAll(b, func(seq uint64, tokens []string) error {
-			enc := AppendRecord(nil, seq, tokens)
+		good, err := DecodeAll(b, func(seq uint64, op Op, tokens []string) error {
+			enc := appendRecordOp(nil, seq, op, tokens)
 			if pos+len(enc) > len(b) || !bytes.Equal(b[pos:pos+len(enc)], enc) {
 				t.Fatalf("yielded record at %d does not round-trip: seq %d, %d tokens", pos, seq, len(tokens))
 			}
@@ -80,7 +80,7 @@ func FuzzWALStream(f *testing.F) {
 		dec := NewStreamDecoder(bytes.NewReader(b))
 		pos := 0
 		for {
-			seq, tokens, err := dec.Next()
+			seq, op, tokens, err := dec.Next()
 			if err != nil {
 				if errors.Is(err, io.EOF) && pos != len(b) {
 					t.Fatalf("clean EOF at %d with %d bytes left", pos, len(b)-pos)
@@ -90,7 +90,7 @@ func FuzzWALStream(f *testing.F) {
 				}
 				return
 			}
-			enc := AppendRecord(nil, seq, tokens)
+			enc := appendRecordOp(nil, seq, op, tokens)
 			if pos+len(enc) > len(b) || !bytes.Equal(b[pos:pos+len(enc)], enc) {
 				t.Fatalf("frame at %d does not round-trip: seq %d, %d tokens", pos, seq, len(tokens))
 			}

@@ -13,8 +13,8 @@ import (
 //	crc     uint32  // CRC32C (Castagnoli) of payload
 //	payload:
 //	  seq     uint64   // monotonic sequence number, 1-based
-//	  op      uint8    // opAdd
-//	  ntok    uvarint  // token count
+//	  op      uint8    // OpAdd or OpSeal
+//	  ntok    uvarint  // token count (0 for OpSeal)
 //	  ntok × { len uvarint, bytes }
 //
 // A record is written with a single Write call, so a crash tears it
@@ -28,8 +28,18 @@ const (
 	// drive a giant allocation. It comfortably exceeds the server's
 	// token caps (10000 tokens × 1024 bytes).
 	maxRecordBytes = 64 << 20
+)
 
-	opAdd = 1
+// Op is a record's operation type.
+type Op uint8
+
+const (
+	// OpAdd records one indexed object (its tokens).
+	OpAdd Op = 1
+	// OpSeal records a memtable seal boundary of the segmented index
+	// engine: recovery reproduces the exact pre-crash segment layout by
+	// sealing at the same points. Seal records carry no tokens.
+	OpSeal Op = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -41,11 +51,21 @@ var errCorrupt = errors.New("wal: corrupt record")
 // AppendRecord appends the encoded add record for (seq, tokens) to buf
 // and returns the extended slice.
 func AppendRecord(buf []byte, seq uint64, tokens []string) []byte {
+	return appendRecordOp(buf, seq, OpAdd, tokens)
+}
+
+// AppendSealRecord appends the encoded seal record for seq to buf and
+// returns the extended slice.
+func AppendSealRecord(buf []byte, seq uint64) []byte {
+	return appendRecordOp(buf, seq, OpSeal, nil)
+}
+
+func appendRecordOp(buf []byte, seq uint64, op Op, tokens []string) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	p := len(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
-	buf = append(buf, opAdd)
+	buf = append(buf, byte(op))
 	buf = binary.AppendUvarint(buf, uint64(len(tokens)))
 	for _, t := range tokens {
 		buf = binary.AppendUvarint(buf, uint64(len(t)))
@@ -58,33 +78,37 @@ func AppendRecord(buf []byte, seq uint64, tokens []string) []byte {
 }
 
 // decodePayload parses a checksum-verified payload.
-func decodePayload(payload []byte) (seq uint64, tokens []string, err error) {
+func decodePayload(payload []byte) (seq uint64, op Op, tokens []string, err error) {
 	if len(payload) < 9 {
-		return 0, nil, errCorrupt
+		return 0, 0, nil, errCorrupt
 	}
 	seq = binary.LittleEndian.Uint64(payload)
-	if payload[8] != opAdd {
-		return 0, nil, fmt.Errorf("%w: unknown op %d", errCorrupt, payload[8])
+	op = Op(payload[8])
+	if op != OpAdd && op != OpSeal {
+		return 0, 0, nil, fmt.Errorf("%w: unknown op %d", errCorrupt, payload[8])
 	}
 	rest := payload[9:]
 	n, used := binary.Uvarint(rest)
 	if used <= 0 || n > uint64(len(rest)) {
-		return 0, nil, errCorrupt
+		return 0, 0, nil, errCorrupt
+	}
+	if op == OpSeal && n != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: seal record carries tokens", errCorrupt)
 	}
 	rest = rest[used:]
 	tokens = make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, used := binary.Uvarint(rest)
 		if used <= 0 || l > uint64(len(rest)-used) {
-			return 0, nil, errCorrupt
+			return 0, 0, nil, errCorrupt
 		}
 		tokens = append(tokens, string(rest[used:used+int(l)]))
 		rest = rest[used+int(l):]
 	}
 	if len(rest) != 0 {
-		return 0, nil, errCorrupt // trailing garbage inside a checksummed payload
+		return 0, 0, nil, errCorrupt // trailing garbage inside a checksummed payload
 	}
-	return seq, tokens, nil
+	return seq, op, tokens, nil
 }
 
 // DecodeAll walks the records in b, calling fn for every intact one,
@@ -95,7 +119,7 @@ func decodePayload(payload []byte) (seq uint64, tokens []string, err error) {
 // that does not parse — terminates the walk at that record's offset.
 // DecodeAll never panics on arbitrary input. fn's error aborts the walk
 // and is returned as-is.
-func DecodeAll(b []byte, fn func(seq uint64, tokens []string) error) (good int, err error) {
+func DecodeAll(b []byte, fn func(seq uint64, op Op, tokens []string) error) (good int, err error) {
 	off := 0
 	for {
 		if len(b)-off < headerSize {
@@ -110,12 +134,12 @@ func DecodeAll(b []byte, fn func(seq uint64, tokens []string) error) (good int, 
 		if crc32.Checksum(payload, castagnoli) != crc {
 			return off, nil
 		}
-		seq, tokens, derr := decodePayload(payload)
+		seq, op, tokens, derr := decodePayload(payload)
 		if derr != nil {
 			return off, nil
 		}
 		if fn != nil {
-			if err := fn(seq, tokens); err != nil {
+			if err := fn(seq, op, tokens); err != nil {
 				return off, err
 			}
 		}

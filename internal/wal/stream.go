@@ -179,17 +179,17 @@ func NewStreamDecoder(r io.Reader) *StreamDecoder {
 }
 
 // Next decodes one frame.
-func (d *StreamDecoder) Next() (seq uint64, tokens []string, err error) {
+func (d *StreamDecoder) Next() (seq uint64, op Op, tokens []string, err error) {
 	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, io.ErrUnexpectedEOF
+			return 0, 0, nil, io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	length := binary.LittleEndian.Uint32(d.hdr[:])
 	crc := binary.LittleEndian.Uint32(d.hdr[4:])
 	if length > maxRecordBytes {
-		return 0, nil, fmt.Errorf("%w: frame length %d exceeds %d-byte cap", ErrBadFrame, length, maxRecordBytes)
+		return 0, 0, nil, fmt.Errorf("%w: frame length %d exceeds %d-byte cap", ErrBadFrame, length, maxRecordBytes)
 	}
 	if cap(d.buf) < int(length) {
 		d.buf = make([]byte, length)
@@ -197,16 +197,16 @@ func (d *StreamDecoder) Next() (seq uint64, tokens []string, err error) {
 	payload := d.buf[:length]
 	if _, err := io.ReadFull(d.r, payload); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, io.ErrUnexpectedEOF
+			return 0, 0, nil, io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if crc32.Checksum(payload, castagnoli) != crc {
-		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+		return 0, 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
 	}
-	seq, tokens, derr := decodePayload(payload)
+	seq, op, tokens, derr := decodePayload(payload)
 	if derr != nil {
-		return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, derr)
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, derr)
 	}
-	return seq, tokens, nil
+	return seq, op, tokens, nil
 }

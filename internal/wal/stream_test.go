@@ -29,7 +29,7 @@ func decodeFrames(t *testing.T, b []byte) []uint64 {
 	var seqs []uint64
 	dec := NewStreamDecoder(bytes.NewReader(b))
 	for {
-		seq, _, err := dec.Next()
+		seq, _, _, err := dec.Next()
 		if errors.Is(err, io.EOF) {
 			return seqs
 		}
@@ -250,7 +250,7 @@ func decodeFramesErr(b []byte) []uint64 {
 	seqs := []uint64{}
 	dec := NewStreamDecoder(bytes.NewReader(b))
 	for {
-		seq, _, err := dec.Next()
+		seq, _, _, err := dec.Next()
 		if errors.Is(err, io.EOF) {
 			return seqs
 		}
@@ -270,10 +270,10 @@ func TestStreamDecoderTornAndCorruptFrames(t *testing.T) {
 	// Torn mid-frame: the first record decodes, the partial second is
 	// ErrUnexpectedEOF — never a partially applied record.
 	dec := NewStreamDecoder(bytes.NewReader(clean[:one+5]))
-	if seq, _, err := dec.Next(); err != nil || seq != 1 {
+	if seq, _, _, err := dec.Next(); err != nil || seq != 1 {
 		t.Fatalf("first frame: seq=%d err=%v", seq, err)
 	}
-	if _, _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if _, _, _, err := dec.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("torn frame: want ErrUnexpectedEOF, got %v", err)
 	}
 
@@ -281,21 +281,21 @@ func TestStreamDecoderTornAndCorruptFrames(t *testing.T) {
 	flipped := append([]byte(nil), clean...)
 	flipped[len(flipped)-2] ^= 0x40
 	dec = NewStreamDecoder(bytes.NewReader(flipped))
-	if _, _, err := dec.Next(); err != nil {
+	if _, _, _, err := dec.Next(); err != nil {
 		t.Fatalf("first frame of flipped stream: %v", err)
 	}
-	if _, _, err := dec.Next(); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, err := dec.Next(); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("corrupt frame: want ErrBadFrame, got %v", err)
 	}
 
 	// Clean end.
 	dec = NewStreamDecoder(bytes.NewReader(clean))
 	for i := 0; i < 2; i++ {
-		if _, _, err := dec.Next(); err != nil {
+		if _, _, _, err := dec.Next(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := dec.Next(); !errors.Is(err, io.EOF) {
+	if _, _, _, err := dec.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("clean end: want io.EOF, got %v", err)
 	}
 }

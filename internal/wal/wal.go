@@ -123,7 +123,7 @@ var errStop = errors.New("wal: sequence discontinuity")
 // returns the WAL positioned to append. replay may be nil; a non-nil
 // replay error aborts Open (the state is semantically unusable, not
 // merely torn).
-func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, tokens []string) error) (*WAL, error) {
+func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, op Op, tokens []string) error) (*WAL, error) {
 	if fsys == nil {
 		fsys = fault.OS{}
 	}
@@ -157,7 +157,7 @@ func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, tokens
 		if err != nil {
 			return nil, fmt.Errorf("wal: read %s: %w", path, err)
 		}
-		good, derr := DecodeAll(data, func(seq uint64, tokens []string) error {
+		good, derr := DecodeAll(data, func(seq uint64, op Op, tokens []string) error {
 			// Sequence 0 is reserved, and after the first record the log
 			// must be contiguous; a violation is treated like any other
 			// corruption — the log ends at the previous record.
@@ -166,7 +166,7 @@ func Open(fsys fault.FS, dir string, opt Options, replay func(seq uint64, tokens
 			}
 			lastSeq = seq
 			if replay != nil {
-				if rerr := replay(seq, tokens); rerr != nil {
+				if rerr := replay(seq, op, tokens); rerr != nil {
 					return fmt.Errorf("wal: replaying seq %d: %w", seq, rerr)
 				}
 			}
@@ -269,13 +269,26 @@ func (w *WAL) createSegmentLocked(seq uint64) error {
 //
 //kjoinlint:ackorder append
 func (w *WAL) Append(tokens []string) (uint64, error) {
+	return w.appendOp(OpAdd, tokens)
+}
+
+// AppendSeal serializes a seal record — a memtable seal boundary of the
+// segmented index engine — into the log and returns its sequence
+// number. Like Append, the record is ordered but not yet durable; the
+// triggering add's Sync covers it (the seal always immediately precedes
+// the add that crossed the threshold).
+func (w *WAL) AppendSeal() (uint64, error) {
+	return w.appendOp(OpSeal, nil)
+}
+
+func (w *WAL) appendOp(op Op, tokens []string) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.poisoned != nil {
 		return 0, w.poisoned
 	}
 	seq := w.nextSeq
-	w.buf = AppendRecord(w.buf[:0], seq, tokens)
+	w.buf = appendRecordOp(w.buf[:0], seq, op, tokens)
 	n, err := w.f.Write(w.buf)
 	if err != nil {
 		w.poisonLocked(fmt.Errorf("wal: append seq %d: %w", seq, err))

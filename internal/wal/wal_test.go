@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -20,7 +21,10 @@ type rec struct {
 func replayAll(t *testing.T, dir string) []rec {
 	t.Helper()
 	var got []rec
-	w, err := Open(fault.OS{}, dir, Options{}, func(seq uint64, tokens []string) error {
+	w, err := Open(fault.OS{}, dir, Options{}, func(seq uint64, op Op, tokens []string) error {
+		if op != OpAdd {
+			return nil // seal boundaries carry no object
+		}
 		got = append(got, rec{seq, append([]string(nil), tokens...)})
 		return nil
 	})
@@ -68,6 +72,72 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 			if r.tokens[j] != objs[i][j] {
 				t.Errorf("record %d token %d: %q != %q", i, j, r.tokens[j], objs[i][j])
 			}
+		}
+	}
+}
+
+// TestSealRecordsRoundTrip: seal records share the sequence space with
+// adds, survive replay in order with their op intact, and carry no
+// tokens.
+func TestSealRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w.AppendSync([]string{"a"}); err != nil || seq != 1 {
+		t.Fatalf("add: seq=%d err=%v", seq, err)
+	}
+	seq, err := w.AppendSeal()
+	if err != nil || seq != 2 {
+		t.Fatalf("seal: seq=%d err=%v", seq, err)
+	}
+	if _, err := w.AppendSync([]string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	type opRec struct {
+		seq uint64
+		op  Op
+		n   int
+	}
+	var got []opRec
+	w2, err := Open(fault.OS{}, dir, Options{}, func(seq uint64, op Op, tokens []string) error {
+		got = append(got, opRec{seq, op, len(tokens)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	want := []opRec{{1, OpAdd, 1}, {2, OpSeal, 0}, {3, OpAdd, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The stream side decodes the same frames with the op intact.
+	frames, _, _, err := w2.ReadDurable(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewStreamDecoder(bytes.NewReader(frames))
+	for i := 0; ; i++ {
+		seq, op, tokens, derr := dec.Next()
+		if errors.Is(derr, io.EOF) {
+			if i != len(want) {
+				t.Fatalf("stream decoded %d frames, want %d", i, len(want))
+			}
+			break
+		}
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if (opRec{seq, op, len(tokens)}) != want[i] {
+			t.Fatalf("frame %d = {%d %d %d}, want %+v", i, seq, op, len(tokens), want[i])
 		}
 	}
 }
@@ -336,7 +406,7 @@ func TestReplayErrorAbortsOpen(t *testing.T) {
 	w.AppendSync([]string{"x"})
 	w.Close()
 	boom := errors.New("apply failed")
-	_, err := Open(fault.OS{}, dir, Options{}, func(uint64, []string) error { return boom })
+	_, err := Open(fault.OS{}, dir, Options{}, func(uint64, Op, []string) error { return boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("Open = %v, want the replay error", err)
 	}
@@ -378,7 +448,7 @@ func TestReopenAfterFullCompaction(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	w2, err := Open(fault.OS{}, dir, Options{}, func(uint64, []string) error {
+	w2, err := Open(fault.OS{}, dir, Options{}, func(uint64, Op, []string) error {
 		t.Error("compacted log replayed a record")
 		return nil
 	})

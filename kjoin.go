@@ -202,6 +202,11 @@ type Indexer = core.Indexer
 // Match is one Indexer.Query result.
 type Match = core.Match
 
+// PreparedQuery is a preprocessed similarity-search probe; see
+// Indexer.PrepareQuery and Indexer.RunQuery. Preparing and running are
+// both safe from any number of goroutines concurrently with adds.
+type PreparedQuery = core.PreparedQuery
+
 // NewIndexer returns an empty Indexer over the hierarchy.
 func NewIndexer(h *Hierarchy, opt Options) (*Indexer, error) {
 	return core.NewIndexer(h, opt)
