@@ -12,11 +12,12 @@ FUZZ_TARGETS = \
 	./internal/strutil,FuzzTokenize \
 	./internal/core,FuzzLoadIndexer \
 	./internal/wal,FuzzWALReplay \
-	./internal/wal,FuzzWALStream
+	./internal/wal,FuzzWALStream \
+	./internal/cluster,FuzzGatherMerge
 
 # bin/kjoin-lint is declared phony so `go build` (itself incremental)
 # decides staleness, not make.
-.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke segment-smoke
+.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke segment-smoke cluster-smoke
 
 all: build lint test
 
@@ -86,6 +87,20 @@ replication-smoke:
 		-run 'TestWALStream|TestReplica|TestApplyReplicated|TestSnapshotBuffer|TestAdmitRetryAfter' \
 		./internal/server/ ./internal/serverutil/
 	$(GO) test -race -count=1 ./cmd/kjoin-serve/
+
+# cluster-smoke runs the scatter-gather chaos matrix and differential
+# suite under the race detector: a coordinator over real shard servers
+# joined by deterministic network faults (dead shard, stalled shard,
+# mid-frame truncation, flapping breaker, deadline expiry mid-gather,
+# replica hedging and fail-over), asserting coverage headers, breaker
+# transitions, no goroutine leaks, and full-coverage answers
+# bit-identical to the single-node engine.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestClientHonorsRetryAfter|TestClientRetryAfterCappedByContext|TestClientSimilarity|TestNetInjector' \
+		./internal/replica/ ./internal/fault/
+	$(GO) test -race -count=1 -run 'TestFlagsClusterConfig|TestFlagsRejectLoudly' ./cmd/kjoin-serve/
+	$(GO) test -race -count=1 -run 'TestStreamPollJitterBandAndDeterminism' ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

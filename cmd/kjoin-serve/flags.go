@@ -5,8 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"net/url"
+	"strings"
 	"time"
 
+	"kjoin/internal/cluster"
 	"kjoin/internal/server"
 	"kjoin/internal/wal"
 )
@@ -37,6 +39,16 @@ type serveConfig struct {
 	stalenessBound time.Duration
 	stalenessMode  string
 	replicaPoll    time.Duration
+
+	cluster          bool
+	shards           string
+	shardTimeout     time.Duration
+	hedgeDelay       time.Duration
+	retryBudget      float64
+	maxRetries       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	partial          string
 }
 
 // register binds every flag to fs with its default.
@@ -63,6 +75,16 @@ func (c *serveConfig) register(fs *flag.FlagSet) {
 	fs.DurationVar(&c.stalenessBound, "staleness-bound", 5*time.Second, "replica only: maximum tolerated staleness before -staleness-mode kicks in")
 	fs.StringVar(&c.stalenessMode, "staleness-mode", "reject", "replica only: reject (503 past the bound) or mark (serve anyway, report lag in a header)")
 	fs.DurationVar(&c.replicaPoll, "replica-poll", 2*time.Second, "replica only: long-poll wait per WAL stream request")
+
+	fs.BoolVar(&c.cluster, "cluster", false, "run as a scatter-gather coordinator over -shards instead of serving an index locally")
+	fs.StringVar(&c.shards, "shards", "", "cluster only: comma-separated shard list, each a primary base URL optionally followed by |replica URLs (e.g. http://a:8080|http://a2:8080,http://b:8080)")
+	fs.DurationVar(&c.shardTimeout, "shard-timeout", 2*time.Second, "cluster only: per-shard attempt deadline (also capped by the remaining request budget)")
+	fs.DurationVar(&c.hedgeDelay, "hedge-delay", 100*time.Millisecond, "cluster only: how long a shard replica may dawdle before a hedge request goes to its primary; must stay below -shard-timeout")
+	fs.Float64Var(&c.retryBudget, "retry-budget", 10, "cluster only: retry token bucket capacity shared across shards (0 disables retries)")
+	fs.IntVar(&c.maxRetries, "max-retries", 1, "cluster only: retries per shard per request, budget permitting")
+	fs.IntVar(&c.breakerThreshold, "breaker-threshold", 3, "cluster only: consecutive shard failures that open its circuit breaker")
+	fs.DurationVar(&c.breakerCooldown, "breaker-cooldown", 3*time.Second, "cluster only: how long an open breaker waits before admitting a half-open probe")
+	fs.StringVar(&c.partial, "partial", "degrade", "cluster only: default partial-result policy, degrade (200 + coverage headers) or fail (503 naming the failed shards); requests override per call with X-Kjoin-Partial")
 }
 
 // parseArgs parses args into a serveConfig and validates it, reporting
@@ -100,6 +122,24 @@ func (c *serveConfig) staleness() server.StalenessMode {
 	return server.StaleReject
 }
 
+// shardSpecs parses -shards: shards separated by commas, endpoints
+// within a shard by | with the primary first. Only meaningful after
+// validate.
+func (c *serveConfig) shardSpecs() []cluster.ShardConfig {
+	var out []cluster.ShardConfig
+	for _, spec := range strings.Split(c.shards, ",") {
+		eps := strings.Split(strings.TrimSpace(spec), "|")
+		sc := cluster.ShardConfig{Primary: strings.TrimRight(strings.TrimSpace(eps[0]), "/")}
+		for _, r := range eps[1:] {
+			if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+				sc.Replicas = append(sc.Replicas, r)
+			}
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
 // validate cross-checks the whole configuration and returns every
 // problem joined together, so one bad invocation surfaces all of its
 // mistakes in a single run. set records which flags were given
@@ -110,7 +150,7 @@ func (c *serveConfig) validate(set map[string]bool) error {
 	fail := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
-	if c.hierPath == "" {
+	if c.hierPath == "" && !c.cluster {
 		fail("-hierarchy is required")
 	}
 	if c.delta <= 0 || c.delta > 1 {
@@ -189,6 +229,65 @@ func (c *serveConfig) validate(set map[string]bool) error {
 		for _, name := range []string{"staleness-bound", "staleness-mode", "replica-poll"} {
 			if set[name] {
 				fail("-%s only applies to a replica (-follow)", name)
+			}
+		}
+	}
+
+	// Cluster: a coordinator owns no index, no WAL and no snapshots — it
+	// scatters to shards that own those — so every single-node persistence
+	// or replication flag is a configuration contradiction.
+	if c.cluster {
+		specs := c.shardSpecs()
+		if strings.TrimSpace(c.shards) == "" {
+			fail("-cluster requires -shards with at least one shard")
+			specs = nil
+		}
+		for i, sc := range specs {
+			for _, ep := range append([]string{sc.Primary}, sc.Replicas...) {
+				if u, err := url.Parse(ep); err != nil {
+					fail("-shards: shard %d endpoint %q is not a valid URL: %v", i, ep, err)
+				} else if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+					fail("-shards: shard %d endpoint %q must be an http(s) base URL with a host", i, ep)
+				}
+			}
+		}
+		if c.shardTimeout <= 0 {
+			fail("-shard-timeout must be positive, got %v", c.shardTimeout)
+		}
+		if c.hedgeDelay <= 0 {
+			fail("-hedge-delay must be positive, got %v", c.hedgeDelay)
+		}
+		if c.shardTimeout > 0 && c.hedgeDelay >= c.shardTimeout {
+			fail("-hedge-delay (%v) must be below -shard-timeout (%v): a hedge that fires after the attempt deadline never helps", c.hedgeDelay, c.shardTimeout)
+		}
+		if c.retryBudget < 0 {
+			fail("-retry-budget must not be negative, got %v", c.retryBudget)
+		}
+		if c.maxRetries < 0 {
+			fail("-max-retries must not be negative, got %d", c.maxRetries)
+		}
+		if c.breakerThreshold < 1 {
+			fail("-breaker-threshold must be at least 1, got %d", c.breakerThreshold)
+		}
+		if c.breakerCooldown <= 0 {
+			fail("-breaker-cooldown must be positive, got %v", c.breakerCooldown)
+		}
+		if c.partial != cluster.PartialDegrade && c.partial != cluster.PartialFail {
+			fail("-partial must be degrade or fail, got %q", c.partial)
+		}
+		if c.follower() {
+			fail("-cluster is mutually exclusive with -follow/-replica-dir")
+		}
+		if c.durable() || c.snapshot != "" || c.snapEvery > 0 {
+			fail("-cluster is mutually exclusive with the durability and snapshot flags (shards own persistence)")
+		}
+		if set["hierarchy"] {
+			fail("-hierarchy does not apply to a coordinator (shards load their own)")
+		}
+	} else {
+		for _, name := range []string{"shards", "shard-timeout", "hedge-delay", "retry-budget", "max-retries", "breaker-threshold", "breaker-cooldown", "partial"} {
+			if set[name] {
+				fail("-%s only applies to a coordinator (-cluster)", name)
 			}
 		}
 	}

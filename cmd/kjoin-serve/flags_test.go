@@ -12,12 +12,13 @@ import (
 )
 
 // parse runs parseArgs on a quiet FlagSet, with -hierarchy prepended
-// unless the caller supplies its own.
+// unless the caller supplies its own or is configuring a coordinator
+// (which owns no hierarchy).
 func parse(t *testing.T, args ...string) (*serveConfig, error) {
 	t.Helper()
 	has := false
 	for _, a := range args {
-		if strings.HasPrefix(a, "-hierarchy") {
+		if strings.HasPrefix(a, "-hierarchy") || a == "-cluster" {
 			has = true
 		}
 	}
@@ -77,6 +78,28 @@ func TestFlagsRejectLoudly(t *testing.T) {
 		{"bad staleness-mode", []string{"-follow", "http://p", "-replica-dir", "r", "-staleness-mode", "maybe"}, "-staleness-mode must be reject or mark"},
 		{"zero replica-poll", []string{"-follow", "http://p", "-replica-dir", "r", "-replica-poll", "0s"}, "-replica-poll must be positive"},
 		{"staleness flag on primary", []string{"-staleness-mode", "mark"}, "only applies to a replica"},
+		{"cluster without shards", []string{"-cluster"}, "-cluster requires -shards"},
+		{"cluster with empty shards", []string{"-cluster", "-shards", " , "}, "http(s) base URL"},
+		{"cluster shard not a URL", []string{"-cluster", "-shards", "http://%zz"}, "not a valid URL"},
+		{"cluster shard without scheme", []string{"-cluster", "-shards", "shard-a:8080"}, "http(s) base URL"},
+		{"cluster bad replica URL", []string{"-cluster", "-shards", "http://a:8080|b:8080"}, "http(s) base URL"},
+		{"negative retry budget", []string{"-cluster", "-shards", "http://a:8080", "-retry-budget", "-1"}, "-retry-budget must not be negative"},
+		{"negative max-retries", []string{"-cluster", "-shards", "http://a:8080", "-max-retries", "-1"}, "-max-retries must not be negative"},
+		{"zero shard-timeout", []string{"-cluster", "-shards", "http://a:8080", "-shard-timeout", "0s"}, "-shard-timeout must be positive"},
+		{"zero hedge-delay", []string{"-cluster", "-shards", "http://a:8080", "-hedge-delay", "0s"}, "-hedge-delay must be positive"},
+		{"hedge at shard deadline", []string{"-cluster", "-shards", "http://a:8080", "-shard-timeout", "1s", "-hedge-delay", "1s"}, "must be below -shard-timeout"},
+		{"hedge past shard deadline", []string{"-cluster", "-shards", "http://a:8080", "-hedge-delay", "5s"}, "must be below -shard-timeout"},
+		{"zero breaker-threshold", []string{"-cluster", "-shards", "http://a:8080", "-breaker-threshold", "0"}, "-breaker-threshold must be at least 1"},
+		{"negative breaker-threshold", []string{"-cluster", "-shards", "http://a:8080", "-breaker-threshold", "-3"}, "-breaker-threshold must be at least 1"},
+		{"zero breaker-cooldown", []string{"-cluster", "-shards", "http://a:8080", "-breaker-cooldown", "0s"}, "-breaker-cooldown must be positive"},
+		{"bad partial policy", []string{"-cluster", "-shards", "http://a:8080", "-partial", "maybe"}, "-partial must be degrade or fail"},
+		{"cluster with follow", []string{"-cluster", "-shards", "http://a:8080", "-follow", "http://p", "-replica-dir", "r"}, "mutually exclusive with -follow"},
+		{"cluster with wal", []string{"-cluster", "-shards", "http://a:8080", "-wal-dir", "w", "-snapshot-dir", "s"}, "shards own persistence"},
+		{"cluster with snapshot", []string{"-cluster", "-shards", "http://a:8080", "-snapshot", "x.snap"}, "shards own persistence"},
+		{"cluster with hierarchy", []string{"-cluster", "-shards", "http://a:8080", "-hierarchy", "kb.txt"}, "does not apply to a coordinator"},
+		{"shards flag without cluster", []string{"-shards", "http://a:8080"}, "only applies to a coordinator"},
+		{"hedge flag without cluster", []string{"-hedge-delay", "50ms"}, "only applies to a coordinator"},
+		{"breaker flag without cluster", []string{"-breaker-threshold", "5"}, "only applies to a coordinator"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -127,6 +150,39 @@ func TestFlagsFollowerConfig(t *testing.T) {
 	}
 	if cfg.stalenessBound != 750*time.Millisecond {
 		t.Fatalf("stalenessBound = %v", cfg.stalenessBound)
+	}
+}
+
+// TestFlagsClusterConfig: a full coordinator invocation parses into
+// the shard specs and budgets runCluster hands to cluster.New.
+func TestFlagsClusterConfig(t *testing.T) {
+	cfg, err := parse(t,
+		"-cluster",
+		"-shards", "http://a:8080|http://a2:8080/|http://a3:8080, http://b:8080 ,http://c:8080",
+		"-shard-timeout", "1s",
+		"-hedge-delay", "75ms",
+		"-retry-budget", "4",
+		"-max-retries", "2",
+		"-breaker-threshold", "5",
+		"-breaker-cooldown", "10s",
+		"-partial", "fail")
+	if err != nil {
+		t.Fatalf("cluster config rejected: %v", err)
+	}
+	specs := cfg.shardSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d shards, want 3: %+v", len(specs), specs)
+	}
+	if specs[0].Primary != "http://a:8080" || len(specs[0].Replicas) != 2 ||
+		specs[0].Replicas[0] != "http://a2:8080" || specs[0].Replicas[1] != "http://a3:8080" {
+		t.Fatalf("shard 0 misparsed: %+v", specs[0])
+	}
+	if specs[1].Primary != "http://b:8080" || len(specs[1].Replicas) != 0 {
+		t.Fatalf("shard 1 misparsed: %+v", specs[1])
+	}
+	if cfg.hedgeDelay != 75*time.Millisecond || cfg.retryBudget != 4 ||
+		cfg.breakerThreshold != 5 || cfg.partial == "degrade" {
+		t.Fatalf("cluster budgets misparsed: %+v", cfg)
 	}
 }
 

@@ -38,6 +38,15 @@
 // snapshot), tails the primary's WAL stream, rejects writes with 403,
 // and serves reads under the -staleness-bound/-staleness-mode gate.
 // See DESIGN.md §10 and the README's "Operating a replica".
+//
+// With -cluster the service runs as a scatter-gather coordinator over
+// the -shards fleet instead of serving an index itself: objects route
+// to a home shard by token signature, reads scatter to every shard
+// under a per-request deadline budget with bounded retries, hedged
+// requests (-hedge-delay) and a per-shard circuit breaker
+// (-breaker-threshold/-breaker-cooldown), and partial coverage either
+// degrades with X-Kjoin-Coverage headers or fails per -partial. See
+// DESIGN.md §12 and the README's "Operating a cluster".
 package main
 
 import (
@@ -55,6 +64,7 @@ import (
 	"time"
 
 	"kjoin"
+	"kjoin/internal/cluster"
 	"kjoin/internal/core"
 	"kjoin/internal/hierarchy"
 	"kjoin/internal/replica"
@@ -83,6 +93,14 @@ func main() {
 		}
 		log.Fatalf("kjoin-serve: invalid configuration:\n%v", err)
 	}
+
+	if cfg.cluster {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		runCluster(ctx, cfg)
+		return
+	}
+
 	f, err := os.Open(cfg.hierPath)
 	if err != nil {
 		log.Fatal(err)
@@ -211,16 +229,16 @@ func main() {
 	}
 }
 
-// newHTTPServer wraps srv with the full timeout battery: slow-loris
-// headers, stuck reads, stuck writes and idle keep-alives all get
-// bounded. Read/write budgets leave headroom over the per-request
-// deadline. Request contexts are deliberately NOT tied to the signal
-// context — in-flight requests must be allowed to finish during the
-// drain window.
-func newHTTPServer(cfg *serveConfig, srv *server.Server) *http.Server {
+// newHTTPServer wraps the handler with the full timeout battery:
+// slow-loris headers, stuck reads, stuck writes and idle keep-alives
+// all get bounded. Read/write budgets leave headroom over the
+// per-request deadline. Request contexts are deliberately NOT tied to
+// the signal context — in-flight requests must be allowed to finish
+// during the drain window.
+func newHTTPServer(cfg *serveConfig, h http.Handler) *http.Server {
 	return &http.Server{
 		Addr:              cfg.addr,
-		Handler:           srv,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       cfg.reqTimeout + 30*time.Second,
 		WriteTimeout:      cfg.reqTimeout + 30*time.Second,
@@ -228,9 +246,14 @@ func newHTTPServer(cfg *serveConfig, srv *server.Server) *http.Server {
 	}
 }
 
+// drainable is what drain needs from a server: flip /readyz to 503 so
+// load balancers route away while in-flight requests finish. Both
+// server.Server and cluster.Coordinator satisfy it.
+type drainable interface{ SetDraining(bool) }
+
 // drain performs the graceful part of shutdown: stop advertising
 // readiness, then let in-flight requests finish within the budget.
-func drain(cfg *serveConfig, srv *server.Server, hs *http.Server) {
+func drain(cfg *serveConfig, srv drainable, hs *http.Server) {
 	log.Printf("kjoin-serve: shutting down (draining up to %v)", cfg.drainT)
 	srv.SetDraining(true)
 	shCtx, cancel := context.WithTimeout(context.Background(), cfg.drainT)
@@ -238,6 +261,44 @@ func drain(cfg *serveConfig, srv *server.Server, hs *http.Server) {
 	if err := hs.Shutdown(shCtx); err != nil {
 		log.Printf("kjoin-serve: drain incomplete: %v", err)
 	}
+}
+
+// runCluster serves the coordinator mode: no local index, no
+// hierarchy — every request scatters to the -shards fleet under the
+// deadline budget and gathers with the configured partial-result
+// policy.
+func runCluster(ctx context.Context, cfg *serveConfig) {
+	shards := cfg.shardSpecs()
+	coord, err := cluster.New(cluster.Config{
+		Shards:           shards,
+		RequestTimeout:   cfg.reqTimeout,
+		ShardTimeout:     cfg.shardTimeout,
+		HedgeDelay:       cfg.hedgeDelay,
+		MaxRetries:       cfg.maxRetries,
+		RetryBudget:      cfg.retryBudget,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+		Partial:          cfg.partial,
+		MaxBodyBytes:     cfg.maxBody,
+		MaxInflight:      cfg.maxInflt,
+		Seed:             jitterSeed(),
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := newHTTPServer(cfg, coord)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("kjoin-serve: coordinating %d shards on %s (partial=%s, hedge=%v, breaker %d/%v)",
+		len(shards), cfg.addr, cfg.partial, cfg.hedgeDelay, cfg.breakerThreshold, cfg.breakerCooldown)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	drain(cfg, coord, hs)
 }
 
 // runFollower serves the read-replica mode: a replica server answering

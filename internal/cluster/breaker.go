@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one in-flight probe request; its
+	// outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-shard circuit breaker. Closed, it counts consecutive
+// failures and opens at the threshold; open, it rejects until the
+// cooldown elapses; then half-open admits a single probe whose success
+// closes it and whose failure re-opens it for another cooldown. A
+// breaker never decides on its own clock what a failure is — the
+// caller reports outcomes, and reports Forgive for outcomes it cannot
+// attribute to the shard (a parent request deadline expiring, say), so
+// a coordinator-side abort cannot open a healthy shard's breaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for deterministic tests
+
+	//kjoinlint:lockorder rank=16
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	fails    int          // guarded by mu; consecutive failures while closed
+	openedAt time.Time    // guarded by mu
+	probing  bool         // guarded by mu; a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker opening after threshold
+// consecutive failures (min 1) and staying open for cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. In half-open state only
+// one caller at a time passes (the probe); every Allow=true must be
+// balanced by exactly one Success, Failure, or Forgive.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success reports a request the shard answered.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure reports a request the shard failed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		// The probe failed: re-open for a fresh cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// Forgive reports an outcome that says nothing about the shard — the
+// parent request's own deadline expired, the client went away. It
+// releases a held probe slot without moving the state.
+func (b *Breaker) Forgive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// State returns the current position, applying the open→half-open
+// transition the next Allow would make, so /stats reports "half-open"
+// for a shard whose cooldown has elapsed even before a probe arrives.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures open the breaker;
+// a success in between resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("allow %d: closed breaker rejected", i)
+		}
+		b.Failure()
+	}
+	if !b.Allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Success() // resets the consecutive count
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("allow after reset %d: rejected", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after %d consecutive failures, want open", b.State(), 3)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: after the cooldown exactly one probe
+// passes; its success closes the breaker, and concurrent requests are
+// rejected while the probe is in flight.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second in-flight probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+	b.Success()
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the breaker
+// for a fresh cooldown (the flapping-shard path).
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request without a new cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second half-open probe rejected")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed after the shard recovers", b.State())
+	}
+}
+
+// TestBreakerForgiveReleasesProbe: an outcome not attributable to the
+// shard releases the probe slot without moving the state, so the next
+// caller can probe instead of waiting out another cooldown.
+func TestBreakerForgiveReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Forgive() // parent deadline expired mid-probe
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after forgiven probe = %v, want still half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Forgive")
+	}
+	b.Success()
+}
+
+// TestBreakerForgiveDoesNotCountAgainstThreshold: forgiven outcomes
+// while closed do not accumulate toward opening.
+func TestBreakerForgiveDoesNotCountAgainstThreshold(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("allow %d rejected", i)
+		}
+		b.Forgive()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after only forgiven outcomes, want closed", b.State())
+	}
+}

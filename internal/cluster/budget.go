@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// retryBudget is the SRE-style token bucket that bounds cluster-wide
+// retry volume: every first attempt earns a fraction of a token, every
+// retry spends a whole one. When failures are rare the bucket is full
+// and retries are free; when a shard melts down the bucket drains and
+// the coordinator sheds retries instead of amplifying the overload
+// into a retry storm.
+type retryBudget struct {
+	//kjoinlint:lockorder rank=17
+	mu     sync.Mutex
+	tokens float64 // guarded by mu
+	max    float64
+	earn   float64 // earned per first attempt
+}
+
+// newRetryBudget returns a full bucket of capacity max (min 0) earning
+// earn per first attempt.
+func newRetryBudget(max, earn float64) *retryBudget {
+	if max < 0 {
+		max = 0
+	}
+	return &retryBudget{tokens: max, max: max, earn: earn}
+}
+
+// onAttempt credits a first attempt.
+func (b *retryBudget) onAttempt() {
+	b.mu.Lock()
+	b.tokens += b.earn
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// spend takes one token for a retry, reporting false when the budget is
+// exhausted and the retry must be shed.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// shardDeadline splits the request's remaining deadline budget into one
+// shard attempt's allowance: the configured per-shard cap, shrunk so
+// that slack remains for the gather/merge after the slowest shard
+// answers. A request with no deadline gets the cap as-is.
+func shardDeadline(ctx context.Context, cap, slack time.Duration) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return cap
+	}
+	remaining := time.Until(d) - slack
+	if remaining < time.Millisecond {
+		// The budget is gone; give the attempt a token allowance so it
+		// fails fast with a deadline error instead of a zero-timeout panic.
+		remaining = time.Millisecond
+	}
+	if remaining < cap {
+		return remaining
+	}
+	return cap
+}

@@ -1,0 +1,724 @@
+package cluster
+
+// The cluster chaos matrix: a real coordinator over real shard servers
+// joined by a deterministic faulty transport (fault.NetInjector), plus
+// a single-node oracle, asserting the scatter-gather contract:
+//
+//  1. full-coverage cluster answers are bit-identical (ids, Float64bits
+//     of similarities, order) to the single-node engine on the same
+//     corpus — adds, queries, joins, similarity;
+//  2. with shards dead or stalled, degrade-policy requests answer
+//     within the deadline with X-Kjoin-Coverage naming exactly the live
+//     set, and their results are exactly the live shards' contribution;
+//  3. fail-policy requests turn the same gap into a 503 naming the
+//     failed shards;
+//  4. the per-shard breaker opens on repeated failure, half-opens after
+//     its cooldown, and a probe closes it (or re-opens it on a flap);
+//  5. nothing leaks: every scatter goroutine is joined even when the
+//     request deadline expires mid-gather.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"kjoin/internal/core"
+	"kjoin/internal/fault"
+	"kjoin/internal/mathx"
+	"kjoin/internal/paperdata"
+	"kjoin/internal/server"
+)
+
+func testOpt() core.Options { return core.Defaults(0.7, 0.6) }
+
+// matchT mirrors one /query match.
+type matchT struct {
+	Index int     `json:"index"`
+	Sim   float64 `json:"sim"`
+}
+
+// pairT mirrors one /objects or /join pair.
+type pairT struct {
+	X   int     `json:"x"`
+	Y   int     `json:"y"`
+	Sim float64 `json:"sim"`
+}
+
+// doJSON runs one JSON request and returns the response with its body
+// read and closed.
+func doJSON(t *testing.T, method, url string, body any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b
+}
+
+// queryAt posts a query and decodes the matches (status must be 200).
+func queryAt(t *testing.T, base string, tokens []string, hdr map[string]string) (*http.Response, []matchT) {
+	t.Helper()
+	resp, b := doJSON(t, http.MethodPost, base+"/query", map[string]any{"tokens": tokens}, hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query at %s: status %d: %s", base, resp.StatusCode, b)
+	}
+	var out struct {
+		Matches []matchT `json:"matches"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("query response: %v: %s", err, b)
+	}
+	return resp, out.Matches
+}
+
+// addAt posts an object and decodes id and pairs (status must be 200).
+func addAt(t *testing.T, base string, tokens []string) (*http.Response, int, []pairT) {
+	t.Helper()
+	resp, b := doJSON(t, http.MethodPost, base+"/objects", map[string]any{"tokens": tokens}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add at %s: status %d: %s", base, resp.StatusCode, b)
+	}
+	var out struct {
+		ID    int     `json:"id"`
+		Pairs []pairT `json:"pairs"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("add response: %v: %s", err, b)
+	}
+	return resp, out.ID, out.Pairs
+}
+
+// statsAt fetches /stats.
+func statsAt(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, b := doJSON(t, http.MethodGet, base+"/stats", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, b)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertMatchesBitIdentical(t *testing.T, what string, got, want []matchT) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d (got %v, want %v)", what, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || math.Float64bits(got[i].Sim) != math.Float64bits(want[i].Sim) {
+			t.Fatalf("%s: match %d = %+v, want bit-identical %+v", what, i, got[i], want[i])
+		}
+	}
+}
+
+func assertPairsBitIdentical(t *testing.T, what string, got, want []pairT) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d (got %v, want %v)", what, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].X != want[i].X || got[i].Y != want[i].Y ||
+			math.Float64bits(got[i].Sim) != math.Float64bits(want[i].Sim) {
+			t.Fatalf("%s: pair %d = %+v, want bit-identical %+v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// waitUntil polls cond for up to 15s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// watchGoroutines registers a cleanup that fails the test if the
+// goroutine count does not settle back to its baseline — a scatter
+// goroutine, stalled dial, or hedge that outlived its request.
+func watchGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+3 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<17)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+	})
+}
+
+// fleet is a coordinator over n real shard servers whose transport
+// runs through a fault injector.
+type fleet struct {
+	t      *testing.T
+	coord  *Coordinator
+	ts     *httptest.Server // coordinator
+	shards []*httptest.Server
+	inj    *fault.NetInjector
+}
+
+// newFleet starts n shards and a coordinator with test-sized timeouts;
+// mod may adjust the config before the coordinator is built.
+func newFleet(t *testing.T, n int, mod func(*Config)) *fleet {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	f := &fleet{t: t, inj: fault.NewNetInjector(nil)}
+	tr := f.inj.Transport()
+	// The transport detaches dial contexts from request cancellation
+	// (a future request might want the connection), so a stalled dial
+	// outlives its abandoned request until the transport is torn down.
+	// Close it on cleanup so the goroutine watchdog sees a clean exit.
+	t.Cleanup(tr.CloseIdleConnections)
+	cfg := Config{
+		HTTP:             &http.Client{Transport: tr},
+		RequestTimeout:   10 * time.Second,
+		ShardTimeout:     2 * time.Second,
+		HedgeDelay:       100 * time.Millisecond,
+		RetryBackoffMin:  time.Millisecond,
+		RetryBackoffMax:  5 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+		Seed:             7,
+		Logf:             t.Logf,
+	}
+	for i := 0; i < n; i++ {
+		s, err := server.New(h, testOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		f.shards = append(f.shards, ts)
+		cfg.Shards = append(cfg.Shards, ShardConfig{Primary: ts.URL})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.coord = coord
+	f.ts = httptest.NewServer(coord)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// addr returns shard i's dial address, for scoping injected faults.
+func (f *fleet) addr(i int) string {
+	return strings.TrimPrefix(f.shards[i].URL, "http://")
+}
+
+// load adds the objects through the coordinator, requiring clean full
+// coverage.
+func (f *fleet) load(objs [][]string) {
+	f.t.Helper()
+	for i, o := range objs {
+		resp, id, _ := addAt(f.t, f.ts.URL, o)
+		if id != i {
+			f.t.Fatalf("load: object %d got global id %d", i, id)
+		}
+		if cov := resp.Header.Get(HeaderCoverage); cov != fmt.Sprintf("%d/%d", len(f.shards), len(f.shards)) {
+			f.t.Fatalf("load: add %d coverage %q, want full", i, cov)
+		}
+	}
+}
+
+// singleNode starts the single-node oracle server.
+func singleNode(t *testing.T, objs [][]string) *httptest.Server {
+	t.Helper()
+	h, _ := paperdata.Fig1()
+	s, err := server.New(h, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	for _, o := range objs {
+		addAt(t, ts.URL, o)
+	}
+	return ts
+}
+
+// liveOnly filters an oracle match set down to the objects homed on
+// live shards — the exact answer a degraded gather must produce.
+func liveOnly(matches []matchT, objs [][]string, nshards int, dead map[int]bool) []matchT {
+	r := NewRouter(nshards)
+	out := []matchT{}
+	for _, m := range matches {
+		if m.Index < len(objs) && dead[r.Home(objs[m.Index])] {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestClusterDifferentialBitIdentity pins full-coverage cluster
+// answers to the single-node engine: same global ids, same pair sets,
+// same Float64bits, same order — for adds, queries, top-k queries,
+// joins, and similarity.
+func TestClusterDifferentialBitIdentity(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	oh, _ := paperdata.Fig1()
+	osrv, err := server.New(oh, testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ots := httptest.NewServer(osrv)
+	t.Cleanup(ots.Close)
+	f := newFleet(t, 3, nil)
+
+	// Adds: every response bit-identical to the oracle's, step by step.
+	for i, o := range objs {
+		_, wantID, wantPairs := addAt(t, ots.URL, o)
+		resp, gotID, gotPairs := addAt(t, f.ts.URL, o)
+		if gotID != wantID {
+			t.Fatalf("add %d: cluster id %d, oracle id %d", i, gotID, wantID)
+		}
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("add %d: coverage %q, want 3/3", i, cov)
+		}
+		assertPairsBitIdentical(t, fmt.Sprintf("add %d", i), gotPairs, wantPairs)
+	}
+
+	// Queries: bit-identical matches, full coverage declared.
+	for qi, q := range objs {
+		_, want := queryAt(t, ots.URL, q, nil)
+		resp, got := queryAt(t, f.ts.URL, q, nil)
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("query %d: coverage %q, want 3/3", qi, cov)
+		}
+		if skipped := resp.Header.Get(HeaderSkippedShards); skipped != "" {
+			t.Fatalf("query %d: skipped shards %q on a healthy fleet", qi, skipped)
+		}
+		assertMatchesBitIdentical(t, fmt.Sprintf("query %d", qi), got, want)
+	}
+
+	// Top-k: descending score with ascending-id ties, truncated to k.
+	q := objs[8]
+	_, full := queryAt(t, ots.URL, q, nil)
+	wantTop := append([]matchT(nil), full...)
+	sort.SliceStable(wantTop, func(i, j int) bool {
+		if c := mathx.Cmp(wantTop[i].Sim, wantTop[j].Sim); c != 0 {
+			return c > 0
+		}
+		return wantTop[i].Index < wantTop[j].Index
+	})
+	if len(wantTop) > 3 {
+		wantTop = wantTop[:3]
+	}
+	resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/query?k=3", map[string]any{"tokens": q}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("top-k query: status %d: %s", resp.StatusCode, b)
+	}
+	var topOut struct {
+		Matches []matchT `json:"matches"`
+	}
+	if err := json.Unmarshal(b, &topOut); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBitIdentical(t, "top-k query", topOut.Matches, wantTop)
+
+	// Join: the batch against the corpus equals per-object oracle
+	// queries.
+	batch := objs[:4]
+	var wantJoin []pairT
+	for i, o := range batch {
+		_, ms := queryAt(t, ots.URL, o, nil)
+		for _, m := range ms {
+			wantJoin = append(wantJoin, pairT{X: i, Y: m.Index, Sim: m.Sim})
+		}
+	}
+	resp, b = doJSON(t, http.MethodPost, f.ts.URL+"/join", map[string]any{"objects": batch}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: status %d: %s", resp.StatusCode, b)
+	}
+	if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+		t.Fatalf("join coverage %q, want 3/3", cov)
+	}
+	var joinOut struct {
+		Pairs []pairT `json:"pairs"`
+	}
+	if err := json.Unmarshal(b, &joinOut); err != nil {
+		t.Fatal(err)
+	}
+	assertPairsBitIdentical(t, "join", joinOut.Pairs, wantJoin)
+
+	// Similarity: bit-exact score through the cluster.
+	resp, b = doJSON(t, http.MethodPost, ots.URL+"/similarity", map[string]any{"x": objs[0], "y": objs[8]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oracle similarity: status %d: %s", resp.StatusCode, b)
+	}
+	var wantSim, gotSim struct {
+		Sim float64 `json:"sim"`
+	}
+	if err := json.Unmarshal(b, &wantSim); err != nil {
+		t.Fatal(err)
+	}
+	resp, b = doJSON(t, http.MethodPost, f.ts.URL+"/similarity", map[string]any{"x": objs[0], "y": objs[8]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster similarity: status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &gotSim); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(gotSim.Sim) != math.Float64bits(wantSim.Sim) {
+		t.Fatalf("similarity %x, want bit-exact %x", math.Float64bits(gotSim.Sim), math.Float64bits(wantSim.Sim))
+	}
+
+	// Stats and route table agree with what happened.
+	st := statsAt(t, f.ts.URL)
+	if int(st["objects"].(float64)) != len(objs) {
+		t.Fatalf("stats objects = %v, want %d", st["objects"], len(objs))
+	}
+	if int(st["partial_responses_total"].(float64)) != 0 {
+		t.Fatalf("partial_responses_total = %v on a healthy fleet", st["partial_responses_total"])
+	}
+	for i, s := range st["breaker_state"].([]any) {
+		if s.(string) != "closed" {
+			t.Fatalf("breaker %d state %v on a healthy fleet", i, s)
+		}
+	}
+	resp, b = doJSON(t, http.MethodGet, f.ts.URL+"/cluster/route", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("route: status %d: %s", resp.StatusCode, b)
+	}
+	var route struct {
+		Version int    `json:"version"`
+		Algo    string `json:"algo"`
+		Shards  []struct {
+			ID      int `json:"id"`
+			Objects int `json:"objects"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(b, &route); err != nil {
+		t.Fatal(err)
+	}
+	if route.Version != 1 || route.Algo != "minhash-fnv1a64" {
+		t.Fatalf("route table version %d algo %q", route.Version, route.Algo)
+	}
+	total := 0
+	for _, rs := range route.Shards {
+		total += rs.Objects
+	}
+	if total != len(objs) {
+		t.Fatalf("route table accounts for %d objects, want %d", total, len(objs))
+	}
+}
+
+// TestClusterChaosMatrix runs the fault schedules. Every case gets a
+// fresh fleet loaded cleanly through the coordinator, then faults are
+// appended to the live injector and the scatter-gather contract is
+// asserted.
+func TestClusterChaosMatrix(t *testing.T) {
+	objs := paperdata.Table1()
+
+	t.Run("dead shard degrades and fails by policy", func(t *testing.T) {
+		watchGoroutines(t)
+		f := newFleet(t, 3, nil)
+		f.load(objs)
+		ots := singleNode(t, objs)
+		// Shard 1 dies: every dial from now on is refused.
+		f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1, Sticky: true})
+		dead := map[int]bool{1: true}
+		for qi, q := range objs {
+			_, oracle := queryAt(t, ots.URL, q, nil)
+			want := liveOnly(oracle, objs, 3, dead)
+			resp, got := queryAt(t, f.ts.URL, q, map[string]string{HeaderPartial: PartialDegrade})
+			if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+				t.Fatalf("query %d coverage %q, want 2/3", qi, cov)
+			}
+			if skipped := resp.Header.Get(HeaderSkippedShards); skipped != "1" {
+				t.Fatalf("query %d skipped %q, want exactly shard 1", qi, skipped)
+			}
+			assertMatchesBitIdentical(t, fmt.Sprintf("degraded query %d", qi), got, want)
+		}
+		// Fail policy: same gap, explicit refusal naming the shard.
+		resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/query",
+			map[string]any{"tokens": objs[0]}, map[string]string{HeaderPartial: PartialFail})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("fail-policy query: status %d: %s", resp.StatusCode, b)
+		}
+		if fs := resp.Header.Get(HeaderFailedShards); fs != "1" {
+			t.Fatalf("failed shards header %q, want 1", fs)
+		}
+		if !bytes.Contains(b, []byte("partial_failure")) || !bytes.Contains(b, []byte("1")) {
+			t.Fatalf("fail-policy body does not name the failed shard: %s", b)
+		}
+		// Adds: a live home degrades its discovery; the dead home refuses.
+		resp, _, _ = addAt(t, f.ts.URL, objs[5]) // home shard 0
+		if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+			t.Fatalf("add with dead discovery shard: coverage %q, want 2/3", cov)
+		}
+		resp, b = doJSON(t, http.MethodPost, f.ts.URL+"/objects", map[string]any{"tokens": objs[0]}, nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("add homed on dead shard: status %d: %s", resp.StatusCode, b)
+		}
+		if !bytes.Contains(b, []byte("shard_unavailable")) {
+			t.Fatalf("add homed on dead shard: body %s", b)
+		}
+		st := statsAt(t, f.ts.URL)
+		if healthy := st["shard_healthy"].([]any); healthy[1].(bool) {
+			t.Fatal("stats report the dead shard healthy")
+		}
+		if n := int(st["partial_responses_total"].(float64)); n < len(objs) {
+			t.Fatalf("partial_responses_total = %d, want at least %d", n, len(objs))
+		}
+	})
+
+	t.Run("stalled shard degrades within the deadline", func(t *testing.T) {
+		watchGoroutines(t)
+		f := newFleet(t, 3, nil)
+		f.load(objs)
+		ots := singleNode(t, objs)
+		// Shard 1 black-holes: dials hang until the caller's context
+		// expires.
+		f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetStall, Addr: f.addr(1), N: 1, Sticky: true})
+		_, oracle := queryAt(t, ots.URL, objs[7], nil)
+		want := liveOnly(oracle, objs, 3, map[int]bool{1: true})
+		start := time.Now()
+		resp, got := queryAt(t, f.ts.URL, objs[7], map[string]string{
+			HeaderPartial:    PartialDegrade,
+			HeaderDeadlineMs: "500",
+		})
+		elapsed := time.Since(start)
+		if elapsed > 2*time.Second {
+			t.Fatalf("degraded query took %v against a 500ms budget", elapsed)
+		}
+		if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+			t.Fatalf("coverage %q, want 2/3", cov)
+		}
+		assertMatchesBitIdentical(t, "stalled-shard query", got, want)
+	})
+
+	t.Run("mid-frame truncation is retried to full coverage", func(t *testing.T) {
+		watchGoroutines(t)
+		f := newFleet(t, 3, nil)
+		f.load(objs)
+		ots := singleNode(t, objs)
+		// The next read from shard 1 delivers 8 bytes and cuts the
+		// connection mid-frame; the retry gets a clean connection.
+		f.inj.Append(fault.NetFault{Op: fault.OpConnRead, Mode: fault.NetTruncate, Keep: 8, Addr: f.addr(1), N: 1})
+		_, want := queryAt(t, ots.URL, objs[3], nil)
+		resp, got := queryAt(t, f.ts.URL, objs[3], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("coverage %q, want full after retry", cov)
+		}
+		assertMatchesBitIdentical(t, "post-truncation query", got, want)
+		if f.inj.Fired() == 0 {
+			t.Fatal("truncation fault never fired")
+		}
+		if n := int(statsAt(t, f.ts.URL)["retries_total"].(float64)); n < 1 {
+			t.Fatalf("retries_total = %d, want at least 1", n)
+		}
+	})
+
+	t.Run("flapping shard exercises open, half-open, close", func(t *testing.T) {
+		watchGoroutines(t)
+		f := newFleet(t, 3, nil)
+		f.load(objs)
+		ots := singleNode(t, objs)
+		breakerState := func(i int) string {
+			return statsAt(t, f.ts.URL)["breaker_state"].([]any)[i].(string)
+		}
+		// Flap one: two refused dials (initial attempt + its retry) open
+		// the breaker at threshold 2.
+		f.inj.Append(
+			fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1},
+			fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1},
+		)
+		resp, _ := queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+			t.Fatalf("flap 1 coverage %q, want 2/3", cov)
+		}
+		if st := breakerState(1); st != "open" {
+			t.Fatalf("breaker state %q after consecutive failures, want open", st)
+		}
+		// While open, the gap persists without touching the dead shard.
+		before := f.inj.Fired()
+		resp, _ = queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+			t.Fatalf("open-breaker coverage %q, want 2/3", cov)
+		}
+		if f.inj.Fired() != before {
+			t.Fatal("open breaker still dialed the failed shard")
+		}
+		// Cooldown elapses: half-open, and the successful probe closes it.
+		waitUntil(t, "breaker to half-open", func() bool { return breakerState(1) == "half-open" })
+		_, want := queryAt(t, ots.URL, objs[0], nil)
+		resp, got := queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("post-probe coverage %q, want full", cov)
+		}
+		assertMatchesBitIdentical(t, "post-probe query", got, want)
+		if st := breakerState(1); st != "closed" {
+			t.Fatalf("breaker state %q after successful probe, want closed", st)
+		}
+		// Flap two: the shard dies again, and this time the first probe
+		// also fails — the breaker must re-open for a fresh cooldown.
+		f.inj.Append(
+			fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1},
+			fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1},
+			fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1},
+		)
+		queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if st := breakerState(1); st != "open" {
+			t.Fatalf("breaker state %q after flap two, want open", st)
+		}
+		waitUntil(t, "breaker to half-open again", func() bool { return breakerState(1) == "half-open" })
+		resp, _ = queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "2/3" {
+			t.Fatalf("failed-probe coverage %q, want 2/3", cov)
+		}
+		if st := breakerState(1); st != "open" {
+			t.Fatalf("breaker state %q after failed probe, want re-opened", st)
+		}
+		// And the shard's real recovery closes it again.
+		waitUntil(t, "breaker to half-open after failed probe", func() bool { return breakerState(1) == "half-open" })
+		resp, got = queryAt(t, f.ts.URL, objs[0], map[string]string{HeaderPartial: PartialDegrade})
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("recovery coverage %q, want full", cov)
+		}
+		assertMatchesBitIdentical(t, "recovered query", got, want)
+	})
+
+	t.Run("coordinator deadline expiry mid-gather", func(t *testing.T) {
+		watchGoroutines(t)
+		f := newFleet(t, 3, nil)
+		f.load(objs)
+		// Every shard black-holes; the request budget expires mid-gather
+		// and the gather must still join all scatter goroutines and
+		// answer promptly.
+		for i := 0; i < 3; i++ {
+			f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetStall, Addr: f.addr(i), N: 1, Sticky: true})
+		}
+		start := time.Now()
+		resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/query",
+			map[string]any{"tokens": objs[0]},
+			map[string]string{HeaderPartial: PartialDegrade, HeaderDeadlineMs: "400"})
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("zero-coverage query: status %d: %s", resp.StatusCode, b)
+		}
+		if !bytes.Contains(b, []byte("timeout")) {
+			t.Fatalf("zero-coverage body: %s", b)
+		}
+		if elapsed > 3*time.Second {
+			t.Fatalf("deadline-expired query took %v against a 400ms budget", elapsed)
+		}
+	})
+
+	t.Run("stalled replica hedges to the primary", func(t *testing.T) {
+		watchGoroutines(t)
+		// Shard 1 gets a replica that black-holes from the start: every
+		// query to shard 1 must hedge to the primary at the hedge delay
+		// and stay bit-identical, with hedges surfaced in /stats.
+		replicaTS := httptest.NewServer(http.NotFoundHandler())
+		t.Cleanup(replicaTS.Close)
+		f := newFleet(t, 3, func(cfg *Config) {
+			cfg.Shards[1].Replicas = []string{replicaTS.URL}
+		})
+		f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetStall,
+			Addr: strings.TrimPrefix(replicaTS.URL, "http://"), N: 1, Sticky: true})
+		f.load(objs)
+		ots := singleNode(t, objs)
+		_, want := queryAt(t, ots.URL, objs[2], nil)
+		resp, got := queryAt(t, f.ts.URL, objs[2], nil)
+		if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+			t.Fatalf("hedged query coverage %q, want full", cov)
+		}
+		assertMatchesBitIdentical(t, "hedged query", got, want)
+		if n := int(statsAt(t, f.ts.URL)["hedges_total"].(float64)); n < 1 {
+			t.Fatalf("hedges_total = %d, want at least 1", n)
+		}
+	})
+
+	t.Run("dead primary fails over to its replica", func(t *testing.T) {
+		watchGoroutines(t)
+		// Shard 1's replica mirrors its primary; when the primary dies,
+		// reads fail over and coverage stays full — only adds homed there
+		// refuse.
+		h, _ := paperdata.Fig1()
+		rsrv, err := server.New(h, testOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicaTS := httptest.NewServer(rsrv)
+		t.Cleanup(replicaTS.Close)
+		f := newFleet(t, 3, func(cfg *Config) {
+			cfg.Shards[1].Replicas = []string{replicaTS.URL}
+		})
+		r := NewRouter(3)
+		for i, o := range objs {
+			resp, id, _ := addAt(t, f.ts.URL, o)
+			if id != i {
+				t.Fatalf("load: object %d got id %d", i, id)
+			}
+			if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+				t.Fatalf("load coverage %q", cov)
+			}
+			if r.Home(o) == 1 {
+				addAt(t, replicaTS.URL, o) // mirror, same local id order
+			}
+		}
+		ots := singleNode(t, objs)
+		f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(1), N: 1, Sticky: true})
+		for qi, q := range objs {
+			_, want := queryAt(t, ots.URL, q, nil)
+			resp, got := queryAt(t, f.ts.URL, q, map[string]string{HeaderPartial: PartialFail})
+			if cov := resp.Header.Get(HeaderCoverage); cov != "3/3" {
+				t.Fatalf("failover query %d coverage %q, want full", qi, cov)
+			}
+			assertMatchesBitIdentical(t, fmt.Sprintf("failover query %d", qi), got, want)
+		}
+		resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/objects", map[string]any{"tokens": objs[0]}, nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("add to dead primary: status %d: %s", resp.StatusCode, b)
+		}
+		if !bytes.Contains(b, []byte("shard_unavailable")) {
+			t.Fatalf("add to dead primary: body %s", b)
+		}
+	})
+}

@@ -1,0 +1,360 @@
+// Package cluster is the scatter-gather coordinator over a set of
+// kjoin shard servers. Objects are partitioned across shards by a
+// min-hash router (similar objects co-locate with probability about
+// their Jaccard overlap, so most prefix-filter candidates are found by
+// the home shard itself); queries and joins scatter to every shard and
+// gather deterministically, bit-identical to a single-node server on
+// full coverage.
+//
+// The coordinator is built to degrade instead of amplify: a
+// per-request deadline budget is split into per-shard deadlines with
+// slack reserved for the merge; shard attempts retry with jittered
+// backoff under a cluster-wide retry budget (a token bucket — when a
+// shard melts down, retries are shed rather than multiplied into a
+// storm); each shard hides behind a circuit breaker
+// (closed/open/half-open with a single probe) and a fail-over
+// replica.Client that hedges slow primaries and falls back to
+// replicas; and a per-request partial-result policy decides whether
+// missing shards fail the request (503 naming the failed shards) or
+// degrade it (200 with X-Kjoin-Coverage and the skipped shard list).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kjoin/internal/replica"
+	"kjoin/internal/rng"
+	"kjoin/internal/serverutil"
+)
+
+// Partial-result policies: how a gather with failed shards answers.
+const (
+	// PartialFail turns any missed shard into a 503 naming the failed
+	// shard set — for callers that need exact answers or nothing.
+	PartialFail = "fail"
+	// PartialDegrade answers 200 from the shards that responded, with
+	// X-Kjoin-Coverage and X-Kjoin-Skipped-Shards declaring the gap —
+	// for callers that prefer a partial answer now over none.
+	PartialDegrade = "degrade"
+)
+
+// ShardConfig names one shard: its primary and any read replicas the
+// fail-over client may use.
+type ShardConfig struct {
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Config tunes the coordinator. The zero value of every field selects
+// the default documented on it.
+type Config struct {
+	// Shards is the fixed shard set (required, at least one).
+	Shards []ShardConfig
+	// RequestTimeout is the whole-request deadline budget (default 15s).
+	// A request may shrink its own budget with an X-Kjoin-Deadline-Ms
+	// header; it cannot grow it.
+	RequestTimeout time.Duration
+	// ShardTimeout caps one shard attempt (default 2s). The effective
+	// per-shard deadline is min(ShardTimeout, remaining request budget
+	// minus MergeSlack).
+	ShardTimeout time.Duration
+	// MergeSlack is the tail of the request budget reserved for the
+	// gather merge after the slowest shard answers (default 25ms).
+	MergeSlack time.Duration
+	// HedgeDelay is how long a shard's replica attempt may run before
+	// the fail-over client hedges the primary (default 100ms).
+	HedgeDelay time.Duration
+	// MaxRetries bounds retries per shard per request (default 1).
+	MaxRetries int
+	// RetryBudget is the retry token bucket's capacity (default 10);
+	// RetryBudgetEarn is the fraction of a token earned per first
+	// attempt (default 0.1). Retries spend one token each, so sustained
+	// failure sheds retries at ~RetryBudgetEarn per request.
+	RetryBudget     float64
+	RetryBudgetEarn float64
+	// RetryBackoffMin/Max bound the jittered pause before a retry
+	// (defaults 5ms / 50ms).
+	RetryBackoffMin time.Duration
+	RetryBackoffMax time.Duration
+	// BreakerThreshold opens a shard's breaker after that many
+	// consecutive failures (default 3); BreakerCooldown is how long it
+	// stays open before admitting a half-open probe (default 3s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Partial is the default partial-result policy (PartialDegrade);
+	// requests override it with an X-Kjoin-Partial header.
+	Partial string
+	// MaxBodyBytes caps a request body (default 1 MiB); MaxInflight
+	// bounds concurrently executing requests (default 64).
+	MaxBodyBytes int64
+	MaxInflight  int
+	// Seed makes retry jitter deterministic (default 1).
+	Seed uint64
+	// HTTP overrides the transport for every shard call (nil →
+	// http.DefaultClient); chaos tests inject a faulty dialer here.
+	HTTP *http.Client
+	// Logf, when set, receives recovered panics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.ShardTimeout == 0 {
+		c.ShardTimeout = 2 * time.Second
+	}
+	if c.MergeSlack == 0 {
+		c.MergeSlack = 25 * time.Millisecond
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 100 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 10
+	}
+	if c.RetryBudgetEarn == 0 {
+		c.RetryBudgetEarn = 0.1
+	}
+	if c.RetryBackoffMin == 0 {
+		c.RetryBackoffMin = 5 * time.Millisecond
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.Partial == "" {
+		c.Partial = PartialDegrade
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// shard is one shard's client-side state.
+type shard struct {
+	id      int
+	cfg     ShardConfig
+	client  *replica.Client
+	breaker *Breaker
+}
+
+// Coordinator is an http.Handler fronting the shard fleet. It owns the
+// global id space: every accepted object gets the id a single-node
+// server would have assigned it, and gathers translate shard-local
+// match indices back through that mapping, which is what makes cluster
+// answers comparable (and on full coverage bit-identical) to one node.
+type Coordinator struct {
+	cfg     Config
+	router  *Router
+	shards  []*shard
+	budget  *retryBudget
+	sem     *serverutil.Semaphore
+	handler http.Handler
+
+	// addMu serializes cluster adds end-to-end (home-shard add, global
+	// id assignment, cross-shard pair discovery): insertion order is
+	// global-id order, and an add's discovery sweep sees exactly the
+	// objects with smaller ids — the single-node add's invariant.
+	//kjoinlint:lockorder rank=12
+	addMu sync.Mutex
+
+	//kjoinlint:lockorder rank=14
+	mu sync.RWMutex
+	// toGlobal maps each shard's local ids to global ids, in local-id
+	// order. Guarded by mu; appended under addMu+mu, read under mu.
+	toGlobal [][]int
+	objects  int // guarded by mu; next global id
+
+	// jmu guards the retry-jitter RNG (leaf lock).
+	//kjoinlint:lockorder rank=18
+	jmu sync.Mutex
+	jr  *rng.RNG // guarded by jmu
+
+	draining     atomic.Bool
+	rr           atomic.Int64 // round-robin cursor for /similarity
+	retriesTotal atomic.Int64
+	partialTotal atomic.Int64
+}
+
+// New returns a coordinator over the configured shard fleet.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: at least one shard is required")
+	}
+	if cfg.Partial != PartialFail && cfg.Partial != PartialDegrade {
+		return nil, fmt.Errorf("cluster: unknown partial policy %q", cfg.Partial)
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		router:   NewRouter(len(cfg.Shards)),
+		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetEarn),
+		sem:      serverutil.NewSemaphore(cfg.MaxInflight),
+		toGlobal: make([][]int, len(cfg.Shards)),
+		jr:       rng.New(cfg.Seed),
+	}
+	for i, sc := range cfg.Shards {
+		if sc.Primary == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
+		}
+		c.shards = append(c.shards, &shard{
+			id:  i,
+			cfg: sc,
+			client: &replica.Client{
+				Primary:    sc.Primary,
+				Replicas:   sc.Replicas,
+				HTTP:       cfg.HTTP,
+				TryTimeout: cfg.ShardTimeout,
+				HedgeDelay: cfg.HedgeDelay,
+				Seed:       cfg.Seed + uint64(i) + 1,
+			},
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	c.handler = serverutil.Chain(c.mux(), serverutil.Recover(cfg.Logf))
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.handler.ServeHTTP(w, r)
+}
+
+// SetDraining flips the readiness probe so load balancers stop routing
+// new traffic here; serving itself is unaffected.
+func (c *Coordinator) SetDraining(v bool) { c.draining.Store(v) }
+
+// errBreakerOpen is a shard attempt rejected at the breaker without
+// touching the network.
+var errBreakerOpen = errors.New("cluster: circuit breaker open")
+
+// jitterBackoff returns a deterministic retry pause in
+// [RetryBackoffMin, RetryBackoffMax].
+func (c *Coordinator) jitterBackoff() time.Duration {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	span := c.cfg.RetryBackoffMax - c.cfg.RetryBackoffMin
+	return c.cfg.RetryBackoffMin + time.Duration(c.jr.Float64()*float64(span))
+}
+
+// callShard runs one logical shard request with the full robustness
+// stack: breaker admission, a per-attempt deadline carved from the
+// request budget, bounded retries under the cluster retry budget with
+// jittered backoff. call receives a context already bounded by the
+// per-shard deadline. An abort caused by the parent request's own
+// deadline is forgiven, not charged to the shard's breaker.
+func callShard[T any](c *Coordinator, ctx context.Context, sh *shard, call func(context.Context, *replica.Client) (T, error)) (T, error) {
+	var zero T
+	c.budget.onAttempt()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !sh.breaker.Allow() {
+			if lastErr != nil {
+				return zero, lastErr
+			}
+			return zero, errBreakerOpen
+		}
+		sctx, cancel := context.WithTimeout(ctx, shardDeadline(ctx, c.cfg.ShardTimeout, c.cfg.MergeSlack))
+		res, err := call(sctx, sh.client)
+		cancel()
+		if err == nil {
+			sh.breaker.Success()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The request's own budget expired mid-attempt; the shard may
+			// be perfectly healthy.
+			sh.breaker.Forgive()
+			return zero, ctx.Err()
+		}
+		lastErr = err
+		// Classify before charging the breaker: a 4xx is the caller's
+		// input refused by a healthy shard (no charge, no retry), a 429 is
+		// a live shard shedding load (no charge, retryable, honoring its
+		// Retry-After), and only the rest is evidence the shard is broken.
+		var retryFloor time.Duration
+		if se := statusErrOf(err); se != nil && se.Status >= 400 && se.Status < 500 {
+			sh.breaker.Forgive()
+			if se.Status != http.StatusTooManyRequests {
+				return zero, lastErr
+			}
+			retryFloor = se.RetryAfter
+		} else {
+			sh.breaker.Failure()
+		}
+		if attempt >= c.cfg.MaxRetries || !c.budget.spend() {
+			return zero, lastErr
+		}
+		c.retriesTotal.Add(1)
+		d := c.jitterBackoff()
+		if retryFloor > d {
+			d = retryFloor
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return zero, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// shardResult is one shard's gathered outcome.
+type shardResult[T any] struct {
+	val T
+	err error
+}
+
+// scatter fans call out to every shard concurrently and gathers every
+// outcome, indexed by shard id. The goroutines are joined before
+// return — a coordinator deadline expiring mid-gather still waits for
+// each shard call to observe its context and exit, so nothing leaks.
+func scatter[T any](c *Coordinator, ctx context.Context, call func(ctx context.Context, shardID int, cl *replica.Client) (T, error)) []shardResult[T] {
+	outs := make([]shardResult[T], len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			val, err := callShard(c, ctx, sh, func(sctx context.Context, cl *replica.Client) (T, error) {
+				return call(sctx, i, cl)
+			})
+			outs[i] = shardResult[T]{val: val, err: err}
+		}(i, c.shards[i])
+	}
+	wg.Wait()
+	return outs
+}
+
+// HedgesTotal sums hedge requests across every shard's fail-over
+// client.
+func (c *Coordinator) HedgesTotal() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.client.HedgeCount()
+	}
+	return n
+}

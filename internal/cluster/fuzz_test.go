@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"kjoin/internal/mathx"
+)
+
+// gatherPayload decodes fuzz bytes into shard payloads: 11-byte
+// records of (control, int16 index, float64 sim bits); a control byte
+// divisible by 4 opens a new shard. The raw float bits make NaN, Inf
+// and negative zero routine inputs, and the signed index makes
+// negative ids routine — exactly the malformed payloads a buggy or
+// byzantine shard could gather back.
+func gatherPayload(data []byte) [][]Entry {
+	shards := [][]Entry{nil}
+	for len(data) >= 11 {
+		if data[0]%4 == 0 {
+			shards = append(shards, nil)
+		}
+		idx := int(int16(binary.LittleEndian.Uint16(data[1:3])))
+		sim := math.Float64frombits(binary.LittleEndian.Uint64(data[3:11]))
+		shards[len(shards)-1] = append(shards[len(shards)-1], Entry{Index: idx, Sim: sim})
+		data = data[11:]
+	}
+	return shards
+}
+
+// FuzzGatherMerge drives the gather merges with arbitrary shard
+// payloads — duplicated, overlapping, empty, malformed — and checks
+// they never panic and always produce their declared orders: top-k
+// descending by similarity with ascending-id ties and at most k
+// entries, ascending merge strictly increasing ids, both free of
+// duplicates and non-finite scores.
+func FuzzGatherMerge(f *testing.F) {
+	rec := func(ctl byte, idx int16, sim float64) []byte {
+		b := []byte{ctl}
+		b = binary.LittleEndian.AppendUint16(b, uint16(idx))
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(sim))
+	}
+	cat := func(rs ...[]byte) []byte {
+		var out []byte
+		for _, r := range rs {
+			out = append(out, r...)
+		}
+		return out
+	}
+	// Two shards with an overlapping id and a tie.
+	f.Add(cat(rec(1, 5, 0.9), rec(2, 3, 0.7), rec(4, 5, 0.8), rec(3, 7, 0.9)), 3)
+	// Malformed: NaN, +Inf, negative id, duplicate within one shard.
+	f.Add(cat(rec(1, 1, math.NaN()), rec(1, -2, 0.5), rec(4, 9, math.Inf(1)), rec(1, 1, 0.4)), 2)
+	// Empty shards and empty input.
+	f.Add(cat(rec(4, 0, 0.1), rec(4, 0, 0.2), rec(4, 2, 0.3)), 0)
+	f.Add([]byte{}, 5)
+
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k < 0 {
+			k = -k
+		}
+		k %= 64
+		shards := gatherPayload(data)
+
+		top := mergeTopK(shards, k)
+		if k > 0 && len(top) > k {
+			t.Fatalf("mergeTopK returned %d entries, cap %d", len(top), k)
+		}
+		seen := make(map[int]bool, len(top))
+		for i, e := range top {
+			if e.Index < 0 || math.IsNaN(e.Sim) || math.IsInf(e.Sim, 0) {
+				t.Fatalf("mergeTopK kept malformed entry %+v", e)
+			}
+			if seen[e.Index] {
+				t.Fatalf("mergeTopK kept duplicate id %d", e.Index)
+			}
+			seen[e.Index] = true
+			if i > 0 {
+				c := mathx.Cmp(top[i-1].Sim, e.Sim)
+				if c < 0 {
+					t.Fatalf("mergeTopK order broken at %d: %v before %v", i, top[i-1], e)
+				}
+				if c == 0 && top[i-1].Index >= e.Index {
+					t.Fatalf("mergeTopK tie order broken at %d: %v before %v", i, top[i-1], e)
+				}
+			}
+		}
+
+		asc := mergeAscending(shards)
+		for i, e := range asc {
+			if e.Index < 0 || math.IsNaN(e.Sim) || math.IsInf(e.Sim, 0) {
+				t.Fatalf("mergeAscending kept malformed entry %+v", e)
+			}
+			if i > 0 && asc[i-1].Index >= e.Index {
+				t.Fatalf("mergeAscending order broken at %d: %v before %v", i, asc[i-1], e)
+			}
+		}
+	})
+}

@@ -1,0 +1,634 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kjoin/internal/replica"
+	"kjoin/internal/serverutil"
+)
+
+// Request headers the coordinator honors and response headers it sets.
+const (
+	// HeaderPartial selects the partial-result policy per request
+	// ("fail" or "degrade"); absent means the configured default.
+	HeaderPartial = "X-Kjoin-Partial"
+	// HeaderDeadlineMs shrinks the request's deadline budget below the
+	// configured RequestTimeout (milliseconds; it cannot grow it).
+	HeaderDeadlineMs = "X-Kjoin-Deadline-Ms"
+	// HeaderCoverage reports gather coverage as "k/n": k of n shards
+	// contributed to the answer.
+	HeaderCoverage = "X-Kjoin-Coverage"
+	// HeaderSkippedShards lists the shard ids missing from a degraded
+	// answer, comma-separated.
+	HeaderSkippedShards = "X-Kjoin-Skipped-Shards"
+	// HeaderFailedShards lists the shard ids that caused a fail-policy
+	// 503, comma-separated.
+	HeaderFailedShards = "X-Kjoin-Failed-Shards"
+)
+
+func (c *Coordinator) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /objects", c.limited(http.HandlerFunc(c.handleAdd)))
+	mux.Handle("POST /query", c.limited(http.HandlerFunc(c.handleQuery)))
+	mux.Handle("POST /join", c.limited(http.HandlerFunc(c.handleJoin)))
+	mux.Handle("POST /similarity", c.limited(http.HandlerFunc(c.handleSimilarity)))
+	mux.HandleFunc("GET /cluster/route", c.handleRoute)
+	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	return mux
+}
+
+// limited is the coordinator's protection stack: admission control
+// first (shed before spending), then the deadline budget, then the
+// body cap.
+func (c *Coordinator) limited(h http.Handler) http.Handler {
+	return serverutil.Chain(h,
+		serverutil.Admit(c.sem, time.Second, 3*time.Second, c.cfg.Seed),
+		c.deadline,
+		serverutil.LimitBody(c.cfg.MaxBodyBytes),
+	)
+}
+
+// deadline attaches the request's deadline budget: the configured
+// RequestTimeout, shrunk by an X-Kjoin-Deadline-Ms header when the
+// caller wants a tighter bound.
+func (c *Coordinator) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := c.cfg.RequestTimeout
+		if h := r.Header.Get(HeaderDeadlineMs); h != "" {
+			ms, err := strconv.Atoi(h)
+			if err != nil || ms <= 0 {
+				serverutil.WriteError(w, http.StatusBadRequest, "bad_deadline",
+					fmt.Sprintf("%s must be a positive integer, got %q", HeaderDeadlineMs, h))
+				return
+			}
+			if hd := time.Duration(ms) * time.Millisecond; hd < d {
+				d = hd
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// policy resolves the request's partial-result policy.
+func (c *Coordinator) policy(w http.ResponseWriter, r *http.Request) (string, bool) {
+	p := r.Header.Get(HeaderPartial)
+	if p == "" {
+		return c.cfg.Partial, true
+	}
+	if p != PartialFail && p != PartialDegrade {
+		serverutil.WriteError(w, http.StatusBadRequest, "bad_policy",
+			fmt.Sprintf("%s must be %q or %q, got %q", HeaderPartial, PartialFail, PartialDegrade, p))
+		return "", false
+	}
+	return p, true
+}
+
+// decode parses a JSON body, reporting a structured 400 on failure.
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			serverutil.WriteError(w, http.StatusBadRequest, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		serverutil.WriteError(w, http.StatusBadRequest, "bad_json", "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// shardList renders shard ids as "1,3".
+func shardList(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// gatherHeaders applies the partial-result policy to a gather with the
+// given failed shard set. It returns false after writing the response
+// itself (nothing answered, or fail policy with gaps); on true the
+// caller proceeds to write the 200, whose coverage headers are already
+// set.
+func (c *Coordinator) gatherHeaders(w http.ResponseWriter, policy string, failed []int, lastErr error) bool {
+	n := len(c.shards)
+	live := n - len(failed)
+	if live == 0 {
+		detail := "every shard failed"
+		if lastErr != nil {
+			detail = "every shard failed: " + lastErr.Error()
+		}
+		w.Header().Set(HeaderFailedShards, shardList(failed))
+		if errors.Is(lastErr, context.DeadlineExceeded) {
+			serverutil.WriteError(w, http.StatusServiceUnavailable, "timeout", "request deadline exceeded before any shard answered")
+			return false
+		}
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "all_shards_failed", detail)
+		return false
+	}
+	if len(failed) > 0 {
+		c.partialTotal.Add(1)
+		if policy == PartialFail {
+			w.Header().Set(HeaderFailedShards, shardList(failed))
+			serverutil.WriteError(w, http.StatusServiceUnavailable, "partial_failure",
+				fmt.Sprintf("shards %s failed and the request demands full coverage", shardList(failed)))
+			return false
+		}
+		w.Header().Set(HeaderSkippedShards, shardList(failed))
+	}
+	w.Header().Set(HeaderCoverage, fmt.Sprintf("%d/%d", live, n))
+	return true
+}
+
+// objectRequest is the body of POST /objects and POST /query.
+type objectRequest struct {
+	Tokens []string `json:"tokens"`
+}
+
+// toEntries maps one shard's local match indices into global-id
+// entries. Matches for local ids the coordinator has not assigned are
+// dropped — they can only come from writes that bypassed the
+// coordinator, and inventing global ids for them would corrupt the
+// merge. Caller holds c.mu (read side).
+func (c *Coordinator) toEntries(shardID int, ms []replica.Match) []Entry {
+	tg := c.toGlobal[shardID]
+	out := make([]Entry, 0, len(ms))
+	for _, m := range ms {
+		if m.Index < 0 || m.Index >= len(tg) {
+			continue
+		}
+		out = append(out, Entry{Index: tg[m.Index], Sim: m.Sim})
+	}
+	return out
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	policy, ok := c.policy(w, r)
+	if !ok {
+		return
+	}
+	k := 0
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		var err error
+		if k, err = strconv.Atoi(kq); err != nil || k < 1 {
+			serverutil.WriteError(w, http.StatusBadRequest, "bad_k",
+				fmt.Sprintf("k must be a positive integer, got %q", kq))
+			return
+		}
+	}
+	var req objectRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	outs := scatter(c, r.Context(), func(ctx context.Context, _ int, cl *replica.Client) (*replica.Result, error) {
+		return cl.Query(ctx, req.Tokens)
+	})
+	var failed []int
+	var lastErr error
+	entries := make([][]Entry, len(outs))
+	c.mu.RLock()
+	for i, out := range outs {
+		if out.err != nil {
+			failed = append(failed, i)
+			lastErr = out.err
+			continue
+		}
+		entries[i] = c.toEntries(i, out.val.Matches)
+	}
+	c.mu.RUnlock()
+	// A shard-side 400 means the input itself is bad (every shard would
+	// refuse it); answer 400, not a coverage gap.
+	var se *replica.StatusError
+	if errors.As(lastErr, &se) && se.Status == http.StatusBadRequest && len(failed) == len(outs) {
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shards rejected the query: "+lastErr.Error())
+		return
+	}
+	if !c.gatherHeaders(w, policy, failed, lastErr) {
+		return
+	}
+	var merged []Entry
+	if k > 0 {
+		merged = mergeTopK(entries, k)
+	} else {
+		merged = mergeAscending(entries)
+	}
+	if merged == nil {
+		merged = []Entry{}
+	}
+	writeJSON(w, map[string]any{"matches": merged})
+}
+
+// joinRequest is the body of POST /join: a batch of objects joined
+// against the cluster's indexed corpus.
+type joinRequest struct {
+	Objects [][]string `json:"objects"`
+}
+
+// joinPair is one reported (batch object, corpus object) match.
+type joinPair struct {
+	X   int     `json:"x"` // index into the posted batch
+	Y   int     `json:"y"` // global id of the corpus object
+	Sim float64 `json:"sim"`
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	policy, ok := c.policy(w, r)
+	if !ok {
+		return
+	}
+	var req joinRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	// Each shard serves the whole batch under one shard deadline: the
+	// per-object queries are sequential, so the shard's allowance covers
+	// the batch, not each object.
+	outs := scatter(c, r.Context(), func(ctx context.Context, _ int, cl *replica.Client) ([][]replica.Match, error) {
+		res := make([][]replica.Match, len(req.Objects))
+		for i, obj := range req.Objects {
+			out, err := cl.Query(ctx, obj)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = out.Matches
+		}
+		return res, nil
+	})
+	var failed []int
+	var lastErr error
+	var pairs []joinPair
+	c.mu.RLock()
+	for s, out := range outs {
+		if out.err != nil {
+			failed = append(failed, s)
+			lastErr = out.err
+			continue
+		}
+		for i, ms := range out.val {
+			for _, e := range c.toEntries(s, ms) {
+				pairs = append(pairs, joinPair{X: i, Y: e.Index, Sim: e.Sim})
+			}
+		}
+	}
+	c.mu.RUnlock()
+	var se *replica.StatusError
+	if errors.As(lastErr, &se) && se.Status == http.StatusBadRequest && len(failed) == len(outs) {
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shards rejected the batch: "+lastErr.Error())
+		return
+	}
+	if !c.gatherHeaders(w, policy, failed, lastErr) {
+		return
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].X != pairs[j].X {
+			return pairs[i].X < pairs[j].X
+		}
+		return pairs[i].Y < pairs[j].Y
+	})
+	if pairs == nil {
+		pairs = []joinPair{}
+	}
+	writeJSON(w, map[string]any{"pairs": pairs})
+}
+
+// similarityRequest is the body of POST /similarity.
+type similarityRequest struct {
+	X []string `json:"x"`
+	Y []string `json:"y"`
+}
+
+func (c *Coordinator) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	var req similarityRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	// Similarity is stateless over the shared hierarchy, so any shard
+	// can answer; start from a rotating cursor and fail over across the
+	// fleet.
+	start := int(c.rr.Add(1))
+	var lastErr error
+	for off := 0; off < len(c.shards); off++ {
+		sh := c.shards[(start+off)%len(c.shards)]
+		res, err := callShard(c, r.Context(), sh, func(ctx context.Context, cl *replica.Client) (*replica.Result, error) {
+			return cl.Similarity(ctx, req.X, req.Y)
+		})
+		if err == nil {
+			writeJSON(w, map[string]float64{"sim": res.Sim})
+			return
+		}
+		lastErr = err
+		if r.Context().Err() != nil {
+			break
+		}
+	}
+	if se := statusErrOf(lastErr); se != nil && se.Status == http.StatusBadRequest {
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shards rejected the pair: "+lastErr.Error())
+		return
+	}
+	if errors.Is(lastErr, context.DeadlineExceeded) {
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "timeout", "request deadline exceeded")
+		return
+	}
+	serverutil.WriteError(w, http.StatusServiceUnavailable, "all_shards_failed", "no shard could score the pair: "+lastErr.Error())
+}
+
+// pairJSON is one reported pair in an add response, in global ids.
+type pairJSON struct {
+	X   int     `json:"x"`
+	Y   int     `json:"y"`
+	Sim float64 `json:"sim"`
+}
+
+// shardAddResponse is what a shard's POST /objects returns (local ids).
+type shardAddResponse struct {
+	ID    int        `json:"id"`
+	Pairs []pairJSON `json:"pairs"`
+}
+
+func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req objectRequest
+	if !c.decode(w, r, &req) {
+		return
+	}
+	home := c.router.Home(req.Tokens)
+	// Adds serialize cluster-wide: the global id order is the insertion
+	// order, and the discovery sweep below sees exactly the objects with
+	// smaller global ids — the single-node add's invariant. Throughput
+	// scales with shards via query traffic, not add traffic.
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+	res, err := c.addToShard(r.Context(), c.shards[home], req.Tokens)
+	if err != nil {
+		c.addError(w, home, err)
+		return
+	}
+	c.mu.Lock()
+	g := c.objects
+	if res.ID != len(c.toGlobal[home]) {
+		// The shard's id sequence diverged from ours: something wrote to
+		// it around the coordinator. Refuse loudly rather than serve a
+		// corrupted mapping.
+		c.mu.Unlock()
+		serverutil.WriteError(w, http.StatusInternalServerError, "shard_drift",
+			fmt.Sprintf("shard %d assigned local id %d, coordinator expected %d", home, res.ID, len(c.toGlobal[home])))
+		return
+	}
+	c.objects++
+	c.toGlobal[home] = append(c.toGlobal[home], g)
+	homeEntries := make([]Entry, 0, len(res.Pairs))
+	for _, p := range res.Pairs {
+		// A shard add reports pairs as (candidate local id, new local id).
+		if p.X < 0 || p.X >= len(c.toGlobal[home]) {
+			continue
+		}
+		homeEntries = append(homeEntries, Entry{Index: c.toGlobal[home][p.X], Sim: p.Sim})
+	}
+	c.mu.Unlock()
+	// Cross-shard pair discovery: the new object queried against every
+	// other shard's corpus (all ids < g — adds are serialized). The home
+	// add has already committed, so discovery gaps degrade the reported
+	// pair set with coverage headers; they never fail the add.
+	outs := scatter(c, r.Context(), func(ctx context.Context, shardID int, cl *replica.Client) (*replica.Result, error) {
+		if shardID == home {
+			return &replica.Result{}, nil
+		}
+		return cl.Query(ctx, req.Tokens)
+	})
+	var failed []int
+	entries := make([][]Entry, 0, len(outs)+1)
+	entries = append(entries, homeEntries)
+	c.mu.RLock()
+	for i, out := range outs {
+		if i == home {
+			continue
+		}
+		if out.err != nil {
+			failed = append(failed, i)
+			continue
+		}
+		entries = append(entries, c.toEntries(i, out.val.Matches))
+	}
+	c.mu.RUnlock()
+	if len(failed) > 0 {
+		c.partialTotal.Add(1)
+		w.Header().Set(HeaderSkippedShards, shardList(failed))
+	}
+	w.Header().Set(HeaderCoverage, fmt.Sprintf("%d/%d", len(c.shards)-len(failed), len(c.shards)))
+	merged := mergeAscending(entries)
+	pairs := make([]pairJSON, 0, len(merged))
+	for _, e := range merged {
+		pairs = append(pairs, pairJSON{X: e.Index, Y: g, Sim: e.Sim})
+	}
+	writeJSON(w, map[string]any{"id": g, "pairs": pairs})
+}
+
+// addToShard runs the home-shard add. Adds are not idempotent — a
+// timed-out add may have applied — so only responses that prove the
+// add was not applied (a 429 shed at the shard's admission gate) are
+// retried; everything else surfaces to the caller after one attempt.
+func (c *Coordinator) addToShard(ctx context.Context, sh *shard, tokens []string) (*shardAddResponse, error) {
+	c.budget.onAttempt()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !sh.breaker.Allow() {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, errBreakerOpen
+		}
+		sctx, cancel := context.WithTimeout(ctx, shardDeadline(ctx, c.cfg.ShardTimeout, c.cfg.MergeSlack))
+		res, err := c.postAdd(sctx, sh.cfg.Primary, tokens)
+		cancel()
+		if err == nil {
+			sh.breaker.Success()
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			sh.breaker.Forgive()
+			return nil, fmt.Errorf("add to shard %d: %w", sh.id, err)
+		}
+		se := statusErrOf(err)
+		switch {
+		case se != nil && se.Status == http.StatusTooManyRequests:
+			// Shed at the door: provably not applied, safe to retry, and
+			// no evidence the shard is broken.
+			sh.breaker.Forgive()
+			if attempt >= c.cfg.MaxRetries || !c.budget.spend() {
+				return nil, fmt.Errorf("add to shard %d: %w", sh.id, err)
+			}
+			c.retriesTotal.Add(1)
+			d := c.jitterBackoff()
+			if se.RetryAfter > d {
+				d = se.RetryAfter
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		case se != nil && se.Status >= 400 && se.Status < 500:
+			// The object itself was refused; not the shard's fault.
+			sh.breaker.Forgive()
+			return nil, fmt.Errorf("add to shard %d: %w", sh.id, err)
+		default:
+			sh.breaker.Failure()
+			return nil, fmt.Errorf("add to shard %d: %w", sh.id, err)
+		}
+	}
+}
+
+// postAdd posts one object to a shard primary.
+func (c *Coordinator) postAdd(ctx context.Context, primary string, tokens []string) (*shardAddResponse, error) {
+	body, err := json.Marshal(map[string]any{"tokens": tokens})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, primary+"/objects", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		se := &replica.StatusError{Endpoint: primary, Status: resp.StatusCode}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, se
+	}
+	var out shardAddResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: %s: bad add response: %w", primary, err)
+	}
+	return &out, nil
+}
+
+// addError maps a failed home-shard add to a response: client errors
+// pass through as 400, deadline expiry is 503 timeout, everything else
+// is 503 naming the shard the object routes to.
+func (c *Coordinator) addError(w http.ResponseWriter, home int, err error) {
+	if se := statusErrOf(err); se != nil && se.Status >= 400 && se.Status < 500 && se.Status != http.StatusTooManyRequests {
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shard rejected the object: "+err.Error())
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "timeout", "request deadline exceeded")
+		return
+	}
+	w.Header().Set(HeaderFailedShards, strconv.Itoa(home))
+	serverutil.WriteError(w, http.StatusServiceUnavailable, "shard_unavailable",
+		fmt.Sprintf("home shard %d cannot accept the object: %v", home, err))
+}
+
+// statusErrOf unwraps a *replica.StatusError from a shard call's error
+// chain (nil when there is none).
+func statusErrOf(err error) *replica.StatusError {
+	var se *replica.StatusError
+	if errors.As(err, &se) {
+		return se
+	}
+	return nil
+}
+
+// routeShard is one shard's row in the route table.
+type routeShard struct {
+	ID       int      `json:"id"`
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+	Objects  int      `json:"objects"`
+}
+
+// handleRoute serves the versioned route table: the partitioning
+// algorithm and the shard endpoints, so clients can compute homes and
+// detect a repartition by comparing versions.
+func (c *Coordinator) handleRoute(w http.ResponseWriter, r *http.Request) {
+	rows := make([]routeShard, len(c.shards))
+	c.mu.RLock()
+	for i, sh := range c.shards {
+		rows[i] = routeShard{ID: i, Primary: sh.cfg.Primary, Replicas: sh.cfg.Replicas, Objects: len(c.toGlobal[i])}
+	}
+	c.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"version": c.router.Version(),
+		"algo":    "minhash-fnv1a64",
+		"shards":  rows,
+	})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	healthy := make([]bool, len(c.shards))
+	states := make([]string, len(c.shards))
+	for i, sh := range c.shards {
+		st := sh.breaker.State()
+		states[i] = st.String()
+		healthy[i] = st != BreakerOpen
+	}
+	c.mu.RLock()
+	objects := c.objects
+	c.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"objects":                 objects,
+		"shards":                  len(c.shards),
+		"route_version":           c.router.Version(),
+		"shard_healthy":           healthy,
+		"breaker_state":           states,
+		"hedges_total":            c.HedgesTotal(),
+		"retries_total":           c.retriesTotal.Load(),
+		"partial_responses_total": c.partialTotal.Load(),
+		"inflight":                c.sem.InFlight(),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if c.draining.Load() {
+		serverutil.WriteError(w, http.StatusServiceUnavailable, "draining", "coordinator is draining")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// writeJSON writes the success response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}

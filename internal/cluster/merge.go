@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"kjoin/internal/mathx"
+)
+
+// Entry is one match in a shard's gathered payload, already mapped to
+// the coordinator's global id space.
+type Entry struct {
+	Index int     `json:"index"`
+	Sim   float64 `json:"sim"`
+}
+
+// sanitize drops entries no well-formed shard can produce — negative
+// ids and non-finite similarities. NaN is the dangerous one: mathx.Cmp
+// reports NaN comparisons as equal, which breaks the strict weak order
+// a sort needs, so one malformed shard payload could otherwise scramble
+// the whole merged ordering.
+func sanitize(entries []Entry) []Entry {
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Index < 0 || math.IsNaN(e.Sim) || math.IsInf(e.Sim, 0) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// mergeAscending merges per-shard payloads into one result in ascending
+// global-id order — the single-node engine's output order, which is
+// what makes full-coverage cluster answers bit-identical to it.
+// Duplicate ids (overlapping or duplicated payloads) keep the first
+// occurrence in shard order, so the merge is deterministic for any
+// fixed gather.
+func mergeAscending(shards [][]Entry) []Entry {
+	var all []Entry
+	for _, sh := range shards {
+		all = append(all, sh...)
+	}
+	all = sanitize(all)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+	return dedupSorted(all)
+}
+
+// mergeTopK merges per-shard payloads into the k best matches in
+// descending-similarity order (ties broken by ascending global id, so
+// equal scores have one canonical order). k <= 0 means no truncation.
+func mergeTopK(shards [][]Entry, k int) []Entry {
+	var all []Entry
+	for _, sh := range shards {
+		all = append(all, sh...)
+	}
+	all = sanitize(all)
+	// Dedup on id first (ascending-id pass keeps the first occurrence in
+	// shard order, same rule as mergeAscending), then rank.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+	all = dedupSorted(all)
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := mathx.Cmp(all[i].Sim, all[j].Sim); c != 0 {
+			return c > 0
+		}
+		return all[i].Index < all[j].Index
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// dedupSorted removes duplicate ids from an id-sorted slice, keeping
+// each id's first entry.
+func dedupSorted(all []Entry) []Entry {
+	out := all[:0]
+	for i, e := range all {
+		if i > 0 && e.Index == all[i-1].Index {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

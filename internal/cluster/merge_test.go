@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || math.Float64bits(a[i].Sim) != math.Float64bits(b[i].Sim) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeAscendingOrdersAndDedups: overlapping shard payloads merge
+// into ascending global-id order with one entry per id (first shard
+// wins), and empty payloads contribute nothing.
+func TestMergeAscendingOrdersAndDedups(t *testing.T) {
+	got := mergeAscending([][]Entry{
+		{{Index: 5, Sim: 0.9}, {Index: 1, Sim: 0.8}},
+		nil,
+		{{Index: 3, Sim: 0.7}, {Index: 5, Sim: 0.6}},
+		{},
+	})
+	want := []Entry{{Index: 1, Sim: 0.8}, {Index: 3, Sim: 0.7}, {Index: 5, Sim: 0.9}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("mergeAscending = %v, want %v", got, want)
+	}
+}
+
+// TestMergeTopKDescendingWithTies: top-k ranks by descending
+// similarity, breaks ties by ascending id, and truncates to k.
+func TestMergeTopKDescendingWithTies(t *testing.T) {
+	shards := [][]Entry{
+		{{Index: 2, Sim: 0.7}, {Index: 9, Sim: 0.9}},
+		{{Index: 4, Sim: 0.9}, {Index: 7, Sim: 0.5}},
+	}
+	got := mergeTopK(shards, 3)
+	want := []Entry{{Index: 4, Sim: 0.9}, {Index: 9, Sim: 0.9}, {Index: 2, Sim: 0.7}}
+	if !entriesEqual(got, want) {
+		t.Fatalf("mergeTopK = %v, want %v", got, want)
+	}
+	if got := mergeTopK(shards, 0); len(got) != 4 {
+		t.Fatalf("mergeTopK k=0 returned %d entries, want all 4", len(got))
+	}
+}
+
+// TestMergeDropsMalformedEntries: NaN and infinite similarities and
+// negative ids are dropped — NaN would break the strict weak order the
+// sort needs, so a single malformed shard payload could otherwise
+// scramble the whole merge.
+func TestMergeDropsMalformedEntries(t *testing.T) {
+	shards := [][]Entry{
+		{{Index: 1, Sim: math.NaN()}, {Index: 2, Sim: 0.5}},
+		{{Index: -3, Sim: 0.9}, {Index: 4, Sim: math.Inf(1)}},
+	}
+	if got := mergeAscending(shards); !entriesEqual(got, []Entry{{Index: 2, Sim: 0.5}}) {
+		t.Fatalf("mergeAscending kept malformed entries: %v", got)
+	}
+	if got := mergeTopK(shards, 10); !entriesEqual(got, []Entry{{Index: 2, Sim: 0.5}}) {
+		t.Fatalf("mergeTopK kept malformed entries: %v", got)
+	}
+}
+
+// TestRetryBudgetSpendsAndEarns: the bucket starts full, sheds retries
+// once drained, and refills from first attempts.
+func TestRetryBudgetSpendsAndEarns(t *testing.T) {
+	b := newRetryBudget(2, 0.5)
+	if !b.spend() || !b.spend() {
+		t.Fatal("full budget refused a retry")
+	}
+	if b.spend() {
+		t.Fatal("drained budget granted a retry")
+	}
+	b.onAttempt()
+	if b.spend() {
+		t.Fatal("half a token granted a retry")
+	}
+	b.onAttempt()
+	if !b.spend() {
+		t.Fatal("earned token refused a retry")
+	}
+	for i := 0; i < 100; i++ {
+		b.onAttempt()
+	}
+	if !b.spend() || !b.spend() || b.spend() {
+		t.Fatal("budget earned past its capacity")
+	}
+}
+
+// TestRouterIsDeterministicAndCoLocatesIdenticalSets: the home shard
+// is a pure function of the token set — duplicates and order don't
+// move it — and stays in range.
+func TestRouterIsDeterministicAndCoLocatesIdenticalSets(t *testing.T) {
+	r := NewRouter(4)
+	a := r.Home([]string{"KFC", "Burger King", "bar"})
+	b := r.Home([]string{"bar", "KFC", "Burger King", "KFC"})
+	if a != b {
+		t.Fatalf("home moved with token order/duplicates: %d vs %d", a, b)
+	}
+	if a < 0 || a >= 4 {
+		t.Fatalf("home %d out of range", a)
+	}
+	if v := r.Version(); v != 1 {
+		t.Fatalf("fresh route table version = %d, want 1", v)
+	}
+	// Sharing the minimum-hash token forces co-location: find the token
+	// with the smallest hash and check that any superset keeps the home.
+	base := []string{"KFC", "Burger King", "bar"}
+	min := base[0]
+	for _, tok := range base[1:] {
+		if fnv1a64(tok) < fnv1a64(min) {
+			min = tok
+		}
+	}
+	if r.Home([]string{min}) != r.Home(base) {
+		t.Fatal("minimum-hash token does not determine the home")
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+// The router decides which shard owns an object. It min-hashes the
+// token set: FNV-1a over each token, the minimum hash mod the shard
+// count picks the home. Min-hash is locality-sensitive for Jaccard
+// overlap — two objects sharing most tokens share their minimum hash
+// with probability about their Jaccard similarity — so the pairs the
+// prefix filter would surface tend to live on one shard and are found
+// by the home shard's own add, while cross-shard discovery only has to
+// catch the tail. The mapping is pure (tokens → shard), so any client
+// holding the route table can compute homes without asking the
+// coordinator.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Router maps objects to shards. It is immutable; Version identifies
+// the table so clients caching it can detect a repartition (a future
+// rebalancer would publish a new version).
+type Router struct {
+	nshards int
+	version int
+}
+
+// NewRouter returns a version-1 router over n shards (min 1).
+func NewRouter(n int) *Router {
+	if n < 1 {
+		n = 1
+	}
+	return &Router{nshards: n, version: 1}
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return r.nshards }
+
+// Version returns the route-table version.
+func (r *Router) Version() int { return r.version }
+
+// Home returns the shard owning an object with these tokens. Duplicate
+// tokens cannot move the minimum, so the mapping is set-semantic like
+// the similarity itself.
+func (r *Router) Home(tokens []string) int {
+	min := ^uint64(0)
+	for _, t := range tokens {
+		if h := fnv1a64(t); h < min {
+			min = h
+		}
+	}
+	return int(min % uint64(r.nshards))
+}

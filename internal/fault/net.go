@@ -89,6 +89,13 @@ type NetFault struct {
 	Keep int
 	// Stall is how long a NetStall blocks (0 = until close/context).
 	Stall time.Duration
+	// Sticky makes the fault permanent: once its position is reached it
+	// fires on that operation and every later matching one, instead of
+	// being consumed. A sticky dial failure is a dead endpoint; a sticky
+	// dial stall is a black-holed one. Entries are matched in script
+	// order, so a sticky fault shadows any later entry for the same
+	// operation and address scope — list it last among those.
+	Sticky bool
 
 	fired bool
 }
@@ -121,11 +128,30 @@ func NewNetInjector(dial func(ctx context.Context, network, addr string) (net.Co
 	}
 }
 
-// Fired returns how many scripted faults have fired.
+// Fired returns how many scripted faults have fired (a sticky fault
+// counts once per firing).
 func (in *NetInjector) Fired() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.fired
+}
+
+// Append adds faults to the live schedule. Their occurrence counts
+// start from the next matching operation, not from the injector's
+// creation — "the shard dies now" is Append of a sticky first-dial
+// failure at the moment the test wants the failure to begin.
+func (in *NetInjector) Append(script ...NetFault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range script {
+		f := script[i]
+		if f.Addr == "" {
+			// Unscoped entries are positional against the global count;
+			// rebase them so N counts from "now" like scoped entries do.
+			f.N += in.counts[f.Op]
+		}
+		in.script = append(in.script, f)
+	}
 }
 
 // Transport returns an http.Transport dialing through the injector.
@@ -143,21 +169,24 @@ func (in *NetInjector) step(op NetOp, addr string) (NetFault, bool) {
 	n := in.counts[op]
 	for i := range in.script {
 		f := &in.script[i]
-		if f.fired || f.Op != op {
+		if f.Op != op || (f.fired && !f.Sticky) {
 			continue
 		}
 		if f.Addr != "" {
 			if !strings.Contains(addr, f.Addr) {
 				continue
 			}
-			// Addr-scoped faults keep their own count among matching ops.
-			f.N--
-			if f.N > 0 {
-				continue
+			if !f.fired {
+				// Addr-scoped faults keep their own count among matching ops.
+				f.N--
+				if f.N > 0 {
+					continue
+				}
 			}
-		} else if n != f.N {
+		} else if !f.fired && n != f.N {
 			continue
 		}
+		// A fired sticky fault falls through: it hits every later match.
 		f.fired = true
 		in.fired++
 		return *f, true

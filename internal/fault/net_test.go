@@ -190,3 +190,64 @@ func TestNetInjectorTransport(t *testing.T) {
 		t.Fatalf("second request body %q", b)
 	}
 }
+
+// TestNetInjectorStickyFault: a sticky dial fault is a dead endpoint —
+// once reached, it fires on every later dial of that address, and each
+// firing counts in Fired.
+func TestNetInjectorStickyFault(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t),
+		NetFault{Op: OpDial, N: 2, Mode: NetFail, Addr: "shard-1", Sticky: true})
+	// Dial 1 of shard-1 is clean; dials 2..4 all fail.
+	c, err := in.DialContext(context.Background(), "tcp", "shard-1:1")
+	if err != nil {
+		t.Fatalf("dial 1 should be clean: %v", err)
+	}
+	c.Close()
+	for i := 2; i <= 4; i++ {
+		if _, err := in.DialContext(context.Background(), "tcp", "shard-1:1"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("dial %d: want ErrInjected from the sticky fault, got %v", i, err)
+		}
+	}
+	// Other addresses stay unaffected.
+	c, err = in.DialContext(context.Background(), "tcp", "shard-2:1")
+	if err != nil {
+		t.Fatalf("dial of shard-2: %v", err)
+	}
+	c.Close()
+	if got := in.Fired(); got != 3 {
+		t.Fatalf("Fired = %d, want 3 (one per sticky firing)", got)
+	}
+}
+
+// TestNetInjectorAppend: faults added mid-run count occurrences from
+// the moment of the Append, so "the shard dies now" needs no knowledge
+// of how many operations already happened.
+func TestNetInjectorAppend(t *testing.T) {
+	in := NewNetInjector(pipeDialer(t))
+	// Some clean traffic first, so the global dial count is nonzero.
+	for i := 0; i < 3; i++ {
+		c, err := in.DialContext(context.Background(), "tcp", "shard-1:1")
+		if err != nil {
+			t.Fatalf("warm-up dial %d: %v", i, err)
+		}
+		c.Close()
+	}
+	// Unscoped N=1 must mean "the next dial", not "the first ever"
+	// (already long past).
+	in.Append(NetFault{Op: OpDial, N: 1, Mode: NetFail})
+	if _, err := in.DialContext(context.Background(), "tcp", "shard-1:1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("appended unscoped fault did not fire on the next dial: %v", err)
+	}
+	// An appended sticky scoped fault kills the endpoint from now on.
+	in.Append(NetFault{Op: OpDial, N: 1, Mode: NetFail, Addr: "shard-2", Sticky: true})
+	for i := 0; i < 2; i++ {
+		if _, err := in.DialContext(context.Background(), "tcp", "shard-2:1"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("appended sticky dial %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	c, err := in.DialContext(context.Background(), "tcp", "shard-1:1")
+	if err != nil {
+		t.Fatalf("shard-1 should have recovered after the one-shot fault: %v", err)
+	}
+	c.Close()
+}

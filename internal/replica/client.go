@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kjoin/internal/rng"
@@ -21,14 +22,46 @@ type Match struct {
 	Sim   float64 `json:"sim"`
 }
 
-// Result is a fail-over query's answer plus where it came from.
+// Result is a fail-over request's answer plus where it came from.
 type Result struct {
+	// Matches holds a Query's answer (nil for Similarity).
 	Matches []Match
+	// Sim holds a Similarity call's answer (zero for Query).
+	Sim float64
 	// Endpoint is the base URL that answered.
 	Endpoint string
 	// LagMS is the answering replica's advertised staleness in
 	// milliseconds; -1 when unknown (e.g. the primary answered).
 	LagMS int64
+}
+
+// StatusError is a non-success HTTP answer from one endpoint. It
+// carries any Retry-After the server sent on a 429 or 503, so the
+// caller's backoff can honor the server's own schedule instead of
+// hammering an endpoint that just said how long it needs.
+type StatusError struct {
+	Endpoint string
+	Status   int
+	// RetryAfter is the server's requested pause (zero when none was
+	// sent or the status carries none).
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("replica: %s answered %d (retry after %v)", e.Endpoint, e.Status, e.RetryAfter)
+	}
+	return fmt.Sprintf("replica: %s answered %d", e.Endpoint, e.Status)
+}
+
+// retryAfterOf extracts the server-requested pause from an endpoint
+// error chain (zero when there is none).
+func retryAfterOf(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
 }
 
 // Client routes similarity queries across a primary and its read
@@ -53,7 +86,9 @@ type Client struct {
 	// TryTimeout/4). The first success wins.
 	HedgeDelay time.Duration
 	// BackoffMin/BackoffMax bound the jittered pause between endpoint
-	// attempts within one Query call (defaults 10ms / 250ms).
+	// attempts within one Query call (defaults 10ms / 250ms). A 429/503
+	// Retry-After from the previous endpoint raises the pause to at
+	// least what the server asked for.
 	BackoffMin time.Duration
 	BackoffMax time.Duration
 	// Seed makes rotation and jitter deterministic (default 1).
@@ -62,7 +97,14 @@ type Client struct {
 	mu   sync.Mutex
 	r    *rng.RNG // guarded by mu
 	next int      // guarded by mu; round-robin start offset
+
+	// hedges counts hedge requests launched, for the coordinator's
+	// hedges_total statistic.
+	hedges atomic.Int64
 }
+
+// HedgeCount returns how many hedge requests this client has launched.
+func (c *Client) HedgeCount() int64 { return c.hedges.Load() }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -130,13 +172,41 @@ func (c *Client) jitter(min, max time.Duration) time.Duration {
 // first success anywhere is the answer. It returns the last error only
 // after every endpoint has failed.
 func (c *Client) Query(ctx context.Context, tokens []string) (*Result, error) {
+	return c.run(ctx, func(tctx context.Context, ep string) (*Result, error) {
+		return c.tryQuery(tctx, ep, tokens)
+	})
+}
+
+// Similarity scores one pair of objects with the same fail-over and
+// hedging as Query. Any endpoint can answer: /similarity is stateless
+// over the shared hierarchy, so replicas serve it without a staleness
+// gate.
+func (c *Client) Similarity(ctx context.Context, x, y []string) (*Result, error) {
+	return c.run(ctx, func(tctx context.Context, ep string) (*Result, error) {
+		return c.trySimilarity(tctx, ep, x, y)
+	})
+}
+
+// run drives one request across the endpoint order: a bounded, hedged
+// attempt per endpoint, jittered backoff between endpoints (raised to a
+// previous endpoint's Retry-After when one was sent), first success
+// wins.
+func (c *Client) run(ctx context.Context, try func(context.Context, string) (*Result, error)) (*Result, error) {
 	if c.Primary == "" {
 		return nil, errors.New("replica: client has no primary endpoint")
 	}
 	var lastErr error
+	var floor time.Duration // Retry-After from the previous endpoint
 	for i, ep := range c.order() {
 		if i > 0 {
-			t := time.NewTimer(c.jitter(c.BackoffMin, c.BackoffMax))
+			d := c.jitter(c.BackoffMin, c.BackoffMax)
+			if floor > d {
+				// The server scheduled our next attempt itself; honoring it
+				// beats retrying into the very saturation it reported. The
+				// context still bounds the wait.
+				d = floor
+			}
+			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -144,11 +214,12 @@ func (c *Client) Query(ctx context.Context, tokens []string) (*Result, error) {
 			case <-t.C:
 			}
 		}
-		res, err := c.tryHedged(ctx, ep, tokens)
+		res, err := c.tryHedged(ctx, ep, try)
 		if err == nil {
 			return res, nil
 		}
 		lastErr = err
+		floor = retryAfterOf(err)
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -161,7 +232,7 @@ func (c *Client) Query(ctx context.Context, tokens []string) (*Result, error) {
 // HedgeDelay (or immediately when the replica errors out fast); the
 // first success wins and the loser is cancelled with the shared try
 // context.
-func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Result, error) {
+func (c *Client) tryHedged(ctx context.Context, ep string, try func(context.Context, string) (*Result, error)) (*Result, error) {
 	tctx, cancel := context.WithTimeout(ctx, c.tryTimeout())
 	defer cancel()
 	type outcome struct {
@@ -171,7 +242,7 @@ func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Re
 	ch := make(chan outcome, 2)
 	launch := func(target string) {
 		go func() {
-			res, err := c.try(tctx, target, tokens)
+			res, err := try(tctx, target)
 			ch <- outcome{res, err}
 		}()
 	}
@@ -198,6 +269,7 @@ func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Re
 				// The replica failed outright; hedge immediately rather than
 				// waiting out the delay.
 				hedged = true
+				c.hedges.Add(1)
 				launch(c.Primary)
 				pending++
 			}
@@ -205,6 +277,7 @@ func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Re
 			hedgeC = nil
 			if !hedged {
 				hedged = true
+				c.hedges.Add(1)
 				launch(c.Primary)
 				pending++
 			}
@@ -218,13 +291,15 @@ func (c *Client) tryHedged(ctx context.Context, ep string, tokens []string) (*Re
 	return nil, fmt.Errorf("replica: try %s: %w", ep, lastErr)
 }
 
-// try runs one POST /query against one endpoint.
-func (c *Client) try(ctx context.Context, ep string, tokens []string) (*Result, error) {
-	body, err := json.Marshal(map[string]any{"tokens": tokens})
+// post runs one JSON POST against one endpoint and decodes a 200 into
+// out. A non-200 becomes a *StatusError carrying any Retry-After the
+// server attached to a 429 or 503.
+func (c *Client) post(ctx context.Context, ep, path string, reqBody any, out any) (http.Header, error) {
+	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep+"/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -238,19 +313,45 @@ func (c *Client) try(ctx context.Context, ep string, tokens []string) (*Result, 
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("replica: %s answered %d", ep, resp.StatusCode)
+		se := &StatusError{Endpoint: ep, Status: resp.StatusCode}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, se
 	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, fmt.Errorf("replica: %s: bad response body: %w", ep, err)
+	}
+	return resp.Header, nil
+}
+
+// tryQuery runs one POST /query against one endpoint.
+func (c *Client) tryQuery(ctx context.Context, ep string, tokens []string) (*Result, error) {
 	var out struct {
 		Matches []Match `json:"matches"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("replica: %s: bad response body: %w", ep, err)
+	hdr, err := c.post(ctx, ep, "/query", map[string]any{"tokens": tokens}, &out)
+	if err != nil {
+		return nil, err
 	}
 	lag := int64(-1)
-	if h := resp.Header.Get("X-Kjoin-Replica-Lag-Ms"); h != "" {
+	if h := hdr.Get("X-Kjoin-Replica-Lag-Ms"); h != "" {
 		if ms, perr := strconv.ParseInt(h, 10, 64); perr == nil {
 			lag = ms
 		}
 	}
 	return &Result{Matches: out.Matches, Endpoint: ep, LagMS: lag}, nil
+}
+
+// trySimilarity runs one POST /similarity against one endpoint.
+func (c *Client) trySimilarity(ctx context.Context, ep string, x, y []string) (*Result, error) {
+	var out struct {
+		Sim float64 `json:"sim"`
+	}
+	if _, err := c.post(ctx, ep, "/similarity", map[string]any{"x": x, "y": y}, &out); err != nil {
+		return nil, err
+	}
+	return &Result{Sim: out.Sim, Endpoint: ep, LagMS: -1}, nil
 }

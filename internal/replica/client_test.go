@@ -1,18 +1,45 @@
 package replica
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"kjoin/internal/paperdata"
 	"kjoin/internal/server"
 )
+
+// similarityHTTP scores one pair directly against one endpoint.
+func similarityHTTP(t *testing.T, url string, x, y []string) float64 {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"x": x, "y": y})
+	resp, err := http.Post(url+"/similarity", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("similarity at %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	var out struct {
+		Sim float64 `json:"sim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Sim
+}
 
 // deadEndpoint returns a URL nothing listens on.
 func deadEndpoint(t *testing.T) string {
@@ -156,6 +183,124 @@ func TestClientAllEndpointsDown(t *testing.T) {
 	_, err := c.Query(context.Background(), paperdata.Table1()[0])
 	if err == nil || !strings.Contains(err.Error(), "every endpoint failed") {
 		t.Fatalf("err = %v, want every-endpoint failure", err)
+	}
+}
+
+// TestClientHonorsRetryAfter: when an endpoint answers 429 with a
+// Retry-After, the pause before the next endpoint attempt must be at
+// least what the server asked for, not just the client's own jittered
+// schedule. The replica always answers 429; the primary answers 429
+// once (so the hedge inside the first try also fails and the sweep
+// reaches its inter-endpoint backoff) and then serves normally.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	for _, o := range paperdata.Table1()[:4] {
+		p.mustAdd(o)
+	}
+	throttled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(throttled.Close)
+	var primaryHits atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if primaryHits.Add(1) == 1 {
+			io.Copy(io.Discard, r.Body)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		httputilProxy(t, p.ts.URL).ServeHTTP(w, r)
+	}))
+	t.Cleanup(gate.Close)
+	c := &Client{
+		Primary:    gate.URL,
+		Replicas:   []string{throttled.URL},
+		TryTimeout: 5 * time.Second,
+		HedgeDelay: 50 * time.Millisecond,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+		Seed:       3,
+	}
+	q := paperdata.Table1()[0]
+	want := queryHTTP(t, p.ts.URL, q)
+	start := time.Now()
+	res, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("query returned after %v — the 1s Retry-After was not honored", elapsed)
+	}
+	assertSameMatches(t, res, want)
+	if got := c.HedgeCount(); got != 1 {
+		t.Fatalf("HedgeCount = %d, want 1 (the replica's 429 hedges to the primary once)", got)
+	}
+}
+
+// httputilProxy forwards a request to the real primary, so a gating
+// handler can throttle the first hit and then serve normally.
+func httputilProxy(t *testing.T, target string) http.Handler {
+	t.Helper()
+	u, err := url.Parse(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httputil.NewSingleHostReverseProxy(u)
+}
+
+// TestClientRetryAfterCappedByContext: a huge Retry-After must not pin
+// the caller past its own deadline.
+func TestClientRetryAfterCappedByContext(t *testing.T) {
+	throttled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(throttled.Close)
+	c := &Client{
+		Primary:    throttled.URL,
+		Replicas:   []string{throttled.URL},
+		TryTimeout: time.Second,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+		Seed:       3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, paperdata.Table1()[0])
+	if err == nil {
+		t.Fatal("query against a fully throttled fleet succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("query returned after %v — Retry-After outlived the caller's deadline", elapsed)
+	}
+}
+
+// TestClientSimilarity: the Similarity call rides the same fail-over
+// machinery and returns the primary's bit-exact score even when the
+// only replica is dead.
+func TestClientSimilarity(t *testing.T) {
+	p := newPrimary(t, 0, nil)
+	objs := paperdata.Table1()
+	c := &Client{
+		Primary:    p.ts.URL,
+		Replicas:   []string{deadEndpoint(t)},
+		TryTimeout: 2 * time.Second,
+		HedgeDelay: 50 * time.Millisecond,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+		Seed:       3,
+	}
+	want := similarityHTTP(t, p.ts.URL, objs[0], objs[1])
+	res, err := c.Similarity(context.Background(), objs[0], objs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.Sim) != math.Float64bits(want) {
+		t.Fatalf("Similarity = %x, want bit-exact %x", math.Float64bits(res.Sim), math.Float64bits(want))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"kjoin/internal/core"
 	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
 	"kjoin/internal/serverutil"
 	"kjoin/internal/wal"
 )
@@ -52,8 +53,9 @@ const (
 const (
 	// streamBatchBytes caps one /wal/stream response body (whole frames).
 	streamBatchBytes = 256 << 10
-	// streamPollInterval is how often a waiting stream handler re-checks
-	// the durable horizon.
+	// streamPollInterval is the nominal pause between a waiting stream
+	// handler's re-checks of the durable horizon; each pause is jittered
+	// to [1/2, 3/2) of it (see streamPollJitter).
 	streamPollInterval = 10 * time.Millisecond
 	// maxStreamWait caps the wait parameter so a stream request can never
 	// hold a connection longer than a load balancer tolerates.
@@ -301,9 +303,24 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			// Client gone; there is no one to answer.
 			return
-		case <-time.After(streamPollInterval):
+		case <-time.After(s.streamPollJitter()):
 		}
 	}
+}
+
+// streamPollJitter returns the next long-poll pause: uniform in
+// [interval/2, 3·interval/2), deterministically seeded. A fleet of
+// followers all waiting on the same durable horizon would otherwise
+// re-check in lockstep and hit the log together on every tick — the
+// same thundering-herd shape serverutil.Admit jitters its Retry-After
+// against.
+func (s *Server) streamPollJitter() time.Duration {
+	s.pollMu.Lock()
+	defer s.pollMu.Unlock()
+	if s.pollR == nil {
+		s.pollR = rng.New(s.cfg.Seed)
+	}
+	return streamPollInterval/2 + time.Duration(s.pollR.Float64()*float64(streamPollInterval))
 }
 
 // handleReplicaSnapshot serves a durable snapshot for follower

@@ -443,3 +443,45 @@ func TestSnapshotBufferRefusesPoisonedWAL(t *testing.T) {
 		t.Fatalf("SnapshotBuffer on poisoned wal: %v, want refusal", err)
 	}
 }
+
+// TestStreamPollJitterBandAndDeterminism: the long-poll re-check pause
+// is uniform in [interval/2, 3·interval/2) — never zero, never a fixed
+// tick a follower fleet could align on — and deterministic per seed so
+// replication tests stay reproducible.
+func TestStreamPollJitterBandAndDeterminism(t *testing.T) {
+	h, _ := paperdata.Fig1()
+	mk := func(seed uint64) *Server {
+		s, err := NewWithConfig(h, core.Defaults(0.7, 0.6), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	lo, hi := streamPollInterval/2, streamPollInterval+streamPollInterval/2
+	var distinct, diverged bool
+	first := time.Duration(-1)
+	for i := 0; i < 200; i++ {
+		da, db, dc := a.streamPollJitter(), b.streamPollJitter(), c.streamPollJitter()
+		if da < lo || da >= hi {
+			t.Fatalf("pause %d: %v outside [%v, %v)", i, da, lo, hi)
+		}
+		if da != db {
+			t.Fatalf("pause %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if first == -1 {
+			first = da
+		} else if da != first {
+			distinct = true
+		}
+		if da != dc {
+			diverged = true
+		}
+	}
+	if !distinct {
+		t.Fatal("200 pauses were all identical; the poll is an aligned fixed tick")
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical pause sequences")
+	}
+}

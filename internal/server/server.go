@@ -33,6 +33,7 @@ import (
 
 	"kjoin/internal/core"
 	"kjoin/internal/hierarchy"
+	"kjoin/internal/rng"
 	"kjoin/internal/serverutil"
 	"kjoin/internal/wal"
 )
@@ -134,6 +135,13 @@ type Server struct {
 	// rejected), /query passes a bounded-staleness gate, and /stats
 	// reports replication lag. Installed by NewReplica before serving.
 	replica *replicaState
+
+	// pollMu guards pollR, the deterministic jitter source for the
+	// /wal/stream long-poll interval. Leaf lock: nothing else is ever
+	// acquired while it is held.
+	//kjoinlint:lockorder rank=60
+	pollMu sync.Mutex
+	pollR  *rng.RNG // guarded by pollMu
 
 	// snapMu serializes snapshot generations against each other.
 	//kjoinlint:lockorder rank=10
