@@ -13,11 +13,12 @@ FUZZ_TARGETS = \
 	./internal/core,FuzzLoadIndexer \
 	./internal/wal,FuzzWALReplay \
 	./internal/wal,FuzzWALStream \
-	./internal/cluster,FuzzGatherMerge
+	./internal/cluster,FuzzGatherMerge \
+	./internal/cluster,FuzzCoordinatorWALReplay
 
 # bin/kjoin-lint is declared phony so `go build` (itself incremental)
 # decides staleness, not make.
-.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke segment-smoke cluster-smoke
+.PHONY: all build test test-race lint lint-self analysis-test bin/kjoin-lint vet fuzz-smoke bench bench-json perf-smoke crash-smoke replication-smoke segment-smoke cluster-smoke reshard-smoke
 
 all: build lint test
 
@@ -101,6 +102,19 @@ cluster-smoke:
 		./internal/replica/ ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestFlagsClusterConfig|TestFlagsRejectLoudly' ./cmd/kjoin-serve/
 	$(GO) test -race -count=1 -run 'TestStreamPollJitterBandAndDeterminism' ./internal/server/
+
+# reshard-smoke runs the durable control plane and live-resharding
+# chaos matrix under the race detector: coordinator kill/restart and
+# crash-at-every-WAL-write recovery sweeps (every acked add survives
+# with bit-identical answers), reshard grow/shrink differentials, the
+# dual-read window under a throttled mover, transient shard death
+# mid-migration, abort-then-retry, mid-migration coordinator crashes,
+# stale route-version refusals, and the coordinator durability flags.
+reshard-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestCoordinator|TestReshard|TestStaleRouteVersion|TestAddChargesRetryBudgetOnce' \
+		./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestFlagsDurableCoordinatorConfig|TestFlagsRejectLoudly' ./cmd/kjoin-serve/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

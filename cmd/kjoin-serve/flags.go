@@ -49,6 +49,12 @@ type serveConfig struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	partial          string
+
+	coordWalDir    string
+	coordSnapDir   string
+	coordSnapKeep  int
+	coordSnapEvery time.Duration
+	moveThrottle   time.Duration
 }
 
 // register binds every flag to fs with its default.
@@ -85,6 +91,12 @@ func (c *serveConfig) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.breakerThreshold, "breaker-threshold", 3, "cluster only: consecutive shard failures that open its circuit breaker")
 	fs.DurationVar(&c.breakerCooldown, "breaker-cooldown", 3*time.Second, "cluster only: how long an open breaker waits before admitting a half-open probe")
 	fs.StringVar(&c.partial, "partial", "degrade", "cluster only: default partial-result policy, degrade (200 + coverage headers) or fail (503 naming the failed shards); requests override per call with X-Kjoin-Partial")
+
+	fs.StringVar(&c.coordWalDir, "coord-wal-dir", "", "cluster only: coordinator write-ahead-log directory; with -coord-snapshot-dir makes the control plane (global id map, route table, reshard progress) crash-safe and enables POST /cluster/reshard")
+	fs.StringVar(&c.coordSnapDir, "coord-snapshot-dir", "", "cluster only: coordinator snapshot generation directory (requires -coord-wal-dir)")
+	fs.IntVar(&c.coordSnapKeep, "coord-snapshot-keep", 3, "cluster only: coordinator snapshot generations kept in -coord-snapshot-dir")
+	fs.DurationVar(&c.coordSnapEvery, "coord-snapshot-interval", 0, "cluster only: periodic coordinator snapshot interval, compacting the coordinator WAL (0 disables; requires -coord-wal-dir)")
+	fs.DurationVar(&c.moveThrottle, "move-throttle", 0, "cluster only: pause between objects streamed by a live reshard, throttling migration load on the shards")
 }
 
 // parseArgs parses args into a serveConfig and validates it, reporting
@@ -105,6 +117,10 @@ func parseArgs(fs *flag.FlagSet, args []string) (*serveConfig, error) {
 
 func (c *serveConfig) durable() bool  { return c.walDir != "" || c.snapDir != "" }
 func (c *serveConfig) follower() bool { return c.follow != "" || c.replicaDir != "" }
+
+// coordDurable reports whether the coordinator control plane persists
+// to its own WAL and snapshot generations.
+func (c *serveConfig) coordDurable() bool { return c.coordWalDir != "" || c.coordSnapDir != "" }
 
 // walPolicy maps -wal-sync to a policy; only meaningful after validate.
 func (c *serveConfig) walPolicy() wal.Policy {
@@ -279,13 +295,28 @@ func (c *serveConfig) validate(set map[string]bool) error {
 			fail("-cluster is mutually exclusive with -follow/-replica-dir")
 		}
 		if c.durable() || c.snapshot != "" || c.snapEvery > 0 {
-			fail("-cluster is mutually exclusive with the durability and snapshot flags (shards own persistence)")
+			fail("-cluster is mutually exclusive with the durability and snapshot flags (shards own persistence; the control plane persists via -coord-wal-dir)")
 		}
 		if set["hierarchy"] {
 			fail("-hierarchy does not apply to a coordinator (shards load their own)")
 		}
+		if c.coordDurable() && (c.coordWalDir == "" || c.coordSnapDir == "") {
+			fail("-coord-wal-dir and -coord-snapshot-dir must be set together")
+		}
+		if c.coordSnapKeep < 1 {
+			fail("-coord-snapshot-keep must be at least 1, got %d", c.coordSnapKeep)
+		}
+		if c.coordSnapEvery < 0 {
+			fail("-coord-snapshot-interval must not be negative, got %v", c.coordSnapEvery)
+		}
+		if c.coordSnapEvery > 0 && !c.coordDurable() {
+			fail("-coord-snapshot-interval requires -coord-wal-dir and -coord-snapshot-dir")
+		}
+		if c.moveThrottle < 0 {
+			fail("-move-throttle must not be negative, got %v", c.moveThrottle)
+		}
 	} else {
-		for _, name := range []string{"shards", "shard-timeout", "hedge-delay", "retry-budget", "max-retries", "breaker-threshold", "breaker-cooldown", "partial"} {
+		for _, name := range []string{"shards", "shard-timeout", "hedge-delay", "retry-budget", "max-retries", "breaker-threshold", "breaker-cooldown", "partial", "coord-wal-dir", "coord-snapshot-dir", "coord-snapshot-keep", "coord-snapshot-interval", "move-throttle"} {
 			if set[name] {
 				fail("-%s only applies to a coordinator (-cluster)", name)
 			}

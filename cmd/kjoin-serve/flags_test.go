@@ -100,6 +100,14 @@ func TestFlagsRejectLoudly(t *testing.T) {
 		{"shards flag without cluster", []string{"-shards", "http://a:8080"}, "only applies to a coordinator"},
 		{"hedge flag without cluster", []string{"-hedge-delay", "50ms"}, "only applies to a coordinator"},
 		{"breaker flag without cluster", []string{"-breaker-threshold", "5"}, "only applies to a coordinator"},
+		{"coord-wal-dir alone", []string{"-cluster", "-shards", "http://a:8080", "-coord-wal-dir", "cw"}, "-coord-wal-dir and -coord-snapshot-dir must be set together"},
+		{"coord-snapshot-dir alone", []string{"-cluster", "-shards", "http://a:8080", "-coord-snapshot-dir", "cs"}, "-coord-wal-dir and -coord-snapshot-dir must be set together"},
+		{"zero coord-snapshot-keep", []string{"-cluster", "-shards", "http://a:8080", "-coord-wal-dir", "cw", "-coord-snapshot-dir", "cs", "-coord-snapshot-keep", "0"}, "-coord-snapshot-keep must be at least 1"},
+		{"coord interval without dirs", []string{"-cluster", "-shards", "http://a:8080", "-coord-snapshot-interval", "30s"}, "-coord-snapshot-interval requires"},
+		{"negative coord interval", []string{"-cluster", "-shards", "http://a:8080", "-coord-wal-dir", "cw", "-coord-snapshot-dir", "cs", "-coord-snapshot-interval", "-1s"}, "-coord-snapshot-interval must not be negative"},
+		{"negative move-throttle", []string{"-cluster", "-shards", "http://a:8080", "-move-throttle", "-1ms"}, "-move-throttle must not be negative"},
+		{"coord-wal-dir without cluster", []string{"-coord-wal-dir", "cw"}, "only applies to a coordinator"},
+		{"move-throttle without cluster", []string{"-move-throttle", "10ms"}, "only applies to a coordinator"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -183,6 +191,34 @@ func TestFlagsClusterConfig(t *testing.T) {
 	if cfg.hedgeDelay != 75*time.Millisecond || cfg.retryBudget != 4 ||
 		cfg.breakerThreshold != 5 || cfg.partial == "degrade" {
 		t.Fatalf("cluster budgets misparsed: %+v", cfg)
+	}
+}
+
+// TestFlagsDurableCoordinatorConfig: the crash-safe control plane
+// invocation parses into what runCluster hands to cluster.Recover.
+func TestFlagsDurableCoordinatorConfig(t *testing.T) {
+	cfg, err := parse(t,
+		"-cluster",
+		"-shards", "http://a:8080,http://b:8080",
+		"-coord-wal-dir", "/var/lib/kjoin-coord/wal",
+		"-coord-snapshot-dir", "/var/lib/kjoin-coord/snap",
+		"-coord-snapshot-keep", "5",
+		"-coord-snapshot-interval", "1m",
+		"-move-throttle", "25ms")
+	if err != nil {
+		t.Fatalf("durable coordinator config rejected: %v", err)
+	}
+	if !cfg.coordDurable() || cfg.coordSnapKeep != 5 ||
+		cfg.coordSnapEvery != time.Minute || cfg.moveThrottle != 25*time.Millisecond {
+		t.Fatalf("durable coordinator config misparsed: %+v", cfg)
+	}
+	// And the plain coordinator stays non-durable.
+	cfg, err = parse(t, "-cluster", "-shards", "http://a:8080")
+	if err != nil {
+		t.Fatalf("plain coordinator rejected: %v", err)
+	}
+	if cfg.coordDurable() {
+		t.Fatal("coordDurable() = true with no coord dirs")
 	}
 }
 

@@ -47,6 +47,14 @@
 // (-breaker-threshold/-breaker-cooldown), and partial coverage either
 // degrades with X-Kjoin-Coverage headers or fails per -partial. See
 // DESIGN.md §12 and the README's "Operating a cluster".
+//
+// With -coord-wal-dir and -coord-snapshot-dir the coordinator's control
+// plane is itself crash-safe: every global-id assignment and route
+// change is fsync'd to a coordinator WAL before the ack, snapshots are
+// kept as -coord-snapshot-keep generations, a restart recovers the
+// exact id map, and live resharding (POST /cluster/reshard, paced by
+// -move-throttle) becomes available. See DESIGN.md §13 and the README's
+// "Resharding a cluster".
 package main
 
 import (
@@ -70,6 +78,7 @@ import (
 	"kjoin/internal/replica"
 	"kjoin/internal/server"
 	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
 )
 
 // jitterSeed draws a per-process seed for retry and Retry-After jitter,
@@ -267,9 +276,14 @@ func drain(cfg *serveConfig, srv drainable, hs *http.Server) {
 // hierarchy — every request scatters to the -shards fleet under the
 // deadline budget and gathers with the configured partial-result
 // policy.
+// With -coord-wal-dir/-coord-snapshot-dir the coordinator's own control
+// plane (the global id map, route table and reshard progress) is
+// recovered from disk before the listener starts, and live resharding
+// is available; without them the control plane is in-memory only and
+// POST /cluster/reshard is refused.
 func runCluster(ctx context.Context, cfg *serveConfig) {
 	shards := cfg.shardSpecs()
-	coord, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Shards:           shards,
 		RequestTimeout:   cfg.reqTimeout,
 		ShardTimeout:     cfg.shardTimeout,
@@ -281,17 +295,44 @@ func runCluster(ctx context.Context, cfg *serveConfig) {
 		Partial:          cfg.partial,
 		MaxBodyBytes:     cfg.maxBody,
 		MaxInflight:      cfg.maxInflt,
+		MoveThrottle:     cfg.moveThrottle,
 		Seed:             jitterSeed(),
 		Logf:             log.Printf,
-	})
+	}
+	var coord *cluster.Coordinator
+	var err error
+	if cfg.coordDurable() {
+		// Recovery is strict: a truncated or over-compacted coordinator
+		// WAL refuses to serve rather than resurrecting a shorter global
+		// id space than was acknowledged.
+		coord, err = cluster.Recover(ccfg, cluster.Durability{
+			WALDir:      cfg.coordWalDir,
+			SnapshotDir: cfg.coordSnapDir,
+			Keep:        cfg.coordSnapKeep,
+			Policy:      wal.SyncAlways,
+			Logf:        log.Printf,
+		})
+	} else {
+		coord, err = cluster.New(ccfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	hs := newHTTPServer(cfg, coord)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("kjoin-serve: coordinating %d shards on %s (partial=%s, hedge=%v, breaker %d/%v)",
-		len(shards), cfg.addr, cfg.partial, cfg.hedgeDelay, cfg.breakerThreshold, cfg.breakerCooldown)
+	log.Printf("kjoin-serve: coordinating %d shards on %s (partial=%s, hedge=%v, breaker %d/%v, durable=%v)",
+		coord.NumShards(), cfg.addr, cfg.partial, cfg.hedgeDelay, cfg.breakerThreshold, cfg.breakerCooldown, cfg.coordDurable())
+
+	if cfg.coordSnapEvery > 0 {
+		snap := &serverutil.Snapshotter{
+			Interval: cfg.coordSnapEvery,
+			Write:    coord.SnapshotGeneration,
+			Seed:     jitterSeed(),
+			Logf:     log.Printf,
+		}
+		go snap.Run(ctx)
+	}
 
 	select {
 	case err := <-errc:
@@ -299,6 +340,18 @@ func runCluster(ctx context.Context, cfg *serveConfig) {
 	case <-ctx.Done():
 	}
 	drain(cfg, coord, hs)
+	if cfg.coordDurable() {
+		// Not fatal on failure: every acknowledged assignment is already
+		// durable in the coordinator WAL and replays on next start.
+		if err := coord.SnapshotGeneration(); err != nil {
+			log.Printf("kjoin-serve: final coordinator snapshot failed (wal replay will cover it): %v", err)
+		} else {
+			log.Printf("kjoin-serve: final coordinator snapshot written to %s", cfg.coordSnapDir)
+		}
+		if err := coord.Close(); err != nil {
+			log.Printf("kjoin-serve: coordinator close: %v", err)
+		}
+	}
 }
 
 // runFollower serves the read-replica mode: a replica server answering

@@ -25,7 +25,6 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -167,24 +166,12 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
-// watchGoroutines registers a cleanup that fails the test if the
-// goroutine count does not settle back to its baseline — a scatter
-// goroutine, stalled dial, or hedge that outlived its request.
+// watchGoroutines fails the test if the goroutine count does not settle
+// back to its baseline — a scatter goroutine, stalled dial, or hedge
+// that outlived its request. The logic lives in fault.WatchGoroutines,
+// shared with the replica and reshard suites.
 func watchGoroutines(t *testing.T) {
-	base := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		http.DefaultClient.CloseIdleConnections()
-		deadline := time.Now().Add(5 * time.Second)
-		for time.Now().Before(deadline) {
-			if runtime.NumGoroutine() <= base+3 {
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		buf := make([]byte, 1<<17)
-		n := runtime.Stack(buf, true)
-		t.Errorf("goroutines leaked: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
-	})
+	fault.WatchGoroutines(t)
 }
 
 // fleet is a coordinator over n real shard servers whose transport

@@ -94,6 +94,9 @@ type Config struct {
 	// bounds concurrently executing requests (default 64).
 	MaxBodyBytes int64
 	MaxInflight  int
+	// MoveThrottle, when positive, pauses the reshard mover between
+	// objects so a migration trickles instead of saturating the fleet.
+	MoveThrottle time.Duration
 	// Seed makes retry jitter deterministic (default 1).
 	Seed uint64
 	// HTTP overrides the transport for every shard call (nil →
@@ -152,7 +155,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// shard is one shard's client-side state.
+// shard is one shard's client-side state. The stable index id never
+// changes once assigned: resharding appends new shards and retires old
+// ones from the route table, but an index keeps naming the same
+// endpoint forever (toGlobal rows, WAL records and snapshots all speak
+// stable indices).
 type shard struct {
 	id      int
 	cfg     ShardConfig
@@ -160,45 +167,118 @@ type shard struct {
 	breaker *Breaker
 }
 
+// objLoc is where one global object currently lives.
+type objLoc struct {
+	shard int // stable shard index
+	local int // shard-local id
+}
+
 // Coordinator is an http.Handler fronting the shard fleet. It owns the
 // global id space: every accepted object gets the id a single-node
 // server would have assigned it, and gathers translate shard-local
 // match indices back through that mapping, which is what makes cluster
 // answers comparable (and on full coverage bit-identical) to one node.
+//
+// With durability configured (Recover), every id assignment and route
+// change is a typed record in a coordinator WAL, fsync'd before the add
+// is acknowledged, so a killed-and-restarted coordinator answers
+// bit-identically to one that never died.
 type Coordinator struct {
 	cfg     Config
-	router  *Router
-	shards  []*shard
 	budget  *retryBudget
 	sem     *serverutil.Semaphore
 	handler http.Handler
 
 	// addMu serializes cluster adds end-to-end (home-shard add, global
-	// id assignment, cross-shard pair discovery): insertion order is
-	// global-id order, and an add's discovery sweep sees exactly the
-	// objects with smaller ids — the single-node add's invariant.
+	// id assignment, cross-shard pair discovery) and every reshard
+	// transition and object move: insertion order is global-id order, an
+	// add's discovery sweep sees exactly the objects with smaller ids —
+	// the single-node add's invariant — and the coordinator WAL holds at
+	// most one unresolved intent record at any moment, which is what
+	// makes crash recovery's tail resolution unambiguous.
 	//kjoinlint:lockorder rank=12
 	addMu sync.Mutex
 
 	//kjoinlint:lockorder rank=14
 	mu sync.RWMutex
+	// shards is the full fleet, append-only, indexed by stable shard
+	// index. Guarded by mu for append (reshard begin); the *shard values
+	// are immutable.
+	shards []*shard
+	// router is the current route table; replaced whole (never mutated)
+	// at every reshard transition. Guarded by mu.
+	router *Router
 	// toGlobal maps each shard's local ids to global ids, in local-id
-	// order. Guarded by mu; appended under addMu+mu, read under mu.
+	// order. A tombstone (the copy retired by a reshard finalize or
+	// abort) is stored as -1-g, which no gather can emit. Guarded by mu;
+	// written under addMu+mu, read under mu.
 	toGlobal [][]int
-	objects  int // guarded by mu; next global id
+	// live counts each shard's non-tombstoned entries; a shard with live
+	// objects stays in the gather set even when the route table no
+	// longer assigns it anything. Guarded by mu.
+	live []int
+	// homeOf maps each global id to its current authoritative location
+	// (the source copy until a migration finalizes). Guarded by mu.
+	homeOf  []objLoc
+	objects int // guarded by mu; next global id
+	// mig is the in-flight migration, nil when idle. Guarded by mu.
+	mig *migration
+
+	// cw is the durable control-plane state (nil on a non-durable
+	// coordinator): the coordinator WAL plus the snapshot generation
+	// store. The WAL handle itself is safe for concurrent use; cw's
+	// bookkeeping is written under addMu.
+	cw *coordWAL
 
 	// jmu guards the retry-jitter RNG (leaf lock).
 	//kjoinlint:lockorder rank=18
 	jmu sync.Mutex
 	jr  *rng.RNG // guarded by jmu
 
-	draining     atomic.Bool
-	rr           atomic.Int64 // round-robin cursor for /similarity
-	retriesTotal atomic.Int64
-	partialTotal atomic.Int64
+	draining      atomic.Bool
+	rr            atomic.Int64 // round-robin cursor for /similarity
+	retriesTotal  atomic.Int64
+	partialTotal  atomic.Int64
+	dualReadTotal atomic.Int64 // gathers served during a dual-read window
+	movedTotal    atomic.Int64 // objects moved by resharding, cumulative
+
+	// closed stops the reshard mover; moverWG joins it on Close.
+	closeOnce sync.Once
+	closed    chan struct{}
+	moverWG   sync.WaitGroup
+
+	// ctrlFailed latches a control-plane invariant violation (shard
+	// drift, an intent the log can never close): once set, adds and
+	// reshard transitions fail fast instead of appending records after a
+	// state the log cannot vouch for. Cleared only by restart (recovery
+	// re-derives the truth from the log).
+	ctrlFailed atomic.Pointer[ctrlFailure]
 }
 
-// New returns a coordinator over the configured shard fleet.
+// ctrlFailure wraps the latched control-plane error.
+type ctrlFailure struct{ err error }
+
+// newShard builds one shard's client-side state for stable index id.
+func (c *Coordinator) newShard(id int, sc ShardConfig) *shard {
+	return &shard{
+		id:  id,
+		cfg: sc,
+		client: &replica.Client{
+			Primary:    sc.Primary,
+			Replicas:   sc.Replicas,
+			HTTP:       c.cfg.HTTP,
+			TryTimeout: c.cfg.ShardTimeout,
+			HedgeDelay: c.cfg.HedgeDelay,
+			Seed:       c.cfg.Seed + uint64(id) + 1,
+		},
+		breaker: NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown),
+	}
+}
+
+// New returns a non-durable coordinator over the configured shard
+// fleet: the id map and route table live only in memory, and resharding
+// (which needs durable progress records) is refused. Use Recover for a
+// crash-safe control plane.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Shards) == 0 {
@@ -213,25 +293,15 @@ func New(cfg Config) (*Coordinator, error) {
 		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetEarn),
 		sem:      serverutil.NewSemaphore(cfg.MaxInflight),
 		toGlobal: make([][]int, len(cfg.Shards)),
+		live:     make([]int, len(cfg.Shards)),
 		jr:       rng.New(cfg.Seed),
+		closed:   make(chan struct{}),
 	}
 	for i, sc := range cfg.Shards {
 		if sc.Primary == "" {
 			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
 		}
-		c.shards = append(c.shards, &shard{
-			id:  i,
-			cfg: sc,
-			client: &replica.Client{
-				Primary:    sc.Primary,
-				Replicas:   sc.Replicas,
-				HTTP:       cfg.HTTP,
-				TryTimeout: cfg.ShardTimeout,
-				HedgeDelay: cfg.HedgeDelay,
-				Seed:       cfg.Seed + uint64(i) + 1,
-			},
-			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		})
+		c.shards = append(c.shards, c.newShard(i, sc))
 	}
 	c.handler = serverutil.Chain(c.mux(), serverutil.Recover(cfg.Logf))
 	return c, nil
@@ -245,6 +315,55 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // SetDraining flips the readiness probe so load balancers stop routing
 // new traffic here; serving itself is unaffected.
 func (c *Coordinator) SetDraining(v bool) { c.draining.Store(v) }
+
+// Close stops the reshard mover (waiting for it to exit) and closes the
+// coordinator WAL. The coordinator keeps serving reads afterwards; adds
+// on a durable coordinator fail once the log is closed.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.moverWG.Wait()
+	if c.cw == nil {
+		return nil
+	}
+	return c.cw.wal.Close()
+}
+
+// gatherTargets returns the stable indices a gather must scatter to —
+// every shard the route table assigns plus every shard still holding
+// live objects (during a dual-read window that is both the old and new
+// homes of the moving set; after an aborted shrink it keeps stranded
+// adds reachable) — and whether a migration made the set a dual-read
+// union.
+func (c *Coordinator) gatherTargets() (targets []int, dual bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gatherTargetsLocked()
+}
+
+// gatherTargetsLocked is gatherTargets under a held c.mu.
+func (c *Coordinator) gatherTargetsLocked() (targets []int, dual bool) {
+	in := make([]bool, len(c.shards))
+	for _, s := range c.router.assign {
+		in[s] = true
+	}
+	if c.mig != nil {
+		dual = true
+		for _, s := range c.mig.oldAssign {
+			in[s] = true
+		}
+	}
+	for s, n := range c.live {
+		if n > 0 {
+			in[s] = true
+		}
+	}
+	for s, ok := range in {
+		if ok {
+			targets = append(targets, s)
+		}
+	}
+	return targets, dual
+}
 
 // errBreakerOpen is a shard attempt rejected at the breaker without
 // touching the network.
@@ -328,30 +447,48 @@ type shardResult[T any] struct {
 	err error
 }
 
-// scatter fans call out to every shard concurrently and gathers every
-// outcome, indexed by shard id. The goroutines are joined before
-// return — a coordinator deadline expiring mid-gather still waits for
-// each shard call to observe its context and exit, so nothing leaks.
-func scatter[T any](c *Coordinator, ctx context.Context, call func(ctx context.Context, shardID int, cl *replica.Client) (T, error)) []shardResult[T] {
-	outs := make([]shardResult[T], len(c.shards))
+// scatter fans call out to the target shards concurrently and gathers
+// every outcome, indexed by position in targets (targets[i] is the
+// stable shard index outs[i] came from). The goroutines are joined
+// before return — a coordinator deadline expiring mid-gather still
+// waits for each shard call to observe its context and exit, so
+// nothing leaks.
+func scatter[T any](c *Coordinator, ctx context.Context, targets []int, call func(ctx context.Context, shardID int, cl *replica.Client) (T, error)) []shardResult[T] {
+	c.mu.RLock()
+	shs := make([]*shard, len(targets))
+	for i, id := range targets {
+		shs[i] = c.shards[id]
+	}
+	c.mu.RUnlock()
+	outs := make([]shardResult[T], len(targets))
 	var wg sync.WaitGroup
-	for i := range c.shards {
+	for i := range targets {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
 			val, err := callShard(c, ctx, sh, func(sctx context.Context, cl *replica.Client) (T, error) {
-				return call(sctx, i, cl)
+				return call(sctx, sh.id, cl)
 			})
 			outs[i] = shardResult[T]{val: val, err: err}
-		}(i, c.shards[i])
+		}(i, shs[i])
 	}
 	wg.Wait()
 	return outs
 }
 
+// NumShards reports the current fleet size — the durable fleet after
+// recovery or resharding, which may differ from the configured one.
+func (c *Coordinator) NumShards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.shards)
+}
+
 // HedgesTotal sums hedge requests across every shard's fail-over
 // client.
 func (c *Coordinator) HedgesTotal() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var n int64
 	for _, sh := range c.shards {
 		n += sh.client.HedgeCount()

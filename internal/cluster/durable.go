@@ -1,0 +1,1134 @@
+package cluster
+
+// Durable coordinator state. The control plane's entire truth — which
+// global id every object got, where it lives, and what the route table
+// says — is reconstructible from a coordinator WAL of typed records
+// plus periodic snapshot generations, with the same loud
+// over-compaction refusals as the server's data path.
+//
+// Every state change follows a write-ahead intent/outcome protocol:
+//
+//	assign-intent g home tok…   (fsync'd)   → shard add → assign-done g home local
+//	move-intent   g src dst     (fsync'd)   → shard add → move-done g src dst local
+//
+// addMu serializes assigns, moves and reshard transitions, so the log
+// holds at most ONE unresolved intent at any moment. Recovery replays
+// the log; a dangling tail intent is resolved by consulting the target
+// shard's object count: count == len(toGlobal[target]) means the shard
+// never applied the add (the intent is aborted), count == len+1 means
+// it did (the record is completed exactly as the live path would have).
+// Either way the resolution is itself logged, so a second crash replays
+// a closed log. Shard adds are serialized by the same addMu, which is
+// what makes the count test unambiguous.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kjoin/internal/fault"
+	"kjoin/internal/serverutil"
+	"kjoin/internal/wal"
+)
+
+// Coordinator WAL record types: fields[0] of every OpCoord record.
+const (
+	recAssignIntent = "assign-intent"    // g, home, tokens…
+	recAssignDone   = "assign-done"      // g, home, local
+	recAssignAbort  = "assign-abort"     // g
+	recReshardBegin = "reshard-begin"    // vNew, assignCSV, nNew, spec…, moving…
+	recMoveIntent   = "move-intent"      // g, src, dst
+	recMoveDone     = "move-done"        // g, src, dst, dstLocal
+	recMoveAbort    = "move-abort"       // g
+	recReshardFinal = "reshard-finalize" // vFinal
+	recReshardAbort = "reshard-abort"    // vAbort
+)
+
+// recordError is a malformed or out-of-sequence coordinator record:
+// recovery refuses to start on one (the state is semantically unusable,
+// not merely torn).
+type recordError struct {
+	field  string
+	detail string
+}
+
+func (e *recordError) Error() string {
+	return fmt.Sprintf("cluster: bad coordinator record (%s): %s", e.field, e.detail)
+}
+
+// Durability configures the coordinator's crash-safety machinery: a
+// write-ahead log every id assignment and route change is fsync'd into
+// before the add is acknowledged, and a directory of checksummed
+// snapshot generations recovery rebuilds from.
+type Durability struct {
+	// FS is the filesystem (nil → the real one; tests inject faults).
+	FS fault.FS
+	// WALDir is the coordinator write-ahead-log directory (required).
+	WALDir string
+	// SnapshotDir is the snapshot generation directory (required; must
+	// differ from WALDir so WAL repair never touches snapshots).
+	SnapshotDir string
+	// Keep is how many snapshot generations are retained (default 3).
+	Keep int
+	// Policy is the WAL fsync policy (default wal.SyncAlways).
+	Policy wal.Policy
+	// BatchWindow is the WAL group-commit window (0 = fsync immediately).
+	BatchWindow time.Duration
+	// Logf, when set, receives recovery and repair notices.
+	Logf func(format string, args ...any)
+}
+
+// coordWAL bundles the open log with the snapshot generation store and
+// its compaction-floor bookkeeping.
+type coordWAL struct {
+	wal  *wal.WAL
+	gens *serverutil.GenStore
+	keep int
+	logf func(format string, args ...any)
+
+	// snapMu serializes snapshot generations against each other. It is
+	// acquired before addMu (snapshotting quiesces control-plane writes).
+	//kjoinlint:lockorder rank=8
+	snapMu sync.Mutex
+	// snapSeqs holds the WAL sequence of each retained generation,
+	// oldest first; the WAL may only be compacted up to snapSeqs[0].
+	snapSeqs    []uint64 // guarded by snapMu
+	lastSnapSeq atomic.Uint64
+	snapOnDisk  atomic.Bool
+}
+
+// appendSync appends one typed record and group-commits it durable.
+func (cw *coordWAL) appendSync(fields []string) (uint64, error) {
+	seq, err := cw.wal.AppendCoord(fields)
+	if err != nil {
+		return 0, err
+	}
+	return seq, cw.wal.Sync(seq)
+}
+
+// migration is one in-flight reshard.
+type migration struct {
+	oldAssign []int // route table before begin: the dual-read union's other half, and what abort restores
+	items     []moveItem
+	moved     int // items with moved=true
+}
+
+// moveItem is one object the migration streams to a new home.
+type moveItem struct {
+	g, src, srcLocal, dst int
+	moved                 bool
+	dstLocal              int
+}
+
+// pendingIntent is the single unresolved intent record replay may end
+// on.
+type pendingIntent struct {
+	kind   string // recAssignIntent or recMoveIntent
+	g      int
+	target int // home (assign) or dst (move)
+	src    int // move only
+	tokens []string
+}
+
+// ---- record encoding ----
+
+func encAssignIntent(g, home int, tokens []string) []string {
+	return append([]string{recAssignIntent, strconv.Itoa(g), strconv.Itoa(home)}, tokens...)
+}
+
+func encAssignDone(g, home, local int) []string {
+	return []string{recAssignDone, strconv.Itoa(g), strconv.Itoa(home), strconv.Itoa(local)}
+}
+
+func encAssignAbort(g int) []string { return []string{recAssignAbort, strconv.Itoa(g)} }
+
+func encMoveIntent(g, src, dst int) []string {
+	return []string{recMoveIntent, strconv.Itoa(g), strconv.Itoa(src), strconv.Itoa(dst)}
+}
+
+func encMoveDone(g, src, dst, dstLocal int) []string {
+	return []string{recMoveDone, strconv.Itoa(g), strconv.Itoa(src), strconv.Itoa(dst), strconv.Itoa(dstLocal)}
+}
+
+func encMoveAbort(g int) []string { return []string{recMoveAbort, strconv.Itoa(g)} }
+
+// shardSpec renders a shard's endpoints as "primary|replica|…".
+// Endpoints containing '|' are rejected at the reshard API.
+func shardSpec(sc ShardConfig) string {
+	return strings.Join(append([]string{sc.Primary}, sc.Replicas...), "|")
+}
+
+func parseShardSpec(s string) (ShardConfig, error) {
+	parts := strings.Split(s, "|")
+	if parts[0] == "" {
+		return ShardConfig{}, &recordError{field: "shard-spec", detail: "empty primary"}
+	}
+	sc := ShardConfig{Primary: parts[0]}
+	if len(parts) > 1 {
+		sc.Replicas = parts[1:]
+	}
+	return sc, nil
+}
+
+func encReshardBegin(vNew int, newAssign []int, added []ShardConfig, items []moveItem) []string {
+	fields := []string{recReshardBegin, strconv.Itoa(vNew), assignCSV(newAssign), strconv.Itoa(len(added))}
+	for _, sc := range added {
+		fields = append(fields, shardSpec(sc))
+	}
+	for _, it := range items {
+		fields = append(fields, fmt.Sprintf("%d:%d:%d:%d", it.g, it.src, it.srcLocal, it.dst))
+	}
+	return fields
+}
+
+func parseMoveEntry(s string) (moveItem, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return moveItem{}, &recordError{field: "moving", detail: "bad entry " + s}
+	}
+	nums := make([]int, 4)
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return moveItem{}, &recordError{field: "moving", detail: "bad entry " + s}
+		}
+		nums[i] = n
+	}
+	return moveItem{g: nums[0], src: nums[1], srcLocal: nums[2], dst: nums[3]}, nil
+}
+
+// atoiField parses one integer field of a typed record.
+func atoiField(rec, name, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, &recordError{field: rec + "." + name, detail: "not a non-negative integer: " + v}
+	}
+	return n, nil
+}
+
+// ---- replay ----
+
+// replayState carries the replay-only bookkeeping alongside the
+// coordinator being rebuilt.
+type replayState struct {
+	c       *Coordinator
+	pending *pendingIntent
+}
+
+// applyRecord applies one replayed (or snapshot-era) coordinator record
+// to the state under construction. It performs the full contiguity
+// validation — replay is the reference implementation of the record
+// semantics, and the live mutation paths must land on exactly the state
+// replay would build. The caller holds mu by construction: replay runs
+// on an unpublished coordinator before any other goroutine can see it.
+func (rs *replayState) applyRecord(fields []string) error {
+	if len(fields) == 0 {
+		return &recordError{field: "record", detail: "empty field list"}
+	}
+	c := rs.c
+	switch fields[0] {
+	case recAssignIntent:
+		if rs.pending != nil {
+			return &recordError{field: recAssignIntent, detail: "previous intent unresolved"}
+		}
+		if len(fields) < 3 {
+			return &recordError{field: recAssignIntent, detail: "missing fields"}
+		}
+		g, err := atoiField(recAssignIntent, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		home, err := atoiField(recAssignIntent, "home", fields[2])
+		if err != nil {
+			return err
+		}
+		if g != c.objects {
+			return &recordError{field: recAssignIntent, detail: fmt.Sprintf("global id %d, expected %d", g, c.objects)}
+		}
+		if home >= len(c.shards) {
+			return &recordError{field: recAssignIntent, detail: fmt.Sprintf("unknown shard index %d", home)}
+		}
+		rs.pending = &pendingIntent{kind: recAssignIntent, g: g, target: home, tokens: fields[3:]}
+	case recAssignDone:
+		if len(fields) != 4 {
+			return &recordError{field: recAssignDone, detail: "field count"}
+		}
+		g, err := atoiField(recAssignDone, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		home, err := atoiField(recAssignDone, "home", fields[2])
+		if err != nil {
+			return err
+		}
+		local, err := atoiField(recAssignDone, "local", fields[3])
+		if err != nil {
+			return err
+		}
+		if rs.pending == nil || rs.pending.kind != recAssignIntent || rs.pending.g != g || rs.pending.target != home {
+			return &recordError{field: recAssignDone, detail: fmt.Sprintf("no matching intent for global id %d", g)}
+		}
+		rs.pending = nil
+		return c.applyAssign(g, home, local)
+	case recAssignAbort:
+		if len(fields) != 2 {
+			return &recordError{field: recAssignAbort, detail: "field count"}
+		}
+		g, err := atoiField(recAssignAbort, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		if rs.pending == nil || rs.pending.kind != recAssignIntent || rs.pending.g != g {
+			return &recordError{field: recAssignAbort, detail: fmt.Sprintf("no matching intent for global id %d", g)}
+		}
+		rs.pending = nil
+	case recMoveIntent:
+		if rs.pending != nil {
+			return &recordError{field: recMoveIntent, detail: "previous intent unresolved"}
+		}
+		if len(fields) != 4 {
+			return &recordError{field: recMoveIntent, detail: "field count"}
+		}
+		g, err := atoiField(recMoveIntent, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		src, err := atoiField(recMoveIntent, "src", fields[2])
+		if err != nil {
+			return err
+		}
+		dst, err := atoiField(recMoveIntent, "dst", fields[3])
+		if err != nil {
+			return err
+		}
+		if c.mig == nil {
+			return &recordError{field: recMoveIntent, detail: "no migration in progress"}
+		}
+		if it := c.mig.find(g); it == nil || it.moved || it.src != src || it.dst != dst {
+			return &recordError{field: recMoveIntent, detail: fmt.Sprintf("global id %d is not an unmoved migration item", g)}
+		}
+		rs.pending = &pendingIntent{kind: recMoveIntent, g: g, target: dst, src: src}
+	case recMoveDone:
+		if len(fields) != 5 {
+			return &recordError{field: recMoveDone, detail: "field count"}
+		}
+		g, err := atoiField(recMoveDone, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		src, err := atoiField(recMoveDone, "src", fields[2])
+		if err != nil {
+			return err
+		}
+		dst, err := atoiField(recMoveDone, "dst", fields[3])
+		if err != nil {
+			return err
+		}
+		dstLocal, err := atoiField(recMoveDone, "local", fields[4])
+		if err != nil {
+			return err
+		}
+		if rs.pending == nil || rs.pending.kind != recMoveIntent || rs.pending.g != g || rs.pending.target != dst || rs.pending.src != src {
+			return &recordError{field: recMoveDone, detail: fmt.Sprintf("no matching intent for global id %d", g)}
+		}
+		rs.pending = nil
+		return c.applyMove(g, dst, dstLocal)
+	case recMoveAbort:
+		if len(fields) != 2 {
+			return &recordError{field: recMoveAbort, detail: "field count"}
+		}
+		g, err := atoiField(recMoveAbort, "g", fields[1])
+		if err != nil {
+			return err
+		}
+		if rs.pending == nil || rs.pending.kind != recMoveIntent || rs.pending.g != g {
+			return &recordError{field: recMoveAbort, detail: fmt.Sprintf("no matching intent for global id %d", g)}
+		}
+		rs.pending = nil
+	case recReshardBegin:
+		if rs.pending != nil {
+			return &recordError{field: recReshardBegin, detail: "previous intent unresolved"}
+		}
+		if c.mig != nil {
+			return &recordError{field: recReshardBegin, detail: "migration already in progress"}
+		}
+		if len(fields) < 4 {
+			return &recordError{field: recReshardBegin, detail: "missing fields"}
+		}
+		vNew, err := atoiField(recReshardBegin, "version", fields[1])
+		if err != nil {
+			return err
+		}
+		if vNew != c.router.Version()+1 {
+			return &recordError{field: recReshardBegin, detail: fmt.Sprintf("version %d, expected %d", vNew, c.router.Version()+1)}
+		}
+		nNew, err := atoiField(recReshardBegin, "added", fields[3])
+		if err != nil {
+			return err
+		}
+		if len(fields) < 4+nNew {
+			return &recordError{field: recReshardBegin, detail: "truncated shard specs"}
+		}
+		added := make([]ShardConfig, 0, nNew)
+		for _, spec := range fields[4 : 4+nNew] {
+			sc, err := parseShardSpec(spec)
+			if err != nil {
+				return err
+			}
+			added = append(added, sc)
+		}
+		newAssign, err := parseAssignCSV(fields[2], len(c.shards)+nNew)
+		if err != nil {
+			return err
+		}
+		items := make([]moveItem, 0, len(fields)-4-nNew)
+		for _, entry := range fields[4+nNew:] {
+			it, err := parseMoveEntry(entry)
+			if err != nil {
+				return err
+			}
+			items = append(items, it)
+		}
+		return c.applyReshardBegin(vNew, newAssign, added, items)
+	case recReshardFinal:
+		if rs.pending != nil {
+			return &recordError{field: recReshardFinal, detail: "previous intent unresolved"}
+		}
+		if len(fields) != 2 {
+			return &recordError{field: recReshardFinal, detail: "field count"}
+		}
+		v, err := atoiField(recReshardFinal, "version", fields[1])
+		if err != nil {
+			return err
+		}
+		return c.applyReshardFinalize(v)
+	case recReshardAbort:
+		if rs.pending != nil {
+			return &recordError{field: recReshardAbort, detail: "previous intent unresolved"}
+		}
+		if len(fields) != 2 {
+			return &recordError{field: recReshardAbort, detail: "field count"}
+		}
+		v, err := atoiField(recReshardAbort, "version", fields[1])
+		if err != nil {
+			return err
+		}
+		return c.applyReshardAbort(v)
+	default:
+		return &recordError{field: fields[0], detail: "unknown record type"}
+	}
+	return nil
+}
+
+// find returns the migration item for global id g, nil when g is not in
+// the moving set.
+func (m *migration) find(g int) *moveItem {
+	for i := range m.items {
+		if m.items[i].g == g {
+			return &m.items[i]
+		}
+	}
+	return nil
+}
+
+// ---- state mutation (shared by replay and the live paths) ----
+
+// applyAssign commits one id assignment: global id g lives on shard
+// home at local id local. Caller holds addMu (or is single-threaded
+// recovery).
+func (c *Coordinator) applyAssign(g, home, local int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g != c.objects {
+		return &recordError{field: recAssignDone, detail: fmt.Sprintf("global id %d, expected %d", g, c.objects)}
+	}
+	if home >= len(c.toGlobal) {
+		return &recordError{field: recAssignDone, detail: fmt.Sprintf("unknown shard index %d", home)}
+	}
+	if local != len(c.toGlobal[home]) {
+		return &recordError{field: recAssignDone, detail: fmt.Sprintf("shard %d local id %d, expected %d", home, local, len(c.toGlobal[home]))}
+	}
+	c.toGlobal[home] = append(c.toGlobal[home], g)
+	c.live[home]++
+	c.homeOf = append(c.homeOf, objLoc{shard: home, local: local})
+	c.objects++
+	return nil
+}
+
+// applyMove commits one migration copy: global id g now also lives on
+// shard dst at dstLocal (the source copy stays authoritative until
+// finalize). Caller holds addMu (or is single-threaded recovery).
+func (c *Coordinator) applyMove(g, dst, dstLocal int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig == nil {
+		return &recordError{field: recMoveDone, detail: "no migration in progress"}
+	}
+	it := c.mig.find(g)
+	if it == nil || it.moved || it.dst != dst {
+		return &recordError{field: recMoveDone, detail: fmt.Sprintf("global id %d is not an unmoved migration item", g)}
+	}
+	if dstLocal != len(c.toGlobal[dst]) {
+		return &recordError{field: recMoveDone, detail: fmt.Sprintf("shard %d local id %d, expected %d", dst, dstLocal, len(c.toGlobal[dst]))}
+	}
+	c.toGlobal[dst] = append(c.toGlobal[dst], g)
+	c.live[dst]++
+	it.moved = true
+	it.dstLocal = dstLocal
+	c.mig.moved++
+	c.movedTotal.Add(1)
+	return nil
+}
+
+// applyReshardBegin installs a migration: the fleet grows by the added
+// shards, the route table switches to the new assignment under a bumped
+// version (new adds route by it immediately), and the moving set enters
+// its dual-read window. Caller holds addMu (or is single-threaded
+// recovery).
+func (c *Coordinator) applyReshardBegin(vNew int, newAssign []int, added []ShardConfig, items []moveItem) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range added {
+		c.shards = append(c.shards, c.newShard(len(c.shards), sc))
+		c.toGlobal = append(c.toGlobal, nil)
+		c.live = append(c.live, 0)
+	}
+	for i := range items {
+		it := &items[i]
+		if it.g >= c.objects || it.src >= len(c.shards) || it.dst >= len(c.shards) {
+			return &recordError{field: recReshardBegin, detail: fmt.Sprintf("moving entry %d:%d:%d:%d out of range", it.g, it.src, it.srcLocal, it.dst)}
+		}
+		if loc := c.homeOf[it.g]; loc.shard != it.src || loc.local != it.srcLocal {
+			return &recordError{field: recReshardBegin, detail: fmt.Sprintf("object %d lives at %d:%d, record says %d:%d", it.g, loc.shard, loc.local, it.src, it.srcLocal)}
+		}
+	}
+	c.mig = &migration{oldAssign: c.router.Assign(), items: items}
+	c.router = NewRouterAssign(vNew, newAssign)
+	return nil
+}
+
+// applyReshardFinalize retires every moved object's source copy and
+// closes the migration. Caller holds addMu (or is single-threaded
+// recovery).
+func (c *Coordinator) applyReshardFinalize(vFinal int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig == nil {
+		return &recordError{field: recReshardFinal, detail: "no migration in progress"}
+	}
+	if c.mig.moved != len(c.mig.items) {
+		return &recordError{field: recReshardFinal, detail: fmt.Sprintf("%d of %d items moved", c.mig.moved, len(c.mig.items))}
+	}
+	if vFinal != c.router.Version()+1 {
+		return &recordError{field: recReshardFinal, detail: fmt.Sprintf("version %d, expected %d", vFinal, c.router.Version()+1)}
+	}
+	for _, it := range c.mig.items {
+		c.toGlobal[it.src][it.srcLocal] = -1 - it.g
+		c.live[it.src]--
+		c.homeOf[it.g] = objLoc{shard: it.dst, local: it.dstLocal}
+	}
+	c.router = NewRouterAssign(vFinal, c.router.assign)
+	c.mig = nil
+	return nil
+}
+
+// applyReshardAbort retires every moved object's destination copy,
+// restores the pre-begin route table under a bumped version, and closes
+// the migration. Objects added while the migration ran stay where the
+// new assignment put them — still reachable, because gathers cover every
+// shard with live objects — and a later reshard re-homes them. Caller
+// holds addMu (or is single-threaded recovery).
+func (c *Coordinator) applyReshardAbort(vAbort int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig == nil {
+		return &recordError{field: recReshardAbort, detail: "no migration in progress"}
+	}
+	if vAbort != c.router.Version()+1 {
+		return &recordError{field: recReshardAbort, detail: fmt.Sprintf("version %d, expected %d", vAbort, c.router.Version()+1)}
+	}
+	for _, it := range c.mig.items {
+		if !it.moved {
+			continue
+		}
+		c.toGlobal[it.dst][it.dstLocal] = -1 - it.g
+		c.live[it.dst]--
+	}
+	c.router = NewRouterAssign(vAbort, c.mig.oldAssign)
+	c.mig = nil
+	return nil
+}
+
+// ---- snapshot ----
+
+const (
+	coordSnapMagic   = "kjoin-coord-snapshot"
+	coordSnapVersion = 1
+	coordSnapTrailer = "end"
+)
+
+var coordCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter mirrors every byte into a CRC32C alongside the destination
+// so the trailer can vouch for exactly the bytes written.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, coordCastagnoli, p)
+	return cw.w.Write(p)
+}
+
+// tgCSV renders one shard's toGlobal row ("-" when empty); tombstones
+// keep their -1-g encoding.
+func tgCSV(row []int) string {
+	if len(row) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(row))
+	for i, g := range row {
+		parts[i] = strconv.Itoa(g)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseTgCSV(s string) ([]int, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		g, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad snapshot toGlobal entry %q", p)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// writeSnapshotLocked serializes the coordinator's control-plane state.
+// Caller holds addMu (state is quiescent: no pending intent exists) and
+// c.mu at least for reading.
+func (c *Coordinator) writeSnapshotLocked(w io.Writer, walSeq uint64) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	state := "idle"
+	if c.mig != nil {
+		state = "migrating"
+	}
+	fmt.Fprintf(cw, "%s %d\n", coordSnapMagic, coordSnapVersion)
+	fmt.Fprintf(cw, "version=%d objects=%d walseq=%d shards=%d state=%s\n",
+		c.router.Version(), c.objects, walSeq, len(c.shards), state)
+	for _, sh := range c.shards {
+		fmt.Fprintf(cw, "shard %d %s\n", sh.id, shardSpec(sh.cfg))
+	}
+	fmt.Fprintf(cw, "assign %s\n", assignCSV(c.router.assign))
+	for i, row := range c.toGlobal {
+		fmt.Fprintf(cw, "tg %d %s\n", i, tgCSV(row))
+	}
+	if c.mig != nil {
+		fmt.Fprintf(cw, "old %s\n", assignCSV(c.mig.oldAssign))
+		for _, it := range c.mig.items {
+			moved := 0
+			if it.moved {
+				moved = 1
+			}
+			fmt.Fprintf(cw, "mv %d:%d:%d:%d:%d:%d\n", it.g, it.src, it.srcLocal, it.dst, moved, it.dstLocal)
+		}
+	}
+	fmt.Fprintf(bw, "%s crc32c=%08x\n", coordSnapTrailer, cw.crc)
+	return bw.Flush()
+}
+
+// coordSnap is a parsed coordinator snapshot.
+type coordSnap struct {
+	version int
+	objects int
+	walSeq  uint64
+	shards  []ShardConfig
+	assign  []int
+	tg      [][]int
+	old     []int // non-nil when state=migrating
+	items   []moveItem
+	moving  bool
+}
+
+// loadCoordSnap parses and checksums a coordinator snapshot.
+func loadCoordSnap(r io.Reader) (*coordSnap, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// The trailer is the last line; the CRC covers everything before it.
+	idx := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n')
+	if idx < 0 {
+		return nil, errors.New("cluster: snapshot too short")
+	}
+	body, trailer := data[:idx+1], strings.TrimSpace(string(data[idx+1:]))
+	var wantCRC uint32
+	if _, err := fmt.Sscanf(trailer, coordSnapTrailer+" crc32c=%08x", &wantCRC); err != nil {
+		return nil, fmt.Errorf("cluster: bad snapshot trailer %q", trailer)
+	}
+	if got := crc32.Checksum(body, coordCastagnoli); got != wantCRC {
+		return nil, fmt.Errorf("cluster: snapshot checksum mismatch: %08x != %08x", got, wantCRC)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) < 2 {
+		return nil, errors.New("cluster: snapshot too short")
+	}
+	var ver int
+	if _, err := fmt.Sscanf(lines[0], coordSnapMagic+" %d", &ver); err != nil || ver != coordSnapVersion {
+		return nil, fmt.Errorf("cluster: bad snapshot magic %q", lines[0])
+	}
+	sn := &coordSnap{}
+	var nshards int
+	var state string
+	if _, err := fmt.Sscanf(lines[1], "version=%d objects=%d walseq=%d shards=%d state=%s",
+		&sn.version, &sn.objects, &sn.walSeq, &nshards, &state); err != nil {
+		return nil, fmt.Errorf("cluster: bad snapshot header %q", lines[1])
+	}
+	sn.moving = state == "migrating"
+	sn.shards = make([]ShardConfig, 0, nshards)
+	sn.tg = make([][]int, nshards)
+	for _, line := range lines[2:] {
+		key, rest, _ := strings.Cut(line, " ")
+		switch key {
+		case "shard":
+			idxStr, spec, ok := strings.Cut(rest, " ")
+			idx, err := strconv.Atoi(idxStr)
+			if !ok || err != nil || idx != len(sn.shards) {
+				return nil, fmt.Errorf("cluster: bad snapshot shard line %q", line)
+			}
+			sc, err := parseShardSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			sn.shards = append(sn.shards, sc)
+		case "assign":
+			a, err := parseAssignCSV(rest, nshards)
+			if err != nil {
+				return nil, err
+			}
+			sn.assign = a
+		case "tg":
+			idxStr, csv, ok := strings.Cut(rest, " ")
+			idx, err := strconv.Atoi(idxStr)
+			if !ok || err != nil || idx < 0 || idx >= nshards {
+				return nil, fmt.Errorf("cluster: bad snapshot tg line %q", line)
+			}
+			row, err := parseTgCSV(csv)
+			if err != nil {
+				return nil, err
+			}
+			sn.tg[idx] = row
+		case "old":
+			a, err := parseAssignCSV(rest, nshards)
+			if err != nil {
+				return nil, err
+			}
+			sn.old = a
+		case "mv":
+			parts := strings.Split(rest, ":")
+			if len(parts) != 6 {
+				return nil, fmt.Errorf("cluster: bad snapshot mv line %q", line)
+			}
+			nums := make([]int, 6)
+			for i, p := range parts {
+				n, err := strconv.Atoi(p)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("cluster: bad snapshot mv line %q", line)
+				}
+				nums[i] = n
+			}
+			sn.items = append(sn.items, moveItem{
+				g: nums[0], src: nums[1], srcLocal: nums[2], dst: nums[3],
+				moved: nums[4] == 1, dstLocal: nums[5],
+			})
+		default:
+			return nil, fmt.Errorf("cluster: unknown snapshot line %q", line)
+		}
+	}
+	if len(sn.shards) != nshards || sn.assign == nil {
+		return nil, errors.New("cluster: snapshot missing shard or assign lines")
+	}
+	if sn.moving && sn.old == nil {
+		return nil, errors.New("cluster: migrating snapshot missing old assignment")
+	}
+	return sn, nil
+}
+
+// peekCoordSnapMeta reads just enough of a coordinator snapshot to
+// learn the WAL sequence it covers, for seeding the compaction floor
+// from every retained generation.
+func peekCoordSnapMeta(r io.Reader) (walSeq uint64, err error) {
+	br := bufio.NewReader(r)
+	line1, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	var ver int
+	if _, err := fmt.Sscanf(line1, coordSnapMagic+" %d", &ver); err != nil || ver != coordSnapVersion {
+		return 0, fmt.Errorf("cluster: bad snapshot magic %q", strings.TrimSpace(line1))
+	}
+	line2, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	var version, objects, nshards int
+	var state string
+	if _, err := fmt.Sscanf(line2, "version=%d objects=%d walseq=%d shards=%d state=%s",
+		&version, &objects, &walSeq, &nshards, &state); err != nil {
+		return 0, fmt.Errorf("cluster: bad snapshot header %q", strings.TrimSpace(line2))
+	}
+	return walSeq, nil
+}
+
+// installSnap seeds a coordinator's state from a parsed snapshot. The
+// caller holds mu by construction: installation runs during recovery on
+// an unpublished coordinator before any other goroutine can see it.
+func (c *Coordinator) installSnap(sn *coordSnap) error {
+	c.shards = c.shards[:0]
+	for i, sc := range sn.shards {
+		c.shards = append(c.shards, c.newShard(i, sc))
+	}
+	c.toGlobal = sn.tg
+	c.live = make([]int, len(sn.shards))
+	c.homeOf = make([]objLoc, sn.objects)
+	seen := make([]bool, sn.objects)
+	for s, row := range sn.tg {
+		for l, g := range row {
+			if g < 0 {
+				continue // tombstone
+			}
+			if g >= sn.objects {
+				return fmt.Errorf("cluster: snapshot maps shard %d local %d to unknown global id %d", s, l, g)
+			}
+			c.live[s]++
+			if !seen[g] {
+				c.homeOf[g] = objLoc{shard: s, local: l}
+				seen[g] = true
+			}
+		}
+	}
+	c.objects = sn.objects
+	c.router = NewRouterAssign(sn.version, sn.assign)
+	if sn.moving {
+		c.mig = &migration{oldAssign: sn.old, items: sn.items}
+		for i := range sn.items {
+			it := &sn.items[i]
+			if it.moved {
+				c.mig.moved++
+			} else if it.g < sn.objects {
+				// The source copy stays authoritative until finalize; a moved
+				// item may have registered its destination copy first above.
+				c.homeOf[it.g] = objLoc{shard: it.src, local: it.srcLocal}
+			}
+		}
+		for _, it := range sn.items {
+			if it.moved {
+				c.homeOf[it.g] = objLoc{shard: it.src, local: it.srcLocal}
+			}
+		}
+	}
+	for g, ok := range seen {
+		if !ok {
+			return fmt.Errorf("cluster: snapshot has no live copy of global id %d", g)
+		}
+	}
+	return nil
+}
+
+// ---- recovery ----
+
+// Recover builds a durable coordinator: control-plane state is loaded
+// from the newest readable snapshot generation, the coordinator WAL is
+// replayed over it, a dangling tail intent is resolved against the
+// target shard, and every later id assignment or route change is logged
+// and fsync'd before it is acknowledged. cfg.Shards names the initial
+// fleet and is only consulted when no durable state exists yet; once
+// recorded, the durable fleet wins (resharding may have grown it past
+// the flags). Recovery is single-threaded: until the coordinator is
+// returned no other goroutine can see it, so Recover holds mu and
+// snapMu by construction.
+func Recover(cfg Config, d Durability) (*Coordinator, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fsys := d.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	logf := d.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	gens := &serverutil.GenStore{FS: fsys, Dir: d.SnapshotDir, Keep: d.Keep, Logf: d.Logf}
+	var sn *coordSnap
+	name, err := gens.Load(func(r io.Reader) error {
+		loaded, lerr := loadCoordSnap(r)
+		if lerr != nil {
+			return lerr
+		}
+		sn = loaded
+		return nil
+	})
+	switch {
+	case errors.Is(err, serverutil.ErrNoSnapshot):
+		logf("coordinator recovery: no snapshot; starting from the configured fleet")
+	case err != nil:
+		return nil, fmt.Errorf("cluster: load coordinator snapshot: %w", err)
+	default:
+		if err := c.installSnap(sn); err != nil {
+			return nil, err
+		}
+		logf("coordinator recovery: loaded snapshot %s (%d objects, route v%d, wal seq %d)",
+			name, sn.objects, sn.version, sn.walSeq)
+	}
+	var base uint64
+	if sn != nil {
+		base = sn.walSeq
+	}
+	// Seed the compaction floor from every generation still on disk, not
+	// just the one that loaded: the older ones remain fallback candidates,
+	// so the WAL records they need must outlive them.
+	snapSeqs := []uint64{base}
+	if names, gerr := gens.Generations(); gerr == nil && len(names) > 0 {
+		snapSeqs = snapSeqs[:0]
+		for _, gn := range names {
+			f, oerr := gens.Open(gn)
+			if oerr != nil {
+				logf("coordinator recovery: generation %s unreadable (%v); ignored for the compaction floor", gn, oerr)
+				continue
+			}
+			seq, perr := peekCoordSnapMeta(f)
+			_ = f.Close() // read-only; nothing written that a close could lose
+			if perr != nil {
+				logf("coordinator recovery: generation %s header corrupt (%v); ignored for the compaction floor", gn, perr)
+				continue
+			}
+			snapSeqs = append(snapSeqs, seq)
+		}
+		if len(snapSeqs) == 0 {
+			snapSeqs = append(snapSeqs, base)
+		}
+		sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+	}
+	rs := &replayState{c: c}
+	replayed := 0
+	var maxRec uint64
+	w, err := wal.Open(fsys, d.WALDir, wal.Options{Policy: d.Policy, BatchWindow: d.BatchWindow, Logf: d.Logf},
+		func(seq uint64, op wal.Op, fields []string) error {
+			if seq > maxRec {
+				maxRec = seq
+			}
+			if seq <= base {
+				return nil // already inside the snapshot
+			}
+			if op != wal.OpCoord {
+				return &recordError{field: "op", detail: fmt.Sprintf("non-coordinator record op %d at seq %d", op, seq)}
+			}
+			replayed++
+			if rerr := rs.applyRecord(fields); rerr != nil {
+				return fmt.Errorf("cluster: replaying seq %d: %w", seq, rerr)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open coordinator wal: %w", err)
+	}
+	if w.LastSeq() < base {
+		_ = w.Close() // recovery already failed; the gap error is the one to report
+		return nil, fmt.Errorf("cluster: coordinator wal ends at seq %d but snapshot %s covers seq %d: log truncated or deleted out-of-band", w.LastSeq(), name, base)
+	}
+	if tail := w.LastSeq(); tail > base && tail > maxRec {
+		_ = w.Close() // recovery already failed; the gap error is the one to report
+		return nil, fmt.Errorf("cluster: coordinator wal numbering reaches seq %d but its records end at seq %d and snapshot %s covers only seq %d: acknowledged records were compacted away", tail, maxRec, name, base)
+	}
+	c.cw = &coordWAL{wal: w, gens: gens, keep: gens.Keep, logf: logf}
+	c.cw.snapSeqs = append(c.cw.snapSeqs, snapSeqs...)
+	c.cw.lastSnapSeq.Store(base)
+	c.cw.snapOnDisk.Store(name != "")
+	if rs.pending != nil {
+		if err := c.resolvePending(rs.pending, logf); err != nil {
+			_ = w.Close() // recovery already failed; the resolution error is the one to report
+			return nil, err
+		}
+	}
+	logf("coordinator recovery: replayed %d record(s); %d objects, route v%d, %d shard(s)",
+		replayed, c.objects, c.router.Version(), len(c.shards))
+	if c.mig != nil {
+		logf("coordinator recovery: migration in flight (%d of %d moved); resuming mover", c.mig.moved, len(c.mig.items))
+		c.startMover()
+	}
+	return c, nil
+}
+
+// resolvePending settles the single intent record a crash can leave
+// dangling: the target shard's object count says whether the shard add
+// the intent announced actually applied. Count == expected means it
+// never did (the intent is aborted); count == expected+1 means it did
+// (the record is completed exactly as the live path would have). The
+// resolution is itself logged so a second crash replays a closed log.
+// An unreachable shard fails recovery loudly — guessing would corrupt
+// the id map.
+func (c *Coordinator) resolvePending(p *pendingIntent, logf func(string, ...any)) error {
+	sh := c.shards[p.target]
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+	defer cancel()
+	count, err := c.shardObjects(ctx, sh.cfg.Primary)
+	if err != nil {
+		return fmt.Errorf("cluster: cannot resolve in-flight %s for global id %d: shard %d (%s) unreachable: %w",
+			p.kind, p.g, p.target, sh.cfg.Primary, err)
+	}
+	expected := len(c.toGlobal[p.target])
+	switch count {
+	case expected:
+		// The shard never applied the add: the intent aborts, and the
+		// object (never acknowledged) does not exist.
+		var rec []string
+		if p.kind == recAssignIntent {
+			rec = encAssignAbort(p.g)
+		} else {
+			rec = encMoveAbort(p.g)
+		}
+		if _, err := c.cw.appendSync(rec); err != nil {
+			return fmt.Errorf("cluster: logging intent resolution: %w", err)
+		}
+		logf("coordinator recovery: %s for global id %d never applied on shard %d; aborted", p.kind, p.g, p.target)
+	case expected + 1:
+		// The shard applied the add before the crash: adopt it at the
+		// local id the count proves, exactly as the live path would have.
+		if p.kind == recAssignIntent {
+			if err := c.applyAssign(p.g, p.target, expected); err != nil {
+				return err
+			}
+			if _, err := c.cw.appendSync(encAssignDone(p.g, p.target, expected)); err != nil {
+				return fmt.Errorf("cluster: logging intent resolution: %w", err)
+			}
+		} else {
+			if err := c.applyMove(p.g, p.target, expected); err != nil {
+				return err
+			}
+			if _, err := c.cw.appendSync(encMoveDone(p.g, p.src, p.target, expected)); err != nil {
+				return fmt.Errorf("cluster: logging intent resolution: %w", err)
+			}
+		}
+		logf("coordinator recovery: %s for global id %d had applied on shard %d; adopted at local id %d", p.kind, p.g, p.target, expected)
+	default:
+		return fmt.Errorf("cluster: shard %d reports %d objects, coordinator expected %d or %d: writes bypassed the coordinator",
+			p.target, count, expected, expected+1)
+	}
+	return nil
+}
+
+// shardObjects asks one shard primary how many objects it holds.
+func (c *Coordinator) shardObjects(ctx context.Context, primary string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	hc := c.cfg.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("cluster: %s/stats: status %d", primary, resp.StatusCode)
+	}
+	var out struct {
+		Objects *int `json:"objects"`
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Objects == nil {
+		return 0, fmt.Errorf("cluster: %s/stats: bad body", primary)
+	}
+	return *out.Objects, nil
+}
+
+// SnapshotGeneration persists the control-plane state as a new snapshot
+// generation and compacts the coordinator WAL. Control-plane writes are
+// quiesced (addMu) only while the state serializes in memory and the
+// log syncs through the covered sequence; the disk write happens with
+// adds flowing again.
+func (c *Coordinator) SnapshotGeneration() error {
+	cw := c.cw
+	if cw == nil {
+		return errors.New("cluster: durability not configured")
+	}
+	cw.snapMu.Lock()
+	defer cw.snapMu.Unlock()
+	c.addMu.Lock()
+	if err := cw.wal.Err(); err != nil {
+		c.addMu.Unlock()
+		return fmt.Errorf("cluster: coordinator wal unhealthy; refusing snapshot: %w", err)
+	}
+	seq := cw.wal.LastSeq()
+	if cw.snapOnDisk.Load() && seq == cw.lastSnapSeq.Load() {
+		c.addMu.Unlock()
+		return nil // nothing advanced since the last durable generation
+	}
+	var buf bytes.Buffer
+	c.mu.RLock()
+	err := c.writeSnapshotLocked(&buf, seq)
+	c.mu.RUnlock()
+	if err == nil {
+		// Records the snapshot claims to cover must be durable before a
+		// generation naming that sequence exists.
+		err = cw.wal.Sync(seq)
+	}
+	c.addMu.Unlock()
+	if err != nil {
+		return err
+	}
+	name, err := cw.gens.Save(func(dst io.Writer) error {
+		_, werr := dst.Write(buf.Bytes())
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	cw.lastSnapSeq.Store(seq)
+	cw.snapOnDisk.Store(true)
+	keep := cw.keep
+	if keep < 1 {
+		keep = 3
+	}
+	cw.snapSeqs = append(cw.snapSeqs, seq)
+	if len(cw.snapSeqs) > keep {
+		cw.snapSeqs = cw.snapSeqs[len(cw.snapSeqs)-keep:]
+	}
+	if err := cw.wal.Compact(cw.snapSeqs[0]); err != nil {
+		return fmt.Errorf("cluster: compact coordinator wal after %s: %w", name, err)
+	}
+	return nil
+}
+
+// Durable reports whether the coordinator logs its control-plane state.
+func (c *Coordinator) Durable() bool { return c.cw != nil }

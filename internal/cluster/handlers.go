@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"kjoin/internal/core"
 	"kjoin/internal/replica"
 	"kjoin/internal/serverutil"
 )
@@ -34,14 +35,28 @@ const (
 	// HeaderFailedShards lists the shard ids that caused a fail-policy
 	// 503, comma-separated.
 	HeaderFailedShards = "X-Kjoin-Failed-Shards"
+	// HeaderRouteVersion, on a request, asserts the route-table version
+	// the client computed against. A mismatch (a reshard moved the table
+	// out from under the client's cache) is refused with a typed 409
+	// stale_route carrying the current version in this same header, so
+	// the client refetches /cluster/route instead of acting on a stale
+	// partitioning.
+	HeaderRouteVersion = "X-Kjoin-Route-Version"
 )
 
 func (c *Coordinator) mux() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /objects", c.limited(http.HandlerFunc(c.handleAdd)))
-	mux.Handle("POST /query", c.limited(http.HandlerFunc(c.handleQuery)))
-	mux.Handle("POST /join", c.limited(http.HandlerFunc(c.handleJoin)))
+	mux.Handle("POST /objects", c.limited(c.routeGate(http.HandlerFunc(c.handleAdd))))
+	mux.Handle("POST /query", c.limited(c.routeGate(http.HandlerFunc(c.handleQuery))))
+	mux.Handle("POST /join", c.limited(c.routeGate(http.HandlerFunc(c.handleJoin))))
 	mux.Handle("POST /similarity", c.limited(http.HandlerFunc(c.handleSimilarity)))
+	// The reshard endpoints skip the admission gate and request deadline:
+	// they are rare control operations whose begin scan is allowed to
+	// outlive a data-plane deadline, and shedding one under load would
+	// only postpone draining that load off the hot shard.
+	mux.Handle("POST /cluster/reshard", serverutil.Chain(http.HandlerFunc(c.handleReshard), serverutil.LimitBody(c.cfg.MaxBodyBytes)))
+	mux.HandleFunc("POST /cluster/reshard/abort", c.handleReshardAbort)
+	mux.HandleFunc("GET /cluster/reshard", c.handleReshardStatus)
 	mux.HandleFunc("GET /cluster/route", c.handleRoute)
 	mux.HandleFunc("GET /stats", c.handleStats)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
@@ -80,6 +95,33 @@ func (c *Coordinator) deadline(next http.Handler) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// routeGate refuses requests asserting a stale route-table version. A
+// client that computed an object's home against version v must not act
+// on the answer if the table has since moved: the 409 carries the
+// current version so it can refetch /cluster/route and retry.
+func (c *Coordinator) routeGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(HeaderRouteVersion); h != "" {
+			v, err := strconv.Atoi(h)
+			if err != nil || v < 1 {
+				serverutil.WriteError(w, http.StatusBadRequest, "bad_route_version",
+					fmt.Sprintf("%s must be a positive integer, got %q", HeaderRouteVersion, h))
+				return
+			}
+			c.mu.RLock()
+			cur := c.router.Version()
+			c.mu.RUnlock()
+			if v != cur {
+				w.Header().Set(HeaderRouteVersion, strconv.Itoa(cur))
+				serverutil.WriteError(w, http.StatusConflict, "stale_route",
+					fmt.Sprintf("route version %d is stale; the table is now version %d", v, cur))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
 	})
 }
 
@@ -123,13 +165,12 @@ func shardList(ids []int) string {
 	return strings.Join(parts, ",")
 }
 
-// gatherHeaders applies the partial-result policy to a gather with the
-// given failed shard set. It returns false after writing the response
-// itself (nothing answered, or fail policy with gaps); on true the
-// caller proceeds to write the 200, whose coverage headers are already
-// set.
-func (c *Coordinator) gatherHeaders(w http.ResponseWriter, policy string, failed []int, lastErr error) bool {
-	n := len(c.shards)
+// gatherHeaders applies the partial-result policy to a gather over n
+// target shards with the given failed shard set. It returns false after
+// writing the response itself (nothing answered, or fail policy with
+// gaps); on true the caller proceeds to write the 200, whose coverage
+// headers are already set.
+func (c *Coordinator) gatherHeaders(w http.ResponseWriter, policy string, n int, failed []int, lastErr error) bool {
 	live := n - len(failed)
 	if live == 0 {
 		detail := "every shard failed"
@@ -167,12 +208,17 @@ type objectRequest struct {
 // entries. Matches for local ids the coordinator has not assigned are
 // dropped — they can only come from writes that bypassed the
 // coordinator, and inventing global ids for them would corrupt the
-// merge. Caller holds c.mu (read side).
+// merge. Tombstoned copies (retired by a reshard finalize or abort) are
+// dropped too: the surviving copy answers for the object. Caller holds
+// c.mu (read side).
 func (c *Coordinator) toEntries(shardID int, ms []replica.Match) []Entry {
 	tg := c.toGlobal[shardID]
 	out := make([]Entry, 0, len(ms))
 	for _, m := range ms {
 		if m.Index < 0 || m.Index >= len(tg) {
+			continue
+		}
+		if tg[m.Index] < 0 {
 			continue
 		}
 		out = append(out, Entry{Index: tg[m.Index], Sim: m.Sim})
@@ -198,7 +244,15 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !c.decode(w, r, &req) {
 		return
 	}
-	outs := scatter(c, r.Context(), func(ctx context.Context, _ int, cl *replica.Client) (*replica.Result, error) {
+	// During a dual-read window the targets cover both the old and new
+	// homes of every moving object; duplicate answers collapse in the
+	// merge's global-id dedup (sims are placement-independent, so which
+	// copy answers cannot change a bit of the result).
+	targets, dual := c.gatherTargets()
+	if dual {
+		c.dualReadTotal.Add(1)
+	}
+	outs := scatter(c, r.Context(), targets, func(ctx context.Context, _ int, cl *replica.Client) (*replica.Result, error) {
 		return cl.Query(ctx, req.Tokens)
 	})
 	var failed []int
@@ -207,11 +261,11 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	c.mu.RLock()
 	for i, out := range outs {
 		if out.err != nil {
-			failed = append(failed, i)
+			failed = append(failed, targets[i])
 			lastErr = out.err
 			continue
 		}
-		entries[i] = c.toEntries(i, out.val.Matches)
+		entries[i] = c.toEntries(targets[i], out.val.Matches)
 	}
 	c.mu.RUnlock()
 	// A shard-side 400 means the input itself is bad (every shard would
@@ -221,7 +275,7 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shards rejected the query: "+lastErr.Error())
 		return
 	}
-	if !c.gatherHeaders(w, policy, failed, lastErr) {
+	if !c.gatherHeaders(w, policy, len(targets), failed, lastErr) {
 		return
 	}
 	var merged []Entry
@@ -258,10 +312,14 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if !c.decode(w, r, &req) {
 		return
 	}
+	targets, dual := c.gatherTargets()
+	if dual {
+		c.dualReadTotal.Add(1)
+	}
 	// Each shard serves the whole batch under one shard deadline: the
 	// per-object queries are sequential, so the shard's allowance covers
 	// the batch, not each object.
-	outs := scatter(c, r.Context(), func(ctx context.Context, _ int, cl *replica.Client) ([][]replica.Match, error) {
+	outs := scatter(c, r.Context(), targets, func(ctx context.Context, _ int, cl *replica.Client) ([][]replica.Match, error) {
 		res := make([][]replica.Match, len(req.Objects))
 		for i, obj := range req.Objects {
 			out, err := cl.Query(ctx, obj)
@@ -274,18 +332,18 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	})
 	var failed []int
 	var lastErr error
-	var pairs []joinPair
+	// Per-batch-object entry lists, so duplicate copies of a corpus
+	// object collapse per query exactly as /query's merge would.
+	perObj := make([][][]Entry, len(req.Objects))
 	c.mu.RLock()
 	for s, out := range outs {
 		if out.err != nil {
-			failed = append(failed, s)
+			failed = append(failed, targets[s])
 			lastErr = out.err
 			continue
 		}
 		for i, ms := range out.val {
-			for _, e := range c.toEntries(s, ms) {
-				pairs = append(pairs, joinPair{X: i, Y: e.Index, Sim: e.Sim})
-			}
+			perObj[i] = append(perObj[i], c.toEntries(targets[s], ms))
 		}
 	}
 	c.mu.RUnlock()
@@ -294,8 +352,14 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", "shards rejected the batch: "+lastErr.Error())
 		return
 	}
-	if !c.gatherHeaders(w, policy, failed, lastErr) {
+	if !c.gatherHeaders(w, policy, len(targets), failed, lastErr) {
 		return
+	}
+	var pairs []joinPair
+	for i, lists := range perObj {
+		for _, e := range mergeAscending(lists) {
+			pairs = append(pairs, joinPair{X: i, Y: e.Index, Sim: e.Sim})
+		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].X != pairs[j].X {
@@ -323,10 +387,13 @@ func (c *Coordinator) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	// Similarity is stateless over the shared hierarchy, so any shard
 	// can answer; start from a rotating cursor and fail over across the
 	// fleet.
+	c.mu.RLock()
+	shs := append([]*shard(nil), c.shards...)
+	c.mu.RUnlock()
 	start := int(c.rr.Add(1))
 	var lastErr error
-	for off := 0; off < len(c.shards); off++ {
-		sh := c.shards[(start+off)%len(c.shards)]
+	for off := 0; off < len(shs); off++ {
+		sh := shs[(start+off)%len(shs)]
 		res, err := callShard(c, r.Context(), sh, func(ctx context.Context, cl *replica.Client) (*replica.Result, error) {
 			return cl.Similarity(ctx, req.X, req.Y)
 		})
@@ -363,53 +430,148 @@ type shardAddResponse struct {
 	Pairs []pairJSON `json:"pairs"`
 }
 
+// writeCtrlError reports a control-plane failure, classifying the
+// error before surfacing it: an invalid-input error wrapped inside a
+// shard or WAL failure is the caller's fault and comes back as a 400,
+// everything else keeps the caller-chosen status and code.
+func writeCtrlError(w http.ResponseWriter, status int, code string, err error) {
+	var ie *core.InputError
+	if errors.As(err, &ie) {
+		serverutil.WriteError(w, http.StatusBadRequest, "invalid_input", ie.Error())
+		return
+	}
+	serverutil.WriteError(w, status, code, err.Error())
+}
+
 func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
 	var req objectRequest
 	if !c.decode(w, r, &req) {
 		return
 	}
-	home := c.router.Home(req.Tokens)
-	// Adds serialize cluster-wide: the global id order is the insertion
-	// order, and the discovery sweep below sees exactly the objects with
-	// smaller global ids — the single-node add's invariant. Throughput
-	// scales with shards via query traffic, not add traffic.
+	// Adds serialize cluster-wide (see the addMu doc): global id order is
+	// insertion order, the discovery sweep sees exactly the objects with
+	// smaller ids, and the coordinator WAL holds at most one unresolved
+	// intent. Throughput scales with shards via query traffic, not adds.
 	c.addMu.Lock()
 	defer c.addMu.Unlock()
-	res, err := c.addToShard(r.Context(), c.shards[home], req.Tokens)
-	if err != nil {
+	if err := c.controlErr(); err != nil {
+		writeCtrlError(w, http.StatusInternalServerError, "control_plane_failed", err)
+		return
+	}
+	c.mu.RLock()
+	home := c.router.Home(req.Tokens)
+	g := c.objects
+	sh := c.shards[home]
+	expected := len(c.toGlobal[home])
+	c.mu.RUnlock()
+	durable := c.cw != nil
+	if durable {
+		// Fail fast once the log is poisoned: taking more adds into a state
+		// the log cannot vouch for only widens the gap recovery will erase.
+		if werr := c.cw.wal.Err(); werr != nil {
+			writeCtrlError(w, http.StatusInternalServerError, "wal_failed", werr)
+			return
+		}
+		// Write-ahead intent: a crash between the shard add and its outcome
+		// record leaves this as the log's tail, and recovery settles it
+		// against the shard's object count.
+		if _, err := c.cw.appendSync(encAssignIntent(g, home, req.Tokens)); err != nil {
+			writeCtrlError(w, http.StatusInternalServerError, "wal_failed", err)
+			return
+		}
+	}
+	res, err := c.addToShard(r.Context(), sh, req.Tokens)
+	var homePairs []pairJSON
+	adopted := false
+	switch {
+	case err == nil:
+		if res.ID != expected {
+			// The shard's id sequence diverged from ours: something wrote to
+			// it around the coordinator. Refuse loudly rather than serve a
+			// corrupted mapping — and on a durable coordinator latch the
+			// control plane, because the log now ends in an intent no record
+			// can truthfully close.
+			derr := fmt.Errorf("shard %d assigned local id %d, coordinator expected %d: writes bypassed the coordinator", home, res.ID, expected)
+			if durable {
+				c.failControl(derr)
+			}
+			writeCtrlError(w, http.StatusInternalServerError, "shard_drift", derr)
+			return
+		}
+		homePairs = res.Pairs
+		if aerr := c.applyAssign(g, home, expected); aerr != nil {
+			c.failControl(aerr)
+			writeCtrlError(w, http.StatusInternalServerError, "control_plane_failed", aerr)
+			return
+		}
+		if durable {
+			// The ack below is written only after this record is durable: an
+			// acked id assignment survives any crash bit-identically.
+			if _, werr := c.cw.appendSync(encAssignDone(g, home, expected)); werr != nil {
+				writeCtrlError(w, http.StatusInternalServerError, "wal_failed", werr)
+				return
+			}
+		}
+	case !durable:
 		c.addError(w, home, err)
 		return
-	}
-	c.mu.Lock()
-	g := c.objects
-	if res.ID != len(c.toGlobal[home]) {
-		// The shard's id sequence diverged from ours: something wrote to
-		// it around the coordinator. Refuse loudly rather than serve a
-		// corrupted mapping.
-		c.mu.Unlock()
-		serverutil.WriteError(w, http.StatusInternalServerError, "shard_drift",
-			fmt.Sprintf("shard %d assigned local id %d, coordinator expected %d", home, res.ID, len(c.toGlobal[home])))
+	case provablyNotApplied(err):
+		// The shard never indexed the object: close the intent with an
+		// abort record and surface the refusal.
+		if _, aerr := c.cw.appendSync(encAssignAbort(g)); aerr != nil {
+			writeCtrlError(w, http.StatusInternalServerError, "wal_failed", aerr)
+			return
+		}
+		c.addError(w, home, err)
 		return
+	default:
+		// Ambiguous outcome (timed out mid-flight, connection dropped):
+		// settle the intent by counting, exactly as recovery would.
+		applied, _, rerr := c.resolveAmbiguous(recAssignIntent, g, home, home)
+		if rerr != nil {
+			writeCtrlError(w, http.StatusInternalServerError, "control_plane_failed", rerr)
+			return
+		}
+		if !applied {
+			c.addError(w, home, err)
+			return
+		}
+		// The add landed before the failure surfaced: the object exists and
+		// is durably mapped, so acknowledge it rather than invite a
+		// duplicating retry. Its pair report was lost with the response;
+		// the coverage headers below declare the home shard's gap.
+		adopted = true
 	}
-	c.objects++
-	c.toGlobal[home] = append(c.toGlobal[home], g)
-	homeEntries := make([]Entry, 0, len(res.Pairs))
-	for _, p := range res.Pairs {
+	c.mu.RLock()
+	tgHome := c.toGlobal[home]
+	homeEntries := make([]Entry, 0, len(homePairs))
+	for _, p := range homePairs {
 		// A shard add reports pairs as (candidate local id, new local id).
-		if p.X < 0 || p.X >= len(c.toGlobal[home]) {
+		if p.X < 0 || p.X >= len(tgHome) || tgHome[p.X] < 0 {
 			continue
 		}
-		homeEntries = append(homeEntries, Entry{Index: c.toGlobal[home][p.X], Sim: p.Sim})
+		homeEntries = append(homeEntries, Entry{Index: tgHome[p.X], Sim: p.Sim})
 	}
-	c.mu.Unlock()
+	targets, dual := c.gatherTargetsLocked()
+	c.mu.RUnlock()
+	if dual {
+		c.dualReadTotal.Add(1)
+	}
 	// Cross-shard pair discovery: the new object queried against every
-	// other shard's corpus (all ids < g — adds are serialized). The home
-	// add has already committed, so discovery gaps degrade the reported
-	// pair set with coverage headers; they never fail the add.
-	outs := scatter(c, r.Context(), func(ctx context.Context, shardID int, cl *replica.Client) (*replica.Result, error) {
-		if shardID == home {
-			return &replica.Result{}, nil
+	// other gather target's corpus (all ids < g — adds are serialized).
+	// The home add has already committed, so discovery gaps degrade the
+	// reported pair set with coverage headers; they never fail the add.
+	// The home shard is excluded from the scatter outright: its pairs
+	// came with the add, and even a no-op call would charge its breaker
+	// and the retry budget — a half-open breaker must never be closed by
+	// a probe that proved nothing.
+	others := make([]int, 0, len(targets))
+	for _, t := range targets {
+		if t != home {
+			others = append(others, t)
 		}
+	}
+	outs := scatter(c, r.Context(), others, func(ctx context.Context, _ int, cl *replica.Client) (*replica.Result, error) {
 		return cl.Query(ctx, req.Tokens)
 	})
 	var failed []int
@@ -417,21 +579,22 @@ func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
 	entries = append(entries, homeEntries)
 	c.mu.RLock()
 	for i, out := range outs {
-		if i == home {
-			continue
-		}
 		if out.err != nil {
-			failed = append(failed, i)
+			failed = append(failed, others[i])
 			continue
 		}
-		entries = append(entries, c.toEntries(i, out.val.Matches))
+		entries = append(entries, c.toEntries(others[i], out.val.Matches))
 	}
 	c.mu.RUnlock()
+	if adopted {
+		failed = append([]int{home}, failed...)
+	}
 	if len(failed) > 0 {
 		c.partialTotal.Add(1)
 		w.Header().Set(HeaderSkippedShards, shardList(failed))
 	}
-	w.Header().Set(HeaderCoverage, fmt.Sprintf("%d/%d", len(c.shards)-len(failed), len(c.shards)))
+	n := len(others) + 1
+	w.Header().Set(HeaderCoverage, fmt.Sprintf("%d/%d", n-len(failed), n))
 	merged := mergeAscending(entries)
 	pairs := make([]pairJSON, 0, len(merged))
 	for _, e := range merged {
@@ -443,7 +606,9 @@ func (c *Coordinator) handleAdd(w http.ResponseWriter, r *http.Request) {
 // addToShard runs the home-shard add. Adds are not idempotent — a
 // timed-out add may have applied — so only responses that prove the
 // add was not applied (a 429 shed at the shard's admission gate) are
-// retried; everything else surfaces to the caller after one attempt.
+// retried; everything else surfaces to the caller after one attempt
+// (on a durable coordinator, an ambiguous failure is then settled by
+// counting — see resolveAmbiguous).
 func (c *Coordinator) addToShard(ctx context.Context, sh *shard, tokens []string) (*shardAddResponse, error) {
 	c.budget.onAttempt()
 	var lastErr error
@@ -573,44 +738,69 @@ type routeShard struct {
 }
 
 // handleRoute serves the versioned route table: the partitioning
-// algorithm and the shard endpoints, so clients can compute homes and
-// detect a repartition by comparing versions.
+// algorithm, the bucket→shard assignment and the shard endpoints, so
+// clients can compute homes themselves and detect a repartition by
+// comparing versions (or asserting one with X-Kjoin-Route-Version).
 func (c *Coordinator) handleRoute(w http.ResponseWriter, r *http.Request) {
-	rows := make([]routeShard, len(c.shards))
 	c.mu.RLock()
+	rows := make([]routeShard, len(c.shards))
 	for i, sh := range c.shards {
-		rows[i] = routeShard{ID: i, Primary: sh.cfg.Primary, Replicas: sh.cfg.Replicas, Objects: len(c.toGlobal[i])}
+		rows[i] = routeShard{ID: i, Primary: sh.cfg.Primary, Replicas: sh.cfg.Replicas, Objects: c.live[i]}
 	}
+	version := c.router.Version()
+	assign := c.router.Assign()
 	c.mu.RUnlock()
 	writeJSON(w, map[string]any{
-		"version": c.router.Version(),
+		"version": version,
 		"algo":    "minhash-fnv1a64",
+		"assign":  assign,
 		"shards":  rows,
 	})
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	healthy := make([]bool, len(c.shards))
-	states := make([]string, len(c.shards))
-	for i, sh := range c.shards {
+	c.mu.RLock()
+	objects := c.objects
+	version := c.router.Version()
+	shs := append([]*shard(nil), c.shards...)
+	state := "idle"
+	moved, moving := 0, 0
+	if c.mig != nil {
+		state = "migrating"
+		moved, moving = c.mig.moved, len(c.mig.items)
+	}
+	c.mu.RUnlock()
+	healthy := make([]bool, len(shs))
+	states := make([]string, len(shs))
+	for i, sh := range shs {
 		st := sh.breaker.State()
 		states[i] = st.String()
 		healthy[i] = st != BreakerOpen
 	}
-	c.mu.RLock()
-	objects := c.objects
-	c.mu.RUnlock()
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"objects":                 objects,
-		"shards":                  len(c.shards),
-		"route_version":           c.router.Version(),
+		"shards":                  len(shs),
+		"route_version":           version,
 		"shard_healthy":           healthy,
 		"breaker_state":           states,
 		"hedges_total":            c.HedgesTotal(),
 		"retries_total":           c.retriesTotal.Load(),
 		"partial_responses_total": c.partialTotal.Load(),
 		"inflight":                c.sem.InFlight(),
-	})
+		"reshard_state":           state,
+		"reshard_moved":           moved,
+		"reshard_moving":          moving,
+		"reshard_moved_objects":   c.movedTotal.Load(),
+		"dual_read_total":         c.dualReadTotal.Load(),
+	}
+	if c.cw != nil {
+		out["coordinator_wal_last_seq"] = c.cw.wal.LastSeq()
+		out["coordinator_wal_durable_seq"] = c.cw.wal.DurableSeq()
+		out["coordinator_wal_healthy"] = c.cw.wal.Err() == nil
+		out["coordinator_snapshot_seq"] = c.cw.lastSnapSeq.Load()
+		out["control_plane_healthy"] = c.controlErr() == nil
+	}
+	writeJSON(w, out)
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {

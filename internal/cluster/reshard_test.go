@@ -1,0 +1,465 @@
+package cluster
+
+// The live-resharding chaos matrix. Resharding moves objects between
+// shards while the cluster keeps serving, so every test here pins the
+// same invariant the rest of the suite does: at no point — mid-window,
+// post-finalize, post-abort, or post-crash — may any answer differ by
+// one bit from a single node that was never resharded, and no acked
+// object may be lost or duplicated.
+//
+// Covered: grow and shrink differentials, the dual-read window under a
+// deliberately slow mover, transient source- and destination-shard
+// death mid-migration, operator abort followed by a successful retry,
+// and a coordinator crash swept across every WAL write the migration
+// performs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"kjoin/internal/fault"
+	"kjoin/internal/paperdata"
+)
+
+// reshardStatus fetches GET /cluster/reshard.
+func reshardStatus(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, b := doJSON(t, http.MethodGet, base+"/cluster/reshard", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reshard status: %d: %s", resp.StatusCode, b)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("reshard status: %v: %s", err, b)
+	}
+	return out
+}
+
+// startReshard posts the reshard request and returns the announced
+// (version, moving) on success.
+func startReshard(t *testing.T, base string, body map[string]any) (version, moving int) {
+	t.Helper()
+	resp, b := doJSON(t, http.MethodPost, base+"/cluster/reshard", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reshard begin: %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Version int `json:"version"`
+		Moving  int `json:"moving"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("reshard begin: %v: %s", err, b)
+	}
+	return out.Version, out.Moving
+}
+
+// waitReshardIdle waits for the migration to finalize.
+func waitReshardIdle(t *testing.T, base string) {
+	t.Helper()
+	waitUntil(t, "reshard to finalize", func() bool {
+		return reshardStatus(t, base)["state"] == "idle"
+	})
+}
+
+// TestReshardGrowBitIdentity: grow 2 shards to 3, wait for the mover to
+// finalize, and pin everything — route version, moved counters, where
+// the objects physically live, and the full query/join/add differential
+// against a never-resharded single node — then reboot the coordinator
+// and pin it all again off the replayed reshard records.
+func TestReshardGrowBitIdentity(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	f := newDFleet(t, 2, nil)
+	f.mustBoot(fault.OS{})
+	f.load(objs)
+	ots := singleNode(t, objs)
+
+	sc := f.newShardServer()
+	version, moving := startReshard(t, f.ts.URL, map[string]any{"add": []map[string]any{{"primary": sc.Primary}}})
+	if version != 2 {
+		t.Fatalf("begin announced version %d, want 2", version)
+	}
+	if moving == 0 {
+		t.Fatal("growing 2->3 moved nothing; the differential below would be vacuous")
+	}
+	waitReshardIdle(t, f.ts.URL)
+
+	st := statsAt(t, f.ts.URL)
+	if got := int(st["route_version"].(float64)); got != 3 {
+		t.Fatalf("route_version after finalize = %d, want 3", got)
+	}
+	if got := int(st["reshard_moved_objects"].(float64)); got != moving {
+		t.Fatalf("reshard_moved_objects = %d, want %d", got, moving)
+	}
+	if got := int(st["objects"].(float64)); got != len(objs) {
+		t.Fatalf("objects = %d after reshard, want %d", got, len(objs))
+	}
+	// The new shard really owns its objects now.
+	var route struct {
+		Shards []struct {
+			Objects int `json:"objects"`
+		} `json:"shards"`
+	}
+	_, b := doJSON(t, http.MethodGet, f.ts.URL+"/cluster/route", nil, nil)
+	if err := json.Unmarshal(b, &route); err != nil {
+		t.Fatal(err)
+	}
+	// Note moving counts every rehomed object: growing the bucket count
+	// also moves objects between the old shards, so the new shard owns
+	// some — not all — of the moving set.
+	total := 0
+	for _, s := range route.Shards {
+		total += s.Objects
+	}
+	if len(route.Shards) != 3 || route.Shards[2].Objects == 0 || total != len(objs) {
+		t.Fatalf("route after grow: %+v, want 3 shards owning %d objects with the new one non-empty", route.Shards, len(objs))
+	}
+
+	f.verifyBitIdentical(ots.URL, objs)
+	// Adds route by the new table and stay bit-identical.
+	for i, o := range objs[:4] {
+		_, wantID, wantPairs := addAt(t, ots.URL, o)
+		_, gotID, gotPairs := addAt(t, f.ts.URL, o)
+		if gotID != wantID || gotID != len(objs)+i {
+			t.Fatalf("post-grow add %d: cluster id %d, oracle id %d", i, gotID, wantID)
+		}
+		assertPairsBitIdentical(t, fmt.Sprintf("post-grow add %d", i), gotPairs, wantPairs)
+	}
+
+	// Kill and reboot: the grown fleet, new route table, and every
+	// moved object's location come back from the coordinator WAL alone.
+	f.kill()
+	f.mustBoot(fault.OS{})
+	if got := int(statsAt(t, f.ts.URL)["route_version"].(float64)); got != 3 {
+		t.Fatalf("route_version after reboot = %d, want 3", got)
+	}
+	f.verifyBitIdentical(ots.URL, append(append([][]string{}, objs...), objs[:4]...))
+}
+
+// TestReshardShrinkBitIdentity: reassign a shard's bucket away so the
+// shard empties (the shrink direction), and pin the differential.
+func TestReshardShrinkBitIdentity(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	f := newDFleet(t, 3, nil)
+	f.mustBoot(fault.OS{})
+	f.load(objs)
+	ots := singleNode(t, objs)
+
+	_, moving := startReshard(t, f.ts.URL, map[string]any{"assign": []int{0, 1, 0}})
+	if moving == 0 {
+		t.Fatal("no objects homed on shard 2; the shrink is vacuous")
+	}
+	waitReshardIdle(t, f.ts.URL)
+
+	var route struct {
+		Version int `json:"version"`
+		Shards  []struct {
+			Objects int `json:"objects"`
+		} `json:"shards"`
+	}
+	_, b := doJSON(t, http.MethodGet, f.ts.URL+"/cluster/route", nil, nil)
+	if err := json.Unmarshal(b, &route); err != nil {
+		t.Fatal(err)
+	}
+	if route.Version != 3 {
+		t.Fatalf("route version after shrink = %d, want 3", route.Version)
+	}
+	if route.Shards[2].Objects != 0 {
+		t.Fatalf("drained shard still owns %d objects", route.Shards[2].Objects)
+	}
+
+	f.verifyBitIdentical(ots.URL, objs)
+	// New adds never land on the drained shard.
+	for i, o := range objs[:3] {
+		_, wantID, wantPairs := addAt(t, ots.URL, o)
+		_, gotID, gotPairs := addAt(t, f.ts.URL, o)
+		if gotID != wantID {
+			t.Fatalf("post-shrink add %d: cluster id %d, oracle id %d", i, gotID, wantID)
+		}
+		assertPairsBitIdentical(t, fmt.Sprintf("post-shrink add %d", i), gotPairs, wantPairs)
+	}
+	_, b = doJSON(t, http.MethodGet, f.ts.URL+"/cluster/route", nil, nil)
+	if err := json.Unmarshal(b, &route); err != nil {
+		t.Fatal(err)
+	}
+	if route.Shards[2].Objects != 0 {
+		t.Fatalf("post-shrink adds landed on the drained shard: %d objects", route.Shards[2].Objects)
+	}
+}
+
+// TestReshardDualReadWindow: with a deliberately slow mover, every
+// query and join issued while objects are split between their old and
+// new homes must still be bit-identical — the scatter reads both homes
+// and deduplicates by global id — and mid-window adds must land
+// exactly once under the new table.
+func TestReshardDualReadWindow(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	f := newDFleet(t, 2, func(cfg *Config) { cfg.MoveThrottle = time.Second })
+	f.mustBoot(fault.OS{})
+	f.load(objs)
+	ots := singleNode(t, objs)
+
+	sc := f.newShardServer()
+	_, moving := startReshard(t, f.ts.URL, map[string]any{"add": []map[string]any{{"primary": sc.Primary}}})
+	if moving == 0 {
+		t.Fatal("nothing moving; no dual-read window to test")
+	}
+	if st := reshardStatus(t, f.ts.URL); st["state"] != "migrating" {
+		t.Fatalf("state %v immediately after begin with a 1s move throttle, want migrating", st["state"])
+	}
+
+	// Queries inside the window: bit-identical despite split homes.
+	for qi, q := range objs {
+		_, want := queryAt(t, ots.URL, q, nil)
+		resp, got := queryAt(t, f.ts.URL, q, nil)
+		if skipped := resp.Header.Get(HeaderSkippedShards); skipped != "" {
+			t.Fatalf("window query %d skipped shards %q", qi, skipped)
+		}
+		assertMatchesBitIdentical(t, fmt.Sprintf("window query %d", qi), got, want)
+	}
+	// A join inside the window, against per-object oracle queries.
+	var wantJoin []pairT
+	for i, o := range objs[:4] {
+		_, ms := queryAt(t, ots.URL, o, nil)
+		for _, m := range ms {
+			wantJoin = append(wantJoin, pairT{X: i, Y: m.Index, Sim: m.Sim})
+		}
+	}
+	resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/join", map[string]any{"objects": objs[:4]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("window join: status %d: %s", resp.StatusCode, b)
+	}
+	var joinOut struct {
+		Pairs []pairT `json:"pairs"`
+	}
+	if err := json.Unmarshal(b, &joinOut); err != nil {
+		t.Fatal(err)
+	}
+	assertPairsBitIdentical(t, "window join", joinOut.Pairs, wantJoin)
+
+	// A mid-window add: routed by the new table, discovered everywhere,
+	// acked exactly once.
+	_, wantID, wantPairs := addAt(t, ots.URL, objs[0])
+	_, gotID, gotPairs := addAt(t, f.ts.URL, objs[0])
+	if gotID != wantID || gotID != len(objs) {
+		t.Fatalf("mid-window add: cluster id %d, oracle id %d", gotID, wantID)
+	}
+	assertPairsBitIdentical(t, "mid-window add", gotPairs, wantPairs)
+
+	// A client still on the pre-reshard table gets the typed refusal.
+	resp, b = doJSON(t, http.MethodPost, f.ts.URL+"/query",
+		map[string]any{"tokens": objs[0]}, map[string]string{HeaderRouteVersion: "1"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale client in window: status %d: %s", resp.StatusCode, b)
+	}
+	if v := resp.Header.Get(HeaderRouteVersion); v != "2" {
+		t.Fatalf("stale refusal carries version %q, want the window version 2", v)
+	}
+
+	if n := int(statsAt(t, f.ts.URL)["dual_read_total"].(float64)); n == 0 {
+		t.Fatal("dual_read_total = 0 after a window full of scatters")
+	}
+
+	waitReshardIdle(t, f.ts.URL)
+	f.verifyBitIdentical(ots.URL, append(append([][]string{}, objs...), objs[0]))
+	if got := int(statsAt(t, f.ts.URL)["objects"].(float64)); got != len(objs)+1 {
+		t.Fatalf("objects = %d after finalize, want %d (mid-window add lost or duplicated)", got, len(objs)+1)
+	}
+}
+
+// TestReshardRidesOutTransientShardDeath: the destination refuses its
+// first dials — the mover's copy goes ambiguous, the resolution consult
+// fails too, and both must be retried until the truth is known — and
+// mid-migration the source starts refusing reads for a while. The
+// migration must still complete with nothing lost or duplicated.
+func TestReshardRidesOutTransientShardDeath(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	f := newDFleet(t, 2, func(cfg *Config) { cfg.MoveThrottle = 100 * time.Millisecond })
+	f.mustBoot(fault.OS{})
+	f.load(objs)
+	ots := singleNode(t, objs)
+
+	sc := f.newShardServer()
+	// The only pre-idle traffic to the new shard is the mover's first
+	// copy and its resolution consult: both are refused once,
+	// deterministically.
+	f.inj.Append(
+		fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(2), N: 1},
+		fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(2), N: 1},
+	)
+	_, moving := startReshard(t, f.ts.URL, map[string]any{"add": []map[string]any{{"primary": sc.Primary}}})
+	if moving == 0 {
+		t.Fatal("nothing moving")
+	}
+	// And mid-flight, the source refuses a read the mover needs.
+	f.inj.Append(fault.NetFault{Op: fault.OpDial, Mode: fault.NetFail, Addr: f.addr(0), N: 1})
+
+	waitReshardIdle(t, f.ts.URL)
+	if f.inj.Fired() < 2 {
+		t.Fatalf("only %d injected faults fired; the destination-death path was not exercised", f.inj.Fired())
+	}
+	st := statsAt(t, f.ts.URL)
+	if got := int(st["objects"].(float64)); got != len(objs) {
+		t.Fatalf("objects = %d after faulted migration, want %d", got, len(objs))
+	}
+	if got := int(st["reshard_moved_objects"].(float64)); got != moving {
+		t.Fatalf("reshard_moved_objects = %d, want %d (a refused copy was double-counted or dropped)", got, moving)
+	}
+	f.verifyBitIdentical(ots.URL, objs)
+}
+
+// TestReshardAbortThenRetry: abort a migration that has already moved
+// some objects. The route must step to a fresh version of the old
+// assignment, the half-moved destination copies must stop answering
+// (no duplicates), every object must still answer from its source —
+// and a later reshard over the same fleet, after a coordinator reboot
+// replays begin/move/abort records, must complete normally.
+func TestReshardAbortThenRetry(t *testing.T) {
+	watchGoroutines(t)
+	objs := paperdata.Table1()
+	// A huge throttle parks the mover between objects, so the abort
+	// lands in a quiet window rather than racing a half-logged move.
+	f := newDFleet(t, 2, func(cfg *Config) { cfg.MoveThrottle = time.Hour })
+	f.mustBoot(fault.OS{})
+	f.load(objs)
+	ots := singleNode(t, objs)
+
+	sc := f.newShardServer()
+	_, moving := startReshard(t, f.ts.URL, map[string]any{"add": []map[string]any{{"primary": sc.Primary}}})
+	if moving < 2 {
+		t.Fatalf("moving %d objects; need at least 2 so the abort catches a half-done migration", moving)
+	}
+	waitUntil(t, "first object to move", func() bool {
+		return int(reshardStatus(t, f.ts.URL)["moved"].(float64)) >= 1
+	})
+
+	resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/cluster/reshard/abort", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("abort: %d: %s", resp.StatusCode, b)
+	}
+	var abortOut struct {
+		Version int    `json:"version"`
+		State   string `json:"state"`
+	}
+	if err := json.Unmarshal(b, &abortOut); err != nil {
+		t.Fatal(err)
+	}
+	if abortOut.Version != 3 || abortOut.State != "aborted" {
+		t.Fatalf("abort answered %+v, want version 3, state aborted", abortOut)
+	}
+	if st := reshardStatus(t, f.ts.URL); st["state"] != "idle" {
+		t.Fatalf("state %v after abort, want idle", st["state"])
+	}
+
+	// Every answer comes from the source copies; the partial destination
+	// copies are tombstoned and cannot duplicate a match.
+	f.verifyBitIdentical(ots.URL, objs)
+	for i, o := range objs[:2] {
+		_, wantID, wantPairs := addAt(t, ots.URL, o)
+		_, gotID, gotPairs := addAt(t, f.ts.URL, o)
+		if gotID != wantID {
+			t.Fatalf("post-abort add %d: cluster id %d, oracle id %d", i, gotID, wantID)
+		}
+		assertPairsBitIdentical(t, fmt.Sprintf("post-abort add %d", i), gotPairs, wantPairs)
+	}
+	all := append(append([][]string{}, objs...), objs[:2]...)
+
+	// Reboot (replaying begin, the partial moves, and the abort), then
+	// retry the reshard — this time without the parking throttle.
+	f.kill()
+	f.mod = nil
+	f.mustBoot(fault.OS{})
+	f.verifyBitIdentical(ots.URL, all)
+	// The aborted attempt left shard 2 in the fleet with nothing
+	// assigned; the retry routes bucket 2 at it.
+	version, moving := startReshard(t, f.ts.URL, map[string]any{"assign": []int{0, 1, 2}})
+	if version != 4 {
+		t.Fatalf("retry began at version %d, want 4", version)
+	}
+	if moving == 0 {
+		t.Fatal("retry moved nothing")
+	}
+	waitReshardIdle(t, f.ts.URL)
+	if got := int(statsAt(t, f.ts.URL)["route_version"].(float64)); got != 5 {
+		t.Fatalf("route_version after retried reshard = %d, want 5", got)
+	}
+	f.verifyBitIdentical(ots.URL, all)
+	if got := int(statsAt(t, f.ts.URL)["objects"].(float64)); got != len(all) {
+		t.Fatalf("objects = %d, want %d", got, len(all))
+	}
+}
+
+// TestReshardCoordinatorCrashMidMigration sweeps a filesystem crash
+// across every WAL write a migration performs — the begin record, each
+// move's intent and done, and the finalize. Whatever survives, a clean
+// reboot (plus re-issuing the reshard when its begin never became
+// durable) must converge to the fully-resharded fleet with every
+// object exactly once and every answer bit-identical.
+func TestReshardCoordinatorCrashMidMigration(t *testing.T) {
+	objs := paperdata.Table1()
+	for n := 1; ; n++ {
+		fired := false
+		t.Run(fmt.Sprintf("crash-after-write-%d", n), func(t *testing.T) {
+			watchGoroutines(t)
+			f := newDFleet(t, 2, nil)
+			f.mustBoot(fault.OS{})
+			f.load(objs)
+			f.kill() // the loading boot used a healthy filesystem
+
+			sc := f.newShardServer()
+			inj := fault.NewInjector(fault.OS{},
+				fault.Fault{Op: fault.OpWrite, Path: "wal.", N: n, Mode: fault.CrashAfter})
+			f.mustBoot(inj)
+			resp, b := doJSON(t, http.MethodPost, f.ts.URL+"/cluster/reshard",
+				map[string]any{"add": []map[string]any{{"primary": sc.Primary}}}, nil)
+			began := resp.StatusCode == http.StatusOK
+			if !began && n > 1 {
+				t.Fatalf("reshard begin refused before the crash point: %d: %s", resp.StatusCode, b)
+			}
+			if began {
+				// Run until the crash poisons the log or the migration
+				// finishes ahead of the crash point.
+				waitUntil(t, "crash or finalize", func() bool {
+					return inj.Crashed() || reshardStatus(t, f.ts.URL)["state"] == "idle"
+				})
+			}
+			fired = inj.Fired() > 0
+			f.kill()
+
+			f.mustBoot(fault.OS{})
+			if !began || int(statsAt(t, f.ts.URL)["route_version"].(float64)) == 1 {
+				// The begin record never became durable: the operator sees the
+				// old table and simply re-issues the reshard.
+				if version, _ := startReshard(t, f.ts.URL, map[string]any{"add": []map[string]any{{"primary": sc.Primary}}}); version != 2 {
+					t.Fatalf("re-issued reshard began at version %d, want 2", version)
+				}
+			}
+			// Recovery re-arms the mover for a replayed in-flight
+			// migration; either way the fleet converges.
+			waitReshardIdle(t, f.ts.URL)
+			st := statsAt(t, f.ts.URL)
+			if got := int(st["route_version"].(float64)); got != 3 {
+				t.Fatalf("route_version = %d after recovery, want 3", got)
+			}
+			if got := int(st["objects"].(float64)); got != len(objs) {
+				t.Fatalf("objects = %d after recovery, want %d (migration lost or duplicated)", got, len(objs))
+			}
+			f.verifyBitIdentical(singleNode(t, objs).URL, objs)
+			if _, id, _ := addAt(t, f.ts.URL, objs[0]); id != len(objs) {
+				t.Fatalf("post-recovery add got id %d, want %d", id, len(objs))
+			}
+		})
+		if !fired {
+			break // past the last WAL write the migration performs
+		}
+		if n > 300 {
+			t.Fatal("mid-migration crash sweep did not terminate")
+		}
+	}
+}

@@ -1,15 +1,20 @@
 package cluster
 
+import (
+	"strconv"
+	"strings"
+)
+
 // The router decides which shard owns an object. It min-hashes the
-// token set: FNV-1a over each token, the minimum hash mod the shard
-// count picks the home. Min-hash is locality-sensitive for Jaccard
-// overlap — two objects sharing most tokens share their minimum hash
-// with probability about their Jaccard similarity — so the pairs the
-// prefix filter would surface tend to live on one shard and are found
-// by the home shard's own add, while cross-shard discovery only has to
-// catch the tail. The mapping is pure (tokens → shard), so any client
-// holding the route table can compute homes without asking the
-// coordinator.
+// token set: FNV-1a over each token, the minimum hash mod the bucket
+// count picks the bucket, and the route table assigns each bucket to a
+// shard. Min-hash is locality-sensitive for Jaccard overlap — two
+// objects sharing most tokens share their minimum hash with probability
+// about their Jaccard similarity — so the pairs the prefix filter would
+// surface tend to live on one shard and are found by the home shard's
+// own add, while cross-shard discovery only has to catch the tail. The
+// mapping is pure (tokens + table → shard), so any client holding the
+// route table can compute homes without asking the coordinator.
 
 const (
 	fnvOffset64 = 14695981039346656037
@@ -25,31 +30,48 @@ func fnv1a64(s string) uint64 {
 	return h
 }
 
-// Router maps objects to shards. It is immutable; Version identifies
-// the table so clients caching it can detect a repartition (a future
-// rebalancer would publish a new version).
+// Router maps objects to shards through a versioned assignment table:
+// bucket i (the min-hash residue) is owned by the shard with stable
+// index assign[i]. A Router value is immutable; a reshard installs a
+// new one with a bumped version — every route-table transition (begin,
+// finalize, abort) increments the version, so clients caching a table
+// can detect any repartition.
 type Router struct {
-	nshards int
+	assign  []int
 	version int
 }
 
-// NewRouter returns a version-1 router over n shards (min 1).
+// NewRouter returns a version-1 identity router over n shards (min 1):
+// bucket i → shard i, the layout a fresh fleet starts with.
 func NewRouter(n int) *Router {
 	if n < 1 {
 		n = 1
 	}
-	return &Router{nshards: n, version: 1}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i
+	}
+	return &Router{assign: assign, version: 1}
 }
 
-// Shards returns the shard count.
-func (r *Router) Shards() int { return r.nshards }
+// NewRouterAssign returns a router with an explicit bucket→shard
+// assignment and version. The assignment is copied.
+func NewRouterAssign(version int, assign []int) *Router {
+	return &Router{assign: append([]int(nil), assign...), version: version}
+}
+
+// Shards returns the bucket count (the number of serving shards).
+func (r *Router) Shards() int { return len(r.assign) }
 
 // Version returns the route-table version.
 func (r *Router) Version() int { return r.version }
 
-// Home returns the shard owning an object with these tokens. Duplicate
-// tokens cannot move the minimum, so the mapping is set-semantic like
-// the similarity itself.
+// Assign returns a copy of the bucket→shard assignment.
+func (r *Router) Assign() []int { return append([]int(nil), r.assign...) }
+
+// Home returns the stable index of the shard owning an object with
+// these tokens. Duplicate tokens cannot move the minimum, so the
+// mapping is set-semantic like the similarity itself.
 func (r *Router) Home(tokens []string) int {
 	min := ^uint64(0)
 	for _, t := range tokens {
@@ -57,5 +79,33 @@ func (r *Router) Home(tokens []string) int {
 			min = h
 		}
 	}
-	return int(min % uint64(r.nshards))
+	return r.assign[int(min%uint64(len(r.assign)))]
+}
+
+// assignCSV renders an assignment as "0,1,2" for route records and
+// snapshots.
+func assignCSV(assign []int) string {
+	parts := make([]string, len(assign))
+	for i, s := range assign {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseAssignCSV parses assignCSV output, validating every index
+// against the fleet size.
+func parseAssignCSV(s string, nshards int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		idx, err := strconv.Atoi(p)
+		if err != nil || idx < 0 || idx >= nshards {
+			return nil, &recordError{field: "assign", detail: "bad shard index " + p}
+		}
+		out = append(out, idx)
+	}
+	if len(out) == 0 {
+		return nil, &recordError{field: "assign", detail: "empty assignment"}
+	}
+	return out, nil
 }

@@ -90,6 +90,23 @@ func (pv *PinnedView) Objects() int { return pv.v.total }
 // reflects.
 func (pv *PinnedView) WALSeq() uint64 { return pv.v.walSeq }
 
+// ObjectTokens returns the normalized token list of one indexed object,
+// or ok=false when the id is outside the pinned view. The tokens are
+// exactly what WriteSnapshot would emit for the object — re-adding them
+// to a fresh index reproduces the object bit-identically — which is what
+// lets a cluster reshard stream an object from one shard to another.
+func (pv *PinnedView) ObjectTokens(id int) ([]string, bool) {
+	if id < 0 || id >= pv.v.total {
+		return nil, false
+	}
+	o := pv.v.objAt(id)
+	out := make([]string, len(o.elems))
+	for i, e := range o.elems {
+		out[i] = pv.ix.j.res.Info(e).Token
+	}
+	return out, true
+}
+
 // SegmentSizes returns the pinned sealed-segment layout (object count
 // per segment, in order).
 func (pv *PinnedView) SegmentSizes() []int {

@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the goroutine watchdog needs. Keeping
+// the dependency to an interface means this package (linked into
+// production binaries) never imports testing.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// WatchGoroutines registers a cleanup that fails the test if the
+// goroutine count does not settle back to its baseline (plus a small
+// slack for the runtime's own background goroutines) within 5 seconds —
+// a scatter goroutine, stalled dial, hedge, or migration mover that
+// outlived its owner. Call it before starting the machinery under test
+// so the baseline excludes everything the test creates.
+func WatchGoroutines(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+3 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<17)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+	})
+}

@@ -233,6 +233,7 @@ func generousBound() server.ReplicaConfig {
 // injected transport faults and requires full, bit-identical
 // convergence every time.
 func TestReplicaChaosMatrix(t *testing.T) {
+	fault.WatchGoroutines(t)
 	objs := paperdata.Table1()
 	cases := []struct {
 		name   string
@@ -292,6 +293,7 @@ func TestReplicaChaosMatrix(t *testing.T) {
 // clean, one through a faulty transport — and requires both to converge
 // to bit-identical answers.
 func TestEveryAckedAddVisibleOnEveryLiveReplica(t *testing.T) {
+	fault.WatchGoroutines(t)
 	p := newPrimary(t, 0, nil)
 	inj := fault.NewNetInjector(nil,
 		fault.NetFault{Op: fault.OpConnRead, N: 3, Mode: fault.NetTruncate, Keep: 7},
@@ -313,6 +315,7 @@ func TestEveryAckedAddVisibleOnEveryLiveReplica(t *testing.T) {
 // from its own local generation and resume the stream — zero snapshot
 // resyncs — then catch up with records added while it was down.
 func TestReplicaKillRestartResumesFromLocalSnapshot(t *testing.T) {
+	fault.WatchGoroutines(t)
 	p := newPrimary(t, 0, nil)
 	dir := t.TempDir()
 	objs := paperdata.Table1()
@@ -343,6 +346,7 @@ func TestReplicaKillRestartResumesFromLocalSnapshot(t *testing.T) {
 // follower must hit the loud 410 path, resync from a primary snapshot
 // exactly once, and fully catch up.
 func TestPrimaryCompactionNeverStrandsFollowerSilently(t *testing.T) {
+	fault.WatchGoroutines(t)
 	p := newPrimary(t, 1, nil) // keep=1: each snapshot floors the WAL at its seq
 	dir := t.TempDir()
 	objs := paperdata.Table1()
@@ -385,6 +389,7 @@ func TestPrimaryCompactionNeverStrandsFollowerSilently(t *testing.T) {
 // visible on the replica: the stream only ever ships what an
 // acknowledgment could have been issued for.
 func TestUnackedRecordNeverAppliedOnReplica(t *testing.T) {
+	fault.WatchGoroutines(t)
 	// The third WAL fsync fails: adds 1 and 2 are acked, add 3 refused.
 	inj := fault.NewInjector(fault.OS{},
 		fault.Fault{Op: fault.OpSync, Path: "wal", N: 3, Mode: fault.Fail})
@@ -421,6 +426,7 @@ func TestUnackedRecordNeverAppliedOnReplica(t *testing.T) {
 // is unreachable longer than the bound, reject-mode queries answer 503
 // stale_replica instead of silently serving old data.
 func TestStalenessGateRejectsWhenPrimaryDies(t *testing.T) {
+	fault.WatchGoroutines(t)
 	p := newPrimary(t, 0, nil)
 	for _, o := range paperdata.Table1()[:3] {
 		p.mustAdd(o)

@@ -193,6 +193,7 @@ func wrap(h *hierarchy.Hierarchy, opt core.Options, cfg Config, ix *core.Indexer
 	mux.Handle("POST /objects", s.readOnly(s.limited(http.HandlerFunc(s.handleAdd))))
 	mux.Handle("POST /query", s.limited(s.staleGate(http.HandlerFunc(s.handleQuery))))
 	mux.Handle("POST /similarity", s.limited(http.HandlerFunc(s.handleSimilarity)))
+	mux.Handle("GET /objects/{id}", s.notReady(http.HandlerFunc(s.handleGetObject)))
 	mux.Handle("GET /snapshot", s.limited(http.HandlerFunc(s.handleSnapshot)))
 	mux.Handle("GET /wal/stream", s.notReady(http.HandlerFunc(s.handleWALStream)))
 	mux.Handle("GET /replica/snapshot", s.limited(http.HandlerFunc(s.handleReplicaSnapshot)))
@@ -354,6 +355,28 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		resp.Pairs = append(resp.Pairs, pairJSON{X: p.X, Y: p.Y, Sim: p.Sim})
 	}
 	writeJSON(w, resp)
+}
+
+// handleGetObject serves one indexed object's normalized tokens by
+// local id — the cluster reshard mover streams moving objects off their
+// old home through it. Reads are lock-free against the engine's pinned
+// view, and the tokens round-trip bit-identically (they are exactly
+// what a snapshot would carry).
+func (s *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		serverutil.WriteError(w, http.StatusBadRequest, "bad_id",
+			fmt.Sprintf("object id must be a non-negative integer, got %q", r.PathValue("id")))
+		return
+	}
+	pv := s.ix.Load().Pin()
+	tokens, ok := pv.ObjectTokens(id)
+	if !ok {
+		serverutil.WriteError(w, http.StatusNotFound, "unknown_object",
+			fmt.Sprintf("object %d is not indexed here (have %d)", id, pv.Objects()))
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "tokens": tokens})
 }
 
 // matchJSON is one POST /query result.

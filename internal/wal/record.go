@@ -40,6 +40,12 @@ const (
 	// engine: recovery reproduces the exact pre-crash segment layout by
 	// sealing at the same points. Seal records carry no tokens.
 	OpSeal Op = 2
+	// OpCoord records one cluster control-plane state change (a global-id
+	// assignment, a route-table change, or per-object reshard progress).
+	// The token slice carries the typed fields; the cluster layer owns
+	// their meaning — to the log they are opaque strings, framed and
+	// checksummed like any other record.
+	OpCoord Op = 3
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -58,6 +64,12 @@ func AppendRecord(buf []byte, seq uint64, tokens []string) []byte {
 // returns the extended slice.
 func AppendSealRecord(buf []byte, seq uint64) []byte {
 	return appendRecordOp(buf, seq, OpSeal, nil)
+}
+
+// AppendCoordRecord appends the encoded coordinator record for (seq,
+// fields) to buf and returns the extended slice.
+func AppendCoordRecord(buf []byte, seq uint64, fields []string) []byte {
+	return appendRecordOp(buf, seq, OpCoord, fields)
 }
 
 func appendRecordOp(buf []byte, seq uint64, op Op, tokens []string) []byte {
@@ -84,7 +96,7 @@ func decodePayload(payload []byte) (seq uint64, op Op, tokens []string, err erro
 	}
 	seq = binary.LittleEndian.Uint64(payload)
 	op = Op(payload[8])
-	if op != OpAdd && op != OpSeal {
+	if op != OpAdd && op != OpSeal && op != OpCoord {
 		return 0, 0, nil, fmt.Errorf("%w: unknown op %d", errCorrupt, payload[8])
 	}
 	rest := payload[9:]

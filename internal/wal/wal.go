@@ -281,6 +281,16 @@ func (w *WAL) AppendSeal() (uint64, error) {
 	return w.appendOp(OpSeal, nil)
 }
 
+// AppendCoord serializes a coordinator control-plane record — an opaque
+// typed field list owned by the cluster layer — into the log and returns
+// its sequence number. Like Append, the record is ordered but not yet
+// durable; call Sync(seq) before acting on it.
+//
+//kjoinlint:ackorder append
+func (w *WAL) AppendCoord(fields []string) (uint64, error) {
+	return w.appendOp(OpCoord, fields)
+}
+
 func (w *WAL) appendOp(op Op, tokens []string) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()

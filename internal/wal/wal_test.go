@@ -76,6 +76,58 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCoordRecordsRoundTrip: coordinator records share the sequence
+// space with the other ops, survive replay in order with their op and
+// field list intact, and may carry any fields — including empty strings
+// — since the cluster layer owns their meaning.
+func TestCoordRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(fault.OS{}, dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]string{
+		{"assign-intent", "0", "1", "burger", "king"},
+		{"assign-done", "0", "1", "0"},
+		{"reshard-begin", "2", "", "0:1:2"},
+	}
+	for i, fields := range recs {
+		seq, err := w.AppendCoord(fields)
+		if err != nil || seq != uint64(i+1) {
+			t.Fatalf("coord record %d: seq=%d err=%v", i, seq, err)
+		}
+		if err := w.Sync(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	var got [][]string
+	w2, err := Open(fault.OS{}, dir, Options{}, func(seq uint64, op Op, tokens []string) error {
+		if op != OpCoord {
+			t.Fatalf("seq %d: op %d, want OpCoord", seq, op)
+		}
+		got = append(got, tokens)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if len(got[i]) != len(recs[i]) {
+			t.Fatalf("record %d: %d fields, want %d", i, len(got[i]), len(recs[i]))
+		}
+		for j := range recs[i] {
+			if got[i][j] != recs[i][j] {
+				t.Errorf("record %d field %d: %q != %q", i, j, got[i][j], recs[i][j])
+			}
+		}
+	}
+}
+
 // TestSealRecordsRoundTrip: seal records share the sequence space with
 // adds, survive replay in order with their op intact, and carry no
 // tokens.
